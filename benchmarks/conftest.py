@@ -1,0 +1,33 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one paper table/figure, prints it, asserts
+the paper's qualitative shape, and archives the rendered table under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable output.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory where rendered experiment tables are archived."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def archive(results_dir):
+    """Callable that saves and prints a rendered experiment."""
+
+    def _archive(result):
+        text = result.render()
+        print()
+        print(text)
+        (results_dir / f"{result.experiment}.txt").write_text(text + "\n")
+        return result
+
+    return _archive

@@ -1,0 +1,48 @@
+"""Ablation: asynchronous vs synchronous GPU command issue.
+
+The paper overlaps GPU kernel execution with the CPU's portion of each
+layer by issuing commands asynchronously (Section 6).  Synchronous
+issue serializes the two processors and destroys most of the
+cooperative win.
+"""
+
+from repro.harness import ExperimentResult
+from repro.models import build_model
+from repro.runtime import MuLayer
+from repro.soc import EXYNOS_7420, EXYNOS_7880
+
+
+def run_ablation():
+    rows = []
+    for soc in (EXYNOS_7420, EXYNOS_7880):
+        for model in ("vgg16", "alexnet", "googlenet"):
+            graph = build_model(model, with_weights=False)
+            asynchronous = MuLayer(soc, use_oracle_costs=True,
+                                   async_issue=True).run(graph)
+            synchronous = MuLayer(soc, use_oracle_costs=True,
+                                  async_issue=False).run(graph)
+            rows.append([
+                soc.name, model, asynchronous.latency_ms,
+                synchronous.latency_ms,
+                (synchronous.latency_s - asynchronous.latency_s)
+                / asynchronous.latency_s * 100.0,
+            ])
+    return ExperimentResult(
+        experiment="ablation_async_issue",
+        title="Asynchronous vs synchronous GPU command issue",
+        headers=["soc", "model", "async_ms", "sync_ms",
+                 "sync_penalty_%"],
+        rows=rows,
+        notes=["Synchronous issue removes the CPU/GPU overlap that "
+               "cooperative layers rely on."])
+
+
+def test_ablation_async_issue(benchmark, archive):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    archive(result)
+    for row in result.rows:
+        assert row[3] >= row[2] * 0.999, row
+    # On the big cooperative workloads (VGG), losing the overlap must
+    # cost a substantial fraction of the win.
+    vgg_rows = [row for row in result.rows if row[1] == "vgg16"]
+    assert any(row[4] > 20.0 for row in vgg_rows)

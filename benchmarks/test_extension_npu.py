@@ -1,0 +1,66 @@
+"""Extension experiment: uLayer with an NPU (paper Section 8.3).
+
+The paper claims its three mechanisms survive the arrival of NPUs:
+channel-wise distribution extends to three processors, the
+processor-friendly quantization gives the NPU its native 8-bit type,
+and branch distribution gains a third target.  This benchmark runs the
+claim on a hypothetical NPU-equipped high-end SoC.
+"""
+
+from repro.harness import ExperimentResult
+from repro.models import build_model
+from repro.runtime import MuLayer, run_single_processor
+from repro.soc import EXYNOS_7420, EXYNOS_7420_NPU
+from repro.tensor import DType
+
+
+def run_extension():
+    rows = []
+    for model in ("googlenet", "squeezenet", "vgg16", "alexnet",
+                  "mobilenet"):
+        graph = build_model(model, with_weights=False)
+        npu_only = run_single_processor(EXYNOS_7420_NPU, graph, "npu",
+                                        DType.QUINT8)
+        two_way = MuLayer(EXYNOS_7420, use_oracle_costs=True).run(graph)
+        runtime = MuLayer(EXYNOS_7420_NPU, use_oracle_costs=True)
+        three_way = runtime.run(graph)
+        plan = runtime.plan(graph)
+        three_way_layers = sum(
+            1 for a in plan.assignments.values()
+            if len(a.shares()) == 3)
+        npu_branches = sum(
+            1 for ba in plan.branch_assignments
+            if "npu" in ba.mapping)
+        rows.append([
+            model, npu_only.latency_ms, two_way.latency_ms,
+            three_way.latency_ms,
+            npu_only.latency_s / three_way.latency_s,
+            two_way.latency_s / three_way.latency_s,
+            three_way_layers, npu_branches,
+        ])
+    return ExperimentResult(
+        experiment="extension_npu",
+        title="Section 8.3 extension: uLayer on an NPU-equipped SoC",
+        headers=["model", "npu_only_ms", "ulayer_2way_ms",
+                 "ulayer_3way_ms", "vs_npu_only", "vs_2way",
+                 "3way_layers", "npu_branches"],
+        rows=rows,
+        notes=["Three-way channel distribution and NPU-aware branch "
+               "distribution keep paying off even when a fast NPU is "
+               "available -- the paper's 'key ideas still hold' claim."])
+
+
+def test_extension_npu(benchmark, archive):
+    result = benchmark.pedantic(run_extension, rounds=1, iterations=1)
+    archive(result)
+    for row in result.rows:
+        model, _, _, _, vs_npu, vs_2way, *_ = row
+        # Cooperative 3-way execution beats the NPU running alone...
+        assert vs_npu > 1.0, row
+        # ...and never loses to the NPU-less runtime.
+        assert vs_2way > 0.97, row
+    # The big conv networks use genuine three-way splits.
+    by_model = {row[0]: row for row in result.rows}
+    assert by_model["vgg16"][6] >= 5
+    # GoogLeNet's branch distribution adopts the NPU as a target.
+    assert by_model["googlenet"][7] >= 1

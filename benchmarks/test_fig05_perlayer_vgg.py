@@ -1,0 +1,36 @@
+"""Figure 5: per-layer latency of VGG-16 on the CPUs and GPUs.
+
+Paper shape: on the high-end SoC the GPU achieves an average speedup of
+only ~1.40x over the CPU; on the mid-range SoC the CPU achieves ~26%
+*lower* latency than the GPU -- the balance that motivates cooperative
+single-layer acceleration (Section 3.1).
+"""
+
+import numpy as np
+
+from repro.harness import fig05_perlayer_vgg
+
+
+def test_fig05_perlayer_vgg(benchmark, archive):
+    result = benchmark.pedantic(fig05_perlayer_vgg, rounds=1,
+                                iterations=1)
+    archive(result)
+
+    highend = [row for row in result.rows if row[0] == "exynos7420"]
+    midrange = [row for row in result.rows if row[0] == "exynos7880"]
+    assert len(highend) == 16   # 13 convs + 3 FCs
+    assert len(midrange) == 16
+
+    highend_speedup = float(np.mean([row[4] for row in highend]))
+    midrange_speedup = float(np.mean([row[4] for row in midrange]))
+
+    # High-end: GPU only modestly faster (paper: ~1.40x average).
+    assert 1.1 < highend_speedup < 1.7
+    # Mid-range: CPU is the faster processor (paper: 26.1% lower).
+    assert midrange_speedup < 1.0
+
+    # Per-layer balance: no conv layer is more than ~4x apart, so
+    # cooperative acceleration has potential everywhere.
+    conv_rows = [row for row in highend if row[1].startswith("conv")]
+    for row in conv_rows:
+        assert 0.25 < row[4] < 4.0, row

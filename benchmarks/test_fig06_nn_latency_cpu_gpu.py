@@ -1,0 +1,31 @@
+"""Figure 6: whole-NN latency on CPU vs GPU (F32), five networks.
+
+Paper shape: CPU and GPU latencies are comparable on both SoCs (the
+cooperative-acceleration motivation holds across diverse NNs); the
+mid-range CPU beats its GPU.
+"""
+
+from repro.harness import fig06_nn_latency
+
+
+def test_fig06_nn_latency(benchmark, archive):
+    result = benchmark.pedantic(fig06_nn_latency, rounds=1,
+                                iterations=1)
+    archive(result)
+
+    assert len(result.rows) == 10   # 5 models x 2 SoCs
+    for row in result.rows:
+        soc, model, cpu_ms, gpu_ms, gpu_speedup = row
+        # Balanced processors: within ~3x of each other everywhere.
+        assert 0.3 < gpu_speedup < 3.0, row
+        assert cpu_ms > 0 and gpu_ms > 0
+
+    # Mid-range: the CPU wins for every network.
+    midrange = [row for row in result.rows if row[0] == "exynos7880"]
+    assert all(row[4] < 1.0 for row in midrange)
+
+    # High-end: the GPU wins on the big, regular networks.
+    highend = {row[1]: row[4] for row in result.rows
+               if row[0] == "exynos7420"}
+    assert highend["vgg16"] > 1.0
+    assert highend["alexnet"] > 1.0

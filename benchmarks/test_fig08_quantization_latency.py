@@ -1,0 +1,37 @@
+"""Figure 8: impact of quantization (F32/F16/QUInt8) on latency.
+
+Paper shape (normalized to CPU F32): the CPU benefits greatly from
+QUInt8 but not from F16 (no vector F16 ALUs); the GPU benefits greatly
+from F16 and *regresses* with QUInt8 (32-bit accumulation halves its
+concurrency).
+"""
+
+from repro.harness import fig08_quantization_latency
+
+
+def test_fig08_quantization_latency(benchmark, archive):
+    result = benchmark.pedantic(fig08_quantization_latency, rounds=1,
+                                iterations=1)
+    archive(result)
+
+    assert len(result.rows) == 10
+    for row in result.rows:
+        (soc, model, cpu_f32, cpu_f16, cpu_q8, gpu_f32, gpu_f16,
+         gpu_q8) = row
+        assert cpu_f32 == 1.0
+        # CPU: QUInt8 is the clear win; F16 is not faster than F32
+        # beyond its memory-traffic savings.
+        assert cpu_q8 < 0.75 * cpu_f32, row
+        assert cpu_f16 > 0.7 * cpu_f32, row
+        # GPU: F16 is the clear win; QUInt8 is slower than F16 and not
+        # faster than F32 compute-wise.
+        assert gpu_f16 < 0.8 * gpu_f32, row
+        assert gpu_q8 > gpu_f16, row
+
+    # The per-processor best data types are exactly the ones the
+    # processor-friendly quantization picks.
+    for row in result.rows:
+        cpu_best = min(row[2], row[3], row[4])
+        gpu_best = min(row[5], row[6], row[7])
+        assert cpu_best == row[4], "CPU's best dtype must be QUInt8"
+        assert gpu_best == row[6], "GPU's best dtype must be F16"

@@ -1,0 +1,36 @@
+"""Figure 12: branch-distribution potential on GoogLeNet's Inception 3a.
+
+Paper shape: on the high-end SoC, per-layer cooperative execution
+improves over CPU-only (paper: 52.1%), and assigning whole branches to
+processors improves further (paper: 63.4%, 6.3 ms) -- the motivation
+for the branch-distribution mechanism.
+"""
+
+from repro.harness import fig12_branch_potential
+from repro.soc import EXYNOS_7420
+
+
+def test_fig12_branch_potential(benchmark, archive):
+    result = benchmark.pedantic(fig12_branch_potential,
+                                args=(EXYNOS_7420,), rounds=1,
+                                iterations=1)
+    archive(result)
+
+    latency = dict(zip(result.column("mechanism"),
+                       result.column("latency_ms")))
+    improvement = dict(zip(result.column("mechanism"),
+                           result.column("improvement_vs_cpu_%")))
+
+    # Cooperative beats CPU-only on the module.
+    assert latency["cooperative"] < latency["cpu_only_quint8"]
+    assert improvement["cooperative"] > 5.0
+
+    # Optimal branch assignment beats plain cooperative execution.
+    assert (latency["cooperative_optimal_branches"]
+            < latency["cooperative"])
+    assert (improvement["cooperative_optimal_branches"]
+            > improvement["cooperative"])
+
+    # The chosen mapping uses both processors.
+    note = result.notes[0]
+    assert "cpu" in note and "gpu" in note

@@ -1,0 +1,44 @@
+"""Figure 16: end-to-end latency of all execution mechanisms.
+
+Paper shape (normalized to the layer-to-processor state of the art):
+uLayer is the fastest mechanism for every network on both SoCs, with
+geomean speed improvements of ~30% and the largest wins on the
+large-filter networks; VGG-16 on the high-end SoC is the one case
+where a single-processor configuration (GPU, F16) already beats
+layer-to-processor.
+"""
+
+from repro.harness import fig16_e2e_latency
+from repro.runtime import geometric_mean
+
+
+def test_fig16_e2e_latency(benchmark, archive):
+    result = benchmark.pedantic(fig16_e2e_latency, rounds=1,
+                                iterations=1)
+    archive(result)
+
+    assert len(result.rows) == 10
+    for row in result.rows:
+        soc, model, cpu_q8, gpu_f16, l2p, mulayer, reduction, *_ = row
+        assert l2p == 1.0
+        # uLayer is never slower than the layer-to-processor baseline.
+        assert mulayer <= 1.02, row
+        # uLayer is never slower than either single-processor config.
+        assert mulayer <= min(cpu_q8, gpu_f16) * 1.02, row
+
+    # Geomean speedups are solidly double-digit on both SoCs.
+    for soc_name in ("exynos7420", "exynos7880"):
+        speedups = [1.0 / row[5] for row in result.rows
+                    if row[0] == soc_name]
+        assert geometric_mean(speedups) > 1.10, soc_name
+
+    by_key = {(row[0], row[1]): row for row in result.rows}
+
+    # The VGG-16 high-end anomaly: single-GPU-F16 beats l2p.
+    assert by_key[("exynos7420", "vgg16")][3] < 1.0
+
+    # Large-filter networks gain more than MobileNet (both SoCs).
+    for soc_name in ("exynos7420", "exynos7880"):
+        vgg_reduction = by_key[(soc_name, "vgg16")][6]
+        mobilenet_reduction = by_key[(soc_name, "mobilenet")][6]
+        assert vgg_reduction > mobilenet_reduction, soc_name

@@ -1,0 +1,35 @@
+"""Figure 17: contribution of uLayer's three optimizations.
+
+Paper shape (latency normalized to the complete uLayer, so every bar
+is >= 1): channel-wise distribution carries AlexNet/VGG, the
+processor-friendly quantization adds the most for GoogLeNet, and
+branch distribution further helps only GoogLeNet and SqueezeNet.
+"""
+
+from repro.harness import fig17_ablation
+
+
+def test_fig17_ablation(benchmark, archive):
+    result = benchmark.pedantic(fig17_ablation, rounds=1, iterations=1)
+    archive(result)
+
+    assert len(result.rows) == 10
+    for row in result.rows:
+        soc, model, ch_dist, ch_pfq, full = row
+        assert full == 1.0
+        # Each added mechanism must not hurt.
+        assert ch_dist >= ch_pfq - 0.02, row
+        assert ch_pfq >= full - 0.02, row
+
+    by_key = {(row[0], row[1]): row for row in result.rows}
+
+    # PFQ contributes visibly for every network on the high-end SoC.
+    for model in ("googlenet", "vgg16", "alexnet"):
+        row = by_key[("exynos7420", model)]
+        assert row[2] > row[3], model
+
+    # Branch distribution helps the branching networks...
+    assert by_key[("exynos7420", "googlenet")][3] > 1.005
+    # ...and is a no-op for the linear ones.
+    for model in ("vgg16", "alexnet", "mobilenet"):
+        assert abs(by_key[("exynos7420", model)][3] - 1.0) < 0.02, model

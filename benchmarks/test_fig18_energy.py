@@ -1,0 +1,38 @@
+"""Figure 18: energy consumption of all execution mechanisms.
+
+Paper shape (normalized to layer-to-processor): despite running both
+processors simultaneously, uLayer consumes *less* energy than the
+layer-to-processor baseline for every network (geomean 1.26x/1.34x in
+the paper) because the latency drops, part of the work moves to the
+more-efficient-per-op GPU, and QUInt8 storage cuts DRAM traffic.
+"""
+
+from repro.harness import fig18_energy
+from repro.runtime import geometric_mean
+
+
+def test_fig18_energy(benchmark, archive):
+    result = benchmark.pedantic(fig18_energy, rounds=1, iterations=1)
+    archive(result)
+
+    assert len(result.rows) == 10
+    for row in result.rows:
+        soc, model, cpu_q8, gpu_f16, l2p, mulayer, *_ = row
+        assert l2p == 1.0
+        # uLayer's energy never exceeds the baseline's.
+        assert mulayer <= 1.02, row
+
+    # Geomean energy-efficiency gain is positive on both SoCs, larger
+    # on the high-end SoC where more work shifts to the GPU.
+    for soc_name in ("exynos7420", "exynos7880"):
+        ratios = [1.0 / row[5] for row in result.rows
+                  if row[0] == soc_name]
+        assert geometric_mean(ratios) > 1.05, soc_name
+
+    # Energy efficiency remains comparable to the single-processor
+    # mechanisms (paper Section 7.3): uLayer is within ~35% of the
+    # best single-processor energy for every network, while being much
+    # faster than it.
+    for row in result.rows:
+        best_single = min(row[2], row[3])
+        assert row[5] <= best_single * 1.35, row

@@ -1,0 +1,79 @@
+"""Microbenchmarks of the numerical kernels (host wall-clock).
+
+Unlike the figure benchmarks (which report *simulated* SoC time), these
+measure the reproduction's own numpy kernels, so regressions in the
+functional pipeline show up as real slowdowns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import gemm_f16, gemm_f32, im2col, max_pool, qgemm
+from repro.tensor import QuantParams
+
+RNG = np.random.default_rng(42)
+
+
+@pytest.fixture(scope="module")
+def conv_input():
+    return RNG.standard_normal((1, 64, 56, 56)).astype(np.float32)
+
+
+def test_bench_im2col(benchmark, conv_input):
+    result = benchmark(im2col, conv_input, 3, 1, 1)
+    assert result.shape == (1, 56 * 56, 64 * 9)
+
+
+def test_bench_gemm_f32(benchmark):
+    lhs = RNG.standard_normal((3136, 576)).astype(np.float32)
+    rhs = RNG.standard_normal((576, 128)).astype(np.float32)
+    out = benchmark(gemm_f32, lhs, rhs)
+    assert out.shape == (3136, 128)
+
+
+def test_bench_gemm_f16(benchmark):
+    lhs = RNG.standard_normal((3136, 576)).astype(np.float16)
+    rhs = RNG.standard_normal((576, 128)).astype(np.float16)
+    out = benchmark(gemm_f16, lhs, rhs)
+    assert out.dtype == np.float16
+
+
+def test_bench_qgemm(benchmark):
+    lhs_params = QuantParams.from_range(-1.0, 1.0)
+    rhs_params = QuantParams.from_range(-0.5, 0.5)
+    out_params = QuantParams.from_range(-8.0, 8.0)
+    lhs = RNG.integers(0, 256, (3136, 576)).astype(np.uint8)
+    rhs = RNG.integers(0, 256, (576, 128)).astype(np.uint8)
+    out = benchmark(qgemm, lhs, lhs_params, rhs, rhs_params, out_params)
+    assert out.dtype == np.uint8
+
+
+def test_bench_max_pool(benchmark, conv_input):
+    out = benchmark(max_pool, conv_input, 2, 2)
+    assert out.shape == (1, 64, 28, 28)
+
+
+def test_bench_mulayer_planning(benchmark):
+    """Wall-clock cost of planning GoogLeNet with the oracle
+    partitioner -- the runtime's one-time setup cost."""
+    from repro.models import build_model
+    from repro.runtime import Partitioner, PartitionerConfig
+    from repro.soc import EXYNOS_7420
+    graph = build_model("googlenet", with_weights=False)
+    partitioner = Partitioner(
+        EXYNOS_7420, config=PartitionerConfig(use_oracle_costs=True))
+    plan = benchmark(partitioner.plan, graph)
+    plan.validate(graph)
+
+
+def test_bench_simulated_execution(benchmark):
+    """Wall-clock cost of one timed (non-functional) GoogLeNet
+    inference through the whole simulator."""
+    from repro.models import build_model
+    from repro.runtime import MuLayer
+    from repro.soc import EXYNOS_7420
+    graph = build_model("googlenet", with_weights=False)
+    runtime = MuLayer(EXYNOS_7420, use_oracle_costs=True)
+    runtime.run(graph)   # warm the plan cache
+    result = benchmark(runtime.run, graph)
+    assert result.latency_s > 0

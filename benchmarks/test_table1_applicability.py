@@ -1,0 +1,28 @@
+"""Table 1: evaluated NNs and which uLayer mechanisms apply to each."""
+
+from repro.harness import table1_applicability
+
+
+def test_table1_applicability(benchmark, archive):
+    result = benchmark.pedantic(table1_applicability, rounds=1,
+                                iterations=1)
+    archive(result)
+
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {"GoogLeNet", "SqueezeNet v1.1", "VGG-16",
+                         "AlexNet", "MobileNet v1"}
+
+    # Channel distribution and PFQ apply everywhere.
+    for row in rows.values():
+        assert row[2] == "yes"
+        assert row[3] == "yes"
+
+    # Branch distribution applies exactly to the branching networks,
+    # and the flags agree with the actual graph analysis.
+    assert rows["GoogLeNet"][4] == "yes"
+    assert rows["GoogLeNet"][5] == 9
+    assert rows["SqueezeNet v1.1"][4] == "yes"
+    assert rows["SqueezeNet v1.1"][5] == 8
+    for model in ("VGG-16", "AlexNet", "MobileNet v1"):
+        assert rows[model][4] == "no"
+        assert rows[model][5] == 0

@@ -1,0 +1,63 @@
+"""Compare all on-device execution mechanisms across the paper's NNs.
+
+Reproduces the core of Figures 16 and 18 interactively: for each of
+the five evaluated networks on both simulated SoCs, runs
+
+* single-processor CPU (QUInt8, its best data type),
+* single-processor GPU (F16, its best data type),
+* the layer-to-processor state of the art (QUInt8),
+* the MCDNN-style network-to-processor mechanism (throughput mode),
+* uLayer (channel-wise distribution + processor-friendly quantization
+  + branch distribution),
+
+and prints latency/energy tables plus an ASCII bar chart.
+
+Run:  python examples/mechanism_comparison.py
+"""
+
+from repro.harness import format_bars, format_table
+from repro.models import PAPER_MODELS, build_model
+from repro.runtime import (MuLayer, geometric_mean,
+                           run_layer_to_processor,
+                           run_network_to_processor,
+                           run_single_processor)
+from repro.soc import EXYNOS_7420, EXYNOS_7880
+from repro.tensor import DType
+
+
+def main():
+    for soc in (EXYNOS_7420, EXYNOS_7880):
+        print(f"\n=== {soc.display_name} ===")
+        runtime = MuLayer(soc)
+        rows = []
+        speedups = []
+        energy_gains = []
+        for model in PAPER_MODELS:
+            graph = build_model(model, with_weights=False)
+            cpu = run_single_processor(soc, graph, "cpu", DType.QUINT8)
+            gpu = run_single_processor(soc, graph, "gpu", DType.F16)
+            l2p = run_layer_to_processor(soc, graph)
+            mulayer = runtime.run(graph)
+            throughput = run_network_to_processor(soc, graph,
+                                                  num_inputs=8)
+            speedups.append(l2p.latency_s / mulayer.latency_s)
+            energy_gains.append(l2p.energy.total_j
+                                / mulayer.energy.total_j)
+            rows.append([
+                model, cpu.latency_ms, gpu.latency_ms, l2p.latency_ms,
+                mulayer.latency_ms, throughput.throughput_ips,
+                l2p.energy.total_mj, mulayer.energy.total_mj,
+            ])
+        print(format_table(
+            ["model", "cpu_q8_ms", "gpu_f16_ms", "l2p_ms",
+             "ulayer_ms", "mcdnn_ips", "l2p_mj", "ulayer_mj"], rows))
+        print(f"\ngeomean uLayer speedup over layer-to-processor: "
+              f"{geometric_mean(speedups):.2f}x; energy gain: "
+              f"{geometric_mean(energy_gains):.2f}x")
+        pairs = [(row[0], row[3] / row[4]) for row in rows]
+        print(format_bars(pairs, width=40,
+                          title="\nper-model speedup (x)", unit="x"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""The Section 8.3 extension: uLayer on an NPU-equipped SoC.
+
+The paper claims its mechanisms survive the arrival of dedicated
+neural processing units: channel-wise distribution extends to three
+processors, the processor-friendly quantization hands the NPU its
+native 8-bit type, and branch distribution gains a third target.
+This example runs that claim on a hypothetical NPU-equipped high-end
+SoC and shows the three-way plans it produces.
+
+Run:  python examples/npu_extension.py
+"""
+
+from collections import Counter
+
+from repro.harness import format_table, render_gantt
+from repro.models import build_model
+from repro.runtime import MuLayer, run_single_processor
+from repro.soc import EXYNOS_7420, EXYNOS_7420_NPU
+from repro.tensor import DType
+
+
+def main():
+    soc = EXYNOS_7420_NPU
+    print(f"SoC: {soc.display_name}")
+    for resource in soc.resources():
+        processor = soc.processor(resource)
+        rate = processor.sustained_macs_per_s(DType.QUINT8) / 1e9
+        print(f"  {resource}: {processor.name} "
+              f"({rate:.0f} GMAC/s sustained at QUInt8)")
+
+    rows = []
+    for model in ("vgg16", "googlenet", "alexnet"):
+        graph = build_model(model, with_weights=False)
+        npu_only = run_single_processor(soc, graph, "npu",
+                                        DType.QUINT8)
+        two_way = MuLayer(EXYNOS_7420, use_oracle_costs=True).run(graph)
+        runtime = MuLayer(soc, use_oracle_costs=True)
+        three_way = runtime.run(graph)
+        rows.append([model, npu_only.latency_ms, two_way.latency_ms,
+                     three_way.latency_ms,
+                     npu_only.latency_s / three_way.latency_s])
+    print("\n" + format_table(
+        ["model", "npu_only_ms", "ulayer_cpu+gpu_ms",
+         "ulayer_cpu+gpu+npu_ms", "speedup_vs_npu"], rows))
+
+    # Inspect the three-way plan for VGG-16.
+    graph = build_model("vgg16", with_weights=False)
+    runtime = MuLayer(soc, use_oracle_costs=True)
+    plan = runtime.plan(graph)
+    placements = Counter("+".join(sorted(a.shares()))
+                         for a in plan.assignments.values())
+    print("\nVGG-16 placement mix:", dict(placements))
+    print("example split:",
+          next((f"{name}: {a.shares()}"
+                for name, a in plan.assignments.items()
+                if len(a.shares()) == 3), "none"))
+
+    result = runtime.run(graph)
+    print("\nfirst 10% of the inference "
+          "(note all three processors busy):")
+    print(render_gantt(result.timeline, width=90,
+                       end_s=result.latency_s * 0.1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Calibrate and inspect the Neurosurgeon-style latency predictor.
+
+Shows the profiling-and-regression workflow the uLayer partitioner
+relies on (Section 6): fit log-space models per processor and data
+type, check their accuracy on real network layers, and quantify what
+the prediction error costs against an oracle planner.
+
+Run:  python examples/predictor_calibration.py
+"""
+
+import numpy as np
+
+from repro.harness import format_table
+from repro.models import build_model
+from repro.runtime import (LatencyPredictor, MuLayer,
+                           PROCESSOR_FRIENDLY)
+from repro.soc import EXYNOS_7420, EXYNOS_7880, kernel_cost
+
+
+def main():
+    for soc in (EXYNOS_7420, EXYNOS_7880):
+        print(f"\n=== {soc.display_name} ===")
+        predictor = LatencyPredictor(soc)
+        predictor.calibrate_policy(PROCESSOR_FRIENDLY)
+        for resource in ("cpu", "gpu"):
+            error = predictor.training_error(resource,
+                                             PROCESSOR_FRIENDLY)
+            print(f"  {resource}: mean relative training error "
+                  f"{error * 100:.1f}%")
+
+        # Accuracy on GoogLeNet's actual layers (held out from the
+        # synthetic profiling sweep).
+        graph = build_model("googlenet", with_weights=False)
+        rows = []
+        errors = []
+        for name in graph.compute_layers():
+            work = graph.layer_work(name)
+            if work.macs == 0:
+                continue
+            predicted = predictor.predict("cpu", work,
+                                          PROCESSOR_FRIENDLY)
+            actual = kernel_cost(
+                soc.cpu, soc.memory, work,
+                PROCESSOR_FRIENDLY.cpu_compute,
+                PROCESSOR_FRIENDLY.activation_storage,
+                PROCESSOR_FRIENDLY.cpu_param_storage).busy_s
+            errors.append(abs(predicted - actual) / actual)
+            if len(rows) < 6:
+                rows.append([name, predicted * 1e6, actual * 1e6,
+                             (predicted - actual) / actual * 100])
+        print("\n" + format_table(
+            ["layer", "predicted_us", "actual_us", "error_%"], rows,
+            title="sample CPU predictions on GoogLeNet layers"))
+        print(f"  mean |error| across {len(errors)} layers: "
+              f"{float(np.mean(errors)) * 100:.1f}%")
+
+        # What the error costs when planning.
+        predicted_run = MuLayer(soc, use_oracle_costs=False).run(graph)
+        oracle_run = MuLayer(soc, use_oracle_costs=True).run(graph)
+        cost = ((predicted_run.latency_s - oracle_run.latency_s)
+                / oracle_run.latency_s * 100)
+        print(f"  GoogLeNet latency: predictor-planned "
+              f"{predicted_run.latency_ms:.2f} ms vs oracle-planned "
+              f"{oracle_run.latency_ms:.2f} ms "
+              f"(prediction costs {cost:+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

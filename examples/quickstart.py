@@ -1,0 +1,79 @@
+"""Quickstart: run one NN inference through uLayer on a simulated SoC.
+
+Builds a small SqueezeNet, calibrates its activation ranges, plans the
+cooperative execution with uLayer, runs one functional inference on the
+simulated Exynos 7420, and prints the plan, per-layer trace, latency,
+energy, and a Gantt chart of the two processors.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.harness import render_gantt
+from repro.models import build_model
+from repro.nn import calibrate_graph
+from repro.runtime import MuLayer, run_layer_to_processor
+from repro.soc import EXYNOS_7420
+
+
+def main():
+    rng = np.random.default_rng(0)
+
+    # 1. A network with weights (SqueezeNet-style, 32x32 input).
+    graph = build_model("squeezenet_mini")
+    print(f"model: {graph.name} -- {len(graph.compute_layers())} "
+          f"layers, {graph.total_macs() / 1e6:.1f} MMACs, "
+          f"{graph.total_params() / 1e3:.1f} k params")
+
+    # 2. Post-training quantization: calibrate activation ranges on a
+    #    few batches (the paper assumes an already-quantized NN).
+    calibration = calibrate_graph(
+        graph, [rng.standard_normal((8, 3, 32, 32)).astype(np.float32)])
+
+    # 3. The uLayer runtime: partitioner + latency predictor + executor.
+    runtime = MuLayer(EXYNOS_7420)
+    plan = runtime.plan(graph)
+    print("\nexecution plan:")
+    for name, assignment in plan.assignments.items():
+        print(f"  {name:24s} {assignment.placement} "
+              f"(cpu share {assignment.split:.2f})")
+    for branch_assignment in plan.branch_assignments:
+        region = branch_assignment.region
+        print(f"  [branch region {region.fork} -> {region.join}: "
+              f"{branch_assignment.mapping}]")
+
+    # 4. One functional inference.
+    x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+    result = runtime.run(graph, x=x, calibration=calibration)
+    print(f"\npredicted class: {int(result.output_array().argmax())}")
+    print(f"latency: {result.latency_ms:.3f} ms   "
+          f"energy: {result.energy_mj:.3f} mJ   "
+          f"DRAM traffic: {result.traffic_bytes / 1e3:.1f} kB")
+
+    # 5. The mini model is too small to amortize GPU launch costs, so
+    #    the partitioner correctly keeps it on the CPU.  Full-size
+    #    networks are where cooperative execution pays off -- run the
+    #    real GoogLeNet timing-only (no weights needed for timing).
+    print("\n--- full-size GoogLeNet on the same SoC (timing only) ---")
+    googlenet = build_model("googlenet", with_weights=False)
+    big_result = runtime.run(googlenet)
+    baseline = run_layer_to_processor(EXYNOS_7420, googlenet)
+    speedup = baseline.latency_s / big_result.latency_s
+    plan = runtime.plan(googlenet)
+    print(f"cooperative layers: {len(plan.cooperative_layers())}   "
+          f"branch-distributed regions: "
+          f"{len(plan.branch_assignments)}")
+    print(f"uLayer:             {big_result.latency_ms:8.2f} ms  "
+          f"{big_result.energy_mj:8.2f} mJ")
+    print(f"layer-to-processor: {baseline.latency_ms:8.2f} ms  "
+          f"{baseline.energy_mj:8.2f} mJ")
+    print(f"speedup: {speedup:.2f}x")
+
+    # 6. What the two processors were doing (first 20% of inference).
+    print("\n" + render_gantt(big_result.timeline, width=88,
+                              end_s=big_result.latency_s * 0.2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""End-to-end workflow: train a CNN, quantize it, deploy on the SoC.
+
+Mirrors what a mobile developer would do with uLayer:
+
+1. train a float CNN on the shapes dataset;
+2. make it 8-bit friendly with quantization-aware training (the
+   paper's QUInt8+FakeQuant recipe);
+3. export it into the inference graph IR;
+4. run it through the uLayer runtime on both simulated SoCs, comparing
+   accuracy and latency against the float reference.
+
+Run:  python examples/train_quantize_deploy.py
+"""
+
+import numpy as np
+
+from repro.eval import make_shapes_dataset, top_k_accuracy
+from repro.nn import calibrate_graph
+from repro.runtime import MuLayer
+from repro.soc import EXYNOS_7420, EXYNOS_7880
+from repro.train import (ConvLayer, FCLayer, FlattenLayer, MaxPoolLayer,
+                         ReLULayer, Sequential, accuracy,
+                         qat_calibration, quantize_aware, to_graph,
+                         train_epochs)
+
+
+def build_classifier(rng):
+    return Sequential("shapes_classifier", [
+        ConvLayer("c1", 1, 12, 3, padding=1, rng=rng), ReLULayer(),
+        MaxPoolLayer(2, 2),
+        ConvLayer("c2", 12, 24, 3, padding=1, rng=rng), ReLULayer(),
+        MaxPoolLayer(2, 2),
+        FlattenLayer(),
+        FCLayer("fc1", 24 * 16, 48, rng=rng), ReLULayer(),
+        FCLayer("fc2", 48, 4, rng=rng),
+    ])
+
+
+def main():
+    # 1. Data and float training.
+    data = make_shapes_dataset(1500, image_size=16, noise=0.7, seed=5)
+    train, test = data.split(0.8)
+    model = build_classifier(np.random.default_rng(1))
+    losses = train_epochs(model, train.images, train.labels, epochs=6,
+                          lr=0.02, seed=0)
+    float_accuracy = accuracy(model, test.images, test.labels)
+    print(f"float training: loss {losses[0]:.3f} -> {losses[-1]:.3f}, "
+          f"test accuracy {float_accuracy:.3f}")
+
+    # 2. Quantization-aware fine-tuning.
+    qat_model = quantize_aware(model)
+    train_epochs(qat_model, train.images, train.labels, epochs=4,
+                 lr=0.01, seed=1, clip_norm=2.0)
+    print(f"QAT fine-tune:  fake-quant accuracy "
+          f"{accuracy(qat_model, test.images, test.labels):.3f}")
+
+    # 3. Export to the deployable graph with QAT-learned ranges.
+    graph = to_graph(model, (1, 1, 16, 16))
+    qat_table = qat_calibration(qat_model, graph,
+                                sample_input=train.images[:200])
+    # Non-weighted layers need ranges too; merge with a PTQ pass.
+    full_table = calibrate_graph(graph, [train.images[:64]])
+    for name in qat_table.layers():
+        full_table.set(name, qat_table.get(name))
+
+    # 4. Deploy on both simulated SoCs through uLayer.
+    for soc in (EXYNOS_7420, EXYNOS_7880):
+        runtime = MuLayer(soc)
+        scores = []
+        latency_ms = None
+        for start in range(0, test.images.shape[0], 32):
+            batch = test.images[start:start + 32]
+            result = runtime.run(graph, x=batch,
+                                 calibration=full_table)
+            scores.append(result.output_array())
+            latency_ms = result.latency_ms     # batch-1 timing model
+        deployed_accuracy = top_k_accuracy(np.concatenate(scores),
+                                           test.labels)
+        print(f"{soc.display_name}: deployed QUInt8 accuracy "
+              f"{deployed_accuracy:.3f} "
+              f"(float {float_accuracy:.3f}), "
+              f"single-inference latency {latency_ms:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Reproduction of uLayer (EuroSys 2019).
+
+uLayer accelerates on-device NN inference by executing every single NN
+layer cooperatively on the CPU *and* the GPU of a mobile SoC, with each
+processor computing in its friendliest data type (CPU: QUInt8 integers,
+GPU: F16 halves).  This package reproduces the system on a simulated
+mobile SoC:
+
+* :mod:`repro.tensor`, :mod:`repro.quant` -- data types and quantization.
+* :mod:`repro.nn`, :mod:`repro.kernels` -- NN graph IR and numerics.
+* :mod:`repro.models` -- the paper's five evaluated networks.
+* :mod:`repro.soc` -- functional/timing/energy simulator of Exynos
+  7420 ("high-end") and Exynos 7880 ("mid-range") SoCs.
+* :mod:`repro.runtime` -- the uLayer runtime (channel-wise workload
+  distribution, processor-friendly quantization, branch distribution)
+  and the baseline execution mechanisms it is compared against.
+* :mod:`repro.train`, :mod:`repro.eval` -- quantization-aware training
+  and accuracy evaluation (Figure 10's experiment).
+* :mod:`repro.harness` -- regenerates every figure and table of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro.models import build_model
+    from repro.runtime import MuLayer
+    from repro.soc import EXYNOS_7420
+
+    graph = build_model("squeezenet_mini")
+    runtime = MuLayer(EXYNOS_7420)
+    result = runtime.run(graph, x)          # x: NCHW float32 batch
+    print(result.latency_ms, result.energy_mj)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-models`` / ``list-socs`` -- what can be run.
+* ``run`` -- one inference through a chosen mechanism; prints latency,
+  energy, and optionally the plan and a Gantt chart.
+* ``compare`` -- all mechanisms on one model/SoC.
+* ``figure`` -- regenerate one of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .models import build_model, list_models, model_info
+from .runtime import (MuLayer, run_layer_to_processor,
+                      run_single_processor)
+from .soc import SOCS, soc_by_name
+from .tensor import parse_dtype
+
+#: Figure harness functions by CLI name (resolved lazily -- some pull
+#: in the training stack).
+_FIGURES = ("fig05", "fig06", "fig08", "fig10", "fig12", "table1",
+            "fig16", "fig17", "fig18")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="uLayer (EuroSys'19) reproduction on a simulated "
+                    "mobile SoC")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-models", help="list registered models")
+    sub.add_parser("list-socs", help="list simulated SoCs")
+
+    run = sub.add_parser("run", help="run one inference")
+    run.add_argument("--model", required=True)
+    run.add_argument("--soc", default="exynos7420",
+                     help="exynos7420 | exynos7880 | exynos7420npu")
+    run.add_argument("--mechanism", default="mulayer",
+                     choices=["mulayer", "l2p", "cpu", "gpu", "npu"])
+    run.add_argument("--dtype", default="quint8",
+                     help="data type for single-processor mechanisms")
+    run.add_argument("--oracle", action="store_true",
+                     help="plan with oracle costs instead of the "
+                          "latency predictor")
+    run.add_argument("--plan", action="store_true",
+                     help="print the execution plan")
+    run.add_argument("--gantt", action="store_true",
+                     help="print a Gantt chart of the timeline")
+
+    compare = sub.add_parser("compare",
+                             help="compare all mechanisms on one model")
+    compare.add_argument("--model", required=True)
+    compare.add_argument("--soc", default="exynos7420")
+
+    figure = sub.add_parser("figure",
+                            help="regenerate one paper figure")
+    figure.add_argument("name", choices=_FIGURES)
+    return parser
+
+
+def _cmd_list_models() -> int:
+    for name in list_models():
+        info = model_info(name)
+        graph = build_model(name, with_weights=False)
+        print(f"{name:18s} {info.display_name:22s} "
+              f"{graph.total_macs() / 1e6:10.1f} MMACs  "
+              f"{info.paper_class}")
+    return 0
+
+
+def _cmd_list_socs() -> int:
+    for name, soc in sorted(SOCS.items()):
+        processors = ", ".join(
+            soc.processor(resource).name
+            for resource in soc.resources())
+        print(f"{name:16s} {soc.display_name}\n"
+              f"{'':16s}   {processors}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    soc = soc_by_name(args.soc)
+    graph = build_model(args.model, with_weights=False)
+    if args.mechanism == "mulayer":
+        runtime = MuLayer(soc, use_oracle_costs=args.oracle)
+        result = runtime.run(graph)
+        plan = runtime.plan(graph)
+    elif args.mechanism == "l2p":
+        result = run_layer_to_processor(soc, graph)
+        plan = None
+    else:
+        result = run_single_processor(soc, graph, args.mechanism,
+                                      parse_dtype(args.dtype))
+        plan = None
+    print(f"{args.model} on {soc.display_name} via {result.mechanism}:")
+    print(f"  latency {result.latency_ms:10.3f} ms")
+    print(f"  energy  {result.energy_mj:10.3f} mJ "
+          f"(dynamic {result.energy.dynamic_j * 1e3:.1f}, "
+          f"idle {result.energy.idle_j * 1e3:.1f}, "
+          f"static {result.energy.static_j * 1e3:.1f}, "
+          f"dram {result.energy.dram_j * 1e3:.1f})")
+    print(f"  traffic {result.traffic_bytes / 1e6:10.3f} MB")
+    if args.plan and plan is not None:
+        print("\nexecution plan:")
+        for name, assignment in plan.assignments.items():
+            shares = ", ".join(f"{r}={s:.2f}"
+                               for r, s in assignment.shares().items())
+            print(f"  {name:30s} {shares}")
+        for branch_assignment in plan.branch_assignments:
+            region = branch_assignment.region
+            print(f"  [branches {region.fork} -> {region.join}: "
+                  f"{branch_assignment.mapping}]")
+    if args.gantt:
+        from .harness import render_gantt
+        print("\n" + render_gantt(result.timeline, width=100))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .harness import format_table
+    from .tensor import DType
+    soc = soc_by_name(args.soc)
+    graph = build_model(args.model, with_weights=False)
+    rows = []
+    for resource, dtype in (("cpu", DType.F32), ("cpu", DType.QUINT8),
+                            ("gpu", DType.F32), ("gpu", DType.F16)):
+        result = run_single_processor(soc, graph, resource, dtype)
+        rows.append([f"{resource}-{dtype}", result.latency_ms,
+                     result.energy_mj])
+    if soc.has_npu:
+        result = run_single_processor(soc, graph, "npu", DType.QUINT8)
+        rows.append(["npu-quint8", result.latency_ms, result.energy_mj])
+    l2p = run_layer_to_processor(soc, graph)
+    rows.append(["layer-to-processor", l2p.latency_ms, l2p.energy_mj])
+    mulayer = MuLayer(soc).run(graph)
+    rows.append(["ulayer", mulayer.latency_ms, mulayer.energy_mj])
+    print(format_table(["mechanism", "latency_ms", "energy_mj"], rows,
+                       title=f"{args.model} on {soc.display_name}"))
+    print(f"\nulayer speedup over layer-to-processor: "
+          f"{l2p.latency_s / mulayer.latency_s:.2f}x")
+    return 0
+
+
+def _cmd_figure(name: str) -> int:
+    from . import harness
+    functions = {
+        "fig05": harness.fig05_perlayer_vgg,
+        "fig06": harness.fig06_nn_latency,
+        "fig08": harness.fig08_quantization_latency,
+        "fig10": harness.fig10_quantization_accuracy,
+        "fig12": harness.fig12_branch_potential,
+        "table1": harness.table1_applicability,
+        "fig16": harness.fig16_e2e_latency,
+        "fig17": harness.fig17_ablation,
+        "fig18": harness.fig18_energy,
+    }
+    print(functions[name]().render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-models":
+        return _cmd_list_models()
+    if args.command == "list-socs":
+        return _cmd_list_socs()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "figure":
+        return _cmd_figure(args.name)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the uLayer reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ShapeError(ReproError):
+    """A tensor or layer received data whose shape is inconsistent."""
+
+
+class DTypeError(ReproError):
+    """An operation was asked to run on an unsupported data type."""
+
+
+class QuantizationError(ReproError):
+    """Quantization parameters are missing, invalid, or inconsistent."""
+
+
+class GraphError(ReproError):
+    """A neural-network graph is malformed (cycle, dangling edge, ...)."""
+
+
+class PlanError(ReproError):
+    """An execution plan is inconsistent with the graph it targets."""
+
+
+class SimulationError(ReproError):
+    """The SoC simulator was driven into an invalid state."""
+
+
+class CalibrationError(ReproError):
+    """A predictor or observer was used before being calibrated."""

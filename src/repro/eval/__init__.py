@@ -1,0 +1,16 @@
+"""Accuracy evaluation: synthetic datasets, top-k, policy sweeps."""
+
+from .accuracy import (evaluate_policy_accuracy,
+                       quantization_accuracy_sweep, run_graph_with_policy,
+                       top_k_accuracy)
+from .datasets import Dataset, SHAPE_CLASSES, make_shapes_dataset
+
+__all__ = [
+    "evaluate_policy_accuracy",
+    "quantization_accuracy_sweep",
+    "run_graph_with_policy",
+    "top_k_accuracy",
+    "Dataset",
+    "SHAPE_CLASSES",
+    "make_shapes_dataset",
+]

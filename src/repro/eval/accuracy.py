@@ -1,0 +1,107 @@
+"""Accuracy evaluation of graphs under different quantization policies.
+
+Runs the *deployed* execution paths -- the same integer GEMMs,
+requantization, and F16 kernels the uLayer executor uses -- over a
+labelled dataset, so the accuracy numbers of Figure 10's reproduction
+reflect the arithmetic that actually executes on the simulated SoC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Graph, calibrate_graph, run_reference
+from ..quant.calibrate import CalibrationTable
+from ..runtime.compute import LayerComputer
+from ..runtime.pfq import QuantizationPolicy, uniform_policy
+from ..tensor import DType
+
+
+def top_k_accuracy(scores: np.ndarray, labels: np.ndarray,
+                   k: int = 1) -> float:
+    """Fraction of rows whose label is among the k highest scores."""
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D, got shape {scores.shape}")
+    top = np.argsort(scores, axis=1)[:, -k:]
+    hits = (top == labels[:, None]).any(axis=1)
+    return float(hits.mean())
+
+
+def run_graph_with_policy(graph: Graph, x: np.ndarray,
+                          policy: QuantizationPolicy,
+                          calibration: Optional[CalibrationTable] = None,
+                          resource: str = "cpu") -> np.ndarray:
+    """Final float32 output of ``graph`` executed under ``policy``.
+
+    Every layer runs whole on ``resource`` (accuracy does not depend on
+    the split, only on the arithmetic pipeline, which ``resource``
+    selects under mixed policies).
+    """
+    computer = LayerComputer(graph, policy, calibration)
+    input_name = graph.input_layers()[0]
+    values = {input_name: computer.input_tensor(input_name, x)}
+    for name in graph.compute_layers():
+        inputs = [values[p] for p in graph.inputs_of(name)]
+        values[name] = computer.run_full(name, inputs, resource)
+    output_name = graph.output_layers()[0]
+    return values[output_name].to_float()
+
+
+def evaluate_policy_accuracy(graph: Graph, images: np.ndarray,
+                             labels: np.ndarray,
+                             policy: QuantizationPolicy,
+                             calibration: Optional[CalibrationTable] = None,
+                             k: int = 1, batch_size: int = 64,
+                             resource: str = "cpu") -> float:
+    """Top-k accuracy of ``graph`` under ``policy`` over a dataset."""
+    scores = []
+    for start in range(0, images.shape[0], batch_size):
+        batch = images[start:start + batch_size]
+        scores.append(run_graph_with_policy(graph, batch, policy,
+                                            calibration, resource))
+    return top_k_accuracy(np.concatenate(scores, axis=0), labels, k=k)
+
+
+def quantization_accuracy_sweep(graph: Graph, images: np.ndarray,
+                                labels: np.ndarray,
+                                calibration_images: np.ndarray,
+                                k: int = 1,
+                                qat_calibration: Optional[
+                                    CalibrationTable] = None
+                                ) -> Dict[str, float]:
+    """Figure 10's sweep for one network.
+
+    Returns top-k accuracy under:
+
+    * ``"f32"``    -- the float reference;
+    * ``"f16"``    -- half-precision execution;
+    * ``"quint8"`` -- post-training 8-bit linear quantization, with
+      activation ranges calibrated on ``calibration_images``;
+    * ``"quint8+fakequant"`` -- only when ``qat_calibration`` (the
+      QAT-learned ranges, typically with QAT-finetuned weights already
+      in the graph) is provided.
+    """
+    results: Dict[str, float] = {}
+    # F32 reference via the reference executor.
+    input_name = graph.input_layers()[0]
+    output_name = graph.output_layers()[0]
+    scores = []
+    for start in range(0, images.shape[0], 64):
+        batch = images[start:start + 64]
+        activations = run_reference(graph, {input_name: batch})
+        scores.append(activations[output_name])
+    results["f32"] = top_k_accuracy(np.concatenate(scores), labels, k=k)
+    results["f16"] = evaluate_policy_accuracy(
+        graph, images, labels, uniform_policy(DType.F16), k=k)
+    ptq_table = calibrate_graph(
+        graph, [calibration_images])
+    results["quint8"] = evaluate_policy_accuracy(
+        graph, images, labels, uniform_policy(DType.QUINT8),
+        calibration=ptq_table, k=k)
+    if qat_calibration is not None:
+        results["quint8+fakequant"] = evaluate_policy_accuracy(
+            graph, images, labels, uniform_policy(DType.QUINT8),
+            calibration=qat_calibration, k=k)
+    return results

@@ -1,0 +1,103 @@
+"""Synthetic labelled datasets (the ImageNet substitution).
+
+The paper's Figure 10 measures top-5 ImageNet accuracy of pretrained
+TF-Slim models under quantization.  Neither ImageNet nor pretrained
+models are available offline, so the accuracy experiment substitutes a
+procedurally generated shape-classification task: small grayscale
+images of geometric shapes with random position, scale, and noise.
+The quantization code paths exercised (post-training F16/QUInt8,
+QAT retraining) are identical; only the task differs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+#: Class names of the shapes dataset, in label order.
+SHAPE_CLASSES = ("square", "disk", "cross", "stripes")
+
+
+@dataclasses.dataclass(frozen=True)
+class Dataset:
+    """A labelled image set.
+
+    Attributes:
+        images: (n, 1, size, size) float32 in roughly [-1, 1].
+        labels: (n,) int64 class indices.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of examples."""
+        return int(self.images.shape[0])
+
+    def split(self, train_fraction: float = 0.8
+              ) -> Tuple["Dataset", "Dataset"]:
+        """Deterministic train/test split."""
+        cut = int(self.size * train_fraction)
+        return (Dataset(self.images[:cut], self.labels[:cut]),
+                Dataset(self.images[cut:], self.labels[cut:]))
+
+
+def _draw_square(canvas: np.ndarray, cy: int, cx: int, r: int) -> None:
+    canvas[cy - r:cy + r + 1, cx - r] = 1.0
+    canvas[cy - r:cy + r + 1, cx + r] = 1.0
+    canvas[cy - r, cx - r:cx + r + 1] = 1.0
+    canvas[cy + r, cx - r:cx + r + 1] = 1.0
+
+
+def _draw_disk(canvas: np.ndarray, cy: int, cx: int, r: int) -> None:
+    size = canvas.shape[0]
+    ys, xs = np.mgrid[0:size, 0:size]
+    canvas[(ys - cy) ** 2 + (xs - cx) ** 2 <= r * r] = 1.0
+
+
+def _draw_cross(canvas: np.ndarray, cy: int, cx: int, r: int) -> None:
+    canvas[cy - r:cy + r + 1, cx] = 1.0
+    canvas[cy, cx - r:cx + r + 1] = 1.0
+
+
+def _draw_stripes(canvas: np.ndarray, cy: int, cx: int, r: int) -> None:
+    size = canvas.shape[0]
+    ys, xs = np.mgrid[0:size, 0:size]
+    band = (np.abs((ys + xs - cy - cx)) % 4 < 2)
+    window = ((np.abs(ys - cy) <= r) & (np.abs(xs - cx) <= r))
+    canvas[band & window] = 1.0
+
+
+_DRAWERS = (_draw_square, _draw_disk, _draw_cross, _draw_stripes)
+
+
+def make_shapes_dataset(count: int, image_size: int = 16,
+                        noise: float = 0.25, seed: int = 0) -> Dataset:
+    """Generate ``count`` labelled shape images.
+
+    Args:
+        count: number of images.
+        image_size: square image side (>= 12).
+        noise: standard deviation of additive Gaussian noise.
+        seed: RNG seed; the dataset is fully deterministic.
+    """
+    if image_size < 12:
+        raise ValueError("image_size must be at least 12")
+    rng = np.random.default_rng(seed)
+    images = np.zeros((count, 1, image_size, image_size),
+                      dtype=np.float32)
+    labels = rng.integers(0, len(SHAPE_CLASSES), size=count)
+    margin = 4
+    for i in range(count):
+        canvas = np.zeros((image_size, image_size), dtype=np.float32)
+        r = int(rng.integers(2, margin))
+        cy = int(rng.integers(margin, image_size - margin))
+        cx = int(rng.integers(margin, image_size - margin))
+        _DRAWERS[labels[i]](canvas, cy, cx, r)
+        canvas = canvas * 2.0 - 1.0     # map {0,1} to [-1, 1]
+        canvas += rng.normal(0.0, noise, canvas.shape)
+        images[i, 0] = canvas.astype(np.float32)
+    return Dataset(images=images, labels=labels.astype(np.int64))

@@ -1,0 +1,62 @@
+"""ASCII Gantt rendering of simulated execution timelines."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..soc import CPU, GPU, NPU, Timeline
+
+#: Mark used per segment kind.
+_KIND_MARKS = {
+    "compute": "#",
+    "launch": "L",
+    "issue": "i",
+    "map": "m",
+    "copy": "c",
+    "sync": "s",
+}
+
+
+def render_gantt(timeline: Timeline, width: int = 100,
+                 start_s: float = 0.0,
+                 end_s: Optional[float] = None) -> str:
+    """Render a per-processor Gantt chart of a timeline.
+
+    CPU and GPU rows always appear; an NPU row appears when the
+    timeline carries NPU segments.  Each column is one slice of
+    simulated time; the mark shows what the processor spent most of
+    that slice on (``#`` compute, ``L`` launch, ``i`` issue, ``m``
+    map, ``c`` copy, ``s`` sync, ``.`` idle).
+    """
+    if end_s is None:
+        end_s = timeline.makespan()
+    span = end_s - start_s
+    if span <= 0:
+        return "(empty timeline)"
+    lines: List[str] = []
+    slice_s = span / width
+    resources = [CPU, GPU]
+    if timeline.segments(NPU):
+        resources.append(NPU)
+    for resource in resources:
+        row = []
+        segments = timeline.segments(resource)
+        for column in range(width):
+            lo = start_s + column * slice_s
+            hi = lo + slice_s
+            best_kind = None
+            best_overlap = 0.0
+            for segment in segments:
+                overlap = min(hi, segment.end) - max(lo, segment.start)
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best_kind = segment.kind
+            row.append(_KIND_MARKS.get(best_kind, ".")
+                       if best_kind else ".")
+        busy = timeline.busy_seconds(resource)
+        lines.append(f"{resource.upper():3s} |{''.join(row)}| "
+                     f"busy {busy * 1e3:7.3f} ms")
+    lines.append(f"    span [{start_s * 1e3:.3f}, {end_s * 1e3:.3f}] ms"
+                 "   (# compute, L launch, i issue, m map, s sync,"
+                 " . idle)")
+    return "\n".join(lines)

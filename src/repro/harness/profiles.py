@@ -1,0 +1,123 @@
+"""Per-layer profiling reports for inference results.
+
+Turns an :class:`~repro.runtime.InferenceResult` into the kind of
+per-layer breakdown the paper's Figure 5 is built from: where the time
+went, which processor did what, which layers are memory-bound, and
+which layers dominate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from ..nn import Graph, LayerKind
+from ..runtime.metrics import InferenceResult
+from ..soc import SoCSpec, kernel_cost
+from ..tensor import DType
+from .report import format_table
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerProfile:
+    """Profiling record of one executed layer.
+
+    Attributes:
+        layer: layer name.
+        kind: operation kind.
+        placement: where it ran.
+        split: CPU channel share (cooperative layers).
+        latency_ms: wall-clock span.
+        share_pct: fraction of end-to-end latency.
+        macs: the layer's multiply-accumulates.
+        effective_gmacs: achieved MACs/second across processors.
+    """
+
+    layer: str
+    kind: str
+    placement: str
+    split: float
+    latency_ms: float
+    share_pct: float
+    macs: int
+    effective_gmacs: float
+
+
+def profile_layers(graph: Graph,
+                   result: InferenceResult) -> List[LayerProfile]:
+    """Per-layer profile of one executed inference, execution order."""
+    total = result.latency_s
+    profiles = []
+    for trace in result.traces:
+        work = graph.layer_work(trace.layer)
+        span = max(trace.latency_s, 1e-12)
+        profiles.append(LayerProfile(
+            layer=trace.layer,
+            kind=str(graph.layer(trace.layer).kind),
+            placement=trace.placement,
+            split=trace.split,
+            latency_ms=trace.latency_s * 1e3,
+            share_pct=trace.latency_s / total * 100.0,
+            macs=work.macs,
+            effective_gmacs=work.macs / span / 1e9,
+        ))
+    return profiles
+
+
+def hotspots(graph: Graph, result: InferenceResult,
+             top: int = 10) -> List[LayerProfile]:
+    """The ``top`` layers by wall-clock share, descending."""
+    profiles = profile_layers(graph, result)
+    return sorted(profiles, key=lambda p: p.latency_ms,
+                  reverse=True)[:top]
+
+
+def render_profile(graph: Graph, result: InferenceResult,
+                   top: int = 15) -> str:
+    """A printable hotspot table plus an energy breakdown."""
+    rows = [[p.layer, p.kind, p.placement, p.split, p.latency_ms,
+             p.share_pct, p.effective_gmacs]
+            for p in hotspots(graph, result, top=top)]
+    table = format_table(
+        ["layer", "kind", "placement", "cpu_share", "ms", "% of total",
+         "eff_GMAC/s"],
+        rows,
+        title=f"hotspots of {result.graph_name} on {result.soc_name} "
+              f"({result.mechanism}, {result.latency_ms:.2f} ms total)")
+    energy = result.energy
+    breakdown = format_table(
+        ["component", "mJ", "%"],
+        [["dynamic", energy.dynamic_j * 1e3,
+          energy.dynamic_j / energy.total_j * 100],
+         ["idle", energy.idle_j * 1e3,
+          energy.idle_j / energy.total_j * 100],
+         ["static", energy.static_j * 1e3,
+          energy.static_j / energy.total_j * 100],
+         ["dram", energy.dram_j * 1e3,
+          energy.dram_j / energy.total_j * 100]],
+        title=f"energy breakdown ({energy.total_mj:.2f} mJ total)")
+    return table + "\n\n" + breakdown
+
+
+def memory_bound_layers(graph: Graph, soc: SoCSpec,
+                        dtype: DType = DType.QUINT8,
+                        resource: str = "cpu") -> List[str]:
+    """Layers whose roofline is DRAM-bound on ``resource`` at ``dtype``.
+
+    FC layers with large weight matrices typically land here -- the
+    reason QUInt8's 4x traffic reduction translates directly into
+    latency for them (Section 4.1).
+    """
+    bound = []
+    processor = soc.processor(resource)
+    for name in graph.compute_layers():
+        layer = graph.layer(name)
+        if layer.kind is LayerKind.INPUT:
+            continue
+        work = graph.layer_work(name)
+        if work.macs == 0:
+            continue
+        cost = kernel_cost(processor, soc.memory, work, dtype)
+        if cost.memory_bound:
+            bound.append(name)
+    return bound

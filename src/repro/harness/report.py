@@ -1,0 +1,59 @@
+"""Plain-text rendering of experiment results: tables and bar charts."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are shown with three decimals; everything else via str().
+    """
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    text_rows = [[fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_bars(pairs: Sequence["tuple[str, float]"], width: int = 40,
+                title: Optional[str] = None,
+                unit: str = "") -> str:
+    """Render (label, value) pairs as a horizontal ASCII bar chart."""
+    if not pairs:
+        return title or ""
+    longest = max(len(label) for label, _ in pairs)
+    biggest = max(value for _, value in pairs)
+    scale = width / biggest if biggest > 0 else 0.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in pairs:
+        bar = "#" * max(1, int(round(value * scale))) if value > 0 else ""
+        lines.append(f"{label.ljust(longest)}  {bar} {value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def normalized(values: Sequence[float], baseline: float
+               ) -> List[float]:
+    """Each value divided by ``baseline`` (the paper's normalization)."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return [value / baseline for value in values]

@@ -1,0 +1,21 @@
+"""Numerical kernels: im2col, float GEMM, quantized GEMM, pooling."""
+
+from .gemm import gemm_f16, gemm_f32
+from .im2col import (col2im_shape, conv_output_hw, flatten_filters, im2col)
+from .pooling import avg_pool, global_avg_pool, max_pool
+from .qgemm import qgemm, qgemm_accumulate, quantize_bias
+
+__all__ = [
+    "gemm_f16",
+    "gemm_f32",
+    "col2im_shape",
+    "conv_output_hw",
+    "flatten_filters",
+    "im2col",
+    "avg_pool",
+    "global_avg_pool",
+    "max_pool",
+    "qgemm",
+    "qgemm_accumulate",
+    "quantize_bias",
+]

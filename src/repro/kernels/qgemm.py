@@ -1,0 +1,103 @@
+"""gemmlowp-style quantized GEMM with 32-bit integer accumulation.
+
+This is the CPU arithmetic path of the paper's processor-friendly
+quantization (Figure 9a): uint8 inputs and filters are combined with
+integer multiply-accumulates; products of 8-bit values occupy 16 bits
+and are accumulated into 32-bit integers; the accumulator is finally
+requantized back to uint8 using the pre-trained output range.
+
+The affine decomposition used below is the standard gemmlowp identity.
+With ``real = s * (q - z)`` for LHS (activations) and RHS (weights):
+
+    sum_k (ql - zl)(qr - zr)
+        = sum_k ql*qr - zl * sum_k qr - zr * sum_k ql + K * zl * zr
+
+so a single integer matmul plus row/column sums produces the exact
+integer accumulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..quant.linear import requantize
+from ..tensor import QuantParams
+
+
+def qgemm_accumulate(lhs_q: np.ndarray, lhs_zero: int, rhs_q: np.ndarray,
+                     rhs_zero: int,
+                     bias_i32: "np.ndarray | None" = None) -> np.ndarray:
+    """Integer accumulator of a quantized GEMM.
+
+    Args:
+        lhs_q: (m, k) uint8 activation codes.
+        lhs_zero: activation zero point.
+        rhs_q: (k, n) uint8 weight codes.
+        rhs_zero: weight zero point.
+        bias_i32: optional (n,) int32 bias already scaled to
+            ``lhs_scale * rhs_scale`` units.
+
+    Returns:
+        (m, n) int32 accumulators representing
+        ``real / (lhs_scale * rhs_scale)``.
+    """
+    lhs_q = np.asarray(lhs_q)
+    rhs_q = np.asarray(rhs_q)
+    if lhs_q.dtype != np.uint8 or rhs_q.dtype != np.uint8:
+        raise ShapeError(
+            f"qgemm operands must be uint8, got {lhs_q.dtype} and "
+            f"{rhs_q.dtype}")
+    if lhs_q.shape[-1] != rhs_q.shape[0]:
+        raise ShapeError(
+            f"qgemm inner dimensions differ: {lhs_q.shape} @ {rhs_q.shape}")
+    depth = lhs_q.shape[-1]
+    raw = lhs_q.astype(np.int32) @ rhs_q.astype(np.int32)
+    lhs_sums = lhs_q.astype(np.int32).sum(axis=-1, keepdims=True)  # (m, 1)
+    rhs_sums = rhs_q.astype(np.int32).sum(axis=0, keepdims=True)   # (1, n)
+    acc = (raw
+           - np.int32(lhs_zero) * rhs_sums
+           - np.int32(rhs_zero) * lhs_sums
+           + np.int32(depth) * np.int32(lhs_zero) * np.int32(rhs_zero))
+    if bias_i32 is not None:
+        acc = acc + np.asarray(bias_i32, dtype=np.int32)
+    return acc.astype(np.int32)
+
+
+def quantize_bias(bias: np.ndarray, lhs_scale: float,
+                  rhs_scale: float) -> np.ndarray:
+    """Scale a float bias into i32 accumulator units.
+
+    gemmlowp folds the bias into the accumulator before requantization,
+    so the bias must be expressed in ``lhs_scale * rhs_scale`` units.
+    """
+    return np.round(np.asarray(bias, dtype=np.float64)
+                    / (lhs_scale * rhs_scale)).astype(np.int32)
+
+
+def qgemm(lhs_q: np.ndarray, lhs_params: QuantParams, rhs_q: np.ndarray,
+          rhs_params: QuantParams, output_params: QuantParams,
+          bias: "np.ndarray | None" = None,
+          relu: bool = False) -> np.ndarray:
+    """Full quantized GEMM: accumulate, add bias, requantize to uint8.
+
+    Args:
+        lhs_q / rhs_q: uint8 codes of activations / weights.
+        lhs_params / rhs_params: their quantization parameters.
+        output_params: the pre-trained output range used to requantize.
+        bias: optional float bias (folded in integer domain).
+        relu: fuse a ReLU by clamping the output at the code that
+            represents real zero (gemmlowp's fused activation).
+
+    Returns:
+        (m, n) uint8 output codes.
+    """
+    bias_i32 = None
+    if bias is not None:
+        bias_i32 = quantize_bias(bias, lhs_params.scale, rhs_params.scale)
+    acc = qgemm_accumulate(lhs_q, lhs_params.zero_point, rhs_q,
+                           rhs_params.zero_point, bias_i32)
+    out = requantize(acc, lhs_params.scale, rhs_params.scale, output_params)
+    if relu:
+        out = np.maximum(out, np.uint8(output_params.zero_point))
+    return out

@@ -1,0 +1,44 @@
+"""Model zoo: the paper's five evaluated NNs plus mini test variants."""
+
+from .alexnet import build_alexnet, build_alexnet_mini
+from .builder import Stack
+from .googlenet import (GOOGLENET_INCEPTIONS, add_inception,
+                        build_googlenet, build_googlenet_mini)
+from .lenet import build_lenet5
+from .mobilenet import build_mobilenet, build_mobilenet_mini
+from .resnet import build_resnet18, build_resnet_mini
+from .squeezenet import (SQUEEZENET_V11_FIRES, add_fire, build_squeezenet,
+                         build_squeezenet_mini)
+from .vgg import build_vgg16, build_vgg_mini
+from .weights import init_layer, layer_rng
+from .zoo import (MINI_MODELS, ModelInfo, PAPER_MODELS, build_model,
+                  list_models, model_info)
+
+__all__ = [
+    "build_alexnet",
+    "build_alexnet_mini",
+    "Stack",
+    "GOOGLENET_INCEPTIONS",
+    "add_inception",
+    "build_googlenet",
+    "build_googlenet_mini",
+    "build_lenet5",
+    "build_mobilenet",
+    "build_mobilenet_mini",
+    "SQUEEZENET_V11_FIRES",
+    "add_fire",
+    "build_resnet18",
+    "build_resnet_mini",
+    "build_squeezenet",
+    "build_squeezenet_mini",
+    "build_vgg16",
+    "build_vgg_mini",
+    "init_layer",
+    "layer_rng",
+    "MINI_MODELS",
+    "ModelInfo",
+    "PAPER_MODELS",
+    "build_model",
+    "list_models",
+    "model_info",
+]

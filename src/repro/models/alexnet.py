@@ -1,0 +1,58 @@
+"""AlexNet (Krizhevsky et al., single-tower variant).
+
+Represents the paper's "early NNs having large filter sizes" class
+(Table 1) together with VGG-16: few layers, big convolutions, so the
+channel-wise workload distribution contributes most of uLayer's win
+(Figure 17's analysis).
+"""
+
+from __future__ import annotations
+
+from ..nn import Graph
+from .builder import Stack
+
+
+def build_alexnet(with_weights: bool = True) -> Graph:
+    """AlexNet on 227x227x3 input (ImageNet geometry)."""
+    graph = Graph("alexnet")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 227, 227))
+    stack.conv("conv1", 3, 96, 11, stride=4, relu=True)        # 55x55
+    stack.lrn("lrn1")
+    stack.max_pool("pool1", 3, 2)                              # 27x27
+    stack.conv("conv2", 96, 256, 5, padding=2, relu=True)      # 27x27
+    stack.lrn("lrn2")
+    stack.max_pool("pool2", 3, 2)                              # 13x13
+    stack.conv("conv3", 256, 384, 3, padding=1, relu=True)
+    stack.conv("conv4", 384, 384, 3, padding=1, relu=True)
+    stack.conv("conv5", 384, 256, 3, padding=1, relu=True)
+    stack.max_pool("pool5", 3, 2)                              # 6x6
+    stack.flatten("flatten")
+    stack.fc("fc6", 256 * 6 * 6, 4096, relu=True)
+    stack.fc("fc7", 4096, 4096, relu=True)
+    stack.fc("fc8", 4096, 1000)
+    stack.softmax("softmax")
+    return graph
+
+
+def build_alexnet_mini(with_weights: bool = True) -> Graph:
+    """A scaled-down AlexNet (32x32 input) for fast functional tests.
+
+    Same layer sequence and kinds as the full model so every code path
+    (LRN, large-stride conv, FC head) is exercised cheaply.
+    """
+    graph = Graph("alexnet_mini")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 32, 32))
+    stack.conv("conv1", 3, 12, 5, stride=2, padding=2, relu=True)  # 16x16
+    stack.lrn("lrn1")
+    stack.max_pool("pool1", 3, 2)                                  # 7x7
+    stack.conv("conv2", 12, 24, 3, padding=1, relu=True)
+    stack.lrn("lrn2")
+    stack.conv("conv3", 24, 24, 3, padding=1, relu=True)
+    stack.max_pool("pool2", 3, 2)                                  # 3x3
+    stack.flatten("flatten")
+    stack.fc("fc1", 24 * 3 * 3, 64, relu=True)
+    stack.fc("fc2", 64, 10)
+    stack.softmax("softmax")
+    return graph

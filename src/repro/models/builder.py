@@ -1,0 +1,102 @@
+"""Helpers for assembling model graphs concisely."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..nn import (AvgPool2D, Concat, Conv2D, DepthwiseConv2D, Flatten,
+                  FullyConnected, GlobalAvgPool2D, Graph, Input, LRN,
+                  MaxPool2D, Softmax)
+from .weights import init_layer
+
+
+class Stack:
+    """A fluent builder that appends layers to a graph sequentially.
+
+    Keeps track of the "current" layer so simple chains don't repeat
+    wiring; branching models drop to raw :meth:`Graph.add` calls where
+    needed and use :meth:`at` to reposition.
+    """
+
+    def __init__(self, graph: Graph, with_weights: bool = True) -> None:
+        self.graph = graph
+        self.with_weights = with_weights
+        self.head: Optional[str] = None
+
+    def at(self, name: str) -> "Stack":
+        """Reposition the builder onto an existing layer."""
+        self.graph.layer(name)
+        self.head = name
+        return self
+
+    def _append(self, layer, inputs: Optional[Sequence[str]] = None) -> str:
+        if inputs is None:
+            if self.head is None:
+                raise ValueError("stack has no head; add an Input first")
+            inputs = [self.head]
+        self.graph.add(layer, inputs)
+        self.head = layer.name
+        return layer.name
+
+    def input(self, name: str, shape: "tuple[int, ...]") -> str:
+        """Add the graph input."""
+        self.graph.add(Input(name, shape))
+        self.head = name
+        return name
+
+    def conv(self, name: str, in_c: int, out_c: int, kernel: int,
+             stride: int = 1, padding: int = 0, relu: bool = True,
+             inputs: Optional[Sequence[str]] = None) -> str:
+        """Add a conv layer (weights installed when enabled)."""
+        layer = Conv2D(name, in_c, out_c, kernel, stride, padding, relu)
+        if self.with_weights:
+            init_layer(layer, self.graph.name)
+        return self._append(layer, inputs)
+
+    def depthwise(self, name: str, channels: int, kernel: int,
+                  stride: int = 1, padding: int = 0,
+                  relu: bool = True) -> str:
+        """Add a depthwise conv layer."""
+        layer = DepthwiseConv2D(name, channels, kernel, stride, padding,
+                                relu)
+        if self.with_weights:
+            init_layer(layer, self.graph.name)
+        return self._append(layer)
+
+    def fc(self, name: str, in_f: int, out_f: int,
+           relu: bool = False) -> str:
+        """Add a fully-connected layer."""
+        layer = FullyConnected(name, in_f, out_f, relu)
+        if self.with_weights:
+            init_layer(layer, self.graph.name)
+        return self._append(layer)
+
+    def max_pool(self, name: str, kernel: int, stride: int,
+                 padding: int = 0) -> str:
+        """Add a max-pooling layer."""
+        return self._append(MaxPool2D(name, kernel, stride, padding))
+
+    def avg_pool(self, name: str, kernel: int, stride: int,
+                 padding: int = 0) -> str:
+        """Add an average-pooling layer."""
+        return self._append(AvgPool2D(name, kernel, stride, padding))
+
+    def global_avg_pool(self, name: str) -> str:
+        """Add a global average pooling layer."""
+        return self._append(GlobalAvgPool2D(name))
+
+    def lrn(self, name: str, size: int = 5) -> str:
+        """Add a local response normalization layer."""
+        return self._append(LRN(name, size=size))
+
+    def flatten(self, name: str) -> str:
+        """Add a flatten layer."""
+        return self._append(Flatten(name))
+
+    def softmax(self, name: str) -> str:
+        """Add a softmax layer."""
+        return self._append(Softmax(name))
+
+    def concat(self, name: str, inputs: Sequence[str]) -> str:
+        """Add a channel concat joining ``inputs``."""
+        return self._append(Concat(name), inputs)

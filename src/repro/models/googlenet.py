@@ -1,0 +1,105 @@
+"""GoogLeNet (Szegedy et al.) with its nine Inception modules.
+
+The Inception module (paper Figure 11a) runs four branches on the same
+input -- 1x1 conv, 1x1->3x3 conv, 1x1->5x5 conv, and 3x3 max-pool ->
+1x1 conv -- and concatenates their outputs along the channel dimension.
+These divergent branches are exactly what the paper's branch
+distribution (Section 5) exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..nn import Graph
+from .builder import Stack
+
+#: Inception configuration: (name, in_c, b0_1x1, b1_reduce, b1_3x3,
+#: b2_reduce, b2_5x5, b3_pool_proj).  Output channels are the sum of
+#: b0_1x1 + b1_3x3 + b2_5x5 + b3_pool_proj.
+InceptionConfig = Tuple[str, int, int, int, int, int, int, int]
+
+GOOGLENET_INCEPTIONS: "tuple[InceptionConfig, ...]" = (
+    ("3a", 192, 64, 96, 128, 16, 32, 32),     # -> 256
+    ("3b", 256, 128, 128, 192, 32, 96, 64),   # -> 480
+    ("4a", 480, 192, 96, 208, 16, 48, 64),    # -> 512
+    ("4b", 512, 160, 112, 224, 24, 64, 64),   # -> 512
+    ("4c", 512, 128, 128, 256, 24, 64, 64),   # -> 512
+    ("4d", 512, 112, 144, 288, 32, 64, 64),   # -> 528
+    ("4e", 528, 256, 160, 320, 32, 128, 128),  # -> 832
+    ("5a", 832, 256, 160, 320, 32, 128, 128),  # -> 832
+    ("5b", 832, 384, 192, 384, 48, 128, 128),  # -> 1024
+)
+
+
+def add_inception(stack: Stack, config: InceptionConfig,
+                  input_name: str) -> str:
+    """Append one Inception module; returns the concat layer's name."""
+    name, in_c, b0, b1r, b1, b2r, b2, b3p = config
+    prefix = f"inception_{name}"
+    stack.at(input_name)
+    branch0 = stack.conv(f"{prefix}/1x1", in_c, b0, 1,
+                         inputs=[input_name])
+    stack.at(input_name)
+    stack.conv(f"{prefix}/3x3_reduce", in_c, b1r, 1, inputs=[input_name])
+    branch1 = stack.conv(f"{prefix}/3x3", b1r, b1, 3, padding=1)
+    stack.at(input_name)
+    stack.conv(f"{prefix}/5x5_reduce", in_c, b2r, 1, inputs=[input_name])
+    branch2 = stack.conv(f"{prefix}/5x5", b2r, b2, 5, padding=2)
+    stack.at(input_name)
+    stack.max_pool(f"{prefix}/pool", 3, 1, padding=1)
+    branch3 = stack.conv(f"{prefix}/pool_proj", in_c, b3p, 1)
+    return stack.concat(f"{prefix}/output",
+                        [branch0, branch1, branch2, branch3])
+
+
+def build_googlenet(with_weights: bool = True) -> Graph:
+    """GoogLeNet on 224x224x3 input (pool padding emulates ceil mode)."""
+    graph = Graph("googlenet")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 224, 224))
+    stack.conv("conv1/7x7_s2", 3, 64, 7, stride=2, padding=3)   # 112
+    stack.max_pool("pool1/3x3_s2", 3, 2, padding=1)             # 56
+    stack.lrn("pool1/norm1")
+    stack.conv("conv2/3x3_reduce", 64, 64, 1)
+    stack.conv("conv2/3x3", 64, 192, 3, padding=1)
+    stack.lrn("conv2/norm2")
+    stack.max_pool("pool2/3x3_s2", 3, 2, padding=1)             # 28
+    head = "pool2/3x3_s2"
+    for config in GOOGLENET_INCEPTIONS:
+        head = add_inception(stack, config, head)
+        if config[0] == "3b":
+            stack.at(head)
+            head = stack.max_pool("pool3/3x3_s2", 3, 2, padding=1)  # 14
+        elif config[0] == "4e":
+            stack.at(head)
+            head = stack.max_pool("pool4/3x3_s2", 3, 2, padding=1)  # 7
+    stack.at(head)
+    stack.global_avg_pool("pool5/7x7_s1")
+    stack.flatten("flatten")
+    stack.fc("loss3/classifier", 1024, 1000)
+    stack.softmax("softmax")
+    return graph
+
+
+MINI_INCEPTIONS: "tuple[InceptionConfig, ...]" = (
+    ("m1", 16, 8, 8, 12, 4, 6, 6),    # -> 32
+    ("m2", 32, 12, 8, 16, 4, 8, 8),   # -> 44
+)
+
+
+def build_googlenet_mini(with_weights: bool = True) -> Graph:
+    """Two small Inception modules on 32x32 input for fast tests."""
+    graph = Graph("googlenet_mini")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 32, 32))
+    stack.conv("conv1", 3, 16, 3, stride=2, padding=1)          # 16
+    head = "conv1"
+    for config in MINI_INCEPTIONS:
+        head = add_inception(stack, config, head)
+    stack.at(head)
+    stack.global_avg_pool("global_pool")
+    stack.flatten("flatten")
+    stack.fc("classifier", 44, 10)
+    stack.softmax("softmax")
+    return graph

@@ -1,0 +1,23 @@
+"""LeNet-5 for digit recognition (paper Figure 1a)."""
+
+from __future__ import annotations
+
+from ..nn import Graph
+from .builder import Stack
+
+
+def build_lenet5(with_weights: bool = True) -> Graph:
+    """LeNet-5 on 28x28 grayscale input (padding keeps classic shapes)."""
+    graph = Graph("lenet5")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 1, 28, 28))
+    stack.conv("conv1", 1, 6, 5, padding=2, relu=True)     # 28x28x6
+    stack.max_pool("pool1", 2, 2)                          # 14x14x6
+    stack.conv("conv2", 6, 16, 5, relu=True)               # 10x10x16
+    stack.max_pool("pool2", 2, 2)                          # 5x5x16
+    stack.flatten("flatten")
+    stack.fc("fc1", 16 * 5 * 5, 120, relu=True)
+    stack.fc("fc2", 120, 84, relu=True)
+    stack.fc("fc3", 84, 10)
+    stack.softmax("softmax")
+    return graph

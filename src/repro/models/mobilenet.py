@@ -1,0 +1,79 @@
+"""MobileNet v1 (Howard et al.).
+
+Represents the paper's "small-scale NNs aimed at minimizing the amount
+of computation" class (Table 1).  Its depthwise-separable convolutions
+leave little per-layer work, which is why the paper's Figure 16 shows
+smaller cooperative gains for MobileNet than for the big networks.
+"""
+
+from __future__ import annotations
+
+from ..nn import Graph
+from .builder import Stack
+
+#: (block index, stride, output channels) of the depthwise-separable body.
+MOBILENET_BLOCKS = (
+    (1, 1, 64),
+    (2, 2, 128),
+    (3, 1, 128),
+    (4, 2, 256),
+    (5, 1, 256),
+    (6, 2, 512),
+    (7, 1, 512),
+    (8, 1, 512),
+    (9, 1, 512),
+    (10, 1, 512),
+    (11, 1, 512),
+    (12, 2, 1024),
+    (13, 1, 1024),
+)
+
+
+def _separable_block(stack: Stack, index: int, in_channels: int,
+                     out_channels: int, stride: int) -> int:
+    """Depthwise 3x3 + pointwise 1x1, both with fused ReLU."""
+    stack.depthwise(f"conv{index}/dw", in_channels, 3, stride=stride,
+                    padding=1, relu=True)
+    stack.conv(f"conv{index}/pw", in_channels, out_channels, 1, relu=True)
+    return out_channels
+
+
+def build_mobilenet(with_weights: bool = True) -> Graph:
+    """MobileNet v1 (width 1.0) on 224x224x3 input."""
+    graph = Graph("mobilenet")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 224, 224))
+    stack.conv("conv0", 3, 32, 3, stride=2, padding=1, relu=True)  # 112
+    channels = 32
+    for index, stride, out_channels in MOBILENET_BLOCKS:
+        channels = _separable_block(stack, index, channels, out_channels,
+                                    stride)
+    stack.global_avg_pool("global_pool")
+    stack.flatten("flatten")
+    stack.fc("fc", 1024, 1000)
+    stack.softmax("softmax")
+    return graph
+
+
+MINI_BLOCKS = (
+    (1, 1, 16),
+    (2, 2, 32),
+    (3, 1, 32),
+)
+
+
+def build_mobilenet_mini(with_weights: bool = True) -> Graph:
+    """Three separable blocks on 32x32 input for fast tests."""
+    graph = Graph("mobilenet_mini")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 32, 32))
+    stack.conv("conv0", 3, 8, 3, stride=2, padding=1, relu=True)   # 16
+    channels = 8
+    for index, stride, out_channels in MINI_BLOCKS:
+        channels = _separable_block(stack, index, channels, out_channels,
+                                    stride)
+    stack.global_avg_pool("global_pool")
+    stack.flatten("flatten")
+    stack.fc("fc", 32, 10)
+    stack.softmax("softmax")
+    return graph

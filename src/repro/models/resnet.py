@@ -1,0 +1,85 @@
+"""ResNet-18 style networks (He et al.).
+
+Not part of the paper's Table 1, but Figure 10 evaluates ResNet
+variants for accuracy, and residual blocks are the other major
+fork/join idiom besides Inception/Fire: each block forks into a
+convolutional body and an identity (or 1x1 projection) shortcut that
+reconverge at an elementwise addition.  The branch machinery treats
+the identity shortcut as an *empty branch*, which exercises a code
+path GoogLeNet and SqueezeNet never touch.
+
+Batch normalization is folded into the convolutions (the standard
+inference-time transformation), so blocks are conv->conv chains with
+fused ReLUs.
+"""
+
+from __future__ import annotations
+
+from ..nn import EltwiseAdd, Graph, ReLU
+from .builder import Stack
+
+#: (stage index, blocks, channels, first-block stride) for ResNet-18.
+RESNET18_STAGES = (
+    (1, 2, 64, 1),
+    (2, 2, 128, 2),
+    (3, 2, 256, 2),
+    (4, 2, 512, 2),
+)
+
+
+def _basic_block(stack: Stack, name: str, in_channels: int,
+                 channels: int, stride: int) -> str:
+    """One basic residual block; returns the output layer name."""
+    graph = stack.graph
+    entry = stack.head
+    stack.conv(f"{name}/conv1", in_channels, channels, 3, stride=stride,
+               padding=1, relu=True)
+    body = stack.conv(f"{name}/conv2", channels, channels, 3, padding=1,
+                      relu=False)
+    if stride != 1 or in_channels != channels:
+        stack.at(entry)
+        shortcut = stack.conv(f"{name}/proj", in_channels, channels, 1,
+                              stride=stride, relu=False,
+                              inputs=[entry])
+    else:
+        shortcut = entry
+    graph.add(EltwiseAdd(f"{name}/add"), [body, shortcut])
+    graph.add(ReLU(f"{name}/relu"), [f"{name}/add"])
+    stack.at(f"{name}/relu")
+    return f"{name}/relu"
+
+
+def build_resnet18(with_weights: bool = True) -> Graph:
+    """ResNet-18 on 224x224x3 input (BN folded into the convs)."""
+    graph = Graph("resnet18")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 224, 224))
+    stack.conv("conv1", 3, 64, 7, stride=2, padding=3, relu=True)  # 112
+    stack.max_pool("pool1", 3, 2, padding=1)                       # 56
+    channels = 64
+    for stage, blocks, out_channels, first_stride in RESNET18_STAGES:
+        for block in range(1, blocks + 1):
+            stride = first_stride if block == 1 else 1
+            _basic_block(stack, f"stage{stage}/block{block}", channels,
+                         out_channels, stride)
+            channels = out_channels
+    stack.global_avg_pool("global_pool")
+    stack.flatten("flatten")
+    stack.fc("fc", 512, 1000)
+    stack.softmax("softmax")
+    return graph
+
+
+def build_resnet_mini(with_weights: bool = True) -> Graph:
+    """Two residual blocks (one identity, one projection) on 32x32."""
+    graph = Graph("resnet_mini")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 32, 32))
+    stack.conv("conv1", 3, 8, 3, stride=2, padding=1, relu=True)   # 16
+    _basic_block(stack, "block1", 8, 8, 1)      # identity shortcut
+    _basic_block(stack, "block2", 8, 16, 2)     # projection shortcut
+    stack.global_avg_pool("global_pool")
+    stack.flatten("flatten")
+    stack.fc("fc", 16, 10)
+    stack.softmax("softmax")
+    return graph

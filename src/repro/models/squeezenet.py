@@ -1,0 +1,89 @@
+"""SqueezeNet v1.1 (Iandola et al.) with its Fire modules.
+
+A Fire module (paper Figure 11b) squeezes the input with a 1x1 conv and
+expands it through parallel 1x1 and 3x3 convolutions whose outputs are
+concatenated -- a two-way divergent branch the paper's branch
+distribution exploits alongside GoogLeNet's Inception.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..nn import Graph
+from .builder import Stack
+
+#: Fire configuration: (name, in_c, squeeze, expand1x1, expand3x3).
+FireConfig = Tuple[str, int, int, int, int]
+
+SQUEEZENET_V11_FIRES: "tuple[FireConfig, ...]" = (
+    ("fire2", 64, 16, 64, 64),
+    ("fire3", 128, 16, 64, 64),
+    ("fire4", 128, 32, 128, 128),
+    ("fire5", 256, 32, 128, 128),
+    ("fire6", 256, 48, 192, 192),
+    ("fire7", 384, 48, 192, 192),
+    ("fire8", 384, 64, 256, 256),
+    ("fire9", 512, 64, 256, 256),
+)
+
+
+def add_fire(stack: Stack, config: FireConfig, input_name: str) -> str:
+    """Append one Fire module; returns the concat layer's name."""
+    name, in_c, squeeze, e1, e3 = config
+    stack.at(input_name)
+    squeeze_name = stack.conv(f"{name}/squeeze1x1", in_c, squeeze, 1,
+                              inputs=[input_name])
+    expand1 = stack.conv(f"{name}/expand1x1", squeeze, e1, 1,
+                         inputs=[squeeze_name])
+    stack.at(squeeze_name)
+    expand3 = stack.conv(f"{name}/expand3x3", squeeze, e3, 3, padding=1,
+                         inputs=[squeeze_name])
+    return stack.concat(f"{name}/concat", [expand1, expand3])
+
+
+def build_squeezenet(with_weights: bool = True) -> Graph:
+    """SqueezeNet v1.1 on 224x224x3 input."""
+    graph = Graph("squeezenet")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 224, 224))
+    stack.conv("conv1", 3, 64, 3, stride=2)                    # 111
+    stack.max_pool("pool1", 3, 2)                              # 55
+    head = "pool1"
+    for config in SQUEEZENET_V11_FIRES:
+        head = add_fire(stack, config, head)
+        if config[0] == "fire3":
+            stack.at(head)
+            head = stack.max_pool("pool3", 3, 2)               # 27
+        elif config[0] == "fire5":
+            stack.at(head)
+            head = stack.max_pool("pool5", 3, 2)               # 13
+    stack.at(head)
+    stack.conv("conv10", 512, 1000, 1)
+    stack.global_avg_pool("pool10")
+    stack.flatten("flatten")
+    stack.softmax("softmax")
+    return graph
+
+
+MINI_FIRES: "tuple[FireConfig, ...]" = (
+    ("fire1", 16, 4, 8, 8),
+    ("fire2", 16, 6, 12, 12),
+)
+
+
+def build_squeezenet_mini(with_weights: bool = True) -> Graph:
+    """Two small Fire modules on 32x32 input for fast tests."""
+    graph = Graph("squeezenet_mini")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 32, 32))
+    stack.conv("conv1", 3, 16, 3, stride=2, padding=1)         # 16
+    head = "conv1"
+    for config in MINI_FIRES:
+        head = add_fire(stack, config, head)
+    stack.at(head)
+    stack.conv("conv_last", 24, 10, 1)
+    stack.global_avg_pool("global_pool")
+    stack.flatten("flatten")
+    stack.softmax("softmax")
+    return graph

@@ -1,0 +1,63 @@
+"""VGG-16 (Simonyan & Zisserman), the paper's profiling workhorse.
+
+Figure 5 profiles VGG-16 per layer on both SoCs; it also anchors the
+high-end result where single-processor GPU execution beats the
+layer-to-processor mapping (Section 7.2).
+"""
+
+from __future__ import annotations
+
+from ..nn import Graph
+from .builder import Stack
+
+#: (block index, convs in block, output channels) of VGG-16's conv body.
+VGG16_BLOCKS = (
+    (1, 2, 64),
+    (2, 2, 128),
+    (3, 3, 256),
+    (4, 3, 512),
+    (5, 3, 512),
+)
+
+
+def build_vgg16(with_weights: bool = True) -> Graph:
+    """VGG-16 on 224x224x3 input.
+
+    Note: with weights enabled this allocates ~0.5 GB of float32
+    parameters; timing-only studies should pass ``with_weights=False``.
+    """
+    graph = Graph("vgg16")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 224, 224))
+    in_channels = 3
+    for block, convs, out_channels in VGG16_BLOCKS:
+        for i in range(1, convs + 1):
+            stack.conv(f"conv{block}_{i}", in_channels, out_channels, 3,
+                       padding=1, relu=True)
+            in_channels = out_channels
+        stack.max_pool(f"pool{block}", 2, 2)
+    stack.flatten("flatten")
+    stack.fc("fc6", 512 * 7 * 7, 4096, relu=True)
+    stack.fc("fc7", 4096, 4096, relu=True)
+    stack.fc("fc8", 4096, 1000)
+    stack.softmax("softmax")
+    return graph
+
+
+def build_vgg_mini(with_weights: bool = True) -> Graph:
+    """A four-conv VGG-style net on 32x32 input for fast tests."""
+    graph = Graph("vgg_mini")
+    stack = Stack(graph, with_weights)
+    stack.input("input", (1, 3, 32, 32))
+    in_channels = 3
+    for block, out_channels in ((1, 8), (2, 16)):
+        for i in (1, 2):
+            stack.conv(f"conv{block}_{i}", in_channels, out_channels, 3,
+                       padding=1, relu=True)
+            in_channels = out_channels
+        stack.max_pool(f"pool{block}", 2, 2)
+    stack.flatten("flatten")
+    stack.fc("fc1", 16 * 8 * 8, 32, relu=True)
+    stack.fc("fc2", 32, 10)
+    stack.softmax("softmax")
+    return graph

@@ -1,0 +1,67 @@
+"""Deterministic synthetic weights for zoo models.
+
+The paper's latency and energy experiments do not depend on the weight
+*values* (only accuracy does, and the accuracy experiment trains its own
+weights in :mod:`repro.train`), but the functional executor needs real
+numbers.  Weights are generated deterministically from the model and
+layer names, so two builds of the same model are bit-identical and tests
+can rely on exact outputs.
+
+Initialisation is He-style (scaled by fan-in) so activations keep a
+sane dynamic range through deep networks -- important for quantization
+tests, which exercise realistic value distributions rather than
+pathological ones.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Union
+
+import numpy as np
+
+from ..nn import Conv2D, DepthwiseConv2D, FullyConnected
+
+_WeightedLayer = Union[Conv2D, DepthwiseConv2D, FullyConnected]
+
+
+def layer_rng(model_name: str, layer_name: str) -> np.random.Generator:
+    """A generator seeded deterministically from model and layer names."""
+    seed = zlib.crc32(f"{model_name}/{layer_name}".encode("utf-8"))
+    return np.random.default_rng(seed)
+
+
+def he_weights(rng: np.random.Generator, shape: "tuple[int, ...]",
+               fan_in: int) -> np.ndarray:
+    """He-normal weights: N(0, sqrt(2 / fan_in))."""
+    std = np.sqrt(2.0 / max(fan_in, 1))
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def small_bias(rng: np.random.Generator, size: int) -> np.ndarray:
+    """A small random bias; non-zero so bias paths are exercised."""
+    return (rng.standard_normal(size) * 0.01).astype(np.float32)
+
+
+def init_layer(layer: _WeightedLayer, model_name: str) -> None:
+    """Install deterministic weights into a conv/depthwise/FC layer."""
+    rng = layer_rng(model_name, layer.name)
+    if isinstance(layer, Conv2D):
+        fan_in = layer.in_channels * layer.kernel * layer.kernel
+        weights = he_weights(
+            rng,
+            (layer.out_channels, layer.in_channels, layer.kernel,
+             layer.kernel),
+            fan_in)
+        layer.set_weights(weights, small_bias(rng, layer.out_channels))
+    elif isinstance(layer, DepthwiseConv2D):
+        fan_in = layer.kernel * layer.kernel
+        weights = he_weights(
+            rng, (layer.channels, layer.kernel, layer.kernel), fan_in)
+        layer.set_weights(weights, small_bias(rng, layer.channels))
+    elif isinstance(layer, FullyConnected):
+        weights = he_weights(
+            rng, (layer.out_features, layer.in_features), layer.in_features)
+        layer.set_weights(weights, small_bias(rng, layer.out_features))
+    else:
+        raise TypeError(f"layer {layer!r} takes no weights")

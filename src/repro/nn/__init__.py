@@ -1,0 +1,39 @@
+"""NN graph IR: layers, graphs, branch analysis, reference execution."""
+
+from .branches import (BranchRegion, assert_region_partitions,
+                       find_branch_regions)
+from .graph import Graph
+from .layer import (FILTER_SPLIT_KINDS, INPUT_SPLIT_KINDS, Layer, LayerKind,
+                    LayerWork)
+from .layers import (AvgPool2D, Concat, Conv2D, DepthwiseConv2D, EltwiseAdd,
+                     Flatten, FullyConnected, GlobalAvgPool2D, Input, LRN,
+                     MaxPool2D, ReLU, Softmax)
+from .reference import calibrate_graph, reference_output, run_reference
+
+__all__ = [
+    "BranchRegion",
+    "assert_region_partitions",
+    "find_branch_regions",
+    "Graph",
+    "FILTER_SPLIT_KINDS",
+    "INPUT_SPLIT_KINDS",
+    "Layer",
+    "LayerKind",
+    "LayerWork",
+    "AvgPool2D",
+    "Concat",
+    "Conv2D",
+    "DepthwiseConv2D",
+    "EltwiseAdd",
+    "Flatten",
+    "FullyConnected",
+    "GlobalAvgPool2D",
+    "Input",
+    "LRN",
+    "MaxPool2D",
+    "ReLU",
+    "Softmax",
+    "calibrate_graph",
+    "reference_output",
+    "run_reference",
+]

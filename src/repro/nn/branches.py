@@ -1,0 +1,236 @@
+"""Fork/join (divergent branch) detection.
+
+Section 5 exploits NNs "consisting of branches which perform different
+sequences of operations on the same input data" -- GoogLeNet's Inception
+modules and SqueezeNet's Fire modules.  A *branch region* is a fork
+layer whose output feeds several disjoint layer paths that reconverge at
+a join layer (typically a channel concat).  Branch distribution assigns
+whole branches to processors, so it needs these regions identified
+precisely: branches must be disjoint and self-contained, otherwise
+running them on different processors would race or deadlock.
+
+The join of a fork is its immediate post-dominator in the DAG, computed
+with the Cooper-Harvey-Kennedy algorithm on the reversed graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from ..errors import GraphError
+from .graph import Graph
+
+#: Name of the virtual exit node appended for post-dominator analysis.
+_VIRTUAL_EXIT = "__exit__"
+
+
+def _immediate_postdominators(graph: Graph) -> Dict[str, str]:
+    """Immediate post-dominator of every layer.
+
+    A virtual exit node is appended after all output layers so graphs
+    with multiple outputs are handled uniformly.  The virtual exit
+    post-dominates everything and is its own post-dominator.
+    """
+    order = graph.topological_order()
+    # Reverse-topological processing order, with the virtual exit first.
+    processing = [_VIRTUAL_EXIT] + list(reversed(order))
+    index = {name: i for i, name in enumerate(processing)}
+
+    def successors(name: str) -> List[str]:
+        if name == _VIRTUAL_EXIT:
+            return []
+        consumers = graph.consumers_of(name)
+        return consumers if consumers else [_VIRTUAL_EXIT]
+
+    ipdom: Dict[str, Optional[str]] = {name: None for name in processing}
+    ipdom[_VIRTUAL_EXIT] = _VIRTUAL_EXIT
+
+    def intersect(a: str, b: str) -> str:
+        # Walk up the post-dominator tree; smaller processing index means
+        # closer to the exit.
+        while a != b:
+            while index[a] > index[b]:
+                a = ipdom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = ipdom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for name in processing:
+            if name == _VIRTUAL_EXIT:
+                continue
+            candidates = [s for s in successors(name)
+                          if ipdom[s] is not None]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for other in candidates[1:]:
+                new = intersect(new, other)
+            if ipdom[name] != new:
+                ipdom[name] = new
+                changed = True
+    return {name: dom for name, dom in ipdom.items()
+            if dom is not None and name != _VIRTUAL_EXIT}
+
+
+@dataclasses.dataclass(frozen=True)
+class BranchRegion:
+    """A fork/join region with disjoint, self-contained branches.
+
+    Attributes:
+        fork: name of the layer whose output diverges.
+        join: name of the layer where all branches reconverge.
+        branches: per-branch layer names in topological order.  A branch
+            may be empty when the fork feeds the join directly (an
+            identity shortcut).
+    """
+
+    fork: str
+    join: str
+    branches: "tuple[tuple[str, ...], ...]"
+
+    @property
+    def layer_names(self) -> "tuple[str, ...]":
+        """All branch-internal layer names (excludes fork and join)."""
+        return tuple(name for branch in self.branches for name in branch)
+
+
+def _reachable_from(graph: Graph, start: str) -> Set[str]:
+    """All layers reachable downstream of ``start`` (exclusive)."""
+    seen: Set[str] = set()
+    frontier = list(graph.consumers_of(start))
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        frontier.extend(graph.consumers_of(name))
+    return seen
+
+
+def _reaches(graph: Graph, target: str) -> Set[str]:
+    """All layers that can reach ``target`` (exclusive)."""
+    seen: Set[str] = set()
+    frontier = list(graph.inputs_of(target))
+    while frontier:
+        name = frontier.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        frontier.extend(graph.inputs_of(name))
+    return seen
+
+
+def _branch_of(graph: Graph, fork: str, join: str, entry: str,
+               topo_index: Dict[str, int]) -> "tuple[str, ...]":
+    """Layers of the branch entered via ``entry``, in topological order."""
+    if entry == join:
+        return ()
+    members = ({entry}
+               | (_reachable_from(graph, entry) & _reaches(graph, join)))
+    members.discard(join)
+    members.discard(fork)
+    return tuple(sorted(members, key=topo_index.__getitem__))
+
+
+def find_branch_regions(graph: Graph) -> List[BranchRegion]:
+    """All valid branch regions of ``graph``, in topological fork order.
+
+    A region is valid for branch distribution when:
+
+    * the fork has at least two consumers and an immediate
+      post-dominator inside the graph (the join);
+    * the branch layer sets are pairwise disjoint;
+    * every branch layer's producers lie inside its branch or are the
+      fork, and its consumers lie inside its branch or are the join
+      (the region is self-contained, so branches can run concurrently
+      with no cross-branch synchronization).
+    """
+    graph.topological_order()  # raises on cycles before analysis
+    ipdom = _immediate_postdominators(graph)
+    topo_index = {name: i for i, name in
+                  enumerate(graph.topological_order())}
+    regions: List[BranchRegion] = []
+    for fork in graph.topological_order():
+        consumers = graph.consumers_of(fork)
+        if len(consumers) < 2:
+            continue
+        join = ipdom.get(fork)
+        if join is None or join == _VIRTUAL_EXIT:
+            continue
+        branches = tuple(
+            _branch_of(graph, fork, join, entry, topo_index)
+            for entry in consumers)
+        if _region_is_valid(graph, fork, join, branches):
+            regions.append(BranchRegion(fork, join, branches))
+    return regions
+
+
+def _region_is_valid(graph: Graph, fork: str, join: str,
+                     branches: "tuple[tuple[str, ...], ...]") -> bool:
+    seen: Set[str] = set()
+    for branch in branches:
+        branch_set = set(branch)
+        if branch_set & seen:
+            return False  # branches overlap: not independently runnable
+        seen |= branch_set
+        for name in branch:
+            for producer in graph.inputs_of(name):
+                if producer != fork and producer not in branch_set:
+                    return False
+            for consumer in graph.consumers_of(name):
+                if consumer != join and consumer not in branch_set:
+                    return False
+    # Every producer of the join must come from a branch or the fork.
+    for producer in graph.inputs_of(join):
+        if producer != fork and producer not in seen:
+            return False
+    return True
+
+
+def region_subgraph(graph: Graph, region: BranchRegion) -> Graph:
+    """A standalone graph of one fork/join region.
+
+    The fork is replaced by an Input of the fork's output shape; the
+    branch layers and the join are the original layer objects (layers
+    are pure specifications, so sharing them between graphs is safe).
+    Used to profile a region in isolation, the way the paper measures
+    per-branch latencies on the device before deciding a mapping.
+    """
+    from .layers import Input as InputLayer
+
+    shapes = graph.infer_shapes()
+    sub = Graph(f"{graph.name}::{region.fork}")
+    sub.add(InputLayer(region.fork, shapes[region.fork]))
+    names = [name for branch in region.branches for name in branch]
+    names.append(region.join)
+    order = {name: i for i, name in
+             enumerate(graph.topological_order())}
+    for name in sorted(names, key=order.__getitem__):
+        sub.add(graph.layer(name), graph.inputs_of(name))
+    return sub
+
+
+def assert_region_partitions(graph: Graph, region: BranchRegion) -> None:
+    """Raise unless the region's branches partition the fork-join span.
+
+    The span is the set of layers strictly between fork and join (every
+    layer both reachable from the fork and reaching the join).  Used as
+    a correctness invariant in tests.
+    """
+    span = ((_reachable_from(graph, region.fork)
+             & _reaches(graph, region.join))
+            - {region.fork, region.join})
+    covered = set(region.layer_names)
+    if covered != span:
+        raise GraphError(
+            f"branch region {region.fork!r}->{region.join!r} covers "
+            f"{sorted(covered)} but the span is {sorted(span)}")
+    total = sum(len(branch) for branch in region.branches)
+    if total != len(covered):
+        raise GraphError(
+            f"branch region {region.fork!r}->{region.join!r} assigns a "
+            "layer to more than one branch")

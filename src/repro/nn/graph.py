@@ -1,0 +1,207 @@
+"""The NN graph: a DAG of named layers.
+
+Graphs are built layer by layer (:meth:`Graph.add`), validated for
+structural soundness, scheduled topologically, and queried for shapes.
+The branch-distribution mechanism additionally needs fork/join structure,
+provided by :mod:`repro.nn.branches`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import GraphError, ShapeError
+from .layer import Layer, LayerKind, LayerWork, Shape
+from .layers import Input
+
+
+class Graph:
+    """A directed acyclic graph of layers.
+
+    Layers are identified by their unique names.  Edges point from a
+    producer layer to each consumer that takes its output as input.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._layers: Dict[str, Layer] = {}
+        self._inputs_of: Dict[str, List[str]] = {}
+        self._consumers_of: Dict[str, List[str]] = {}
+        self._order_cache: "List[str] | None" = None
+        self._shape_cache: "Dict[str, Shape] | None" = None
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, layer: Layer, inputs: Sequence[str] = ()) -> Layer:
+        """Add ``layer``, wired to the named producer layers.
+
+        Returns the layer for chaining convenience.
+
+        Raises:
+            GraphError: on duplicate names or unknown producers.
+        """
+        if layer.name in self._layers:
+            raise GraphError(
+                f"graph {self.name!r} already has a layer named "
+                f"{layer.name!r}")
+        for producer in inputs:
+            if producer not in self._layers:
+                raise GraphError(
+                    f"layer {layer.name!r} consumes unknown layer "
+                    f"{producer!r}")
+        if isinstance(layer, Input) and inputs:
+            raise GraphError(
+                f"input layer {layer.name!r} cannot have producers")
+        if not isinstance(layer, Input) and not inputs:
+            raise GraphError(
+                f"layer {layer.name!r} has no inputs; only Input layers "
+                "may be sources")
+        self._layers[layer.name] = layer
+        self._inputs_of[layer.name] = list(inputs)
+        self._consumers_of.setdefault(layer.name, [])
+        for producer in inputs:
+            self._consumers_of[producer].append(layer.name)
+        self._order_cache = None
+        self._shape_cache = None
+        return layer
+
+    # -- queries -----------------------------------------------------------
+
+    def layer(self, name: str) -> Layer:
+        """The layer named ``name``.
+
+        Raises:
+            GraphError: if no such layer exists.
+        """
+        try:
+            return self._layers[name]
+        except KeyError:
+            raise GraphError(
+                f"graph {self.name!r} has no layer named {name!r}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def layers(self) -> Iterable[Layer]:
+        """All layers in insertion order."""
+        return self._layers.values()
+
+    def layer_names(self) -> List[str]:
+        """All layer names in insertion order."""
+        return list(self._layers)
+
+    def inputs_of(self, name: str) -> List[str]:
+        """Names of the producers feeding ``name``."""
+        self.layer(name)
+        return list(self._inputs_of[name])
+
+    def consumers_of(self, name: str) -> List[str]:
+        """Names of the layers consuming ``name``'s output."""
+        self.layer(name)
+        return list(self._consumers_of[name])
+
+    def input_layers(self) -> List[str]:
+        """Names of all :class:`Input` layers."""
+        return [name for name, layer in self._layers.items()
+                if isinstance(layer, Input)]
+
+    def output_layers(self) -> List[str]:
+        """Names of all layers whose output nobody consumes."""
+        return [name for name in self._layers
+                if not self._consumers_of[name]]
+
+    # -- structure ---------------------------------------------------------
+
+    def topological_order(self) -> List[str]:
+        """Layer names in a producer-before-consumer order.
+
+        Ties are broken by insertion order so the schedule is stable.
+
+        Raises:
+            GraphError: if the graph contains a cycle.
+        """
+        if self._order_cache is not None:
+            return list(self._order_cache)
+        in_degree = {name: len(inputs)
+                     for name, inputs in self._inputs_of.items()}
+        ready = [name for name in self._layers if in_degree[name] == 0]
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for consumer in self._consumers_of[name]:
+                in_degree[consumer] -= 1
+                if in_degree[consumer] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self._layers):
+            stuck = sorted(set(self._layers) - set(order))
+            raise GraphError(
+                f"graph {self.name!r} contains a cycle involving {stuck}")
+        self._order_cache = order
+        return list(order)
+
+    def validate(self) -> None:
+        """Check structural soundness: acyclic, single component inputs,
+        and consistent shapes throughout.
+
+        Raises:
+            GraphError / ShapeError: describing the first problem found.
+        """
+        if not self.input_layers():
+            raise GraphError(f"graph {self.name!r} has no Input layer")
+        self.topological_order()
+        self.infer_shapes()
+
+    def infer_shapes(self) -> Dict[str, Shape]:
+        """Output shape of every layer, keyed by layer name."""
+        if self._shape_cache is not None:
+            return dict(self._shape_cache)
+        shapes: Dict[str, Shape] = {}
+        for name in self.topological_order():
+            layer = self._layers[name]
+            input_shapes = [shapes[producer]
+                            for producer in self._inputs_of[name]]
+            try:
+                shapes[name] = layer.infer_shape(input_shapes)
+            except ShapeError as exc:
+                raise ShapeError(
+                    f"graph {self.name!r}: shape inference failed at "
+                    f"layer {name!r}: {exc}") from exc
+        self._shape_cache = shapes
+        return dict(shapes)
+
+    # -- accounting ----------------------------------------------------------
+
+    def layer_work(self, name: str) -> LayerWork:
+        """Arithmetic work of one layer at the graph's inferred shapes."""
+        shapes = self.infer_shapes()
+        input_shapes = [shapes[p] for p in self._inputs_of[name]]
+        return self.layer(name).work(input_shapes)
+
+    def total_macs(self) -> int:
+        """Total multiply-accumulates of one inference (batch 1)."""
+        return sum(self.layer_work(name).macs
+                   for name in self.topological_order()
+                   if not isinstance(self._layers[name], Input))
+
+    def total_params(self) -> int:
+        """Total weight/bias elements across all layers."""
+        return sum(self.layer_work(name).param_elements
+                   for name in self.topological_order()
+                   if not isinstance(self._layers[name], Input))
+
+    def compute_layers(self) -> List[str]:
+        """Names of all non-Input layers in topological order."""
+        return [name for name in self.topological_order()
+                if not isinstance(self._layers[name], Input)]
+
+    def kinds_present(self) -> "set[LayerKind]":
+        """The set of layer kinds the graph uses."""
+        return {layer.kind for layer in self._layers.values()}
+
+    def __repr__(self) -> str:
+        return f"<Graph {self.name!r} with {len(self._layers)} layers>"

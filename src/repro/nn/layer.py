@@ -1,0 +1,168 @@
+"""Layer base class and the work/cost abstraction.
+
+A :class:`Layer` is a node of an NN graph (Section 2.1): it knows its
+parameters, can infer its output shape from input shapes, can execute a
+float32 reference forward pass, and can report how much arithmetic work
+it performs.  The amount of work drives the SoC timing model; which
+*kind* of work it is (multiply-accumulates vs. lightweight elementwise
+ops) determines how each processor's throughput applies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+
+Shape = Tuple[int, ...]
+
+
+class LayerKind(enum.Enum):
+    """The operation a layer performs."""
+
+    INPUT = "input"
+    CONV = "conv"
+    DEPTHWISE_CONV = "depthwise_conv"
+    FC = "fc"
+    MAX_POOL = "max_pool"
+    AVG_POOL = "avg_pool"
+    RELU = "relu"
+    CONCAT = "concat"
+    ADD = "add"
+    SOFTMAX = "softmax"
+    LRN = "lrn"
+    FLATTEN = "flatten"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Kinds whose output channels can be split across processors
+#: (convolutional and FC layers distribute filters, Figure 7a).
+FILTER_SPLIT_KINDS = frozenset({LayerKind.CONV, LayerKind.FC})
+
+#: Kinds whose *input* is split because they apply a per-channel global
+#: function (pooling layers, Figure 7b).  Depthwise convolution behaves
+#: the same way: each output channel depends only on its input channel.
+INPUT_SPLIT_KINDS = frozenset({
+    LayerKind.MAX_POOL,
+    LayerKind.AVG_POOL,
+    LayerKind.DEPTHWISE_CONV,
+    LayerKind.RELU,
+})
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerWork:
+    """Arithmetic work of one layer at batch size 1.
+
+    Attributes:
+        macs: multiply-accumulate operations (the GEMM-shaped work).
+        simple_ops: lightweight element operations (comparisons, adds,
+            copies) such as pooling reductions and activations.
+        param_elements: number of weight/bias elements the layer reads.
+        input_elements: activation elements read.
+        output_elements: activation elements written.
+        parallel_channels: independent output channels the kernel
+            exposes.  Mobile GPU convolution kernels parallelize over
+            output channels, so a kernel with few channels cannot fill
+            a wide GPU -- and channel-wise splitting *reduces* this
+            width, which is exactly why whole-branch distribution can
+            beat per-layer splitting on Inception-style modules
+            (Section 5).
+    """
+
+    macs: int
+    simple_ops: int
+    param_elements: int
+    input_elements: int
+    output_elements: int
+    parallel_channels: int = 1 << 20
+
+    def scaled(self, fraction: float) -> "LayerWork":
+        """Work of a ``fraction`` of this layer (channel-wise split).
+
+        Used by the timing model to cost the CPU and GPU portions of a
+        cooperatively executed layer.  Parameters scale with the split
+        for filter-split layers because each processor only loads its
+        own filters; the parallel channel width shrinks with the split
+        as well.
+        """
+        return LayerWork(
+            macs=int(round(self.macs * fraction)),
+            simple_ops=int(round(self.simple_ops * fraction)),
+            param_elements=int(round(self.param_elements * fraction)),
+            input_elements=int(round(self.input_elements * fraction)),
+            output_elements=int(round(self.output_elements * fraction)),
+            parallel_channels=max(
+                1, int(round(self.parallel_channels * fraction))),
+        )
+
+
+class Layer:
+    """Base class of all graph nodes.
+
+    Subclasses must set :attr:`kind` and implement
+    :meth:`infer_shape`, :meth:`forward_f32`, and :meth:`work`.
+    """
+
+    kind: LayerKind
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("layers require a non-empty name")
+        self.name = name
+
+    # -- interface --------------------------------------------------------
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        """Output shape given the input shapes (batch included)."""
+        raise NotImplementedError
+
+    def forward_f32(self, inputs: List[np.ndarray]) -> np.ndarray:
+        """Reference float32 forward pass."""
+        raise NotImplementedError
+
+    def work(self, input_shapes: Sequence[Shape]) -> LayerWork:
+        """Arithmetic work for the given input shapes (batch size 1)."""
+        raise NotImplementedError
+
+    # -- split capabilities ----------------------------------------------
+
+    @property
+    def splits_filters(self) -> bool:
+        """True if cooperative execution splits this layer's filters."""
+        return self.kind in FILTER_SPLIT_KINDS
+
+    @property
+    def splits_input(self) -> bool:
+        """True if cooperative execution splits this layer's input."""
+        return self.kind in INPUT_SPLIT_KINDS
+
+    @property
+    def supports_channel_split(self) -> bool:
+        """True if the channel-wise workload distribution applies."""
+        return self.splits_filters or self.splits_input
+
+    # -- helpers ----------------------------------------------------------
+
+    def _expect_single_input(self, input_shapes: Sequence[Shape]) -> Shape:
+        if len(input_shapes) != 1:
+            raise ShapeError(
+                f"layer {self.name!r} ({self.kind}) expects exactly one "
+                f"input, got {len(input_shapes)}")
+        return tuple(input_shapes[0])
+
+    def _expect_nchw(self, shape: Shape) -> Shape:
+        if len(shape) != 4:
+            raise ShapeError(
+                f"layer {self.name!r} ({self.kind}) expects NCHW input, "
+                f"got shape {shape}")
+        return shape
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,22 @@
+"""Concrete layer implementations."""
+
+from .conv import Conv2D, DepthwiseConv2D
+from .fc import FullyConnected
+from .misc import (Concat, EltwiseAdd, Flatten, Input, LRN, ReLU, Softmax)
+from .pool import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+
+__all__ = [
+    "Conv2D",
+    "DepthwiseConv2D",
+    "FullyConnected",
+    "Concat",
+    "EltwiseAdd",
+    "Flatten",
+    "Input",
+    "LRN",
+    "ReLU",
+    "Softmax",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "MaxPool2D",
+]

@@ -1,0 +1,202 @@
+"""Convolutional layers (standard and depthwise)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import ShapeError
+from ...kernels import conv_output_hw, flatten_filters, gemm_f32, im2col
+from ..layer import Layer, LayerKind, LayerWork, Shape
+
+
+class Conv2D(Layer):
+    """A 2-D convolution with optional fused ReLU.
+
+    Filters have shape ``(out_channels, in_channels, kernel, kernel)``
+    and extend through all input channels (Figure 1b), which is why the
+    channel-wise workload distribution can hand disjoint filter subsets
+    to the CPU and the GPU while sharing the input (Figure 7a).
+    """
+
+    kind = LayerKind.CONV
+
+    def __init__(self, name: str, in_channels: int, out_channels: int,
+                 kernel: int, stride: int = 1, padding: int = 0,
+                 relu: bool = False) -> None:
+        super().__init__(name)
+        if min(in_channels, out_channels, kernel, stride) < 1:
+            raise ShapeError(
+                f"conv {name!r}: channels, kernel, and stride must be "
+                "positive")
+        if padding < 0:
+            raise ShapeError(f"conv {name!r}: padding must be >= 0")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.relu = relu
+        self.weights: Optional[np.ndarray] = None  # (oc, ic, k, k) float32
+        self.bias: Optional[np.ndarray] = None     # (oc,) float32
+
+    def set_weights(self, weights: np.ndarray, bias: np.ndarray) -> None:
+        """Install float32 weights and bias, validating shapes."""
+        expected = (self.out_channels, self.in_channels, self.kernel,
+                    self.kernel)
+        if tuple(weights.shape) != expected:
+            raise ShapeError(
+                f"conv {self.name!r}: weights shape {weights.shape} != "
+                f"{expected}")
+        if tuple(bias.shape) != (self.out_channels,):
+            raise ShapeError(
+                f"conv {self.name!r}: bias shape {bias.shape} != "
+                f"({self.out_channels},)")
+        self.weights = np.asarray(weights, dtype=np.float32)
+        self.bias = np.asarray(bias, dtype=np.float32)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        shape = self._expect_nchw(self._expect_single_input(input_shapes))
+        batch, in_c, in_h, in_w = shape
+        if in_c != self.in_channels:
+            raise ShapeError(
+                f"conv {self.name!r}: input has {in_c} channels, layer "
+                f"expects {self.in_channels}")
+        out_h, out_w = conv_output_hw(in_h, in_w, self.kernel, self.stride,
+                                      self.padding)
+        return (batch, self.out_channels, out_h, out_w)
+
+    def forward_f32(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        if self.weights is None or self.bias is None:
+            raise ShapeError(f"conv {self.name!r} has no weights")
+        batch = x.shape[0]
+        out_h, out_w = conv_output_hw(x.shape[2], x.shape[3], self.kernel,
+                                      self.stride, self.padding)
+        columns = im2col(x.astype(np.float32), self.kernel, self.stride,
+                         self.padding)
+        filters = flatten_filters(self.weights)  # (oc, ic*k*k)
+        out = gemm_f32(columns.reshape(-1, columns.shape[-1]), filters.T,
+                       self.bias)
+        out = out.reshape(batch, out_h, out_w, self.out_channels)
+        out = out.transpose(0, 3, 1, 2)
+        if self.relu:
+            out = np.maximum(out, 0.0)
+        return np.ascontiguousarray(out)
+
+    def work(self, input_shapes: Sequence[Shape]) -> LayerWork:
+        out_shape = self.infer_shape(input_shapes)
+        _, out_c, out_h, out_w = out_shape
+        in_c = self.in_channels
+        macs = out_h * out_w * out_c * in_c * self.kernel * self.kernel
+        out_elements = out_c * out_h * out_w
+        simple = out_elements if self.relu else 0
+        in_shape = input_shapes[0]
+        return LayerWork(
+            macs=macs,
+            simple_ops=simple,
+            param_elements=self.weights_count,
+            input_elements=int(np.prod(in_shape[1:])),
+            output_elements=out_elements,
+            parallel_channels=out_c,
+        )
+
+    @property
+    def weights_count(self) -> int:
+        """Number of weight + bias elements."""
+        return (self.out_channels * self.in_channels * self.kernel
+                * self.kernel + self.out_channels)
+
+
+class DepthwiseConv2D(Layer):
+    """A depthwise convolution: one ``k x k`` filter per channel.
+
+    MobileNet v1's workhorse.  Each output channel depends only on the
+    matching input channel, so cooperative execution splits the *input*
+    channels (like pooling) rather than sharing the whole input.
+    """
+
+    kind = LayerKind.DEPTHWISE_CONV
+
+    def __init__(self, name: str, channels: int, kernel: int,
+                 stride: int = 1, padding: int = 0,
+                 relu: bool = False) -> None:
+        super().__init__(name)
+        if min(channels, kernel, stride) < 1:
+            raise ShapeError(
+                f"depthwise conv {name!r}: channels, kernel, and stride "
+                "must be positive")
+        self.channels = channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.relu = relu
+        self.weights: Optional[np.ndarray] = None  # (c, k, k)
+        self.bias: Optional[np.ndarray] = None     # (c,)
+
+    def set_weights(self, weights: np.ndarray, bias: np.ndarray) -> None:
+        """Install float32 per-channel filters and bias."""
+        expected = (self.channels, self.kernel, self.kernel)
+        if tuple(weights.shape) != expected:
+            raise ShapeError(
+                f"depthwise conv {self.name!r}: weights shape "
+                f"{weights.shape} != {expected}")
+        if tuple(bias.shape) != (self.channels,):
+            raise ShapeError(
+                f"depthwise conv {self.name!r}: bias shape {bias.shape} "
+                f"!= ({self.channels},)")
+        self.weights = np.asarray(weights, dtype=np.float32)
+        self.bias = np.asarray(bias, dtype=np.float32)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        shape = self._expect_nchw(self._expect_single_input(input_shapes))
+        batch, in_c, in_h, in_w = shape
+        if in_c != self.channels:
+            raise ShapeError(
+                f"depthwise conv {self.name!r}: input has {in_c} "
+                f"channels, layer expects {self.channels}")
+        out_h, out_w = conv_output_hw(in_h, in_w, self.kernel, self.stride,
+                                      self.padding)
+        return (batch, self.channels, out_h, out_w)
+
+    def forward_f32(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        if self.weights is None or self.bias is None:
+            raise ShapeError(f"depthwise conv {self.name!r} has no weights")
+        batch, channels, in_h, in_w = x.shape
+        out_h, out_w = conv_output_hw(in_h, in_w, self.kernel, self.stride,
+                                      self.padding)
+        # im2col per channel: treat each channel as its own 1-channel image.
+        columns = im2col(
+            x.astype(np.float32).reshape(batch * channels, 1, in_h, in_w),
+            self.kernel, self.stride, self.padding)
+        # columns: (batch*channels, out_h*out_w, k*k)
+        filters = self.weights.reshape(channels, -1)  # (c, k*k)
+        filters = np.tile(filters, (batch, 1))        # (batch*c, k*k)
+        out = np.einsum("npk,nk->np", columns, filters)
+        out = out.reshape(batch, channels, out_h, out_w)
+        out = out + self.bias[None, :, None, None]
+        if self.relu:
+            out = np.maximum(out, 0.0)
+        return out.astype(np.float32)
+
+    def work(self, input_shapes: Sequence[Shape]) -> LayerWork:
+        out_shape = self.infer_shape(input_shapes)
+        _, out_c, out_h, out_w = out_shape
+        macs = out_h * out_w * out_c * self.kernel * self.kernel
+        out_elements = out_c * out_h * out_w
+        simple = out_elements if self.relu else 0
+        return LayerWork(
+            macs=macs,
+            simple_ops=simple,
+            param_elements=self.weights_count,
+            input_elements=int(np.prod(input_shapes[0][1:])),
+            output_elements=out_elements,
+            parallel_channels=out_c,
+        )
+
+    @property
+    def weights_count(self) -> int:
+        """Number of weight + bias elements."""
+        return self.channels * self.kernel * self.kernel + self.channels

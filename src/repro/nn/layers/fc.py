@@ -1,0 +1,89 @@
+"""Fully-connected (dense) layer."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ...errors import ShapeError
+from ...kernels import gemm_f32
+from ..layer import Layer, LayerKind, LayerWork, Shape
+
+
+class FullyConnected(Layer):
+    """A dense layer: ``y = W x + b`` with optional fused ReLU.
+
+    As Section 2.1 notes, an FC layer is a convolution whose output
+    channel count equals its output neuron count; channel-wise workload
+    distribution therefore splits its output neurons exactly like conv
+    filters (Figure 7a).
+    """
+
+    kind = LayerKind.FC
+
+    def __init__(self, name: str, in_features: int, out_features: int,
+                 relu: bool = False) -> None:
+        super().__init__(name)
+        if min(in_features, out_features) < 1:
+            raise ShapeError(
+                f"fc {name!r}: feature counts must be positive")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.relu = relu
+        self.weights: Optional[np.ndarray] = None  # (out, in) float32
+        self.bias: Optional[np.ndarray] = None     # (out,) float32
+
+    def set_weights(self, weights: np.ndarray, bias: np.ndarray) -> None:
+        """Install float32 weights and bias, validating shapes."""
+        expected = (self.out_features, self.in_features)
+        if tuple(weights.shape) != expected:
+            raise ShapeError(
+                f"fc {self.name!r}: weights shape {weights.shape} != "
+                f"{expected}")
+        if tuple(bias.shape) != (self.out_features,):
+            raise ShapeError(
+                f"fc {self.name!r}: bias shape {bias.shape} != "
+                f"({self.out_features},)")
+        self.weights = np.asarray(weights, dtype=np.float32)
+        self.bias = np.asarray(bias, dtype=np.float32)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        shape = self._expect_single_input(input_shapes)
+        if len(shape) != 2:
+            raise ShapeError(
+                f"fc {self.name!r} expects flattened (batch, features) "
+                f"input, got shape {shape}; insert a Flatten layer")
+        batch, features = shape
+        if features != self.in_features:
+            raise ShapeError(
+                f"fc {self.name!r}: input has {features} features, layer "
+                f"expects {self.in_features}")
+        return (batch, self.out_features)
+
+    def forward_f32(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        if self.weights is None or self.bias is None:
+            raise ShapeError(f"fc {self.name!r} has no weights")
+        out = gemm_f32(x.astype(np.float32), self.weights.T, self.bias)
+        if self.relu:
+            out = np.maximum(out, 0.0)
+        return out
+
+    def work(self, input_shapes: Sequence[Shape]) -> LayerWork:
+        self.infer_shape(input_shapes)
+        macs = self.in_features * self.out_features
+        simple = self.out_features if self.relu else 0
+        return LayerWork(
+            macs=macs,
+            simple_ops=simple,
+            param_elements=self.weights_count,
+            input_elements=self.in_features,
+            output_elements=self.out_features,
+            parallel_channels=self.out_features,
+        )
+
+    @property
+    def weights_count(self) -> int:
+        """Number of weight + bias elements."""
+        return self.in_features * self.out_features + self.out_features

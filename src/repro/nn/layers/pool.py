@@ -1,0 +1,100 @@
+"""Pooling layers (max, average, global average)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ...errors import ShapeError
+from ...kernels import avg_pool, conv_output_hw, global_avg_pool, max_pool
+from ..layer import Layer, LayerKind, LayerWork, Shape
+
+
+class _Pool2D(Layer):
+    """Shared implementation of spatial pooling layers."""
+
+    def __init__(self, name: str, kernel: int, stride: int,
+                 padding: int = 0) -> None:
+        super().__init__(name)
+        if min(kernel, stride) < 1:
+            raise ShapeError(
+                f"pool {name!r}: kernel and stride must be positive")
+        if padding < 0:
+            raise ShapeError(f"pool {name!r}: padding must be >= 0")
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        shape = self._expect_nchw(self._expect_single_input(input_shapes))
+        batch, channels, in_h, in_w = shape
+        out_h, out_w = conv_output_hw(in_h, in_w, self.kernel, self.stride,
+                                      self.padding)
+        return (batch, channels, out_h, out_w)
+
+    def work(self, input_shapes: Sequence[Shape]) -> LayerWork:
+        out_shape = self.infer_shape(input_shapes)
+        _, out_c, out_h, out_w = out_shape
+        out_elements = out_c * out_h * out_w
+        return LayerWork(
+            macs=0,
+            simple_ops=out_elements * self.kernel * self.kernel,
+            param_elements=0,
+            input_elements=int(np.prod(input_shapes[0][1:])),
+            output_elements=out_elements,
+            parallel_channels=out_c,
+        )
+
+
+class MaxPool2D(_Pool2D):
+    """Spatial max pooling; channel count is preserved (Section 2.1)."""
+
+    kind = LayerKind.MAX_POOL
+
+    def forward_f32(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return max_pool(x.astype(np.float32), self.kernel, self.stride,
+                        self.padding)
+
+
+class AvgPool2D(_Pool2D):
+    """Spatial average pooling; channel count is preserved."""
+
+    kind = LayerKind.AVG_POOL
+
+    def forward_f32(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return avg_pool(x.astype(np.float32), self.kernel, self.stride,
+                        self.padding)
+
+
+class GlobalAvgPool2D(Layer):
+    """Average over the full spatial extent (SqueezeNet/MobileNet head)."""
+
+    kind = LayerKind.AVG_POOL
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+
+    def infer_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        shape = self._expect_nchw(self._expect_single_input(input_shapes))
+        batch, channels, _, _ = shape
+        return (batch, channels, 1, 1)
+
+    def forward_f32(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return global_avg_pool(x.astype(np.float32))
+
+    def work(self, input_shapes: Sequence[Shape]) -> LayerWork:
+        in_shape = self._expect_nchw(
+            self._expect_single_input(input_shapes))
+        _, channels, in_h, in_w = in_shape
+        return LayerWork(
+            macs=0,
+            simple_ops=channels * in_h * in_w,
+            param_elements=0,
+            input_elements=channels * in_h * in_w,
+            output_elements=channels,
+            parallel_channels=channels,
+        )

@@ -1,0 +1,96 @@
+"""Float32 reference execution of a graph.
+
+The reference executor runs every layer's :meth:`forward_f32` in
+topological order.  It is the accuracy baseline for all quantized paths
+and doubles as the calibration driver: passing a
+:class:`~repro.quant.calibrate.CalibrationTable` records every layer's
+activation range while the batch flows through.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..quant.calibrate import CalibrationTable
+from .graph import Graph
+from .layers import Input
+
+
+def run_reference(graph: Graph, inputs: Dict[str, np.ndarray],
+                  calibration: Optional[CalibrationTable] = None
+                  ) -> Dict[str, np.ndarray]:
+    """Execute ``graph`` in float32 and return every layer's output.
+
+    Args:
+        graph: the network to execute.
+        inputs: maps each Input layer's name to its batch data (NCHW or
+            the layer's declared shape).
+        calibration: optional table whose observers record each layer's
+            output range (for post-training quantization).
+
+    Returns:
+        Mapping from layer name to its float32 output array, including
+        the inputs themselves.
+
+    Raises:
+        ShapeError: if an input is missing or misshapen.
+    """
+    activations: Dict[str, np.ndarray] = {}
+    shapes = graph.infer_shapes()
+    for name in graph.topological_order():
+        layer = graph.layer(name)
+        if isinstance(layer, Input):
+            if name not in inputs:
+                raise ShapeError(f"missing data for input layer {name!r}")
+            data = np.asarray(inputs[name], dtype=np.float32)
+            if tuple(data.shape)[1:] != tuple(layer.shape)[1:]:
+                raise ShapeError(
+                    f"input {name!r} has shape {data.shape}, expected "
+                    f"{layer.shape} (batch may differ)")
+            activations[name] = data
+        else:
+            layer_inputs = [activations[p] for p in graph.inputs_of(name)]
+            out = layer.forward_f32(layer_inputs)
+            expected = shapes[name]
+            if tuple(out.shape)[1:] != tuple(expected)[1:]:
+                raise ShapeError(
+                    f"layer {name!r} produced shape {out.shape}, shape "
+                    f"inference promised {expected}")
+            activations[name] = out
+        if calibration is not None:
+            calibration.observe(name, activations[name])
+    return activations
+
+
+def reference_output(graph: Graph, x: np.ndarray) -> np.ndarray:
+    """Run a single-input, single-output graph and return its output."""
+    input_names = graph.input_layers()
+    output_names = graph.output_layers()
+    if len(input_names) != 1 or len(output_names) != 1:
+        raise ShapeError(
+            f"graph {graph.name!r} is not single-input/single-output "
+            f"({len(input_names)} inputs, {len(output_names)} outputs)")
+    activations = run_reference(graph, {input_names[0]: x})
+    return activations[output_names[0]]
+
+
+def calibrate_graph(graph: Graph, batches: "list[np.ndarray]"
+                    ) -> CalibrationTable:
+    """Run calibration batches through ``graph`` and freeze the ranges.
+
+    Returns a table with one frozen QuantParams entry per layer,
+    covering the union of ranges seen across all batches.
+    """
+    input_names = graph.input_layers()
+    if len(input_names) != 1:
+        raise ShapeError(
+            f"calibrate_graph needs a single-input graph, "
+            f"{graph.name!r} has {len(input_names)}")
+    table = CalibrationTable()
+    for batch in batches:
+        run_reference(graph, {input_names[0]: batch}, calibration=table)
+    table.freeze()
+    return table

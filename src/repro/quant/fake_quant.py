@@ -1,0 +1,87 @@
+"""Fake quantization, the training-time model of QUInt8 arithmetic.
+
+TensorFlow's fake quantization [37] simulates 8-bit inference during
+training: values are quantized to the 8-bit grid and immediately
+dequantized, so the forward pass sees quantization error while the
+backward pass treats the operation as identity inside the clamped range
+(the "straight-through estimator").  Section 4.3 of the paper uses these
+operations to retrain networks and recover the accuracy lost to
+post-training QUInt8 quantization (the ``QUInt8+FakeQuant`` bars of
+Figure 10).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from ..tensor import QuantParams
+
+
+def fake_quantize(values: np.ndarray, qparams: QuantParams) -> np.ndarray:
+    """Quantize-then-dequantize ``values`` onto the 8-bit grid."""
+    return qparams.dequantize(qparams.quantize(values))
+
+
+def fake_quantize_gradient(values: np.ndarray,
+                           qparams: QuantParams) -> np.ndarray:
+    """Straight-through gradient mask of :func:`fake_quantize`.
+
+    1.0 where the input lies inside the representable range (gradient
+    passes through), 0.0 where the input was clamped.
+    """
+    inside = ((values >= qparams.range_min) &
+              (values <= qparams.range_max))
+    return inside.astype(np.float32)
+
+
+@dataclasses.dataclass
+class EmaRangeObserver:
+    """Tracks a tensor's range with an exponential moving average.
+
+    Quantization-aware training learns the activation ranges during
+    training; TensorFlow does so with EMA min/max trackers.  The decay
+    smooths over batch-to-batch variation so the deployed range reflects
+    the typical activation distribution, not outliers.
+    """
+
+    decay: float = 0.99
+    minimum: float = 0.0
+    maximum: float = 0.0
+    initialized: bool = False
+
+    def observe(self, values: np.ndarray) -> None:
+        """Fold one batch of values into the tracked range."""
+        batch_min = float(values.min())
+        batch_max = float(values.max())
+        if not self.initialized:
+            self.minimum = batch_min
+            self.maximum = batch_max
+            self.initialized = True
+            return
+        self.minimum = (self.decay * self.minimum
+                        + (1.0 - self.decay) * batch_min)
+        self.maximum = (self.decay * self.maximum
+                        + (1.0 - self.decay) * batch_max)
+
+    def qparams(self) -> QuantParams:
+        """Quantization parameters covering the tracked range."""
+        return QuantParams.from_range(self.minimum, self.maximum)
+
+
+def fake_quantize_with_observer(values: np.ndarray,
+                                observer: EmaRangeObserver,
+                                training: bool = True
+                                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Observe, fake-quantize, and return (output, gradient mask).
+
+    During training the observer is updated before quantizing, mirroring
+    TensorFlow's FakeQuantWithMinMaxVars behaviour.
+    """
+    if training:
+        observer.observe(values)
+    qparams = observer.qparams()
+    return (fake_quantize(values, qparams),
+            fake_quantize_gradient(values, qparams))

@@ -1,0 +1,59 @@
+"""Half-precision (F16) conversion helpers.
+
+F16 (IEEE 754 binary16) keeps 5 exponent and 10 significand bits --
+three and thirteen fewer than F32, as Section 4.1 notes.  The paper's
+GPU path loads QUInt8 data and converts it to F16 on the fly; these
+helpers model both the plain F32<->F16 casts and that on-the-fly
+dequantize-to-half step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import DType, QuantParams, Tensor
+
+
+def to_half(values: np.ndarray) -> np.ndarray:
+    """Cast real values to float16 (round-to-nearest-even).
+
+    Values beyond the f16 range overflow to infinity, exactly as the
+    hardware cast would; numpy's overflow warning is suppressed because
+    that saturation is the intended semantics.
+    """
+    with np.errstate(over="ignore"):
+        return np.asarray(values).astype(np.float16)
+
+
+def from_half(values: np.ndarray) -> np.ndarray:
+    """Widen float16 values back to float32 (exact)."""
+    return np.asarray(values, dtype=np.float16).astype(np.float32)
+
+
+def tensor_to_half(tensor: Tensor) -> Tensor:
+    """Return an F16 version of ``tensor`` via the real domain."""
+    return Tensor(to_half(tensor.to_float()), DType.F16)
+
+
+def dequantize_to_half(codes: np.ndarray, qparams: QuantParams) -> np.ndarray:
+    """Dequantize QUInt8 codes directly to float16.
+
+    Models the GPU's on-the-fly integer-to-half conversion (Figure 9b):
+    the subtraction of the zero point happens in integer arithmetic and
+    the scaling happens in half precision, matching what an OpenCL
+    kernel operating on ``half`` vectors would compute.
+    """
+    centred = np.asarray(codes).astype(np.int16) - np.int16(qparams.zero_point)
+    return (centred.astype(np.float16) * np.float16(qparams.scale))
+
+
+def half_ulp(value: float) -> float:
+    """The gap between ``value`` and the next representable float16.
+
+    Useful for accuracy assertions: F16 has ~3 decimal digits of
+    precision, so comparisons against F32 references need tolerances of
+    a few ULPs rather than machine epsilon.
+    """
+    half = np.float16(value)
+    next_half = np.nextafter(half, np.float16(np.inf), dtype=np.float16)
+    return float(next_half.astype(np.float64) - half.astype(np.float64))

@@ -1,0 +1,141 @@
+"""8-bit linear quantization primitives (Jacob et al., CVPR 2018).
+
+These functions implement the arithmetic the paper's Section 4.1
+describes: values are stored as 8-bit unsigned integers related to reals
+by ``real = scale * (q - zero_point)``; multiplying two 8-bit values
+yields 16 bits and sums accumulate in 32 bits; *requantization* converts
+the 32-bit accumulators back to 8-bit codes using the pre-trained output
+range.  The requantization path mirrors gemmlowp's fixed-point
+multiplier so the integer pipeline is faithful to what runs on a real
+CPU's vector ALUs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import QuantizationError
+from ..tensor import DType, QuantParams, Tensor
+from ..tensor.qparams import QMAX, QMIN
+
+
+def quantize(values: np.ndarray, qparams: QuantParams) -> np.ndarray:
+    """Quantize real values to uint8 codes under ``qparams``."""
+    return qparams.quantize(values)
+
+
+def dequantize(codes: np.ndarray, qparams: QuantParams) -> np.ndarray:
+    """Dequantize uint8 codes to float32 reals under ``qparams``."""
+    return qparams.dequantize(codes)
+
+
+def quantize_tensor(tensor: Tensor,
+                    qparams: "QuantParams | None" = None) -> Tensor:
+    """Return a QUInt8 version of ``tensor``.
+
+    When ``qparams`` is omitted the parameters are derived from the
+    tensor's own min/max (post-training quantization).
+    """
+    values = tensor.to_float()
+    if qparams is None:
+        qparams = QuantParams.from_array(values)
+    return Tensor(qparams.quantize(values), DType.QUINT8, qparams)
+
+
+def quantized_multiplier(real_multiplier: float) -> Tuple[int, int]:
+    """Decompose a real multiplier as ``m * 2**-shift`` with m in Q31.
+
+    gemmlowp/TFLite represent the requantization multiplier
+    ``input_scale * weight_scale / output_scale`` as a 32-bit
+    fixed-point mantissa in [0.5, 1.0) and a shift, so the whole
+    pipeline stays in integer arithmetic.  Multipliers below one use a
+    right shift (positive); multipliers of one or more (possible with
+    narrow output ranges) use a left shift (negative), as in TFLite's
+    ``QuantizeMultiplier``.
+
+    Returns:
+        (quantized_multiplier, right_shift) with
+        ``real_multiplier ~= quantized_multiplier * 2**(-31 - right_shift)``.
+
+    Raises:
+        QuantizationError: if the multiplier is not positive and finite.
+    """
+    if not math.isfinite(real_multiplier) or real_multiplier <= 0.0:
+        raise QuantizationError(
+            f"requantization multiplier must be positive and finite, "
+            f"got {real_multiplier!r}")
+    shift = 0
+    while real_multiplier < 0.5:
+        real_multiplier *= 2.0
+        shift += 1
+    while real_multiplier >= 1.0:
+        real_multiplier /= 2.0
+        shift -= 1
+    q = int(round(real_multiplier * (1 << 31)))
+    if q == (1 << 31):  # round-up to 1.0: renormalize
+        q //= 2
+        shift -= 1
+    return q, shift
+
+
+def _saturating_rounding_doubling_high_mul(a: np.ndarray,
+                                           multiplier: int) -> np.ndarray:
+    """gemmlowp's SaturatingRoundingDoublingHighMul on int32 arrays."""
+    product = a.astype(np.int64) * np.int64(multiplier)
+    nudge = np.where(product >= 0, np.int64(1 << 30), np.int64(1 - (1 << 30)))
+    result = (product + nudge) >> 31
+    return np.clip(result, -(1 << 31), (1 << 31) - 1).astype(np.int32)
+
+
+def _rounding_divide_by_pot(value: np.ndarray, exponent: int) -> np.ndarray:
+    """Rounding arithmetic right shift by ``exponent`` (power of two).
+
+    A negative exponent performs a saturating left shift instead,
+    matching TFLite's handling of multipliers >= 1.
+    """
+    if exponent == 0:
+        return value
+    if exponent < 0:
+        shifted = value.astype(np.int64) << (-exponent)
+        return np.clip(shifted, -(1 << 31),
+                       (1 << 31) - 1).astype(np.int32)
+    mask = np.int32((1 << exponent) - 1)
+    remainder = value & mask
+    threshold = (mask >> 1) + np.where(value < 0, 1, 0).astype(np.int32)
+    return (value >> exponent) + (remainder > threshold).astype(np.int32)
+
+
+def requantize(acc: np.ndarray, input_scale: float, weight_scale: float,
+               output: QuantParams) -> np.ndarray:
+    """Convert i32 accumulators to uint8 codes under ``output``.
+
+    Implements the gemmlowp fixed-point pipeline: the accumulator (which
+    represents ``real / (input_scale * weight_scale)``) is rescaled by
+    the fixed-point multiplier and shifted to land on the output grid,
+    then offset by the output zero point and saturated to [0, 255].
+    """
+    acc = np.asarray(acc, dtype=np.int32)
+    real_multiplier = (input_scale * weight_scale) / output.scale
+    mantissa, shift = quantized_multiplier(real_multiplier)
+    if shift < 0:
+        # Multiplier >= 1: apply the saturating left shift *before*
+        # the rounding high-mul (TFLite's MultiplyByQuantizedMultiplier
+        # order), otherwise small accumulators lose all precision.
+        acc = _rounding_divide_by_pot(acc, shift)
+        shift = 0
+    scaled = _saturating_rounding_doubling_high_mul(acc, mantissa)
+    scaled = _rounding_divide_by_pot(scaled, shift)
+    shifted = scaled + np.int32(output.zero_point)
+    return np.clip(shifted, QMIN, QMAX).astype(np.uint8)
+
+
+def requantize_float_reference(acc: np.ndarray, input_scale: float,
+                               weight_scale: float,
+                               output: QuantParams) -> np.ndarray:
+    """Float-domain reference for :func:`requantize` (used in tests)."""
+    acc = np.asarray(acc, dtype=np.float64)
+    real = acc * (input_scale * weight_scale)
+    return output.quantize(real)

@@ -1,0 +1,152 @@
+"""Baseline execution mechanisms the paper compares against.
+
+* **Single-processor** (Figure 4, CPU-only / GPU-only): the whole NN on
+  one processor, at any data type (Figures 6, 8, 16, 18).
+* **Layer-to-processor mapping** (DeepX-style): each layer runs on the
+  processor with the lower predicted latency; the paper evaluates it
+  with QUInt8, its fastest data type (Figures 16-18's "state of the
+  art" baseline).
+* **Network-to-processor mapping** (MCDNN-style): different *inputs*
+  go to different processors; throughput improves but single-input
+  latency stays single-processor (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..nn import Graph
+from ..quant.calibrate import CalibrationTable
+from ..soc import SoCSpec
+from ..tensor import DType
+from .executor import Executor
+from .metrics import InferenceResult
+from .partitioner import Partitioner, PartitionerConfig
+from .pfq import QuantizationPolicy, uniform_policy
+from .plan import ExecutionPlan, LayerAssignment
+
+
+def single_processor_plan(graph: Graph, resource: str,
+                          policy: QuantizationPolicy) -> ExecutionPlan:
+    """A plan placing every layer on one processor.
+
+    ``resource`` is ``"cpu"``, ``"gpu"``, or ``"npu"``.  Because a
+    fixed-function NPU only executes conv/FC kernels, NPU plans place
+    everything else (pooling, concat, softmax, ...) on the CPU -- the
+    way real NPU delegates fall back to the host.
+    """
+    if resource == "npu":
+        from .branch_dist import NPU_KINDS
+        assignments = {}
+        for name in graph.compute_layers():
+            if graph.layer(name).kind in NPU_KINDS:
+                assignments[name] = LayerAssignment.on_npu(name)
+            else:
+                assignments[name] = LayerAssignment.on_cpu(name)
+        return ExecutionPlan(graph_name=graph.name, policy=policy,
+                             assignments=assignments)
+    make = (LayerAssignment.on_cpu if resource == "cpu"
+            else LayerAssignment.on_gpu)
+    assignments = {name: make(name) for name in graph.compute_layers()}
+    return ExecutionPlan(graph_name=graph.name, policy=policy,
+                         assignments=assignments)
+
+
+def run_single_processor(soc: SoCSpec, graph: Graph, resource: str,
+                         dtype: DType,
+                         x: Optional[np.ndarray] = None,
+                         calibration: Optional[CalibrationTable] = None,
+                         executor: Optional[Executor] = None
+                         ) -> InferenceResult:
+    """Run the whole NN on one processor in one data type."""
+    policy = uniform_policy(dtype)
+    plan = single_processor_plan(graph, resource, policy)
+    executor = executor or Executor(soc)
+    return executor.run(graph, plan, x=x, calibration=calibration,
+                        mechanism=f"single-{resource}-{dtype}")
+
+
+def layer_to_processor_plan(soc: SoCSpec, graph: Graph,
+                            policy: QuantizationPolicy,
+                            use_oracle_costs: bool = True
+                            ) -> ExecutionPlan:
+    """The DeepX-style per-layer mapping: each layer on the processor
+    with the lower estimated latency.
+
+    Built by running the partitioner with cooperative splits and branch
+    distribution disabled, so the only choices left are CPU or GPU per
+    layer -- exactly the layer-to-processor mechanism.
+    """
+    config = PartitionerConfig(enable_channel_distribution=False,
+                               enable_branch_distribution=False,
+                               use_oracle_costs=use_oracle_costs)
+    partitioner = Partitioner(soc, policy=policy, config=config)
+    return partitioner.plan(graph)
+
+
+def run_layer_to_processor(soc: SoCSpec, graph: Graph,
+                           dtype: DType = DType.QUINT8,
+                           x: Optional[np.ndarray] = None,
+                           calibration: Optional[CalibrationTable] = None,
+                           executor: Optional[Executor] = None
+                           ) -> InferenceResult:
+    """Run the layer-to-processor baseline (QUInt8 by default, its
+    fastest configuration per the paper's Section 7.2)."""
+    policy = uniform_policy(dtype)
+    plan = layer_to_processor_plan(soc, graph, policy)
+    executor = executor or Executor(soc)
+    return executor.run(graph, plan, x=x, calibration=calibration,
+                        mechanism=f"layer-to-processor-{dtype}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputResult:
+    """Result of the network-to-processor (MCDNN-style) mechanism.
+
+    Attributes:
+        per_input_latency_s: latency of each input, by arrival order.
+        makespan_s: time until all inputs are finished.
+        throughput_ips: inputs per second over the makespan.
+    """
+
+    per_input_latency_s: List[float]
+    makespan_s: float
+    throughput_ips: float
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean single-input latency."""
+        return float(np.mean(self.per_input_latency_s))
+
+
+def run_network_to_processor(soc: SoCSpec, graph: Graph,
+                             num_inputs: int,
+                             dtype: DType = DType.QUINT8
+                             ) -> ThroughputResult:
+    """MCDNN-style execution: inputs alternate between CPU and GPU.
+
+    Each processor runs its inputs back to back; both processors work
+    in parallel on *different* inputs.  Per-input latency equals the
+    single-processor latency of the processor the input landed on --
+    the mechanism's throughput/latency trade-off the paper describes.
+    """
+    if num_inputs < 1:
+        raise ValueError("num_inputs must be >= 1")
+    latency: Dict[str, float] = {}
+    for resource in ("cpu", "gpu"):
+        result = run_single_processor(soc, graph, resource, dtype)
+        latency[resource] = result.latency_s
+    # Greedy earliest-finish assignment of inputs to processors.
+    free = {"cpu": 0.0, "gpu": 0.0}
+    per_input = []
+    for _ in range(num_inputs):
+        resource = min(free, key=lambda r: free[r] + latency[r])
+        free[resource] += latency[resource]
+        per_input.append(latency[resource])
+    makespan = max(free.values())
+    return ThroughputResult(per_input_latency_s=per_input,
+                            makespan_s=makespan,
+                            throughput_ips=num_inputs / makespan)

@@ -1,0 +1,424 @@
+"""Functional layer execution under a quantization policy.
+
+The :class:`LayerComputer` produces the actual numbers an execution
+computes -- on the integer pipeline for QUInt8 compute (Figure 9a), on
+the half-precision pipeline for F16 GPU compute over QUInt8 storage
+(Figure 9b), or on plain float pipelines for the uniform baselines.
+
+Placement only changes the *numerics* of GEMM-shaped layers (conv, FC):
+under the processor-friendly policy the CPU's channels come from the
+integer pipeline and the GPU's from the F16 pipeline, both requantized
+into the same calibrated output range, so a cooperative layer's output
+is the channel-wise concatenation of the two pipelines' results.
+Non-GEMM layers (pooling, ReLU, concat, ...) are computed identically
+on either processor, which keeps their cooperative split bit-exact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import PlanError, QuantizationError
+from ..kernels import (conv_output_hw, flatten_filters, gemm_f16, im2col,
+                       qgemm)
+from ..nn import Graph, LayerKind
+from ..nn.layers import (Conv2D, DepthwiseConv2D, FullyConnected)
+from ..kernels.qgemm import quantize_bias
+from ..quant import dequantize_to_half, requantize
+from ..quant.calibrate import CalibrationTable
+from ..tensor import DType, QuantParams, Tensor, concat_channels
+from .distribution import channel_ranges
+from .pfq import QuantizationPolicy
+
+#: Kinds computed identically regardless of processor placement.
+_PLACEMENT_INVARIANT_KINDS = frozenset({
+    LayerKind.MAX_POOL, LayerKind.AVG_POOL, LayerKind.RELU,
+    LayerKind.CONCAT, LayerKind.ADD, LayerKind.SOFTMAX, LayerKind.LRN,
+    LayerKind.FLATTEN,
+})
+
+
+class LayerComputer:
+    """Computes layer outputs under one quantization policy."""
+
+    def __init__(self, graph: Graph, policy: QuantizationPolicy,
+                 calibration: Optional[CalibrationTable] = None) -> None:
+        if policy.is_quantized and calibration is None:
+            raise QuantizationError(
+                "QUInt8 activation storage requires a calibration table "
+                "(run repro.nn.calibrate_graph first)")
+        self._graph = graph
+        self._policy = policy
+        self._calibration = calibration
+        self._weight_cache: Dict[str, Tuple[np.ndarray, QuantParams]] = {}
+
+    # -- public API ---------------------------------------------------------
+
+    def input_tensor(self, layer_name: str, data: np.ndarray) -> Tensor:
+        """Convert external input data into storage representation."""
+        data = np.asarray(data, dtype=np.float32)
+        storage = self._policy.activation_storage
+        if storage is DType.QUINT8:
+            return Tensor.from_float(data, storage,
+                                     self._out_qparams(layer_name))
+        return Tensor.from_float(data, storage)
+
+    def run_full(self, name: str, inputs: List[Tensor],
+                 resource: str) -> Tensor:
+        """Execute one whole layer on ``resource`` (``"cpu"``/``"gpu"``)."""
+        layer = self._graph.layer(name)
+        if layer.kind in (LayerKind.CONV, LayerKind.FC):
+            return self._run_gemm_layer(name, inputs, resource,
+                                        channel_range=None)
+        if layer.kind is LayerKind.DEPTHWISE_CONV:
+            return self._run_depthwise(name, inputs, resource,
+                                       channel_range=None)
+        return self._run_invariant(name, inputs)
+
+    def run_cooperative(self, name: str, inputs: List[Tensor],
+                        split: float) -> Tensor:
+        """Execute one layer split channel-wise between CPU and GPU."""
+        return self.run_cooperative_shares(
+            name, inputs, {"cpu": split, "gpu": 1.0 - split})
+
+    def run_cooperative_shares(self, name: str, inputs: List[Tensor],
+                               shares: "dict[str, float]") -> Tensor:
+        """Execute one layer split channel-wise by per-processor shares.
+
+        Supports the three-way CPU/NPU/GPU distribution of the paper's
+        Section 8.3 extension: each processor computes its contiguous
+        channel range through its own pipeline (integer for CPU/NPU,
+        F16 for the GPU under the processor-friendly policy), and the
+        parts concatenate in channel order.
+        """
+        layer = self._graph.layer(name)
+        if not layer.supports_channel_split:
+            raise PlanError(
+                f"layer {name!r} ({layer.kind}) cannot be split")
+        total = self._output_channels(name)
+        ranges = channel_ranges(total, shares)
+        parts: List[Tensor] = []
+        if layer.kind in (LayerKind.CONV, LayerKind.FC):
+            for resource, (lo, hi) in ranges.items():
+                parts.append(self._run_gemm_layer(
+                    name, inputs, resource, channel_range=(lo, hi)))
+            return concat_channels(parts,
+                                   axis=self._channel_axis(name))
+        if layer.kind is LayerKind.DEPTHWISE_CONV:
+            for resource, (lo, hi) in ranges.items():
+                parts.append(self._run_depthwise(
+                    name, inputs, resource, channel_range=(lo, hi)))
+            return concat_channels(parts)
+        # Input-split kinds compute identically on every processor, so
+        # split, process, and merge channel slices.
+        (x,) = inputs
+        for _, (lo, hi) in ranges.items():
+            parts.append(self._run_invariant(
+                name, [x.slice_channels(lo, hi)]))
+        return concat_channels(parts)
+
+    # -- helpers --------------------------------------------------------------
+
+    def _channel_axis(self, name: str) -> int:
+        shape = self._graph.infer_shapes()[name]
+        return 1 if len(shape) >= 2 else 0
+
+    def _output_channels(self, name: str) -> int:
+        shape = self._graph.infer_shapes()[name]
+        return shape[1]
+
+    def _out_qparams(self, name: str) -> QuantParams:
+        assert self._calibration is not None
+        return self._calibration.get(name)
+
+    def _quantized_weights(self, name: str, weights: np.ndarray
+                           ) -> Tuple[np.ndarray, QuantParams]:
+        """Quantized filter codes (cached per layer)."""
+        cached = self._weight_cache.get(name)
+        if cached is None:
+            qparams = QuantParams.from_array(weights)
+            cached = (qparams.quantize(weights), qparams)
+            self._weight_cache[name] = cached
+        return cached
+
+    def _store(self, name: str, values: np.ndarray) -> Tensor:
+        """Pack float results into the storage representation."""
+        storage = self._policy.activation_storage
+        if storage is DType.QUINT8:
+            qparams = self._out_qparams(name)
+            return Tensor(qparams.quantize(values), storage, qparams)
+        return Tensor.from_float(values, storage)
+
+    # -- GEMM layers (conv / FC) ----------------------------------------------
+
+    def _run_gemm_layer(self, name: str, inputs: List[Tensor],
+                        resource: str,
+                        channel_range: Optional[Tuple[int, int]]) -> Tensor:
+        layer = self._graph.layer(name)
+        (x,) = inputs
+        if isinstance(layer, Conv2D):
+            weights, bias = layer.weights, layer.bias
+        elif isinstance(layer, FullyConnected):
+            weights, bias = layer.weights, layer.bias
+        else:
+            raise PlanError(f"layer {name!r} is not GEMM-shaped")
+        if weights is None or bias is None:
+            raise PlanError(f"layer {name!r} has no weights")
+        compute_dtype = self._policy.compute_dtype(resource)
+        storage = self._policy.activation_storage
+        if storage is DType.QUINT8 and compute_dtype is DType.QUINT8:
+            return self._gemm_integer(name, layer, x, weights, bias,
+                                      channel_range)
+        if storage is DType.QUINT8:
+            return self._gemm_float_over_quant(name, layer, x, weights,
+                                               bias, channel_range,
+                                               compute_dtype)
+        return self._gemm_float(name, layer, x, weights, bias,
+                                channel_range, compute_dtype)
+
+    def _gemm_operands(self, layer, x_codes_or_vals: np.ndarray,
+                       weights: np.ndarray,
+                       pad_value: float) -> Tuple[np.ndarray, np.ndarray,
+                                                  Tuple[int, ...]]:
+        """im2col the input and flatten the filters; returns
+        (lhs rows, rhs matrix (k, n), output NCHW/NF shape)."""
+        if isinstance(layer, Conv2D):
+            batch = x_codes_or_vals.shape[0]
+            out_h, out_w = conv_output_hw(
+                x_codes_or_vals.shape[2], x_codes_or_vals.shape[3],
+                layer.kernel, layer.stride, layer.padding)
+            columns = im2col(x_codes_or_vals, layer.kernel, layer.stride,
+                             layer.padding, pad_value=pad_value)
+            lhs = columns.reshape(-1, columns.shape[-1])
+            rhs = flatten_filters(weights).T
+            return lhs, rhs, (batch, weights.shape[0], out_h, out_w)
+        lhs = x_codes_or_vals
+        rhs = weights.T
+        return lhs, rhs, (x_codes_or_vals.shape[0], weights.shape[0])
+
+    @staticmethod
+    def _fold_gemm_output(out_rows: np.ndarray,
+                          shape: Tuple[int, ...]) -> np.ndarray:
+        if len(shape) == 4:
+            batch, out_c, out_h, out_w = shape
+            out = out_rows.reshape(batch, out_h, out_w, out_c)
+            return np.ascontiguousarray(out.transpose(0, 3, 1, 2))
+        return out_rows.reshape(shape)
+
+    def _gemm_integer(self, name: str, layer, x: Tensor,
+                      weights: np.ndarray, bias: np.ndarray,
+                      channel_range: Optional[Tuple[int, int]]) -> Tensor:
+        """CPU path: gemmlowp-style integer GEMM (Figure 9a)."""
+        weight_codes, w_qparams = self._quantized_weights(name, weights)
+        if channel_range is not None:
+            lo, hi = channel_range
+            weight_codes = weight_codes[lo:hi]
+            bias = bias[lo:hi]
+        assert x.qparams is not None
+        lhs, rhs, shape = self._gemm_operands(
+            layer, x.data, weight_codes,
+            pad_value=float(x.qparams.zero_point))
+        out_qparams = self._out_qparams(name)
+        out_rows = qgemm(lhs, x.qparams, rhs, w_qparams, out_qparams,
+                         bias=bias, relu=layer.relu)
+        folded = self._fold_gemm_output(out_rows, shape)
+        return Tensor(folded, DType.QUINT8, out_qparams)
+
+    def _gemm_float_over_quant(self, name: str, layer, x: Tensor,
+                               weights: np.ndarray, bias: np.ndarray,
+                               channel_range: Optional[Tuple[int, int]],
+                               compute_dtype: DType) -> Tensor:
+        """GPU path: load QUInt8, compute in F16, requantize
+        (Figure 9b)."""
+        if channel_range is not None:
+            lo, hi = channel_range
+            weights = weights[lo:hi]
+            bias = bias[lo:hi]
+        assert x.qparams is not None
+        x_half = dequantize_to_half(x.data, x.qparams)
+        if compute_dtype is DType.F16:
+            lhs, rhs, shape = self._gemm_operands(layer, x_half, weights,
+                                                  pad_value=0.0)
+            out_rows = gemm_f16(lhs, rhs.astype(np.float16),
+                                bias).astype(np.float32)
+        else:  # F32 compute over quantized storage
+            lhs, rhs, shape = self._gemm_operands(
+                layer, x_half.astype(np.float32), weights, pad_value=0.0)
+            out_rows = lhs @ rhs + bias
+        if layer.relu:
+            out_rows = np.maximum(out_rows, 0.0)
+        folded = self._fold_gemm_output(out_rows, shape)
+        out_qparams = self._out_qparams(name)
+        return Tensor(out_qparams.quantize(folded), DType.QUINT8,
+                      out_qparams)
+
+    def _gemm_float(self, name: str, layer, x: Tensor,
+                    weights: np.ndarray, bias: np.ndarray,
+                    channel_range: Optional[Tuple[int, int]],
+                    compute_dtype: DType) -> Tensor:
+        """Uniform float path (F32 or F16 end to end)."""
+        if channel_range is not None:
+            lo, hi = channel_range
+            weights = weights[lo:hi]
+            bias = bias[lo:hi]
+        values = x.to_float()
+        if compute_dtype is DType.F16:
+            lhs, rhs, shape = self._gemm_operands(
+                layer, values.astype(np.float16), weights.astype(
+                    np.float16), pad_value=0.0)
+            out_rows = gemm_f16(lhs, rhs, bias).astype(np.float32)
+        else:
+            lhs, rhs, shape = self._gemm_operands(layer, values, weights,
+                                                  pad_value=0.0)
+            out_rows = lhs @ rhs + bias
+        if layer.relu:
+            out_rows = np.maximum(out_rows, 0.0)
+        folded = self._fold_gemm_output(out_rows, shape)
+        return self._store(name, folded)
+
+    # -- depthwise convolution --------------------------------------------------
+
+    def _run_depthwise(self, name: str, inputs: List[Tensor],
+                       resource: str,
+                       channel_range: Optional[Tuple[int, int]]) -> Tensor:
+        layer = self._graph.layer(name)
+        assert isinstance(layer, DepthwiseConv2D)
+        if layer.weights is None or layer.bias is None:
+            raise PlanError(f"layer {name!r} has no weights")
+        (x,) = inputs
+        weights, bias = layer.weights, layer.bias
+        offset = 0
+        if channel_range is not None:
+            lo, hi = channel_range
+            offset = lo
+            x = x.slice_channels(lo, hi)
+            weights = weights[lo:hi]
+            bias = bias[lo:hi]
+        compute_dtype = self._policy.compute_dtype(resource)
+        storage = self._policy.activation_storage
+        if storage is DType.QUINT8 and compute_dtype is DType.QUINT8:
+            return self._depthwise_integer(name, layer, x, weights, bias,
+                                           offset)
+        # Float compute (uniform float, or F16-over-quantized).
+        values = x.to_float()
+        out = self._depthwise_float(layer, values, weights, bias,
+                                    compute_dtype)
+        if storage is DType.QUINT8:
+            out_qparams = self._out_qparams(name)
+            return Tensor(out_qparams.quantize(out), DType.QUINT8,
+                          out_qparams)
+        return self._store(name, out)
+
+    @staticmethod
+    def _depthwise_float(layer: DepthwiseConv2D, values: np.ndarray,
+                         weights: np.ndarray, bias: np.ndarray,
+                         compute_dtype: DType) -> np.ndarray:
+        batch, channels, in_h, in_w = values.shape
+        if compute_dtype is DType.F16:
+            values = values.astype(np.float16).astype(np.float32)
+            weights = weights.astype(np.float16).astype(np.float32)
+        columns = im2col(values.reshape(batch * channels, 1, in_h, in_w),
+                         layer.kernel, layer.stride, layer.padding)
+        filters = np.tile(weights.reshape(channels, -1), (batch, 1))
+        out = np.einsum("npk,nk->np", columns, filters)
+        out_h, out_w = conv_output_hw(in_h, in_w, layer.kernel,
+                                      layer.stride, layer.padding)
+        out = out.reshape(batch, channels, out_h, out_w)
+        out = out + bias[None, :, None, None]
+        if compute_dtype is DType.F16:
+            out = out.astype(np.float16).astype(np.float32)
+        if layer.relu:
+            out = np.maximum(out, 0.0)
+        return out.astype(np.float32)
+
+    def _depthwise_integer(self, name: str, layer: DepthwiseConv2D,
+                           x: Tensor, weights: np.ndarray,
+                           bias: np.ndarray, offset: int) -> Tensor:
+        """Integer depthwise conv with i32 accumulation + requantize."""
+        weight_codes_full, w_qparams = self._quantized_weights(
+            name, layer.weights)
+        channels = weights.shape[0]
+        weight_codes = weight_codes_full[offset:offset + channels]
+        assert x.qparams is not None
+        batch = x.shape[0]
+        in_h, in_w = x.shape[2], x.shape[3]
+        columns = im2col(
+            x.data.reshape(batch * channels, 1, in_h, in_w),
+            layer.kernel, layer.stride, layer.padding,
+            pad_value=float(x.qparams.zero_point))
+        lhs = columns.astype(np.int32) - np.int32(x.qparams.zero_point)
+        rhs = (np.tile(weight_codes.reshape(channels, -1), (batch, 1))
+               .astype(np.int32) - np.int32(w_qparams.zero_point))
+        acc = np.einsum("npk,nk->np", lhs, rhs, dtype=np.int64)
+        acc = acc.astype(np.int32)
+        bias_i32 = quantize_bias(bias, x.qparams.scale, w_qparams.scale)
+        acc = acc + np.repeat(
+            np.tile(bias_i32, batch), acc.shape[1]).reshape(acc.shape)
+        out_h, out_w = conv_output_hw(in_h, in_w, layer.kernel,
+                                      layer.stride, layer.padding)
+        out_qparams = self._out_qparams(name)
+        codes = requantize(acc, x.qparams.scale, w_qparams.scale,
+                           out_qparams)
+        codes = codes.reshape(batch, channels, out_h, out_w)
+        if layer.relu:
+            codes = np.maximum(codes, np.uint8(out_qparams.zero_point))
+        return Tensor(codes, DType.QUINT8, out_qparams)
+
+    # -- placement-invariant layers ------------------------------------------
+
+    def _run_invariant(self, name: str, inputs: List[Tensor]) -> Tensor:
+        layer = self._graph.layer(name)
+        if layer.kind not in _PLACEMENT_INVARIANT_KINDS:
+            raise PlanError(
+                f"layer {name!r} ({layer.kind}) has no placement-"
+                "invariant implementation")
+        storage = self._policy.activation_storage
+        if storage is not DType.QUINT8:
+            values = [t.to_float() for t in inputs]
+            return self._store(name, layer.forward_f32(values))
+        return self._run_invariant_quantized(name, layer, inputs)
+
+    def _run_invariant_quantized(self, name: str, layer,
+                                 inputs: List[Tensor]) -> Tensor:
+        kind = layer.kind
+        if kind is LayerKind.MAX_POOL:
+            # Max of codes == max of reals (monotone map); parameters
+            # pass through unchanged, as in TFLite.
+            (x,) = inputs
+            from ..kernels import max_pool
+            codes = max_pool(x.data, layer.kernel, layer.stride,
+                             layer.padding)
+            return Tensor(codes.astype(np.uint8), DType.QUINT8, x.qparams)
+        if kind is LayerKind.RELU:
+            (x,) = inputs
+            assert x.qparams is not None
+            codes = np.maximum(x.data, np.uint8(x.qparams.zero_point))
+            return Tensor(codes, DType.QUINT8, x.qparams)
+        if kind is LayerKind.FLATTEN:
+            (x,) = inputs
+            return Tensor(x.data.reshape(x.shape[0], -1), DType.QUINT8,
+                          x.qparams)
+        if kind is LayerKind.AVG_POOL:
+            # Averaging is affine, so averaging codes (with real-zero
+            # padding = the zero point) equals averaging reals; round
+            # back to the same grid.
+            (x,) = inputs
+            assert x.qparams is not None
+            values = layer.forward_f32(
+                [x.data.astype(np.float32)
+                 - float(x.qparams.zero_point)])
+            codes = np.clip(np.round(values + x.qparams.zero_point),
+                            0, 255).astype(np.uint8)
+            return Tensor(codes, DType.QUINT8, x.qparams)
+        if kind is LayerKind.CONCAT:
+            out_qparams = self._out_qparams(name)
+            parts = [Tensor(out_qparams.quantize(t.to_float()),
+                            DType.QUINT8, out_qparams) for t in inputs]
+            return concat_channels(parts, axis=layer.axis)
+        # ADD / SOFTMAX / LRN: dequantize, compute in float, requantize.
+        values = [t.to_float() for t in inputs]
+        out = layer.forward_f32(values)
+        out_qparams = self._out_qparams(name)
+        return Tensor(out_qparams.quantize(out), DType.QUINT8, out_qparams)

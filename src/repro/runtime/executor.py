@@ -1,0 +1,418 @@
+"""The NN executor: runs an execution plan on the simulated SoC.
+
+For every layer the executor performs two things in lockstep:
+
+* **timing** -- reserves busy intervals on the simulated processor
+  timeline, modelling asynchronous command issue, in-order queue
+  semantics, CPU-accelerator synchronization, and zero-copy buffer
+  mapping (the Section 6 implementation optimizations, both of which
+  can be switched off for the ablation studies);
+* **functional execution** (optional) -- computes the actual output
+  numbers through :class:`LayerComputer` when input data is supplied,
+  so correctness of the distribution mechanisms is checked by the same
+  code path that is timed.
+
+The GPU is always present; on NPU-equipped SoCs (the paper's Section
+8.3 extension) a second in-order command queue drives the NPU, and
+cooperative layers may split channels three ways.
+
+Timing is modelled for batch-1 inference (the paper's latency metric).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import PlanError
+from ..nn import Graph, LayerWork
+from ..nn.layers import Input
+from ..quant.calibrate import CalibrationTable
+from ..soc import (CommandQueue, CPU, EnergyModel, GPU, NPU, SoCSpec,
+                   Timeline, kernel_cost, kernel_traffic_bytes)
+from ..tensor import Tensor
+from .compute import LayerComputer
+from .distribution import split_layer_work_shares
+from .metrics import InferenceResult, LayerTrace
+from .plan import BranchAssignment, ExecutionPlan, LayerAssignment, Placement
+
+#: Resources whose kernels are dispatched through a command queue.
+_ACCELERATORS = (GPU, NPU)
+
+
+class Executor:
+    """Executes plans on one simulated SoC.
+
+    Args:
+        soc: the target SoC.
+        zero_copy: share processor buffers via mapping (True, the
+            paper's design) or copy explicitly (False, the ablation).
+        async_issue: issue accelerator commands asynchronously so they
+            overlap with CPU work (True) or block on each command
+            (False).
+    """
+
+    def __init__(self, soc: SoCSpec, zero_copy: bool = True,
+                 async_issue: bool = True) -> None:
+        self.soc = soc
+        self.zero_copy = zero_copy
+        self.async_issue = async_issue
+
+    def run(self, graph: Graph, plan: ExecutionPlan,
+            x: Optional[np.ndarray] = None,
+            calibration: Optional[CalibrationTable] = None,
+            mechanism: str = "custom") -> InferenceResult:
+        """Execute ``graph`` according to ``plan``.
+
+        Args:
+            graph: the network (must match the plan).
+            x: input batch for functional execution; omit for a
+                timing-only run (required for weight-less graphs).
+            calibration: per-layer activation ranges, required for
+                functional execution under a quantized policy.
+            mechanism: label recorded in the result.
+
+        Returns:
+            The inference result with latency, energy, traces, and
+            (for functional runs) all layer outputs.
+        """
+        plan.validate(graph)
+        run_state = _RunState(self, graph, plan, x, calibration)
+        run_state.execute()
+        return run_state.result(mechanism)
+
+
+class _RunState:
+    """Mutable state of one execution (timeline, values, traces)."""
+
+    def __init__(self, executor: Executor, graph: Graph,
+                 plan: ExecutionPlan, x: Optional[np.ndarray],
+                 calibration: Optional[CalibrationTable]) -> None:
+        self.executor = executor
+        self.soc = executor.soc
+        self.graph = graph
+        self.plan = plan
+        self.timeline = Timeline()
+        self.queues: Dict[str, CommandQueue] = {
+            GPU: CommandQueue(self.timeline, self.soc.gpu,
+                              executor.async_issue, resource=GPU),
+        }
+        if self.soc.has_npu:
+            self.queues[NPU] = CommandQueue(
+                self.timeline, self.soc.npu, executor.async_issue,
+                resource=NPU)
+        self.policy = plan.policy
+        self.computer: Optional[LayerComputer] = None
+        self.values: Dict[str, Tensor] = {}
+        if x is not None:
+            self.computer = LayerComputer(graph, plan.policy, calibration)
+        self.input_data = x
+        self.ready: Dict[str, float] = {}
+        self.producers: Dict[str, Set[str]] = {}
+        self.traces: List[LayerTrace] = []
+        self.traffic = 0.0
+        self.shapes = graph.infer_shapes()
+        self._region_of: Dict[str, BranchAssignment] = {}
+        for branch_assignment in plan.branch_assignments:
+            for name in branch_assignment.region.layer_names:
+                self._region_of[name] = branch_assignment
+        self._done_regions: Set[int] = set()
+
+    # -- orchestration ---------------------------------------------------------
+
+    def execute(self) -> None:
+        """Run all layers in topological order."""
+        for name in self.graph.topological_order():
+            layer = self.graph.layer(name)
+            if isinstance(layer, Input):
+                self._seed_input(name)
+                continue
+            region = self._region_of.get(name)
+            if region is not None:
+                if id(region) not in self._done_regions:
+                    self._execute_region(region)
+                    self._done_regions.add(id(region))
+                continue
+            self._execute_layer(name, self.plan.assignments[name])
+        self.timeline.validate()
+
+    def result(self, mechanism: str) -> InferenceResult:
+        """Package the completed run."""
+        energy = EnergyModel(self.soc).energy(self.timeline, self.traffic)
+        return InferenceResult(
+            graph_name=self.graph.name,
+            soc_name=self.soc.name,
+            policy_name=self.policy.name,
+            mechanism=mechanism,
+            latency_s=self.timeline.makespan(),
+            energy=energy,
+            timeline=self.timeline,
+            traces=self.traces,
+            traffic_bytes=self.traffic,
+            outputs=dict(self.values) if self.computer else None,
+        )
+
+    # -- building blocks ---------------------------------------------------------
+
+    def _seed_input(self, name: str) -> None:
+        self.ready[name] = 0.0
+        self.producers[name] = {CPU}   # host data arrives CPU-side
+        if self.computer is not None:
+            assert self.input_data is not None
+            self.values[name] = self.computer.input_tensor(
+                name, self.input_data)
+
+    def _layer_work(self, name: str) -> LayerWork:
+        return self.graph.layer_work(name)
+
+    def _activation_bytes(self, name: str) -> float:
+        """Storage bytes of one layer's output (batch 1)."""
+        shape = self.shapes[name]
+        elements = int(np.prod(shape[1:]))
+        return float(elements * self.policy.activation_storage.itemsize)
+
+    def _deps_ready(self, name: str) -> Tuple[float, Set[str]]:
+        """(data-ready time, union of producer resources) of inputs."""
+        inputs = self.graph.inputs_of(name)
+        ready = max((self.ready[p] for p in inputs), default=0.0)
+        resources: Set[str] = set()
+        for producer in inputs:
+            resources |= self.producers[producer]
+        return ready, resources
+
+    def _transition_to_cpu(self, name: str, data_ready: float,
+                           input_resources: Set[str]) -> None:
+        """Charge accelerator->CPU handoff: event sync + map/copy."""
+        foreign = input_resources & set(_ACCELERATORS)
+        if not foreign:
+            return
+        nbytes = sum(self._activation_bytes(p)
+                     for p in self.graph.inputs_of(name)
+                     if self.producers[p] & foreign)
+        self.timeline.wait_until(CPU, data_ready)
+        self.timeline.reserve(CPU, self.soc.sync_seconds(), name, "sync")
+        self._charge_buffer_handoff(name, nbytes)
+
+    def _transition_to_accel(self, name: str,
+                             input_resources: Set[str],
+                             target: str) -> None:
+        """Charge handoff into an accelerator: cache flush / copy of
+        data the accelerator did not produce itself."""
+        foreign = input_resources - {target}
+        if not foreign:
+            return
+        nbytes = sum(self._activation_bytes(p)
+                     for p in self.graph.inputs_of(name)
+                     if self.producers[p] - {target})
+        self._charge_buffer_handoff(name, nbytes)
+
+    def _charge_buffer_handoff(self, name: str, nbytes: float) -> None:
+        memory = self.soc.memory
+        if self.executor.zero_copy:
+            self.timeline.reserve(CPU, memory.map_seconds(nbytes), name,
+                                  "map")
+        else:
+            self.timeline.reserve(CPU, memory.copy_seconds(nbytes), name,
+                                  "copy")
+            self.traffic += 2.0 * nbytes   # copy reads and rewrites DRAM
+
+    # -- layer execution -----------------------------------------------------------
+
+    def _execute_layer(self, name: str,
+                       assignment: LayerAssignment) -> None:
+        data_ready, input_resources = self._deps_ready(name)
+        if assignment.placement is Placement.CPU:
+            self._run_on_cpu(name, data_ready, input_resources)
+        elif assignment.placement is Placement.GPU:
+            self._run_on_accel(name, GPU, data_ready, input_resources)
+        elif assignment.placement is Placement.NPU:
+            self._run_on_accel(name, NPU, data_ready, input_resources)
+        else:
+            self._run_cooperative(name, assignment, data_ready,
+                                  input_resources)
+
+    def _cost(self, resource: str, work: LayerWork):
+        return kernel_cost(self.soc.processor(resource), self.soc.memory,
+                           work, self.policy.compute_dtype(resource),
+                           self.policy.activation_storage,
+                           self.policy.param_storage(resource))
+
+    def _run_on_cpu(self, name: str, data_ready: float,
+                    input_resources: Set[str]) -> float:
+        self._transition_to_cpu(name, data_ready, input_resources)
+        work = self._layer_work(name)
+        cost = self._cost(CPU, work)
+        segment = self.timeline.reserve(
+            CPU, cost.total_s, name, "compute",
+            dtype=self.policy.cpu_compute, earliest=data_ready)
+        self.traffic += kernel_traffic_bytes(
+            work, self.policy.activation_storage,
+            self.policy.cpu_param_storage)
+        self.ready[name] = segment.end
+        self.producers[name] = {CPU}
+        self._compute_value(name, "cpu")
+        self._record(name, "cpu", 1.0, data_ready, segment.end,
+                     cpu_busy=cost.total_s, gpu_busy=0.0)
+        return segment.end
+
+    def _run_on_accel(self, name: str, resource: str, data_ready: float,
+                      input_resources: Set[str]) -> float:
+        if resource not in self.queues:
+            raise PlanError(
+                f"layer {name!r} targets {resource} but "
+                f"{self.soc.name} has no such processor")
+        self._transition_to_accel(name, input_resources, resource)
+        work = self._layer_work(name)
+        cost = self._cost(resource, work)
+        event = self.queues[resource].enqueue(
+            name, cost.busy_s, self.policy.compute_dtype(resource),
+            ready=data_ready)
+        self.traffic += kernel_traffic_bytes(
+            work, self.policy.activation_storage,
+            self.policy.param_storage(resource))
+        self.ready[name] = event.completed_at
+        self.producers[name] = {resource}
+        self._compute_value(name, resource)
+        gpu_busy = cost.total_s if resource == GPU else 0.0
+        self._record(name, resource, 0.0, data_ready,
+                     event.completed_at, cpu_busy=0.0, gpu_busy=gpu_busy)
+        return event.completed_at
+
+    def _run_cooperative(self, name: str, assignment: LayerAssignment,
+                         data_ready: float,
+                         input_resources: Set[str]) -> None:
+        shares = assignment.shares()
+        for resource in shares:
+            if resource in _ACCELERATORS and resource not in self.queues:
+                raise PlanError(
+                    f"layer {name!r} splits onto {resource} but "
+                    f"{self.soc.name} has no such processor")
+        self._transition_to_cpu(name, data_ready, input_resources)
+        works = split_layer_work_shares(self.graph, name, shares)
+        costs = {resource: self._cost(resource, work)
+                 for resource, work in works.items()}
+        # Issue accelerator commands first (asynchronously), then
+        # compute the CPU portion, then wait on the completion events
+        # -- the paper's overlap strategy (Section 6).
+        events = []
+        for resource in _ACCELERATORS:
+            if resource in works:
+                events.append((resource, self.queues[resource].enqueue(
+                    name, costs[resource].busy_s,
+                    self.policy.compute_dtype(resource),
+                    ready=data_ready)))
+        end = data_ready
+        cpu_busy = 0.0
+        if CPU in works:
+            cpu_segment = self.timeline.reserve(
+                CPU, costs[CPU].total_s, name, "compute",
+                dtype=self.policy.cpu_compute, earliest=data_ready)
+            end = cpu_segment.end
+            cpu_busy = costs[CPU].total_s
+        for resource, event in events:
+            end = max(end, self.queues[resource].wait(
+                event, self.soc.sync_seconds()))
+        for resource, work in works.items():
+            self.traffic += kernel_traffic_bytes(
+                work, self.policy.activation_storage,
+                self.policy.param_storage(resource))
+        self.ready[name] = end
+        self.producers[name] = set(works)
+        if self.computer is not None:
+            inputs = [self.values[p] for p in self.graph.inputs_of(name)]
+            self.values[name] = self.computer.run_cooperative_shares(
+                name, inputs, shares)
+        self._record(name, "cooperative", assignment.split, data_ready,
+                     end, cpu_busy=cpu_busy,
+                     gpu_busy=costs[GPU].total_s if GPU in costs else 0.0)
+
+    def _compute_value(self, name: str, resource: str) -> None:
+        if self.computer is None:
+            return
+        inputs = [self.values[p] for p in self.graph.inputs_of(name)]
+        self.values[name] = self.computer.run_full(name, inputs, resource)
+
+    def _record(self, name: str, placement: str, split: float,
+                start: float, end: float, cpu_busy: float,
+                gpu_busy: float) -> None:
+        work = self._layer_work(name)
+        self.traces.append(LayerTrace(
+            layer=name, placement=placement, split=split, start_s=start,
+            end_s=end, cpu_busy_s=cpu_busy, gpu_busy_s=gpu_busy,
+            traffic_bytes=kernel_traffic_bytes(
+                work, self.policy.activation_storage,
+                self.policy.activation_storage)))
+
+    # -- branch-distributed regions ------------------------------------------------
+
+    def _execute_region(self, branch_assignment: BranchAssignment) -> None:
+        """Run a fork/join region with whole branches on single
+        processors, in parallel (Section 5).
+
+        Accelerator branches are enqueued first so their commands drain
+        while the CPU executes its own branches; the join's usual
+        accelerator->CPU transition logic performs the final
+        synchronization.
+        """
+        region = branch_assignment.region
+        fork_ready = self.ready[region.fork]
+        fork_resources = self.producers[region.fork]
+        pairs = list(zip(region.branches, branch_assignment.mapping))
+        for accel in _ACCELERATORS:
+            if any(target == accel for _, target in pairs):
+                self._transition_to_accel(region.fork, fork_resources,
+                                          accel)
+        for branch, target in pairs:
+            if target == CPU:
+                continue
+            prev = fork_ready
+            for name in branch:
+                prev = self._run_branch_layer_accel(name, target, prev)
+        for branch, target in pairs:
+            if target != CPU:
+                continue
+            if fork_resources & set(_ACCELERATORS):
+                self._transition_to_cpu(region.fork, fork_ready,
+                                        fork_resources)
+            prev = fork_ready
+            for name in branch:
+                prev = self._run_branch_layer_cpu(name, prev)
+
+    def _run_branch_layer_accel(self, name: str, resource: str,
+                                prev: float) -> float:
+        if resource not in self.queues:
+            raise PlanError(
+                f"branch layer {name!r} targets {resource} but "
+                f"{self.soc.name} has no such processor")
+        work = self._layer_work(name)
+        cost = self._cost(resource, work)
+        event = self.queues[resource].enqueue(
+            name, cost.busy_s, self.policy.compute_dtype(resource),
+            ready=prev)
+        self.traffic += kernel_traffic_bytes(
+            work, self.policy.activation_storage,
+            self.policy.param_storage(resource))
+        self.ready[name] = event.completed_at
+        self.producers[name] = {resource}
+        self._compute_value(name, resource)
+        gpu_busy = cost.total_s if resource == GPU else 0.0
+        self._record(name, resource, 0.0, prev, event.completed_at,
+                     cpu_busy=0.0, gpu_busy=gpu_busy)
+        return event.completed_at
+
+    def _run_branch_layer_cpu(self, name: str, prev: float) -> float:
+        work = self._layer_work(name)
+        cost = self._cost(CPU, work)
+        segment = self.timeline.reserve(
+            CPU, cost.total_s, name, "compute",
+            dtype=self.policy.cpu_compute, earliest=prev)
+        self.traffic += kernel_traffic_bytes(
+            work, self.policy.activation_storage,
+            self.policy.cpu_param_storage)
+        self.ready[name] = segment.end
+        self.producers[name] = {CPU}
+        self._compute_value(name, "cpu")
+        self._record(name, "cpu", 1.0, prev, segment.end,
+                     cpu_busy=cost.total_s, gpu_busy=0.0)
+        return segment.end

@@ -1,0 +1,121 @@
+"""Results of a simulated inference: latency, energy, per-layer traces."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+from ..soc import EnergyBreakdown, Timeline
+from ..tensor import Tensor
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerTrace:
+    """Execution record of one layer.
+
+    Attributes:
+        layer: layer name.
+        placement: ``"cpu"``, ``"gpu"``, or ``"cooperative"``.
+        split: the CPU's channel share.
+        start_s / end_s: simulated start and completion times.
+        cpu_busy_s / gpu_busy_s: busy time contributed per processor.
+        traffic_bytes: DRAM traffic of the layer's kernels.
+    """
+
+    layer: str
+    placement: str
+    split: float
+    start_s: float
+    end_s: float
+    cpu_busy_s: float
+    gpu_busy_s: float
+    traffic_bytes: float
+
+    @property
+    def latency_s(self) -> float:
+        """Wall-clock span of the layer."""
+        return self.end_s - self.start_s
+
+
+@dataclasses.dataclass
+class InferenceResult:
+    """Everything produced by one simulated inference.
+
+    Attributes:
+        graph_name / soc_name / policy_name / mechanism: identity of
+            the run.
+        latency_s: end-to-end makespan of the inference.
+        energy: the energy breakdown.
+        timeline: the full busy-interval ledger.
+        traces: per-layer execution records, in execution order.
+        traffic_bytes: total DRAM traffic.
+        outputs: layer outputs in storage representation (present only
+            for functional runs).
+    """
+
+    graph_name: str
+    soc_name: str
+    policy_name: str
+    mechanism: str
+    latency_s: float
+    energy: EnergyBreakdown
+    timeline: Timeline
+    traces: List[LayerTrace]
+    traffic_bytes: float
+    outputs: Optional[Dict[str, Tensor]] = None
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency in milliseconds."""
+        return self.latency_s * 1e3
+
+    @property
+    def energy_mj(self) -> float:
+        """Total energy in millijoules."""
+        return self.energy.total_mj
+
+    def trace_of(self, layer: str) -> LayerTrace:
+        """The trace of one layer.
+
+        Raises:
+            KeyError: if the layer was not executed.
+        """
+        for trace in self.traces:
+            if trace.layer == layer:
+                return trace
+        raise KeyError(f"no trace for layer {layer!r}")
+
+    def output_array(self):
+        """The final output as a float32 numpy array.
+
+        Raises:
+            ValueError: for timing-only runs with no functional output.
+        """
+        if not self.outputs:
+            raise ValueError(
+                "timing-only run has no functional outputs; pass input "
+                "data to Executor.run")
+        last_trace = self.traces[-1]
+        return self.outputs[last_trace.layer].to_float()
+
+
+def speed_improvement(baseline_s: float, improved_s: float) -> float:
+    """The paper's "speed improvement" metric, in percent.
+
+    Defined as the latency reduction relative to the baseline:
+    ``(baseline - improved) / baseline * 100``.  The paper's headline
+    "improves the speed by up to 69.6%" uses this definition.
+    """
+    if baseline_s <= 0:
+        raise ValueError("baseline latency must be positive")
+    return (baseline_s - improved_s) / baseline_s * 100.0
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean of positive values (paper's summary statistic)."""
+    if not values:
+        raise ValueError("geometric mean of an empty list")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

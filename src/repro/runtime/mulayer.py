@@ -1,0 +1,114 @@
+"""The uLayer runtime facade.
+
+Wires the three components of Figure 13 together: the **NN partitioner**
+(with its **latency predictor**) builds an execution plan, and the
+**NN executor** runs the plan on the simulated SoC.  Feature switches
+reproduce the paper's ablation (Figure 17): channel-wise workload
+distribution, processor-friendly quantization, and branch distribution
+can each be enabled independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn import Graph
+from ..quant.calibrate import CalibrationTable
+from ..soc import SoCSpec
+from .executor import Executor
+from .metrics import InferenceResult
+from .partitioner import Partitioner, PartitionerConfig
+from .pfq import (PROCESSOR_FRIENDLY, QuantizationPolicy, UNIFORM_QUINT8)
+from .plan import ExecutionPlan
+from .predictor import LatencyPredictor
+
+
+class MuLayer:
+    """The full uLayer runtime for one SoC.
+
+    Args:
+        soc: the target SoC.
+        policy: quantization policy; the paper's processor-friendly
+            quantization by default, ``UNIFORM_QUINT8`` for the
+            channel-distribution-only ablation stage.
+        enable_channel_distribution: allow cooperative per-layer
+            CPU+GPU splits (Section 3.2).
+        enable_branch_distribution: allow parallel branch execution
+            (Section 5).
+        use_oracle_costs: plan with exact timing-model costs instead
+            of the fitted latency predictor (ablation).
+        zero_copy / async_issue: the Section 6 implementation
+            optimizations (ablations flip them off).
+    """
+
+    def __init__(self, soc: SoCSpec,
+                 policy: QuantizationPolicy = PROCESSOR_FRIENDLY,
+                 enable_channel_distribution: bool = True,
+                 enable_branch_distribution: bool = True,
+                 use_oracle_costs: bool = False,
+                 zero_copy: bool = True,
+                 async_issue: bool = True,
+                 predictor: Optional[LatencyPredictor] = None) -> None:
+        self.soc = soc
+        self.policy = policy
+        config = PartitionerConfig(
+            enable_channel_distribution=enable_channel_distribution,
+            enable_branch_distribution=enable_branch_distribution,
+            use_oracle_costs=use_oracle_costs,
+        )
+        self.partitioner = Partitioner(soc, policy=policy, config=config,
+                                       predictor=predictor)
+        self.executor = Executor(soc, zero_copy=zero_copy,
+                                 async_issue=async_issue)
+        self._plan_cache: Dict[str, ExecutionPlan] = {}
+
+    def plan(self, graph: Graph) -> ExecutionPlan:
+        """The execution plan for ``graph`` (cached per graph name)."""
+        cached = self._plan_cache.get(graph.name)
+        if cached is None:
+            cached = self.partitioner.plan(graph)
+            self._plan_cache[graph.name] = cached
+        return cached
+
+    def run(self, graph: Graph, x: Optional[np.ndarray] = None,
+            calibration: Optional[CalibrationTable] = None
+            ) -> InferenceResult:
+        """Plan (if needed) and execute one inference.
+
+        Args:
+            graph: the network.
+            x: input batch for functional execution; omit for
+                timing-only runs.
+            calibration: activation ranges, required for functional
+                runs under a quantized policy.
+        """
+        plan = self.plan(graph)
+        return self.executor.run(graph, plan, x=x,
+                                 calibration=calibration,
+                                 mechanism="mulayer")
+
+
+def mulayer_ablation_stages(soc: SoCSpec,
+                            use_oracle_costs: bool = False
+                            ) -> "dict[str, MuLayer]":
+    """The incremental configurations of Figure 17.
+
+    Returns runtimes for:
+
+    * ``"ch_dist"`` -- channel-wise distribution only (uniform QUInt8
+      on both processors, no branch distribution);
+    * ``"ch_dist+pfq"`` -- plus processor-friendly quantization;
+    * ``"full"`` -- plus branch distribution (the complete uLayer).
+    """
+    return {
+        "ch_dist": MuLayer(soc, policy=UNIFORM_QUINT8,
+                           enable_branch_distribution=False,
+                           use_oracle_costs=use_oracle_costs),
+        "ch_dist+pfq": MuLayer(soc, policy=PROCESSOR_FRIENDLY,
+                               enable_branch_distribution=False,
+                               use_oracle_costs=use_oracle_costs),
+        "full": MuLayer(soc, policy=PROCESSOR_FRIENDLY,
+                        use_oracle_costs=use_oracle_costs),
+    }

@@ -1,0 +1,258 @@
+"""The NN partitioner (Section 6).
+
+The partitioner turns a graph into an :class:`ExecutionPlan`: for each
+layer it chooses the channel split ratio ``p`` among the paper's
+candidates {0, 0.25, 0.5, 0.75, 1} by consulting the latency predictor
+(or, for the oracle ablation, the timing model directly), and -- when
+branch distribution is enabled -- decides per fork/join region whether
+running whole branches in parallel on single processors beats
+cooperative per-layer execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..nn import BranchRegion, Graph, LayerWork, find_branch_regions
+from ..nn.branches import region_subgraph
+from ..soc import ISSUE_US, SoCSpec, kernel_cost
+from .branch_dist import (NPU_KINDS, best_branch_mapping,
+                          estimate_mapping, profile_branches)
+from .distribution import split_layer_work_shares
+from .pfq import PROCESSOR_FRIENDLY, QuantizationPolicy
+from .plan import (BranchAssignment, ExecutionPlan, LayerAssignment,
+                   SPLIT_CHOICES)
+from .predictor import LatencyPredictor
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionerConfig:
+    """Feature switches of the partitioner.
+
+    Attributes:
+        enable_channel_distribution: allow cooperative splits (p
+            strictly between 0 and 1).  Off, every layer runs on the
+            faster single processor (the layer-to-processor shape).
+        enable_branch_distribution: allow fork/join regions to run
+            whole branches in parallel.
+        split_choices: candidate CPU shares.
+        use_oracle_costs: cost candidate placements with the timing
+            model directly instead of the fitted latency predictor
+            (the predictor-vs-oracle ablation).
+    """
+
+    enable_channel_distribution: bool = True
+    enable_branch_distribution: bool = True
+    split_choices: Sequence[float] = SPLIT_CHOICES
+    use_oracle_costs: bool = False
+
+
+class Partitioner:
+    """Builds execution plans for one SoC under one policy."""
+
+    def __init__(self, soc: SoCSpec,
+                 policy: QuantizationPolicy = PROCESSOR_FRIENDLY,
+                 config: Optional[PartitionerConfig] = None,
+                 predictor: Optional[LatencyPredictor] = None) -> None:
+        self.soc = soc
+        self.policy = policy
+        self.config = config or PartitionerConfig()
+        if predictor is None and not self.config.use_oracle_costs:
+            predictor = LatencyPredictor(soc)
+            predictor.calibrate_policy(policy)
+        self.predictor = predictor
+
+    # -- cost estimation ------------------------------------------------------
+
+    def _busy(self, resource: str, work: LayerWork) -> float:
+        """Estimated busy seconds of ``work`` on ``resource``."""
+        if self.config.use_oracle_costs:
+            processor = self.soc.processor(resource)
+            return kernel_cost(
+                processor, self.soc.memory, work,
+                self.policy.compute_dtype(resource),
+                self.policy.activation_storage,
+                self.policy.param_storage(resource)).busy_s
+        assert self.predictor is not None
+        return self.predictor.predict(resource, work, self.policy)
+
+    def estimate_shares_latency(self, graph: Graph, name: str,
+                                shares: "Dict[str, float]") -> float:
+        """Estimated wall latency of one layer split by ``shares``."""
+        issue = ISSUE_US * 1e-6
+        work = graph.layer_work(name)
+        active = {resource: share for resource, share in shares.items()
+                  if share > 0.0}
+        if list(active) == ["cpu"]:
+            return self._busy("cpu", work) + self.soc.cpu.launch_seconds()
+        if len(active) == 1:
+            (resource,) = active
+            return (issue
+                    + self.soc.processor(resource).launch_seconds()
+                    + self._busy(resource, work))
+        if self.config.use_oracle_costs:
+            works = split_layer_work_shares(graph, name, active)
+            busy = {resource: self._busy(resource, part)
+                    for resource, part in works.items()}
+        else:
+            # The paper's predictor scales whole-layer latency by the
+            # share ratio.
+            busy = {resource: self._busy(resource, work) * share
+                    for resource, share in active.items()}
+        sides = []
+        for resource, busy_s in busy.items():
+            launch = self.soc.processor(resource).launch_seconds()
+            sides.append(issue + launch + busy_s)
+        # Cooperative layers pay one synchronization per accelerator
+        # used (the event waits serialize on the CPU) plus a zero-copy
+        # map of the merged output when the next consumer touches it.
+        accelerators = sum(1 for resource in active if resource != "cpu")
+        merge_bytes = (work.output_elements
+                       * self.policy.activation_storage.itemsize)
+        merge = self.soc.memory.map_seconds(merge_bytes)
+        return (max(sides) + accelerators * self.soc.sync_seconds()
+                + merge)
+
+    def estimate_split_latency(self, graph: Graph, name: str,
+                               split: float) -> float:
+        """Estimated wall latency of one layer at CPU share ``split``
+        (two-way CPU/GPU form)."""
+        return self.estimate_shares_latency(
+            graph, name, {"cpu": split, "gpu": 1.0 - split})
+
+    def _candidate_shares(self, graph: Graph,
+                          name: str) -> "List[Dict[str, float]]":
+        """Candidate share combinations for one layer."""
+        layer = graph.layer(name)
+        splittable = (layer.supports_channel_split
+                      and self.config.enable_channel_distribution)
+        candidates: "List[Dict[str, float]]" = []
+        splits = (self.config.split_choices if splittable
+                  else (0.0, 1.0))
+        for split in splits:
+            candidates.append({"cpu": split, "gpu": 1.0 - split})
+        npu_eligible = (self.soc.has_npu
+                        and layer.kind in NPU_KINDS)
+        if npu_eligible:
+            candidates.append({"npu": 1.0})
+            if splittable:
+                # Three-way combinations on the paper's quarter grid.
+                grid = [s for s in self.config.split_choices
+                        if 0.0 < s < 1.0]
+                for cpu_share in [0.0] + grid:
+                    for npu_share in grid:
+                        if cpu_share + npu_share >= 1.0 - 1e-9:
+                            continue
+                        candidates.append({
+                            "cpu": cpu_share, "npu": npu_share,
+                            "gpu": 1.0 - cpu_share - npu_share})
+                for cpu_share in grid:
+                    candidates.append({"cpu": cpu_share,
+                                       "npu": 1.0 - cpu_share})
+        return candidates
+
+    def choose_split(self, graph: Graph, name: str) -> LayerAssignment:
+        """Best assignment of one layer among the candidate splits."""
+        best_shares: "Dict[str, float]" = {"cpu": 1.0}
+        best_latency = float("inf")
+        for shares in self._candidate_shares(graph, name):
+            latency = self.estimate_shares_latency(graph, name, shares)
+            if latency < best_latency:
+                best_latency = latency
+                best_shares = shares
+        return self._assignment_from_shares(name, best_shares)
+
+    @staticmethod
+    def _assignment_from_shares(name: str,
+                                shares: "Dict[str, float]"
+                                ) -> LayerAssignment:
+        active = {resource: share for resource, share in shares.items()
+                  if share > 0.0}
+        if list(active) == ["cpu"]:
+            return LayerAssignment.on_cpu(name)
+        if list(active) == ["gpu"]:
+            return LayerAssignment.on_gpu(name)
+        if list(active) == ["npu"]:
+            return LayerAssignment.on_npu(name)
+        return LayerAssignment.cooperative(
+            name, active.get("cpu", 0.0),
+            npu_split=active.get("npu", 0.0))
+
+    # -- planning ----------------------------------------------------------------
+
+    def plan(self, graph: Graph) -> ExecutionPlan:
+        """Build a validated execution plan for ``graph``."""
+        branch_assignments: List[BranchAssignment] = []
+        branch_layers: set = set()
+        if self.config.enable_branch_distribution:
+            for region in find_branch_regions(graph):
+                if set(region.layer_names) & branch_layers:
+                    continue    # overlaps an already-chosen region
+                decision = self._decide_region(graph, region)
+                if decision is not None:
+                    branch_assignments.append(decision)
+                    branch_layers |= set(region.layer_names)
+        assignments: Dict[str, LayerAssignment] = {}
+        for name in graph.compute_layers():
+            if name in branch_layers:
+                continue
+            assignments[name] = self.choose_split(graph, name)
+        plan = ExecutionPlan(graph_name=graph.name, policy=self.policy,
+                             assignments=assignments,
+                             branch_assignments=branch_assignments)
+        plan.validate(graph)
+        return plan
+
+    def _decide_region(self, graph: Graph,
+                       region: BranchRegion) -> Optional[BranchAssignment]:
+        """Branch-distribute ``region`` if it beats per-layer execution.
+
+        Following the paper (Section 5), candidate mappings are judged
+        by *measured* per-branch latency, not by the regression: the
+        region is profiled in isolation on the simulated SoC -- our
+        stand-in for the device -- both under the per-layer plan the
+        partitioner would otherwise emit and under every
+        branch-to-processor mapping.  The cheapest branch mapping wins
+        only if it beats the per-layer plan.
+        """
+        import itertools
+
+        from .executor import Executor
+
+        if not any(region.branches):
+            return None
+        sub = region_subgraph(graph, region)
+        executor = Executor(self.soc)
+        per_layer = ExecutionPlan(
+            graph_name=sub.name, policy=self.policy,
+            assignments={name: self.choose_split(sub, name)
+                         for name in sub.compute_layers()})
+        per_layer_latency = executor.run(sub, per_layer).latency_s
+        join_assignment = self.choose_split(sub, region.join)
+        best_mapping: Optional[Tuple[str, ...]] = None
+        best_latency = float("inf")
+        # Prune with the analytic estimate, then measure the top
+        # candidates exactly.
+        profiles = profile_branches(sub, region, self.soc, self._busy)
+        resources = tuple(self.soc.resources())
+        candidates = sorted(
+            (mapping for mapping in itertools.product(
+                resources, repeat=len(region.branches))
+             if estimate_mapping(profiles, mapping,
+                                 self.soc.sync_seconds())
+             != float("inf")),
+            key=lambda m: estimate_mapping(profiles, m,
+                                           self.soc.sync_seconds()))
+        for mapping in candidates[:6]:
+            plan = ExecutionPlan(
+                graph_name=sub.name, policy=self.policy,
+                assignments={region.join: join_assignment},
+                branch_assignments=[BranchAssignment(region, mapping)])
+            latency = executor.run(sub, plan).latency_s
+            if latency < best_latency:
+                best_latency = latency
+                best_mapping = mapping
+        if best_mapping is None or best_latency >= per_layer_latency:
+            return None
+        return BranchAssignment(region=region, mapping=best_mapping)

@@ -1,0 +1,255 @@
+"""Execution plans: where each layer runs and with what split ratio.
+
+The NN partitioner (Section 6) produces an :class:`ExecutionPlan` that
+the NN executor consumes.  A plan assigns every compute layer either to
+a single processor, to cooperative CPU+GPU execution with a split ratio
+``p`` (the CPU's share of output channels), or to a branch-distributed
+region where whole branches run on single processors in parallel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Tuple
+
+from ..errors import PlanError
+from ..nn import BranchRegion, Graph
+from .pfq import QuantizationPolicy
+
+#: The split ratios the paper's NN partitioner considers (Section 6),
+#: plus the single-processor endpoints.
+SPLIT_CHOICES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+class Placement(enum.Enum):
+    """Where a layer executes."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    NPU = "npu"
+    COOPERATIVE = "cooperative"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerAssignment:
+    """Placement of one layer.
+
+    Attributes:
+        layer: the layer's name.
+        placement: CPU, GPU, NPU, or cooperative.
+        split: the CPU's share ``p`` of output channels.
+        npu_split: the NPU's share of output channels (Section 8.3's
+            three-way extension); the GPU receives the remainder
+            ``1 - split - npu_split``.  Always 0.0 on NPU-less SoCs.
+    """
+
+    layer: str
+    placement: Placement
+    split: float
+    npu_split: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.split <= 1.0:
+            raise PlanError(
+                f"layer {self.layer!r}: split {self.split} outside [0, 1]")
+        if not 0.0 <= self.npu_split <= 1.0:
+            raise PlanError(
+                f"layer {self.layer!r}: npu_split {self.npu_split} "
+                "outside [0, 1]")
+        if self.split + self.npu_split > 1.0 + 1e-9:
+            raise PlanError(
+                f"layer {self.layer!r}: shares exceed 1.0 "
+                f"(cpu {self.split} + npu {self.npu_split})")
+        if self.placement is Placement.CPU and (self.split != 1.0
+                                                or self.npu_split != 0.0):
+            raise PlanError(
+                f"layer {self.layer!r}: CPU placement requires "
+                "split=1.0, npu_split=0.0")
+        if self.placement is Placement.GPU and (self.split != 0.0
+                                                or self.npu_split != 0.0):
+            raise PlanError(
+                f"layer {self.layer!r}: GPU placement requires "
+                "split=0.0, npu_split=0.0")
+        if self.placement is Placement.NPU and (self.split != 0.0
+                                                or self.npu_split != 1.0):
+            raise PlanError(
+                f"layer {self.layer!r}: NPU placement requires "
+                "split=0.0, npu_split=1.0")
+        if self.placement is Placement.COOPERATIVE:
+            shares = [share for share in (self.split, self.npu_split,
+                                          self.gpu_split)
+                      if share > 0.0]
+            if len(shares) < 2:
+                raise PlanError(
+                    f"layer {self.layer!r}: cooperative placement needs "
+                    "at least two processors with non-zero shares")
+
+    @property
+    def gpu_split(self) -> float:
+        """The GPU's share of output channels."""
+        if self.placement is Placement.CPU:
+            return 0.0
+        if self.placement is Placement.GPU:
+            return 1.0
+        if self.placement is Placement.NPU:
+            return 0.0
+        return max(0.0, 1.0 - self.split - self.npu_split)
+
+    def shares(self) -> "dict[str, float]":
+        """Non-zero channel shares keyed by resource name."""
+        all_shares = {"cpu": self.split, "npu": self.npu_split,
+                      "gpu": self.gpu_split}
+        return {resource: share
+                for resource, share in all_shares.items() if share > 0.0}
+
+    @property
+    def uses_cpu(self) -> bool:
+        """True when any portion of the layer runs on the CPU."""
+        return self.split > 0.0
+
+    @property
+    def uses_gpu(self) -> bool:
+        """True when any portion of the layer runs on the GPU."""
+        return self.gpu_split > 0.0
+
+    @property
+    def uses_npu(self) -> bool:
+        """True when any portion of the layer runs on the NPU."""
+        return (self.npu_split > 0.0
+                or self.placement is Placement.NPU)
+
+    @staticmethod
+    def on_cpu(layer: str) -> "LayerAssignment":
+        """Whole layer on the CPU."""
+        return LayerAssignment(layer, Placement.CPU, 1.0)
+
+    @staticmethod
+    def on_gpu(layer: str) -> "LayerAssignment":
+        """Whole layer on the GPU."""
+        return LayerAssignment(layer, Placement.GPU, 0.0)
+
+    @staticmethod
+    def on_npu(layer: str) -> "LayerAssignment":
+        """Whole layer on the NPU."""
+        return LayerAssignment(layer, Placement.NPU, 0.0, npu_split=1.0)
+
+    @staticmethod
+    def cooperative(layer: str, split: float,
+                    npu_split: float = 0.0) -> "LayerAssignment":
+        """Layer split across processors: CPU gets ``split``, the NPU
+        gets ``npu_split``, the GPU the remainder."""
+        return LayerAssignment(layer, Placement.COOPERATIVE, split,
+                               npu_split=npu_split)
+
+
+@dataclasses.dataclass(frozen=True)
+class BranchAssignment:
+    """A branch-distributed fork/join region.
+
+    Attributes:
+        region: the fork/join structure.
+        mapping: one ``"cpu"``/``"gpu"`` entry per branch, aligned with
+            ``region.branches``.
+    """
+
+    region: BranchRegion
+    mapping: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.mapping) != len(self.region.branches):
+            raise PlanError(
+                f"region {self.region.fork!r}->{self.region.join!r}: "
+                f"{len(self.mapping)} placements for "
+                f"{len(self.region.branches)} branches")
+        for target in self.mapping:
+            if target not in ("cpu", "gpu", "npu"):
+                raise PlanError(
+                    f"branch placement must be 'cpu', 'gpu', or 'npu', "
+                    f"got {target!r}")
+
+    def placement_of(self, layer: str) -> str:
+        """``"cpu"``/``"gpu"`` placement of a layer inside the region.
+
+        Raises:
+            PlanError: if the layer is not part of the region.
+        """
+        for branch, target in zip(self.region.branches, self.mapping):
+            if layer in branch:
+                return target
+        raise PlanError(
+            f"layer {layer!r} is not inside region "
+            f"{self.region.fork!r}->{self.region.join!r}")
+
+
+@dataclasses.dataclass
+class ExecutionPlan:
+    """A complete execution recipe for one graph on one SoC.
+
+    Attributes:
+        graph_name: the graph this plan was built for.
+        policy: the quantization policy in force.
+        assignments: per-layer placement for every compute layer that
+            is *not* inside a branch-distributed region.
+        branch_assignments: branch-distributed regions, in topological
+            fork order; their internal layers must not appear in
+            ``assignments``.
+    """
+
+    graph_name: str
+    policy: QuantizationPolicy
+    assignments: Dict[str, LayerAssignment]
+    branch_assignments: List[BranchAssignment] = dataclasses.field(
+        default_factory=list)
+
+    def validate(self, graph: Graph) -> None:
+        """Check the plan covers the graph exactly once.
+
+        Raises:
+            PlanError: if a compute layer is unassigned, doubly
+                assigned, or unknown.
+        """
+        if graph.name != self.graph_name:
+            raise PlanError(
+                f"plan for {self.graph_name!r} applied to graph "
+                f"{graph.name!r}")
+        branch_layers = set()
+        for branch_assignment in self.branch_assignments:
+            for name in branch_assignment.region.layer_names:
+                if name in branch_layers:
+                    raise PlanError(
+                        f"layer {name!r} appears in two branch regions")
+                branch_layers.add(name)
+        compute = set(graph.compute_layers())
+        assigned = set(self.assignments)
+        unknown = (assigned | branch_layers) - compute
+        if unknown:
+            raise PlanError(
+                f"plan assigns layers not in the graph: {sorted(unknown)}")
+        overlap = assigned & branch_layers
+        if overlap:
+            raise PlanError(
+                f"layers assigned both individually and via branches: "
+                f"{sorted(overlap)}")
+        missing = compute - assigned - branch_layers
+        if missing:
+            raise PlanError(
+                f"plan leaves layers unassigned: {sorted(missing)}")
+
+    def placement_of(self, layer: str) -> "LayerAssignment | str":
+        """The assignment of ``layer`` (branch placements come back as
+        plain ``"cpu"``/``"gpu"`` strings)."""
+        if layer in self.assignments:
+            return self.assignments[layer]
+        for branch_assignment in self.branch_assignments:
+            if layer in branch_assignment.region.layer_names:
+                return branch_assignment.placement_of(layer)
+        raise PlanError(f"layer {layer!r} is not covered by this plan")
+
+    def cooperative_layers(self) -> List[str]:
+        """Names of all layers with cooperative placement."""
+        return [name for name, a in self.assignments.items()
+                if a.placement is Placement.COOPERATIVE]

@@ -1,0 +1,36 @@
+"""Simulated mobile SoCs: processors, memory, timing, energy."""
+
+from .clqueue import CommandEvent, CommandQueue, ISSUE_US
+from .energy import EnergyBreakdown, EnergyModel
+from .memory import MemorySpec
+from .processor import ProcessorKind, ProcessorSpec
+from .soc import (EXYNOS_7420, EXYNOS_7420_NPU, EXYNOS_7880, SOCS,
+                  SoCSpec, soc_by_name)
+from .timeline import CPU, GPU, NPU, RESOURCES, Segment, Timeline
+from .timing import KernelCost, kernel_cost, kernel_traffic_bytes
+
+__all__ = [
+    "CommandEvent",
+    "CommandQueue",
+    "ISSUE_US",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "MemorySpec",
+    "ProcessorKind",
+    "ProcessorSpec",
+    "EXYNOS_7420",
+    "EXYNOS_7420_NPU",
+    "EXYNOS_7880",
+    "SOCS",
+    "SoCSpec",
+    "soc_by_name",
+    "CPU",
+    "GPU",
+    "NPU",
+    "RESOURCES",
+    "Segment",
+    "Timeline",
+    "KernelCost",
+    "kernel_cost",
+    "kernel_traffic_bytes",
+]

@@ -1,0 +1,86 @@
+"""The SoC energy model.
+
+Energy is integrated over the simulated timeline:
+
+* **dynamic** -- each busy segment is charged its processor's dynamic
+  power for the segment's data type (integer work burns less than
+  float work);
+* **idle** -- a processor that is powered but not busy draws its idle
+  power for the remainder of the makespan;
+* **static** -- board rails, interconnect, and DRAM background draw a
+  constant power for the whole makespan;
+* **DRAM traffic** -- every byte moved costs a fixed access energy;
+  this is the term the paper credits for part of uLayer's energy win
+  ("the reduction in the memory bandwidth consumed by accessing data
+  using 8-bit QUInt8 instead of 32-bit F32", Section 7.3).
+
+Because dynamic energy is work-proportional, splitting a layer across
+two processors costs roughly the same dynamic energy as running it on
+one -- but the shorter makespan cuts the idle and static terms, which
+is how uLayer ends up *more* energy-efficient than the single-processor
+baselines despite using both processors at once (Figure 18).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from .soc import SoCSpec
+from .timeline import CPU, GPU, Timeline
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-cause energy of one inference, in joules."""
+
+    dynamic_j: float
+    idle_j: float
+    static_j: float
+    dram_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total SoC energy of the inference."""
+        return self.dynamic_j + self.idle_j + self.static_j + self.dram_j
+
+    @property
+    def total_mj(self) -> float:
+        """Total energy in millijoules."""
+        return self.total_j * 1e3
+
+
+class EnergyModel:
+    """Integrates a timeline plus DRAM traffic into an energy figure."""
+
+    def __init__(self, soc: SoCSpec) -> None:
+        self._soc = soc
+
+    def energy(self, timeline: Timeline,
+               traffic_bytes: float) -> EnergyBreakdown:
+        """Energy of an execution described by ``timeline``.
+
+        Args:
+            timeline: the completed execution timeline.
+            traffic_bytes: total DRAM bytes moved by all kernels.
+        """
+        makespan = timeline.makespan()
+        dynamic = 0.0
+        busy = {resource: 0.0 for resource in self._soc.resources()}
+        for segment in timeline.segments():
+            processor = self._soc.processor(segment.resource)
+            if segment.kind == "compute" and segment.dtype is not None:
+                power = processor.dynamic_power_w(segment.dtype)
+            else:
+                # Launch/issue/map/sync overheads run single-threaded
+                # control code, far below the all-cores GEMM power.
+                power = processor.control_power_w
+            dynamic += power * segment.duration
+            busy[segment.resource] += segment.duration
+        idle = sum(
+            self._soc.processor(resource).idle_power_w
+            * max(0.0, makespan - busy[resource])
+            for resource in self._soc.resources())
+        static = self._soc.static_power_w * makespan
+        dram = self._soc.memory.traffic_energy_j(traffic_bytes)
+        return EnergyBreakdown(dynamic_j=dynamic, idle_j=idle,
+                               static_j=static, dram_j=dram)

@@ -1,0 +1,65 @@
+"""Shared CPU-GPU memory model.
+
+Mobile SoCs give the CPU and the GPU the same physical LPDDR memory.
+The paper's implementation (Section 6) exploits this with OpenCL
+zero-copy buffers (``CL_MEM_ALLOC_HOST_PTR`` + ``clEnqueueMapBuffer``):
+no data is copied between the processors, only mapped, at a small fixed
+plus per-byte cache-maintenance cost.  The model also prices the
+explicit-copy alternative so the zero-copy design choice can be ablated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..errors import SimulationError
+
+
+@dataclasses.dataclass(frozen=True)
+class MemorySpec:
+    """Bandwidth, energy, and CPU-GPU sharing costs of the SoC DRAM.
+
+    Attributes:
+        name: e.g. ``"LPDDR4-25.6"``.
+        bandwidth_gb_s: effective streaming bandwidth available to one
+            processor (GB/s); compute kernels are bounded by
+            ``max(compute_time, bytes / bandwidth)``.
+        energy_per_byte_nj: DRAM access energy -- the term that makes
+            QUInt8's 4x smaller traffic an *energy* win (Section 7.3).
+        map_fixed_us: fixed cost of clEnqueueMapBuffer/unmap.
+        map_per_mb_us: per-MB cache maintenance cost of mapping.
+        copy_per_mb_us: per-MB cost of an explicit CPU<->GPU copy (the
+            non-zero-copy ablation; roughly 2x a memcpy at bandwidth).
+    """
+
+    name: str
+    bandwidth_gb_s: float
+    energy_per_byte_nj: float
+    map_fixed_us: float
+    map_per_mb_us: float
+    copy_per_mb_us: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gb_s <= 0:
+            raise SimulationError(
+                f"{self.name}: bandwidth must be positive")
+
+    def stream_seconds(self, nbytes: float) -> float:
+        """Time to stream ``nbytes`` through DRAM."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / (self.bandwidth_gb_s * 1e9)
+
+    def map_seconds(self, nbytes: float) -> float:
+        """Zero-copy map/unmap cost for a buffer of ``nbytes``."""
+        return (self.map_fixed_us
+                + self.map_per_mb_us * nbytes / 1e6) * 1e-6
+
+    def copy_seconds(self, nbytes: float) -> float:
+        """Explicit CPU<->GPU copy cost for a buffer of ``nbytes``."""
+        return (self.map_fixed_us
+                + self.copy_per_mb_us * nbytes / 1e6) * 1e-6
+
+    def traffic_energy_j(self, nbytes: float) -> float:
+        """DRAM energy for ``nbytes`` of traffic."""
+        return nbytes * self.energy_per_byte_nj * 1e-9

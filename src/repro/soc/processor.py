@@ -1,0 +1,179 @@
+"""Processor specifications for the simulated mobile SoCs.
+
+A :class:`ProcessorSpec` captures everything the timing and energy
+models need about a CPU cluster or a GPU: sustained per-data-type
+throughput, how quickly that throughput ramps with kernel size (small
+kernels underutilize a wide processor), fixed per-kernel overheads, and
+power.  The per-dtype throughput encodes the paper's Section 4
+findings:
+
+* the CPU's NEON vector ALUs process many 8-bit integers per cycle, so
+  QUInt8 runs ~2.5-3x faster than F32;
+* the evaluated CPUs lack F16 vector ALUs, so F16 falls back to F32
+  speed;
+* the GPU natively supports F16 at twice the F32 rate;
+* QUInt8 on the GPU is *slower* than F32 because products accumulate in
+  32-bit integers, halving lane concurrency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Mapping
+
+from ..errors import SimulationError
+from ..nn import LayerWork
+from ..tensor import DType
+
+
+class ProcessorKind(enum.Enum):
+    """Whether a processor is a CPU cluster, a GPU, or an NPU.
+
+    NPUs follow the paper's Section 8.3 extension: fixed-function
+    integer accelerators (DianNao-style, Edge-TPU-style) that execute
+    the GEMM-shaped work of convolutional and FC layers in 8-bit
+    arithmetic, dispatched through a driver like the GPU.
+    """
+
+    CPU = "cpu"
+    GPU = "gpu"
+    NPU = "npu"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True)
+class ProcessorSpec:
+    """Sustained performance and power model of one processor.
+
+    Attributes:
+        name: human-readable identifier (e.g. ``"4xA57+4xA53"``).
+        kind: CPU or GPU.
+        cores: number of cores in the cluster.
+        frequency_ghz: core clock.
+        macs_per_cycle: effective multiply-accumulates per cycle per
+            core for each data type, *at full utilization*.
+        simple_ops_per_cycle: lightweight element ops (max, add, copy)
+            per cycle per core; data-type independent to first order.
+        sustained_efficiency: fraction of peak a large, well-blocked
+            GEMM sustains (cache misses, scheduling, ...).
+        ramp_macs: kernel size (in MACs) at which utilization reaches
+            50%; models the parallelism a kernel must expose before the
+            processor's width is fed.  GPUs ramp much more slowly than
+            CPUs, which is why GoogLeNet's many small convolutions
+            favor CPU work and branch-level parallelism.
+        ramp_channels: output-channel count at which the channel-
+            occupancy factor reaches 50%.  Mobile GPU GEMM kernels
+            parallelize over output channels, so kernels with few
+            channels -- including the *halves* produced by channel-wise
+            splitting -- underutilize a wide GPU.  CPUs tile over
+            spatial rows as well and set this to 0 (no penalty).
+        kernel_launch_us: fixed per-kernel cost -- OpenCL command
+            dispatch for the GPU, thread-pool fork/join for the CPU.
+        active_power_w: dynamic power while executing F32 work.
+        power_scale: relative dynamic power per data type (integer
+            ALUs burn less energy than float ones).
+        idle_power_w: power while powered on but idle.
+    """
+
+    name: str
+    kind: ProcessorKind
+    cores: int
+    frequency_ghz: float
+    macs_per_cycle: Mapping[DType, float]
+    simple_ops_per_cycle: float
+    sustained_efficiency: float
+    ramp_macs: float
+    ramp_channels: float
+    kernel_launch_us: float
+    active_power_w: float
+    power_scale: Mapping[DType, float]
+    idle_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise SimulationError(f"{self.name}: cores must be >= 1")
+        if not 0.0 < self.sustained_efficiency <= 1.0:
+            raise SimulationError(
+                f"{self.name}: sustained_efficiency must lie in (0, 1]")
+        # CPUs and GPUs execute every data type; fixed-function NPUs
+        # may support only their native integer type.
+        required = ((DType.QUINT8,) if self.kind is ProcessorKind.NPU
+                    else (DType.F32, DType.F16, DType.QUINT8))
+        for dtype in required:
+            if dtype not in self.macs_per_cycle:
+                raise SimulationError(
+                    f"{self.name}: missing MAC throughput for {dtype}")
+
+    # -- throughput --------------------------------------------------------
+
+    def peak_macs_per_s(self, dtype: DType) -> float:
+        """Peak MAC throughput (MACs/second) for ``dtype``."""
+        try:
+            per_cycle = self.macs_per_cycle[dtype]
+        except KeyError:
+            raise SimulationError(
+                f"{self.name} cannot execute {dtype} kernels") from None
+        return per_cycle * self.cores * self.frequency_ghz * 1e9
+
+    def sustained_macs_per_s(self, dtype: DType) -> float:
+        """Sustained MAC throughput for large kernels."""
+        return self.peak_macs_per_s(dtype) * self.sustained_efficiency
+
+    def utilization(self, macs: float, channels: float = 1 << 20
+                    ) -> float:
+        """Fraction of sustained throughput a kernel achieves.
+
+        The product of two saturating ramps: ``macs/(macs+ramp_macs)``
+        (total parallel work) and ``channels/(channels+ramp_channels)``
+        (channel occupancy of GPU GEMM kernels).  Tiny or narrow
+        kernels cannot fill the processor's lanes and pay
+        proportionally more per MAC.
+        """
+        if macs <= 0:
+            return 1.0
+        size_factor = macs / (macs + self.ramp_macs)
+        if self.ramp_channels <= 0:
+            return size_factor
+        channel_factor = channels / (channels + self.ramp_channels)
+        return size_factor * channel_factor
+
+    def compute_seconds(self, work: LayerWork, dtype: DType) -> float:
+        """Pure compute time of ``work`` executed in ``dtype``.
+
+        MAC work runs at the dtype's sustained, utilization-scaled
+        rate; simple ops run at the element-op rate.  Either term may
+        be zero (pooling has no MACs; conv has few simple ops).
+        """
+        seconds = 0.0
+        if work.macs > 0:
+            rate = (self.sustained_macs_per_s(dtype)
+                    * self.utilization(work.macs,
+                                       work.parallel_channels))
+            seconds += work.macs / rate
+        if work.simple_ops > 0:
+            ops_rate = (self.simple_ops_per_cycle * self.cores
+                        * self.frequency_ghz * 1e9
+                        * self.sustained_efficiency)
+            seconds += work.simple_ops / ops_rate
+        return seconds
+
+    # -- power -------------------------------------------------------------
+
+    def dynamic_power_w(self, dtype: DType) -> float:
+        """Dynamic power while executing ``dtype`` work."""
+        return self.active_power_w * self.power_scale.get(dtype, 1.0)
+
+    @property
+    def control_power_w(self) -> float:
+        """Power while running control code (command issue, event
+        waits, buffer maps) -- single-threaded driver work, far below
+        the all-cores GEMM power."""
+        return self.idle_power_w + 0.3 * (self.active_power_w
+                                          - self.idle_power_w)
+
+    def launch_seconds(self) -> float:
+        """Fixed per-kernel launch overhead in seconds."""
+        return self.kernel_launch_us * 1e-6

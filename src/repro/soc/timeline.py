@@ -1,0 +1,135 @@
+"""The simulated execution timeline.
+
+A :class:`Timeline` tracks when each processor is busy.  Executors
+reserve time on resources; the timeline enforces that reservations on
+one resource never overlap and records a labelled :class:`Segment` per
+reservation, which the energy model and the profiling reports consume.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..tensor import DType
+
+#: Resource names used throughout the simulator.  The NPU resource
+#: exists on every timeline but is only used on NPU-equipped SoCs.
+CPU = "cpu"
+GPU = "gpu"
+NPU = "npu"
+RESOURCES = (CPU, GPU, NPU)
+
+
+@dataclasses.dataclass(frozen=True)
+class Segment:
+    """One busy interval of one resource.
+
+    Attributes:
+        resource: ``"cpu"`` or ``"gpu"``.
+        start / end: simulated seconds.
+        layer: name of the layer (or action) this time was spent on.
+        kind: ``"compute"``, ``"launch"``, ``"issue"``, ``"map"``,
+            ``"sync"``, or ``"copy"``.
+        dtype: the compute data type for compute segments, else None.
+    """
+
+    resource: str
+    start: float
+    end: float
+    layer: str
+    kind: str
+    dtype: Optional[DType] = None
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+
+class Timeline:
+    """Busy-interval ledger for the SoC's processors."""
+
+    def __init__(self) -> None:
+        self._segments: List[Segment] = []
+        self._free: Dict[str, float] = {resource: 0.0
+                                        for resource in RESOURCES}
+
+    def free_at(self, resource: str) -> float:
+        """Earliest time ``resource`` can accept new work."""
+        self._check_resource(resource)
+        return self._free[resource]
+
+    def reserve(self, resource: str, duration: float, layer: str,
+                kind: str, dtype: Optional[DType] = None,
+                earliest: float = 0.0) -> Segment:
+        """Occupy ``resource`` for ``duration`` seconds.
+
+        The interval starts at ``max(free_at(resource), earliest)``.
+        Zero-duration reservations are allowed (they only advance
+        dependencies) but negative durations are rejected.
+
+        Returns:
+            The recorded segment (its ``end`` is the completion time).
+        """
+        self._check_resource(resource)
+        if duration < 0:
+            raise SimulationError(
+                f"negative reservation of {duration}s on {resource} for "
+                f"{layer!r}")
+        start = max(self._free[resource], earliest)
+        segment = Segment(resource=resource, start=start,
+                          end=start + duration, layer=layer, kind=kind,
+                          dtype=dtype)
+        if duration > 0:
+            self._segments.append(segment)
+        self._free[resource] = segment.end
+        return segment
+
+    def wait_until(self, resource: str, time: float) -> None:
+        """Block ``resource`` (idle, not busy) until ``time``."""
+        self._check_resource(resource)
+        if time > self._free[resource]:
+            self._free[resource] = time
+
+    # -- reporting ---------------------------------------------------------
+
+    def segments(self, resource: Optional[str] = None) -> List[Segment]:
+        """All recorded segments, optionally filtered by resource."""
+        if resource is None:
+            return list(self._segments)
+        self._check_resource(resource)
+        return [s for s in self._segments if s.resource == resource]
+
+    def makespan(self) -> float:
+        """Completion time of the last segment (0.0 if empty)."""
+        if not self._segments:
+            return 0.0
+        return max(segment.end for segment in self._segments)
+
+    def busy_seconds(self, resource: str) -> float:
+        """Total busy time of ``resource``."""
+        return sum(segment.duration
+                   for segment in self.segments(resource))
+
+    def validate(self) -> None:
+        """Check the per-resource non-overlap and monotonicity invariant.
+
+        Raises:
+            SimulationError: if two segments on one resource overlap.
+        """
+        for resource in RESOURCES:
+            segments = sorted(self.segments(resource),
+                              key=lambda s: s.start)
+            for before, after in zip(segments, segments[1:]):
+                if after.start < before.end - 1e-12:
+                    raise SimulationError(
+                        f"overlapping segments on {resource}: "
+                        f"{before} and {after}")
+
+    def _check_resource(self, resource: str) -> None:
+        if resource not in self._free:
+            raise SimulationError(
+                f"unknown resource {resource!r}; expected one of "
+                f"{RESOURCES}")

@@ -1,0 +1,90 @@
+"""The roofline timing model: how long one kernel takes on one processor.
+
+A kernel's duration is ``max(compute, memory) + launch``:
+
+* *compute* comes from the processor's per-dtype sustained MAC rate,
+  scaled by the utilization ramp (small kernels cannot fill the lanes);
+* *memory* is the streaming time of the kernel's activation and
+  parameter traffic at the dtype's storage width -- this is where
+  QUInt8's 4x smaller footprint pays off (Section 4.1);
+* *launch* is the fixed per-kernel dispatch cost.
+
+The processor-friendly quantization stores activations as QUInt8 for
+both processors but uploads F16 filters for the GPU (Section 6), so the
+storage data types of activations and parameters are separate inputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..nn import LayerWork
+from ..tensor import DType
+from .memory import MemorySpec
+from .processor import ProcessorSpec
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelCost:
+    """Cost decomposition of one kernel on one processor.
+
+    Attributes:
+        compute_s: pure arithmetic time.
+        memory_s: DRAM streaming time of activations + parameters.
+        launch_s: fixed dispatch overhead.
+    """
+
+    compute_s: float
+    memory_s: float
+    launch_s: float
+
+    @property
+    def busy_s(self) -> float:
+        """Time the processor is occupied: roofline of compute/memory."""
+        return max(self.compute_s, self.memory_s)
+
+    @property
+    def total_s(self) -> float:
+        """Busy time plus launch overhead."""
+        return self.busy_s + self.launch_s
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when DRAM streaming dominates arithmetic."""
+        return self.memory_s > self.compute_s
+
+
+def kernel_traffic_bytes(work: LayerWork, activation_storage: DType,
+                         param_storage: DType) -> float:
+    """DRAM bytes moved by one kernel execution."""
+    activation_bytes = ((work.input_elements + work.output_elements)
+                        * activation_storage.itemsize)
+    param_bytes = work.param_elements * param_storage.itemsize
+    return float(activation_bytes + param_bytes)
+
+
+def kernel_cost(processor: ProcessorSpec, memory: MemorySpec,
+                work: LayerWork, compute_dtype: DType,
+                activation_storage: "DType | None" = None,
+                param_storage: "DType | None" = None) -> KernelCost:
+    """Cost of executing ``work`` on ``processor``.
+
+    Args:
+        processor: the executing processor.
+        memory: the SoC DRAM.
+        work: the kernel's arithmetic work (possibly a split fraction
+            of a layer, see :meth:`LayerWork.scaled`).
+        compute_dtype: the data type the ALUs operate in.
+        activation_storage: storage type of input/output activations
+            (defaults to the compute type; the processor-friendly
+            quantization passes QUInt8 here even for F16 GPU compute).
+        param_storage: storage type of the filters (defaults to the
+            activation storage type).
+    """
+    activation_storage = activation_storage or compute_dtype
+    param_storage = param_storage or activation_storage
+    compute_s = processor.compute_seconds(work, compute_dtype)
+    traffic = kernel_traffic_bytes(work, activation_storage, param_storage)
+    memory_s = memory.stream_seconds(traffic)
+    return KernelCost(compute_s=compute_s, memory_s=memory_s,
+                      launch_s=processor.launch_seconds())

@@ -1,0 +1,88 @@
+"""Data types used by the uLayer reproduction.
+
+The paper (Section 4) considers three externally visible data types:
+
+* ``F32``    -- 32-bit single-precision floating point, the NN default.
+* ``F16``    -- 16-bit half-precision floating point (OpenCL ``half``),
+  the GPU-friendly type.
+* ``QUINT8`` -- 8-bit linearly quantized unsigned integers (Jacob et al.,
+  CVPR 2018), the CPU-friendly type.
+
+``I32`` appears internally as the accumulator type of QUInt8 GEMMs: the
+product of two 8-bit integers needs 16 bits and sums of those need 32,
+which is exactly why the paper's Section 4.1 notes that QUInt8 reduces
+GPU concurrency (32-bit accumulation halves F16-width lane throughput).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import DTypeError
+
+
+class DType(enum.Enum):
+    """A tensor element type, with its numpy storage equivalent."""
+
+    F32 = "f32"
+    F16 = "f16"
+    QUINT8 = "quint8"
+    I32 = "i32"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store elements of this type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes occupied by one element."""
+        return int(np.dtype(self.numpy_dtype).itemsize)
+
+    @property
+    def is_float(self) -> bool:
+        """True for floating-point types (F32, F16)."""
+        return self in (DType.F32, DType.F16)
+
+    @property
+    def is_quantized(self) -> bool:
+        """True for types that carry quantization parameters."""
+        return self is DType.QUINT8
+
+    @property
+    def bits(self) -> int:
+        """Bit width of one element."""
+        return self.itemsize * 8
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_NUMPY_DTYPES = {
+    DType.F32: np.dtype(np.float32),
+    DType.F16: np.dtype(np.float16),
+    DType.QUINT8: np.dtype(np.uint8),
+    DType.I32: np.dtype(np.int32),
+}
+
+#: Data types a network may be executed in end-to-end (Figure 8/16 sweeps).
+EXECUTION_DTYPES = (DType.F32, DType.F16, DType.QUINT8)
+
+
+def parse_dtype(name: "str | DType") -> DType:
+    """Return the :class:`DType` named ``name``.
+
+    Accepts a :class:`DType` (returned unchanged) or a case-insensitive
+    string such as ``"f32"``, ``"F16"``, or ``"quint8"``.
+
+    Raises:
+        DTypeError: if ``name`` does not identify a known data type.
+    """
+    if isinstance(name, DType):
+        return name
+    try:
+        return DType(name.lower())
+    except (ValueError, AttributeError):
+        raise DTypeError(f"unknown data type: {name!r}") from None

@@ -1,0 +1,111 @@
+"""Linear (affine) quantization parameters.
+
+The 8-bit linear quantization scheme of Jacob et al. [37] maps a real
+value ``r`` to an 8-bit unsigned integer ``q`` through
+
+    r = scale * (q - zero_point)
+
+where ``scale`` is a positive real and ``zero_point`` is an integer in
+[0, 255] chosen so that the real value 0.0 is exactly representable.
+The paper's processor-friendly quantization stores *all* tensors as
+QUInt8 with such parameters and requantizes i32 accumulators back to
+QUInt8 using the pre-trained output range (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+#: Smallest representable quantized value for QUInt8.
+QMIN = 0
+#: Largest representable quantized value for QUInt8.
+QMAX = 255
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantParams:
+    """Affine quantization parameters: ``real = scale * (q - zero_point)``.
+
+    Attributes:
+        scale: positive real-valued step between adjacent quantized codes.
+        zero_point: the quantized code that represents real 0.0; an
+            integer in ``[QMIN, QMAX]``.
+    """
+
+    scale: float
+    zero_point: int
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.scale) or self.scale <= 0.0:
+            raise QuantizationError(
+                f"scale must be a positive finite number, got {self.scale!r}")
+        if not QMIN <= self.zero_point <= QMAX:
+            raise QuantizationError(
+                f"zero_point must lie in [{QMIN}, {QMAX}], "
+                f"got {self.zero_point!r}")
+
+    @property
+    def range_min(self) -> float:
+        """Smallest real value representable without clamping."""
+        return self.scale * (QMIN - self.zero_point)
+
+    @property
+    def range_max(self) -> float:
+        """Largest real value representable without clamping."""
+        return self.scale * (QMAX - self.zero_point)
+
+    @classmethod
+    def from_range(cls, rmin: float, rmax: float) -> "QuantParams":
+        """Derive parameters covering the real interval [rmin, rmax].
+
+        Mirrors TensorFlow Lite's asymmetric scheme: the interval is
+        first widened (if needed) to include 0.0 so the zero point is
+        exactly representable, then the scale is the interval width
+        divided by the number of quantized steps, and the zero point is
+        the nearest integer code for real 0.0.
+
+        Raises:
+            QuantizationError: if the range is not finite or inverted.
+        """
+        if not (math.isfinite(rmin) and math.isfinite(rmax)):
+            raise QuantizationError(
+                f"range must be finite, got [{rmin}, {rmax}]")
+        if rmin > rmax:
+            raise QuantizationError(
+                f"inverted range: rmin={rmin} > rmax={rmax}")
+        # Widen to include zero; required for exact zero representation.
+        rmin = min(rmin, 0.0)
+        rmax = max(rmax, 0.0)
+        if rmin == rmax:
+            # Degenerate all-zero tensor; any positive scale works.
+            return cls(scale=1.0, zero_point=0)
+        scale = (rmax - rmin) / float(QMAX - QMIN)
+        zero_point = int(round(QMIN - rmin / scale))
+        zero_point = max(QMIN, min(QMAX, zero_point))
+        return cls(scale=scale, zero_point=zero_point)
+
+    @classmethod
+    def from_array(cls, values: np.ndarray) -> "QuantParams":
+        """Derive parameters from the min/max of an array of reals."""
+        if values.size == 0:
+            raise QuantizationError(
+                "cannot derive quantization parameters from an empty array")
+        return cls.from_range(float(values.min()), float(values.max()))
+
+    def quantize(self, real: np.ndarray) -> np.ndarray:
+        """Map real values to uint8 codes, rounding to nearest and
+        saturating at the ends of the 8-bit range."""
+        q = np.round(np.asarray(real, dtype=np.float64) / self.scale)
+        q = q + self.zero_point
+        return np.clip(q, QMIN, QMAX).astype(np.uint8)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """Map uint8 codes back to real values (float32)."""
+        q = np.asarray(q)
+        return ((q.astype(np.int32) - self.zero_point)
+                * np.float32(self.scale)).astype(np.float32)

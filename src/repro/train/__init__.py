@@ -1,0 +1,35 @@
+"""Numpy training stack: backprop, SGD, QAT, and graph export."""
+
+from .autograd import (ConvLayer, FCLayer, FlattenLayer, MaxPoolLayer,
+                       Param, ReLULayer, TrainLayer, col2im,
+                       softmax_cross_entropy)
+from .export import qat_calibration, to_graph
+from .model import SGD, Sequential, accuracy, train_epochs
+from .qat import (ActivationFakeQuant, FakeQuantConv, FakeQuantFC,
+                  learned_ranges, quantize_aware)
+from .surgery import equalize_channels, imbalance_channels
+
+__all__ = [
+    "ConvLayer",
+    "FCLayer",
+    "FlattenLayer",
+    "MaxPoolLayer",
+    "Param",
+    "ReLULayer",
+    "TrainLayer",
+    "col2im",
+    "softmax_cross_entropy",
+    "qat_calibration",
+    "to_graph",
+    "SGD",
+    "Sequential",
+    "accuracy",
+    "train_epochs",
+    "ActivationFakeQuant",
+    "FakeQuantConv",
+    "FakeQuantFC",
+    "learned_ranges",
+    "quantize_aware",
+    "equalize_channels",
+    "imbalance_channels",
+]

@@ -1,0 +1,278 @@
+"""Minimal trainable layers with hand-written backprop.
+
+The Figure 10 experiment needs *trained* networks whose accuracy under
+F16, post-training QUInt8, and quantization-aware-training QUInt8 can
+be compared.  This module provides just enough machinery to train small
+CNNs in numpy: conv / FC / pooling / ReLU layers with forward and
+backward passes, a softmax-cross-entropy head, and parameter objects
+an optimizer can step.
+
+Trainable layers are deliberately separate from the inference IR in
+:mod:`repro.nn` -- training wants mutable parameters and gradients,
+inference wants an immutable DAG -- and :mod:`repro.train.export`
+bridges the two.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..kernels import conv_output_hw, im2col
+
+
+@dataclasses.dataclass
+class Param:
+    """A trainable tensor with its gradient."""
+
+    name: str
+    value: np.ndarray
+    grad: Optional[np.ndarray] = None
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator."""
+        self.grad = np.zeros_like(self.value)
+
+
+class TrainLayer:
+    """Base class of trainable layers."""
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Compute the layer output, caching what backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter gradients; return input gradient."""
+        raise NotImplementedError
+
+    def params(self) -> List[Param]:
+        """Trainable parameters (empty for stateless layers)."""
+        return []
+
+
+def col2im(grad_columns: np.ndarray, input_shape: Tuple[int, ...],
+           kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Scatter-add inverse of :func:`repro.kernels.im2col`.
+
+    Args:
+        grad_columns: (batch, out_h*out_w, channels*k*k) patch grads.
+        input_shape: the original NCHW input shape.
+
+    Returns:
+        Gradient w.r.t. the original input, shape ``input_shape``.
+    """
+    batch, channels, in_h, in_w = input_shape
+    out_h, out_w = conv_output_hw(in_h, in_w, kernel, stride, padding)
+    padded = np.zeros(
+        (batch, channels, in_h + 2 * padding, in_w + 2 * padding),
+        dtype=np.float32)
+    grads = grad_columns.reshape(
+        batch, out_h, out_w, channels, kernel, kernel)
+    for ky in range(kernel):
+        for kx in range(kernel):
+            patch = grads[:, :, :, :, ky, kx].transpose(0, 3, 1, 2)
+            padded[:, :,
+                   ky:ky + out_h * stride:stride,
+                   kx:kx + out_w * stride:stride] += patch
+    if padding > 0:
+        return padded[:, :, padding:padding + in_h,
+                      padding:padding + in_w]
+    return padded
+
+
+class ConvLayer(TrainLayer):
+    """Trainable 2-D convolution (no fused activation)."""
+
+    def __init__(self, name: str, in_channels: int, out_channels: int,
+                 kernel: int, stride: int = 1, padding: int = 0,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        fan_in = in_channels * kernel * kernel
+        scale = np.sqrt(2.0 / fan_in)
+        self.name = name
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.padding = padding
+        self.weights = Param(
+            f"{name}.weights",
+            (rng.standard_normal(
+                (out_channels, in_channels, kernel, kernel))
+             * scale).astype(np.float32))
+        self.bias = Param(f"{name}.bias",
+                          np.zeros(out_channels, dtype=np.float32))
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...],
+                                    np.ndarray]] = None
+
+    def effective_weights(self) -> np.ndarray:
+        """Weights used in the forward pass (hook for fake-quant)."""
+        return self.weights.value
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        columns = im2col(x.astype(np.float32), self.kernel, self.stride,
+                         self.padding)
+        weights = self.effective_weights()
+        flat = weights.reshape(self.out_channels, -1)
+        out = columns @ flat.T + self.bias.value
+        batch = x.shape[0]
+        out_h, out_w = conv_output_hw(x.shape[2], x.shape[3], self.kernel,
+                                      self.stride, self.padding)
+        self._cache = (columns, x.shape, weights)
+        return np.ascontiguousarray(
+            out.reshape(batch, out_h, out_w, self.out_channels)
+            .transpose(0, 3, 1, 2))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError(f"conv {self.name!r}: backward before forward")
+        columns, input_shape, weights = self._cache
+        batch = grad_out.shape[0]
+        grad_rows = grad_out.transpose(0, 2, 3, 1).reshape(
+            batch, -1, self.out_channels)
+        flat_grad = np.einsum("bpo,bpk->ok", grad_rows, columns)
+        self.weights.grad = (self.weights.grad
+                             + flat_grad.reshape(weights.shape)
+                             if self.weights.grad is not None
+                             else flat_grad.reshape(weights.shape))
+        bias_grad = grad_rows.sum(axis=(0, 1))
+        self.bias.grad = (self.bias.grad + bias_grad
+                          if self.bias.grad is not None else bias_grad)
+        flat = weights.reshape(self.out_channels, -1)
+        grad_columns = grad_rows @ flat
+        return col2im(grad_columns, input_shape, self.kernel, self.stride,
+                      self.padding)
+
+    def params(self) -> List[Param]:
+        return [self.weights, self.bias]
+
+
+class FCLayer(TrainLayer):
+    """Trainable fully-connected layer."""
+
+    def __init__(self, name: str, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.name = name
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weights = Param(
+            f"{name}.weights",
+            (rng.standard_normal((out_features, in_features))
+             * scale).astype(np.float32))
+        self.bias = Param(f"{name}.bias",
+                          np.zeros(out_features, dtype=np.float32))
+        self._cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+
+    def effective_weights(self) -> np.ndarray:
+        """Weights used in the forward pass (hook for fake-quant)."""
+        return self.weights.value
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        weights = self.effective_weights()
+        self._cache = (x.astype(np.float32), weights)
+        return self._cache[0] @ weights.T + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError(f"fc {self.name!r}: backward before forward")
+        x, weights = self._cache
+        weight_grad = grad_out.T @ x
+        self.weights.grad = (self.weights.grad + weight_grad
+                             if self.weights.grad is not None
+                             else weight_grad)
+        bias_grad = grad_out.sum(axis=0)
+        self.bias.grad = (self.bias.grad + bias_grad
+                          if self.bias.grad is not None else bias_grad)
+        return grad_out @ weights
+
+    def params(self) -> List[Param]:
+        return [self.weights, self.bias]
+
+
+class ReLULayer(TrainLayer):
+    """Rectifier with cached activation mask."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0).astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("relu: backward before forward")
+        return np.where(self._mask, grad_out, 0.0).astype(np.float32)
+
+
+class MaxPoolLayer(TrainLayer):
+    """Max pooling with argmax routing for the backward pass."""
+
+    def __init__(self, kernel: int, stride: int) -> None:
+        self.kernel = kernel
+        self.stride = stride
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, ...]]] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        batch, channels, in_h, in_w = x.shape
+        out_h, out_w = conv_output_hw(in_h, in_w, self.kernel, self.stride,
+                                      0)
+        columns = im2col(
+            x.reshape(batch * channels, 1, in_h, in_w), self.kernel,
+            self.stride, 0)
+        argmax = columns.argmax(axis=-1)
+        out = np.take_along_axis(columns, argmax[..., None],
+                                 axis=-1)[..., 0]
+        self._cache = (argmax, x.shape)
+        return out.reshape(batch, channels, out_h, out_w).astype(
+            np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("maxpool: backward before forward")
+        argmax, input_shape = self._cache
+        batch, channels, in_h, in_w = input_shape
+        grad_cols = np.zeros(
+            (batch * channels, argmax.shape[1],
+             self.kernel * self.kernel), dtype=np.float32)
+        flat_grad = grad_out.reshape(batch * channels, -1)
+        np.put_along_axis(grad_cols, argmax[..., None],
+                          flat_grad[..., None], axis=-1)
+        grad_in = col2im(grad_cols,
+                         (batch * channels, 1, in_h, in_w),
+                         self.kernel, self.stride, 0)
+        return grad_in.reshape(input_shape)
+
+
+class FlattenLayer(TrainLayer):
+    """Collapse non-batch dimensions; inverse in backward."""
+
+    def __init__(self) -> None:
+        self._shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise ShapeError("flatten: backward before forward")
+        return grad_out.reshape(self._shape)
+
+
+def softmax_cross_entropy(logits: np.ndarray, labels: np.ndarray
+                          ) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. the logits."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    batch = logits.shape[0]
+    loss = float(-np.log(probs[np.arange(batch), labels] + 1e-12).mean())
+    grad = probs.copy()
+    grad[np.arange(batch), labels] -= 1.0
+    return loss, (grad / batch).astype(np.float32)

@@ -1,0 +1,125 @@
+"""Export trained models into the inference stack.
+
+Bridges :class:`~repro.train.model.Sequential` (mutable, trainable) to
+:class:`~repro.nn.Graph` (immutable, deployable), so the accuracy of a
+trained network can be measured through the *same* quantized execution
+paths the uLayer runtime uses -- integer GEMMs, requantization, F16
+kernels -- rather than through a separate emulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..nn import (Conv2D, Flatten, FullyConnected, Graph, Input,
+                  MaxPool2D)
+from ..quant.calibrate import CalibrationTable
+from ..tensor import QuantParams
+from .autograd import (ConvLayer, FCLayer, FlattenLayer, MaxPoolLayer,
+                       ReLULayer, TrainLayer)
+from .model import Sequential
+from .qat import ActivationFakeQuant
+
+
+def to_graph(model: Sequential,
+             input_shape: Tuple[int, int, int, int]) -> Graph:
+    """Convert a trained Sequential into an inference graph.
+
+    ReLU layers are fused into the preceding conv/FC (matching how the
+    inference stack and real mobile kernels fuse activations);
+    activation fake-quant layers are dropped (their ranges are exported
+    separately by :func:`qat_calibration`).
+    """
+    graph = Graph(model.name)
+    graph.add(Input("input", input_shape))
+    head = "input"
+    layers = list(model.layers)
+    index = 0
+    position = 0
+    while index < len(layers):
+        layer = layers[index]
+        follows_relu = _followed_by_relu(layers, index)
+        if isinstance(layer, ConvLayer):
+            node = Conv2D(f"conv{position}", layer.in_channels,
+                          layer.out_channels, layer.kernel, layer.stride,
+                          layer.padding, relu=follows_relu)
+            node.set_weights(layer.weights.value.copy(),
+                             layer.bias.value.copy())
+            graph.add(node, [head])
+            head = node.name
+            position += 1
+            index += 2 if follows_relu else 1
+        elif isinstance(layer, FCLayer):
+            node = FullyConnected(f"fc{position}", layer.in_features,
+                                  layer.out_features, relu=follows_relu)
+            node.set_weights(layer.weights.value.copy(),
+                             layer.bias.value.copy())
+            graph.add(node, [head])
+            head = node.name
+            position += 1
+            index += 2 if follows_relu else 1
+        elif isinstance(layer, MaxPoolLayer):
+            graph.add(MaxPool2D(f"pool{position}", layer.kernel,
+                                layer.stride), [head])
+            head = f"pool{position}"
+            position += 1
+            index += 1
+        elif isinstance(layer, FlattenLayer):
+            graph.add(Flatten(f"flatten{position}"), [head])
+            head = f"flatten{position}"
+            position += 1
+            index += 1
+        elif isinstance(layer, (ReLULayer, ActivationFakeQuant)):
+            # Standalone ReLU that was not fused (e.g. after pooling)
+            # or a fake-quant marker: both are identity for export.
+            index += 1
+        else:
+            raise ReproError(
+                f"cannot export layer of type {type(layer).__name__}")
+    graph.validate()
+    return graph
+
+
+def _followed_by_relu(layers: List[TrainLayer], index: int) -> bool:
+    """Is the next meaningful layer a ReLU (skipping fake-quant)?"""
+    for later in layers[index + 1:]:
+        if isinstance(later, ActivationFakeQuant):
+            continue
+        return isinstance(later, ReLULayer)
+    return False
+
+
+def qat_calibration(model: Sequential, graph: Graph,
+                    sample_input: Optional[np.ndarray] = None
+                    ) -> CalibrationTable:
+    """Calibration table from a QAT model's learned activation ranges.
+
+    The observers of the QAT model map, in order, onto the graph's
+    conv/FC layers (each QAT fake-quant op follows one weighted layer).
+    Ranges for the input layer come from ``sample_input`` (or default
+    to [-1, 1]); other layers pass ranges through and need no entry,
+    except the final logits layer whose range comes from its observer.
+    """
+    observers = [layer for layer in model.layers
+                 if isinstance(layer, ActivationFakeQuant)]
+    weighted = [name for name in graph.topological_order()
+                if isinstance(graph.layer(name),
+                              (Conv2D, FullyConnected))]
+    if len(observers) != len(weighted):
+        raise ReproError(
+            f"QAT model has {len(observers)} activation observers but "
+            f"the graph has {len(weighted)} weighted layers")
+    table = CalibrationTable()
+    for name, observer in zip(weighted, observers):
+        table.set(name, observer.qparams())
+    if sample_input is not None:
+        table.set(graph.input_layers()[0],
+                  QuantParams.from_array(
+                      np.asarray(sample_input, dtype=np.float32)))
+    else:
+        table.set(graph.input_layers()[0],
+                  QuantParams.from_range(-1.0, 1.0))
+    return table

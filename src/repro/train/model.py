@@ -1,0 +1,122 @@
+"""Sequential trainable models and the SGD optimizer."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .autograd import Param, TrainLayer, softmax_cross_entropy
+
+
+class Sequential:
+    """A simple feed-forward stack of trainable layers."""
+
+    def __init__(self, name: str, layers: List[TrainLayer]) -> None:
+        self.name = name
+        self.layers = layers
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        """Run all layers; returns the logits."""
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        """Backpropagate through all layers; returns input gradient."""
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self) -> List[Param]:
+        """All trainable parameters."""
+        return [p for layer in self.layers for p in layer.params()]
+
+    def zero_grads(self) -> None:
+        """Reset all gradient accumulators."""
+        for param in self.params():
+            param.zero_grad()
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions (argmax of logits), inference mode."""
+        return self.forward(x, training=False).argmax(axis=1)
+
+
+class SGD:
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, params: List[Param], lr: float = 0.05,
+                 momentum: float = 0.9,
+                 weight_decay: float = 0.0,
+                 clip_norm: float = 0.0) -> None:
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def _global_scale(self) -> float:
+        """Gradient scaling factor from global-norm clipping."""
+        if self.clip_norm <= 0.0:
+            return 1.0
+        total = 0.0
+        for param in self.params:
+            if param.grad is not None:
+                total += float((param.grad.astype(np.float64) ** 2).sum())
+        norm = np.sqrt(total)
+        if norm <= self.clip_norm:
+            return 1.0
+        return self.clip_norm / norm
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        scale = self._global_scale()
+        for param in self.params:
+            if param.grad is None:
+                continue
+            grad = param.grad * scale
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.value
+            velocity = self._velocity.get(id(param))
+            if velocity is None:
+                velocity = np.zeros_like(param.value)
+            velocity = self.momentum * velocity - self.lr * grad
+            self._velocity[id(param)] = velocity
+            param.value = param.value + velocity
+
+
+def train_epochs(model: Sequential, images: np.ndarray,
+                 labels: np.ndarray, epochs: int = 3,
+                 batch_size: int = 32, lr: float = 0.05,
+                 momentum: float = 0.9,
+                 seed: int = 0,
+                 clip_norm: float = 5.0,
+                 optimizer: Optional[SGD] = None) -> List[float]:
+    """Train ``model`` with SGD; returns the per-epoch mean loss."""
+    optimizer = optimizer or SGD(model.params(), lr=lr, momentum=momentum,
+                                 clip_norm=clip_norm)
+    rng = np.random.default_rng(seed)
+    history: List[float] = []
+    count = images.shape[0]
+    for _ in range(epochs):
+        order = rng.permutation(count)
+        losses = []
+        for start in range(0, count, batch_size):
+            batch = order[start:start + batch_size]
+            model.zero_grads()
+            logits = model.forward(images[batch], training=True)
+            loss, grad = softmax_cross_entropy(logits, labels[batch])
+            model.backward(grad)
+            optimizer.step()
+            losses.append(loss)
+        history.append(float(np.mean(losses)))
+    return history
+
+
+def accuracy(model: Sequential, images: np.ndarray,
+             labels: np.ndarray) -> float:
+    """Top-1 accuracy of ``model`` on a labelled set."""
+    predictions = model.predict(images)
+    return float((predictions == labels).mean())

@@ -1,0 +1,107 @@
+"""Quantization-aware training (the paper's QUInt8+FakeQuant, Fig. 10).
+
+Post-training 8-bit quantization can cost a lot of accuracy; the paper
+retrains the networks "to be aware of the 8-bit linear quantization by
+inserting TensorFlow's fake quantization operations", limiting the
+maximum loss to 2.7 percentage points.  This module provides the same
+mechanism for the numpy training stack: conv/FC layers whose weights
+are fake-quantized each forward pass, and activation fake-quant layers
+with EMA range observers, all using straight-through gradients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..quant.fake_quant import (EmaRangeObserver, fake_quantize,
+                                fake_quantize_gradient)
+from ..tensor import QuantParams
+from .autograd import ConvLayer, FCLayer, TrainLayer
+from .model import Sequential
+
+
+class FakeQuantConv(ConvLayer):
+    """Conv layer whose weights pass through fake quantization."""
+
+    def effective_weights(self) -> np.ndarray:
+        qparams = QuantParams.from_array(self.weights.value)
+        return fake_quantize(self.weights.value, qparams)
+
+
+class FakeQuantFC(FCLayer):
+    """FC layer whose weights pass through fake quantization."""
+
+    def effective_weights(self) -> np.ndarray:
+        qparams = QuantParams.from_array(self.weights.value)
+        return fake_quantize(self.weights.value, qparams)
+
+
+class ActivationFakeQuant(TrainLayer):
+    """Activation fake-quantization with a learned (EMA) range.
+
+    During training the observer tracks the activation range and the
+    forward pass snaps values to the 8-bit grid; the backward pass is
+    the straight-through estimator (identity inside the clamp range).
+    The frozen range is what deployment uses as the layer's output
+    QuantParams.
+    """
+
+    def __init__(self, decay: float = 0.95) -> None:
+        self.observer = EmaRangeObserver(decay=decay)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = True) -> np.ndarray:
+        if training or not self.observer.initialized:
+            self.observer.observe(x)
+        qparams = self.observer.qparams()
+        self._mask = fake_quantize_gradient(x, qparams)
+        return fake_quantize(x, qparams).astype(np.float32)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("fake-quant: backward before forward")
+        return (grad_out * self._mask).astype(np.float32)
+
+    def qparams(self) -> QuantParams:
+        """The learned quantization range."""
+        return self.observer.qparams()
+
+
+def quantize_aware(model: Sequential) -> Sequential:
+    """A QAT copy of ``model``: conv/FC weights fake-quantized and an
+    activation fake-quant op inserted after every layer.
+
+    The returned model *shares parameters* with the original, so QAT
+    fine-tuning continues from the trained float weights -- the paper's
+    retraining recipe.
+    """
+    layers: List[TrainLayer] = []
+    for layer in model.layers:
+        if isinstance(layer, ConvLayer) and not isinstance(
+                layer, FakeQuantConv):
+            clone = FakeQuantConv(layer.name, layer.in_channels,
+                                  layer.out_channels, layer.kernel,
+                                  layer.stride, layer.padding)
+            clone.weights = layer.weights
+            clone.bias = layer.bias
+            layers.append(clone)
+            layers.append(ActivationFakeQuant())
+        elif isinstance(layer, FCLayer) and not isinstance(
+                layer, FakeQuantFC):
+            clone = FakeQuantFC(layer.name, layer.in_features,
+                                layer.out_features)
+            clone.weights = layer.weights
+            clone.bias = layer.bias
+            layers.append(clone)
+            layers.append(ActivationFakeQuant())
+        else:
+            layers.append(layer)
+    return Sequential(f"{model.name}_qat", layers)
+
+
+def learned_ranges(model: Sequential) -> "list[QuantParams]":
+    """The activation ranges learned by a QAT model's observers."""
+    return [layer.qparams() for layer in model.layers
+            if isinstance(layer, ActivationFakeQuant)]

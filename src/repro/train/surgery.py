@@ -1,0 +1,151 @@
+"""Function-preserving model surgery: channel imbalance and equalization.
+
+Per-tensor 8-bit quantization is brittle when the per-channel dynamic
+ranges of a layer's weights differ wildly -- the single scale must
+cover the largest channel, starving the small ones of resolution.
+This is precisely why some ImageNet networks lose tens of accuracy
+points under post-training QUInt8 in the paper's Figure 10 (batch-norm
+folding produces exactly such imbalanced weights), while retraining
+with fake quantization recovers them.
+
+Both directions are implemented:
+
+* :func:`imbalance_channels` injects a *function-preserving* channel
+  imbalance (positive per-channel scales on a producer, inverted on
+  its consumer) -- used to create quantization-fragile models for the
+  Figure 10 reproduction;
+* :func:`equalize_channels` applies cross-layer scale equalization
+  (Nagel et al.'s data-free recipe), the standard mitigation.
+
+Because ReLU and max pooling commute with positive per-channel scaling,
+the float function of the network is mathematically unchanged by
+either transformation; only its quantization behaviour differs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from ..errors import ReproError
+from .autograd import ConvLayer, FCLayer, FlattenLayer, MaxPoolLayer, \
+    ReLULayer
+from .model import Sequential
+
+_Weighted = Union[ConvLayer, FCLayer]
+
+
+def _weighted_pairs(model: Sequential
+                    ) -> List[Tuple[_Weighted, _Weighted, int]]:
+    """Consecutive weighted layer pairs with scale-commuting layers
+    between them.  Returns (producer, consumer, spatial_multiplier):
+    the multiplier is how many consumer input columns each producer
+    output channel fans out to (1 except across Flatten)."""
+    pairs = []
+    weighted_indices = [i for i, layer in enumerate(model.layers)
+                        if isinstance(layer, (ConvLayer, FCLayer))]
+    for a, b in zip(weighted_indices, weighted_indices[1:]):
+        between = model.layers[a + 1:b]
+        if not all(isinstance(layer,
+                              (ReLULayer, MaxPoolLayer, FlattenLayer))
+                   for layer in between):
+            continue
+        producer = model.layers[a]
+        consumer = model.layers[b]
+        out_channels = _out_channels(producer)
+        in_width = _in_width(consumer)
+        if in_width % out_channels != 0:
+            continue
+        pairs.append((producer, consumer, in_width // out_channels))
+    return pairs
+
+
+def _out_channels(layer: _Weighted) -> int:
+    if isinstance(layer, ConvLayer):
+        return layer.out_channels
+    return layer.out_features
+
+
+def _in_width(layer: _Weighted) -> int:
+    if isinstance(layer, ConvLayer):
+        return layer.in_channels
+    return layer.in_features
+
+
+def _scale_pair(producer: _Weighted, consumer: _Weighted,
+                multiplier: int, scales: np.ndarray) -> None:
+    """Scale producer output channels by ``scales`` and divide the
+    consumer's matching inputs, preserving the float function."""
+    if np.any(scales <= 0):
+        raise ReproError(
+            "channel scales must be positive (ReLU only commutes with "
+            "positive scaling)")
+    if isinstance(producer, ConvLayer):
+        producer.weights.value = (producer.weights.value
+                                  * scales[:, None, None, None])
+    else:
+        producer.weights.value = producer.weights.value * scales[:, None]
+    producer.bias.value = producer.bias.value * scales
+    # Flattened layouts interleave spatial positions per channel:
+    # im2col order is channel-major, so each channel occupies a
+    # contiguous run of ``multiplier`` columns.
+    expanded = np.repeat(scales, multiplier)
+    if isinstance(consumer, ConvLayer):
+        consumer.weights.value = (consumer.weights.value
+                                  / expanded[None, :, None, None])
+    else:
+        consumer.weights.value = consumer.weights.value / expanded[None, :]
+
+
+def imbalance_channels(model: Sequential, spread: float = 30.0,
+                       seed: int = 0) -> int:
+    """Make ``model`` quantization-fragile without changing its output.
+
+    Applies log-uniform per-channel scales in [1/spread, spread] to
+    every eligible producer/consumer pair.  Returns the number of pairs
+    transformed.
+    """
+    if spread <= 1.0:
+        raise ReproError("spread must exceed 1.0")
+    rng = np.random.default_rng(seed)
+    pairs = _weighted_pairs(model)
+    for producer, consumer, multiplier in pairs:
+        log_spread = np.log(spread)
+        scales = np.exp(rng.uniform(-log_spread, log_spread,
+                                    _out_channels(producer)))
+        _scale_pair(producer, consumer, multiplier,
+                    scales.astype(np.float32))
+    return len(pairs)
+
+
+def equalize_channels(model: Sequential) -> int:
+    """Cross-layer scale equalization (the data-free PTQ mitigation).
+
+    For each eligible pair, rescales so that each producer output
+    channel's weight range matches the geometric mean of its own range
+    and its consumers' range -- Nagel et al. (ICCV 2019).  Returns the
+    number of pairs transformed.
+    """
+    pairs = _weighted_pairs(model)
+    for producer, consumer, multiplier in pairs:
+        out_channels = _out_channels(producer)
+        if isinstance(producer, ConvLayer):
+            producer_range = np.abs(
+                producer.weights.value).reshape(out_channels, -1).max(
+                    axis=1)
+        else:
+            producer_range = np.abs(producer.weights.value).max(axis=1)
+        if isinstance(consumer, ConvLayer):
+            consumer_w = np.abs(consumer.weights.value).transpose(
+                1, 0, 2, 3).reshape(consumer.in_channels, -1)
+        else:
+            consumer_w = np.abs(consumer.weights.value).T
+        consumer_range = consumer_w.reshape(
+            out_channels, multiplier, -1).max(axis=(1, 2))
+        producer_range = np.maximum(producer_range, 1e-8)
+        consumer_range = np.maximum(consumer_range, 1e-8)
+        scales = np.sqrt(consumer_range / producer_range)
+        _scale_pair(producer, consumer, multiplier,
+                    scales.astype(np.float32))
+    return len(pairs)

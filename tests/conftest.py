@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import calibrate_graph
+from repro.soc import EXYNOS_7420, EXYNOS_7880
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A deterministic random generator for test data."""
+    return np.random.default_rng(20190325)   # EuroSys'19 dates
+
+
+@pytest.fixture(scope="session")
+def squeezenet_mini():
+    """A small branching model with weights (built once per session)."""
+    return build_model("squeezenet_mini")
+
+
+@pytest.fixture(scope="session")
+def vgg_mini():
+    """A small sequential model with weights."""
+    return build_model("vgg_mini")
+
+
+@pytest.fixture(scope="session")
+def mobilenet_mini():
+    """A small depthwise-separable model with weights."""
+    return build_model("mobilenet_mini")
+
+
+@pytest.fixture(scope="session")
+def mini_input(rng):
+    """A batch of two 32x32 RGB images."""
+    return rng.standard_normal((2, 3, 32, 32)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def single_input(rng):
+    """A single 32x32 RGB image batch."""
+    return rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+
+
+@pytest.fixture(scope="session")
+def squeezenet_calibration(squeezenet_mini, rng):
+    """Calibrated activation ranges for the mini SqueezeNet."""
+    batches = [rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+               for _ in range(3)]
+    return calibrate_graph(squeezenet_mini, batches)
+
+
+@pytest.fixture(scope="session")
+def vgg_mini_calibration(vgg_mini, rng):
+    """Calibrated activation ranges for the mini VGG."""
+    batches = [rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+               for _ in range(3)]
+    return calibrate_graph(vgg_mini, batches)
+
+
+@pytest.fixture(scope="session")
+def mobilenet_mini_calibration(mobilenet_mini, rng):
+    """Calibrated activation ranges for the mini MobileNet."""
+    batches = [rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+               for _ in range(3)]
+    return calibrate_graph(mobilenet_mini, batches)
+
+
+@pytest.fixture(params=[EXYNOS_7420, EXYNOS_7880],
+                ids=["exynos7420", "exynos7880"])
+def soc(request):
+    """Both simulated SoCs, parameterized."""
+    return request.param
+
+
+@pytest.fixture(scope="session")
+def highend():
+    """The high-end SoC."""
+    return EXYNOS_7420
+
+
+@pytest.fixture(scope="session")
+def midrange():
+    """The mid-range SoC."""
+    return EXYNOS_7880

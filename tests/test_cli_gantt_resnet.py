@@ -1,0 +1,129 @@
+"""Tests for the CLI, the Gantt renderer, and the ResNet models."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.harness import render_gantt
+from repro.models import build_model, model_info
+from repro.nn import (assert_region_partitions, calibrate_graph,
+                      find_branch_regions, reference_output)
+from repro.runtime import MuLayer
+from repro.soc import CPU, GPU, Timeline
+from repro.tensor import DType
+
+
+class TestCli:
+    def test_list_models(self, capsys):
+        assert main(["list-models"]) == 0
+        out = capsys.readouterr().out
+        assert "googlenet" in out
+        assert "resnet18" in out
+
+    def test_list_socs(self, capsys):
+        assert main(["list-socs"]) == 0
+        out = capsys.readouterr().out
+        assert "exynos7420" in out
+        assert "NPU" in out
+
+    def test_run_mulayer(self, capsys):
+        assert main(["run", "--model", "vgg_mini", "--oracle",
+                     "--plan", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        assert "execution plan" in out
+        assert "CPU |" in out
+
+    def test_run_single_processor(self, capsys):
+        assert main(["run", "--model", "vgg_mini", "--mechanism",
+                     "gpu", "--dtype", "f16"]) == 0
+        assert "single-gpu-f16" in capsys.readouterr().out
+
+    def test_run_l2p(self, capsys):
+        assert main(["run", "--model", "vgg_mini", "--mechanism",
+                     "l2p"]) == 0
+        assert "layer-to-processor" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--model", "vgg_mini"]) == 0
+        out = capsys.readouterr().out
+        assert "ulayer" in out
+        assert "speedup" in out
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "GoogLeNet" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])
+
+
+class TestGantt:
+    def test_renders_two_rows(self):
+        tl = Timeline()
+        tl.reserve(CPU, 1.0, "a", "compute", DType.QUINT8)
+        tl.reserve(GPU, 0.5, "b", "launch")
+        text = render_gantt(tl, width=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("CPU |")
+        assert lines[1].startswith("GPU |")
+        assert "#" in lines[0]
+        assert "L" in lines[1]
+
+    def test_empty_timeline(self):
+        assert render_gantt(Timeline()) == "(empty timeline)"
+
+    def test_window_selects_segments(self):
+        tl = Timeline()
+        tl.reserve(CPU, 1.0, "a", "compute", DType.QUINT8)
+        tl.reserve(CPU, 1.0, "b", "sync")
+        late = render_gantt(tl, width=10, start_s=1.0, end_s=2.0)
+        assert "s" in late.splitlines()[0]
+        assert "#" not in late.splitlines()[0]
+
+
+class TestResNet:
+    def test_published_structure(self):
+        graph = build_model("resnet18", with_weights=False)
+        assert graph.total_macs() == pytest.approx(1.81e9, rel=0.02)
+        assert graph.total_params() == pytest.approx(11.7e6, rel=0.02)
+
+    def test_eight_residual_regions(self):
+        graph = build_model("resnet18", with_weights=False)
+        regions = find_branch_regions(graph)
+        assert len(regions) == 8
+        for region in regions:
+            assert_region_partitions(graph, region)
+
+    def test_identity_blocks_have_empty_branch(self):
+        graph = build_model("resnet18", with_weights=False)
+        regions = find_branch_regions(graph)
+        empty_branch_regions = [r for r in regions
+                                if any(len(b) == 0 for b in r.branches)]
+        # Both stage-1 blocks plus the second block of stages 2-4 keep
+        # identity shortcuts; the stage-transition blocks project.
+        assert len(empty_branch_regions) == 5
+
+    def test_registry_flags(self):
+        info = model_info("resnet18")
+        assert info.branch_distribution_applies
+        assert not info.evaluated_in_paper
+
+    def test_mini_runs_functionally(self, rng, highend):
+        graph = build_model("resnet_mini")
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+        ref = reference_output(graph, x)
+        calibration = calibrate_graph(
+            graph, [rng.standard_normal((4, 3, 32, 32)).astype(
+                np.float32), x])
+        result = MuLayer(highend, use_oracle_costs=True).run(
+            graph, x=x, calibration=calibration)
+        out = result.output_array()
+        assert np.corrcoef(out.ravel(), ref.ravel())[0, 1] > 0.98
+
+    def test_full_resnet_plans_and_runs(self, soc):
+        graph = build_model("resnet18", with_weights=False)
+        result = MuLayer(soc, use_oracle_costs=True).run(graph)
+        assert result.latency_s > 0
+        result.timeline.validate()

@@ -1,0 +1,112 @@
+"""Tests for datasets and accuracy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (Dataset, SHAPE_CLASSES, evaluate_policy_accuracy,
+                        make_shapes_dataset, run_graph_with_policy,
+                        top_k_accuracy)
+from repro.nn import run_reference
+from repro.runtime import UNIFORM_F16, UNIFORM_F32, UNIFORM_QUINT8
+
+
+class TestShapesDataset:
+    def test_deterministic(self):
+        a = make_shapes_dataset(50, seed=3)
+        b = make_shapes_dataset(50, seed=3)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = make_shapes_dataset(50, seed=3)
+        b = make_shapes_dataset(50, seed=4)
+        assert not np.array_equal(a.images, b.images)
+
+    def test_shapes_and_types(self):
+        data = make_shapes_dataset(10, image_size=20)
+        assert data.images.shape == (10, 1, 20, 20)
+        assert data.images.dtype == np.float32
+        assert data.labels.dtype == np.int64
+
+    def test_labels_in_range(self):
+        data = make_shapes_dataset(200)
+        assert data.labels.min() >= 0
+        assert data.labels.max() < len(SHAPE_CLASSES)
+
+    def test_all_classes_present(self):
+        data = make_shapes_dataset(200)
+        assert set(np.unique(data.labels)) == set(
+            range(len(SHAPE_CLASSES)))
+
+    def test_split(self):
+        data = make_shapes_dataset(100)
+        train, test = data.split(0.8)
+        assert train.size == 80
+        assert test.size == 20
+
+    def test_too_small_image_rejected(self):
+        with pytest.raises(ValueError):
+            make_shapes_dataset(10, image_size=8)
+
+    def test_noise_zero_gives_clean_shapes(self):
+        data = make_shapes_dataset(10, noise=0.0)
+        # Clean images only contain the two canvas levels.
+        assert set(np.unique(data.images)).issubset({-1.0, 1.0})
+
+    def test_classes_distinguishable_by_simple_stat(self):
+        """Disk images carry more positive mass than cross images."""
+        data = make_shapes_dataset(400, noise=0.0)
+        disk_mass = data.images[data.labels == 1].mean()
+        cross_mass = data.images[data.labels == 2].mean()
+        assert disk_mass > cross_mass
+
+
+class TestTopK:
+    def test_top1(self):
+        scores = np.array([[0.1, 0.9], [0.8, 0.2]])
+        labels = np.array([1, 1])
+        assert top_k_accuracy(scores, labels, k=1) == 0.5
+
+    def test_top2_is_total_recall_for_two_classes(self):
+        scores = np.array([[0.1, 0.9], [0.8, 0.2]])
+        labels = np.array([1, 1])
+        assert top_k_accuracy(scores, labels, k=2) == 1.0
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.zeros(3), np.zeros(3, dtype=int))
+
+
+class TestPolicyEvaluation:
+    def test_f32_policy_matches_reference(self, squeezenet_mini,
+                                          mini_input):
+        out = run_graph_with_policy(squeezenet_mini, mini_input,
+                                    UNIFORM_F32)
+        ref = run_reference(squeezenet_mini,
+                            {"input": mini_input})["softmax"]
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-6)
+
+    def test_policy_accuracy_batching_consistent(self, squeezenet_mini,
+                                                 rng):
+        images = rng.standard_normal((10, 3, 32, 32)).astype(np.float32)
+        labels = rng.integers(0, 10, 10)
+        small = evaluate_policy_accuracy(squeezenet_mini, images,
+                                         labels, UNIFORM_F32,
+                                         batch_size=3)
+        large = evaluate_policy_accuracy(squeezenet_mini, images,
+                                         labels, UNIFORM_F32,
+                                         batch_size=10)
+        assert small == large
+
+    def test_quint8_policy_runs(self, squeezenet_mini, mini_input,
+                                squeezenet_calibration):
+        out = run_graph_with_policy(squeezenet_mini, mini_input,
+                                    UNIFORM_QUINT8,
+                                    squeezenet_calibration)
+        assert out.shape == (2, 10)
+        assert np.all(np.isfinite(out))
+
+    def test_f16_policy_runs(self, squeezenet_mini, mini_input):
+        out = run_graph_with_policy(squeezenet_mini, mini_input,
+                                    UNIFORM_F16)
+        assert np.all(np.isfinite(out))

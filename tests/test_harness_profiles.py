@@ -1,0 +1,87 @@
+"""Tests for the per-layer profiling reports."""
+
+import pytest
+
+from repro.harness import (hotspots, memory_bound_layers, profile_layers,
+                           render_profile)
+from repro.models import build_model
+from repro.runtime import MuLayer, run_single_processor
+from repro.tensor import DType
+
+
+@pytest.fixture(scope="module")
+def profiled(highend_module):
+    graph = build_model("alexnet", with_weights=False)
+    result = MuLayer(highend_module, use_oracle_costs=True).run(graph)
+    return graph, result
+
+
+@pytest.fixture(scope="module")
+def highend_module():
+    from repro.soc import EXYNOS_7420
+    return EXYNOS_7420
+
+
+class TestProfileLayers:
+    def test_covers_all_layers(self, profiled):
+        graph, result = profiled
+        profiles = profile_layers(graph, result)
+        assert len(profiles) == len(graph.compute_layers())
+
+    def test_shares_sum_near_100(self, profiled):
+        """Sequential execution: layer spans tile the makespan, so the
+        shares add to roughly 100% (overheads excluded)."""
+        graph, result = profiled
+        total = sum(p.share_pct for p in profile_layers(graph, result))
+        assert 85.0 <= total <= 115.0
+
+    def test_hotspots_sorted(self, profiled):
+        graph, result = profiled
+        top = hotspots(graph, result, top=5)
+        assert len(top) == 5
+        latencies = [p.latency_ms for p in top]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_conv2_is_alexnet_hotspot(self, profiled):
+        """AlexNet's conv2 carries the most MACs (~448M) and must lead
+        the profile."""
+        graph, result = profiled
+        assert hotspots(graph, result, top=1)[0].layer == "conv2"
+
+    def test_effective_throughput_positive(self, profiled):
+        graph, result = profiled
+        for profile in profile_layers(graph, result):
+            if profile.macs > 0:
+                assert profile.effective_gmacs > 0
+
+    def test_render_contains_energy_breakdown(self, profiled):
+        graph, result = profiled
+        text = render_profile(graph, result)
+        assert "hotspots" in text
+        assert "energy breakdown" in text
+        assert "dynamic" in text
+
+
+class TestMemoryBound:
+    def test_vgg_fc_layers_memory_bound(self, highend_module):
+        graph = build_model("vgg16", with_weights=False)
+        bound = memory_bound_layers(graph, highend_module,
+                                    DType.QUINT8)
+        assert "fc6" in bound
+        assert "fc7" in bound
+        assert "conv3_1" not in bound
+
+    def test_f32_more_memory_bound_than_quint8(self, highend_module):
+        """Wider storage pushes more layers over the roofline ridge."""
+        graph = build_model("vgg16", with_weights=False)
+        f32 = memory_bound_layers(graph, highend_module, DType.F32)
+        q8 = memory_bound_layers(graph, highend_module, DType.QUINT8)
+        assert set(q8) <= set(f32)
+
+    def test_cooperative_split_recorded(self, profiled):
+        graph, result = profiled
+        cooperative = [p for p in profile_layers(graph, result)
+                       if p.placement == "cooperative"]
+        assert cooperative
+        for profile in cooperative:
+            assert 0.0 < profile.split < 1.0

@@ -1,0 +1,144 @@
+"""End-to-end integration scenarios crossing all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.eval import make_shapes_dataset, top_k_accuracy
+from repro.models import build_model
+from repro.nn import calibrate_graph, find_branch_regions, run_reference
+from repro.runtime import (Executor, MuLayer, Partitioner,
+                           PartitionerConfig, run_layer_to_processor,
+                           run_single_processor)
+from repro.soc import CPU, GPU
+from repro.tensor import DType
+
+
+class TestFullPipelineOnBranchingModel:
+    """Plan -> execute -> verify numerics + timing on GoogLeNet-mini,
+    which exercises branches, LRN, pooling, concat, and FC."""
+
+    @pytest.fixture(scope="class")
+    def setup(self, highend):
+        rng = np.random.default_rng(99)
+        graph = build_model("googlenet_mini")
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+        calibration = calibrate_graph(
+            graph, [rng.standard_normal((4, 3, 32, 32)).astype(
+                np.float32), x])
+        runtime = MuLayer(highend, use_oracle_costs=True)
+        result = runtime.run(graph, x=x, calibration=calibration)
+        return graph, x, result
+
+    def test_functional_output_close_to_reference(self, setup):
+        graph, x, result = setup
+        ref = run_reference(graph, {"input": x})["softmax"]
+        out = result.output_array()
+        assert np.corrcoef(out.ravel(), ref.ravel())[0, 1] > 0.98
+
+    def test_timeline_valid(self, setup):
+        _, _, result = setup
+        result.timeline.validate()
+
+    def test_every_layer_traced_once(self, setup):
+        graph, _, result = setup
+        traced = [t.layer for t in result.traces]
+        assert sorted(traced) == sorted(graph.compute_layers())
+
+    def test_energy_consistent_with_timeline(self, setup, highend):
+        _, _, result = setup
+        # Static energy alone bounds below; everything must exceed it.
+        static = highend.static_power_w * result.latency_s
+        assert result.energy.total_j > static
+
+
+class TestMechanismOrdering:
+    """The full mechanism hierarchy on the big models, both SoCs."""
+
+    @pytest.mark.parametrize("model", ["googlenet", "vgg16"])
+    def test_mulayer_fastest_overall(self, model, soc):
+        graph = build_model(model, with_weights=False)
+        mulayer = MuLayer(soc, use_oracle_costs=True).run(graph)
+        l2p = run_layer_to_processor(soc, graph)
+        cpu = run_single_processor(soc, graph, "cpu", DType.QUINT8)
+        gpu = run_single_processor(soc, graph, "gpu", DType.F16)
+        best = min(l2p.latency_s, cpu.latency_s, gpu.latency_s)
+        assert mulayer.latency_s <= best * 1.02
+
+    def test_branch_layers_not_split(self, highend):
+        """Branch-distributed layers run whole on one processor."""
+        graph = build_model("googlenet", with_weights=False)
+        plan = MuLayer(highend, use_oracle_costs=True).plan(graph)
+        for branch_assignment in plan.branch_assignments:
+            for name in branch_assignment.region.layer_names:
+                assert name not in plan.assignments
+
+    def test_plan_branch_regions_subset_of_found(self, highend):
+        graph = build_model("squeezenet", with_weights=False)
+        plan = MuLayer(highend, use_oracle_costs=True).plan(graph)
+        found = {region.fork for region
+                 in find_branch_regions(graph)}
+        for branch_assignment in plan.branch_assignments:
+            assert branch_assignment.region.fork in found
+
+
+class TestTrainingToDeployment:
+    """Train a CNN, export, quantize, and run it through uLayer."""
+
+    def test_trained_model_runs_on_simulated_soc(self, highend):
+        from repro.train import (ConvLayer, FCLayer, FlattenLayer,
+                                 MaxPoolLayer, ReLULayer, Sequential,
+                                 to_graph, train_epochs)
+        data = make_shapes_dataset(400, image_size=16, noise=0.4,
+                                   seed=21)
+        train, test = data.split(0.8)
+        rng = np.random.default_rng(5)
+        model = Sequential("deploy", [
+            ConvLayer("c1", 1, 8, 3, padding=1, rng=rng), ReLULayer(),
+            MaxPoolLayer(2, 2),
+            FlattenLayer(),
+            FCLayer("fc", 8 * 64, 4, rng=rng),
+        ])
+        train_epochs(model, train.images, train.labels, epochs=4,
+                     lr=0.02, seed=0)
+        graph = to_graph(model, (1, 1, 16, 16))
+        calibration = calibrate_graph(graph, [train.images[:64]])
+        runtime = MuLayer(highend)
+        scores = []
+        for start in range(0, test.images.shape[0], 16):
+            batch = test.images[start:start + 16]
+            result = runtime.run(graph, x=batch,
+                                 calibration=calibration)
+            scores.append(result.output_array())
+        deployed = top_k_accuracy(np.concatenate(scores), test.labels)
+        float_scores = model.forward(test.images, training=False)
+        float_accuracy = top_k_accuracy(float_scores, test.labels)
+        assert deployed >= float_accuracy - 0.05
+
+
+class TestExecutorConsistency:
+    def test_same_plan_same_latency(self, highend):
+        graph = build_model("vgg_mini", with_weights=False)
+        partitioner = Partitioner(
+            highend, config=PartitionerConfig(use_oracle_costs=True))
+        plan = partitioner.plan(graph)
+        executor = Executor(highend)
+        a = executor.run(graph, plan)
+        b = executor.run(graph, plan)
+        assert a.latency_s == b.latency_s
+        assert a.energy.total_j == b.energy.total_j
+
+    def test_timing_independent_of_functional_mode(
+            self, squeezenet_mini, single_input, squeezenet_calibration,
+            highend):
+        """Running with or without data must give identical timing."""
+        runtime = MuLayer(highend)
+        timed_only = runtime.run(squeezenet_mini)
+        functional = runtime.run(squeezenet_mini, x=single_input,
+                                 calibration=squeezenet_calibration)
+        assert timed_only.latency_s == functional.latency_s
+
+    def test_cpu_gpu_busy_recorded(self, highend):
+        graph = build_model("vgg16", with_weights=False)
+        result = MuLayer(highend).run(graph)
+        assert result.timeline.busy_seconds(CPU) > 0
+        assert result.timeline.busy_seconds(GPU) > 0

@@ -1,0 +1,134 @@
+"""Tests for the model zoo: structures, MAC/parameter counts, registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.models import (MINI_MODELS, PAPER_MODELS, build_model,
+                          list_models, model_info)
+from repro.nn import find_branch_regions, reference_output
+
+
+class TestRegistry:
+    def test_paper_models_registered(self):
+        for name in PAPER_MODELS:
+            assert model_info(name).evaluated_in_paper
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(ReproError, match="unknown model"):
+            build_model("resnet-9000")
+
+    def test_list_models_sorted(self):
+        names = list_models()
+        assert names == sorted(names)
+        assert "googlenet" in names
+
+    def test_mini_models_point_to_full(self):
+        for name in MINI_MODELS:
+            info = model_info(name)
+            assert info.mini_of in PAPER_MODELS
+
+    def test_applicability_flags(self):
+        assert model_info("googlenet").branch_distribution_applies
+        assert model_info("squeezenet").branch_distribution_applies
+        assert not model_info("vgg16").branch_distribution_applies
+        assert not model_info("alexnet").branch_distribution_applies
+        assert not model_info("mobilenet").branch_distribution_applies
+
+    def test_universal_mechanisms_apply_everywhere(self):
+        for name in PAPER_MODELS:
+            info = model_info(name)
+            assert info.channel_distribution_applies
+            assert info.processor_quantization_applies
+
+    def test_has_branches_matches_analysis(self):
+        """Table 1's branch flags must agree with the actual graph
+        analysis, not just hand-entered metadata."""
+        for name in PAPER_MODELS:
+            graph = build_model(name, with_weights=False)
+            found = len(find_branch_regions(graph)) > 0
+            assert found == model_info(name).has_branches, name
+
+
+class TestStructures:
+    """Published structural figures for the five networks."""
+
+    def test_vgg16_macs_and_params(self):
+        graph = build_model("vgg16", with_weights=False)
+        assert graph.total_macs() == pytest.approx(15.47e9, rel=0.01)
+        assert graph.total_params() == pytest.approx(138.36e6, rel=0.01)
+
+    def test_alexnet_macs_and_params(self):
+        graph = build_model("alexnet", with_weights=False)
+        assert graph.total_macs() == pytest.approx(1.14e9, rel=0.05)
+        assert graph.total_params() == pytest.approx(62.4e6, rel=0.02)
+
+    def test_googlenet_macs_and_params(self):
+        graph = build_model("googlenet", with_weights=False)
+        assert graph.total_macs() == pytest.approx(1.58e9, rel=0.02)
+        assert graph.total_params() == pytest.approx(7.0e6, rel=0.05)
+
+    def test_squeezenet_params(self):
+        graph = build_model("squeezenet", with_weights=False)
+        assert graph.total_params() == pytest.approx(1.24e6, rel=0.02)
+
+    def test_mobilenet_macs_and_params(self):
+        graph = build_model("mobilenet", with_weights=False)
+        assert graph.total_macs() == pytest.approx(0.57e9, rel=0.02)
+        assert graph.total_params() == pytest.approx(4.2e6, rel=0.02)
+
+    def test_googlenet_output_is_1000_classes(self):
+        graph = build_model("googlenet", with_weights=False)
+        shapes = graph.infer_shapes()
+        assert shapes[graph.output_layers()[0]] == (1, 1000)
+
+    def test_googlenet_inception_count(self):
+        graph = build_model("googlenet", with_weights=False)
+        regions = find_branch_regions(graph)
+        assert len(regions) == 9
+        for region in regions:
+            assert len(region.branches) == 4
+
+    def test_squeezenet_fire_count(self):
+        graph = build_model("squeezenet", with_weights=False)
+        regions = find_branch_regions(graph)
+        assert len(regions) == 8
+        for region in regions:
+            assert len(region.branches) == 2
+
+    def test_mobilenet_has_depthwise_layers(self):
+        from repro.nn import LayerKind
+        graph = build_model("mobilenet", with_weights=False)
+        kinds = graph.kinds_present()
+        assert LayerKind.DEPTHWISE_CONV in kinds
+
+    def test_lenet5_structure(self):
+        graph = build_model("lenet5", with_weights=False)
+        shapes = graph.infer_shapes()
+        assert shapes["softmax"] == (1, 10)
+
+
+class TestWeights:
+    def test_weights_deterministic(self):
+        a = build_model("vgg_mini")
+        b = build_model("vgg_mini")
+        np.testing.assert_array_equal(a.layer("conv1_1").weights,
+                                      b.layer("conv1_1").weights)
+
+    def test_weights_differ_between_layers(self):
+        g = build_model("vgg_mini")
+        assert not np.array_equal(g.layer("conv2_1").weights,
+                                  g.layer("conv2_2").weights)
+
+    def test_without_weights_builds_fast(self):
+        graph = build_model("vgg16", with_weights=False)
+        assert graph.layer("conv1_1").weights is None
+
+    @pytest.mark.parametrize("name", MINI_MODELS + ("lenet5",))
+    def test_all_minis_runnable(self, name, rng):
+        graph = build_model(name)
+        shape = graph.layer(graph.input_layers()[0]).shape
+        x = rng.standard_normal((1,) + shape[1:]).astype(np.float32)
+        out = reference_output(graph, x)
+        assert out.shape[0] == 1
+        assert np.all(np.isfinite(out))

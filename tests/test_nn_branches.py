@@ -1,0 +1,116 @@
+"""Tests for fork/join branch-region detection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.models import build_model
+from repro.nn import (Concat, Conv2D, EltwiseAdd, Graph, Input, MaxPool2D,
+                      ReLU, assert_region_partitions, find_branch_regions)
+
+
+def conv(name, in_c, out_c, rng):
+    layer = Conv2D(name, in_c, out_c, 1)
+    layer.set_weights(
+        rng.standard_normal((out_c, in_c, 1, 1)).astype(np.float32),
+        np.zeros(out_c, np.float32))
+    return layer
+
+
+@pytest.fixture
+def inception_like(rng):
+    g = Graph("inc")
+    g.add(Input("in", (1, 8, 4, 4)))
+    g.add(conv("b0", 8, 4, rng), ["in"])
+    g.add(conv("b1a", 8, 4, rng), ["in"])
+    g.add(conv("b1b", 4, 4, rng), ["b1a"])
+    g.add(MaxPool2D("b2a", 3, 1, padding=1), ["in"])
+    g.add(conv("b2b", 8, 4, rng), ["b2a"])
+    g.add(Concat("join"), ["b0", "b1b", "b2b"])
+    return g
+
+
+class TestDetection:
+    def test_inception_region_found(self, inception_like):
+        regions = find_branch_regions(inception_like)
+        assert len(regions) == 1
+        region = regions[0]
+        assert region.fork == "in"
+        assert region.join == "join"
+        assert sorted(map(sorted, region.branches)) == sorted(
+            [["b0"], ["b1a", "b1b"], ["b2a", "b2b"]])
+
+    def test_sequential_graph_has_no_regions(self, rng):
+        g = Graph("seq")
+        g.add(Input("in", (1, 4, 4, 4)))
+        g.add(conv("a", 4, 4, rng), ["in"])
+        g.add(conv("b", 4, 4, rng), ["a"])
+        assert find_branch_regions(g) == []
+
+    def test_residual_shortcut_gives_empty_branch(self, rng):
+        g = Graph("res")
+        g.add(Input("in", (1, 4, 4, 4)))
+        g.add(conv("body", 4, 4, rng), ["in"])
+        g.add(EltwiseAdd("add"), ["in", "body"])
+        regions = find_branch_regions(g)
+        assert len(regions) == 1
+        branches = sorted(regions[0].branches, key=len)
+        assert branches[0] == ()          # the identity shortcut
+        assert branches[1] == ("body",)
+
+    def test_all_paper_models_region_counts(self):
+        expected = {"googlenet": 9, "squeezenet": 8, "vgg16": 0,
+                    "alexnet": 0, "mobilenet": 0}
+        for model, count in expected.items():
+            graph = build_model(model, with_weights=False)
+            assert len(find_branch_regions(graph)) == count, model
+
+    def test_branch_escaping_region_invalidates(self, rng):
+        # b1a's output is also consumed outside the fork/join span, so
+        # the region is not self-contained.
+        g = Graph("leaky")
+        g.add(Input("in", (1, 4, 4, 4)))
+        g.add(conv("b0", 4, 4, rng), ["in"])
+        g.add(conv("b1a", 4, 4, rng), ["in"])
+        g.add(Concat("join"), ["b0", "b1a"])
+        g.add(Concat("late"), ["join", "b1a"])
+        regions = find_branch_regions(g)
+        assert all(r.fork != "in" or r.join != "join" for r in regions)
+
+    def test_nested_forks(self, rng):
+        # Outer fork at input, inner fork inside one branch.
+        g = Graph("nested")
+        g.add(Input("in", (1, 4, 4, 4)))
+        g.add(conv("left", 4, 4, rng), ["in"])
+        g.add(conv("ra", 4, 4, rng), ["in"])
+        g.add(conv("r1", 4, 2, rng), ["ra"])
+        g.add(conv("r2", 4, 2, rng), ["ra"])
+        g.add(Concat("inner_join"), ["r1", "r2"])
+        g.add(Concat("outer_join"), ["left", "inner_join"])
+        regions = find_branch_regions(g)
+        forks = {r.fork for r in regions}
+        assert forks == {"in", "ra"}
+
+
+class TestInvariants:
+    def test_partition_invariant_holds(self, inception_like):
+        for region in find_branch_regions(inception_like):
+            assert_region_partitions(inception_like, region)
+
+    def test_partition_invariant_all_models(self):
+        for model in ("googlenet_mini", "squeezenet_mini"):
+            graph = build_model(model, with_weights=False)
+            for region in find_branch_regions(graph):
+                assert_region_partitions(graph, region)
+
+    def test_partition_invariant_detects_bad_region(self, inception_like):
+        from repro.nn import BranchRegion
+        bogus = BranchRegion(fork="in", join="join",
+                             branches=(("b0",), ("b1a",)))
+        with pytest.raises(GraphError):
+            assert_region_partitions(inception_like, bogus)
+
+    def test_region_layer_names_flat(self, inception_like):
+        region = find_branch_regions(inception_like)[0]
+        assert set(region.layer_names) == {"b0", "b1a", "b1b", "b2a",
+                                           "b2b"}

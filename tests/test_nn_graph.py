@@ -1,0 +1,133 @@
+"""Tests for the graph container: wiring, ordering, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ShapeError
+from repro.nn import (Concat, Conv2D, Flatten, FullyConnected, Graph,
+                      Input, MaxPool2D, ReLU)
+
+
+def weighted_conv(name, in_c, out_c, rng, **kwargs):
+    conv = Conv2D(name, in_c, out_c, 3, padding=1, **kwargs)
+    conv.set_weights(
+        rng.standard_normal((out_c, in_c, 3, 3)).astype(np.float32),
+        np.zeros(out_c, np.float32))
+    return conv
+
+
+@pytest.fixture
+def chain(rng):
+    g = Graph("chain")
+    g.add(Input("in", (1, 3, 8, 8)))
+    g.add(weighted_conv("c1", 3, 4, rng), ["in"])
+    g.add(MaxPool2D("p1", 2, 2), ["c1"])
+    g.add(weighted_conv("c2", 4, 8, rng), ["p1"])
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self, chain):
+        with pytest.raises(GraphError, match="already has"):
+            chain.add(ReLU("c1"), ["c2"])
+
+    def test_unknown_producer_rejected(self, chain):
+        with pytest.raises(GraphError, match="unknown layer"):
+            chain.add(ReLU("r"), ["ghost"])
+
+    def test_non_input_needs_producers(self):
+        g = Graph("g")
+        with pytest.raises(GraphError, match="no inputs"):
+            g.add(ReLU("r"))
+
+    def test_input_cannot_have_producers(self, chain):
+        with pytest.raises(GraphError, match="cannot have producers"):
+            chain.add(Input("in2", (1, 1, 4, 4)), ["c1"])
+
+    def test_contains_and_len(self, chain):
+        assert "c1" in chain
+        assert "ghost" not in chain
+        assert len(chain) == 4
+
+    def test_layer_lookup_unknown_raises(self, chain):
+        with pytest.raises(GraphError, match="no layer"):
+            chain.layer("ghost")
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self, chain):
+        order = chain.topological_order()
+        for name in chain.layer_names():
+            for producer in chain.inputs_of(name):
+                assert order.index(producer) < order.index(name)
+
+    def test_order_is_stable(self, chain):
+        assert chain.topological_order() == chain.topological_order()
+
+    def test_inputs_and_consumers(self, chain):
+        assert chain.inputs_of("c2") == ["p1"]
+        assert chain.consumers_of("c1") == ["p1"]
+
+    def test_input_and_output_layers(self, chain):
+        assert chain.input_layers() == ["in"]
+        assert chain.output_layers() == ["c2"]
+
+    def test_compute_layers_excludes_inputs(self, chain):
+        assert "in" not in chain.compute_layers()
+        assert len(chain.compute_layers()) == 3
+
+    def test_validate_ok(self, chain):
+        chain.validate()
+
+    def test_validate_no_input(self, rng):
+        g = Graph("g")
+        with pytest.raises(GraphError, match="no Input"):
+            g.validate()
+
+
+class TestShapes:
+    def test_shape_inference(self, chain):
+        shapes = chain.infer_shapes()
+        assert shapes["in"] == (1, 3, 8, 8)
+        assert shapes["c1"] == (1, 4, 8, 8)
+        assert shapes["p1"] == (1, 4, 4, 4)
+        assert shapes["c2"] == (1, 8, 4, 4)
+
+    def test_shape_error_names_layer(self, rng):
+        g = Graph("g")
+        g.add(Input("in", (1, 3, 8, 8)))
+        g.add(weighted_conv("bad", 5, 4, rng), ["in"])
+        with pytest.raises(ShapeError, match="bad"):
+            g.infer_shapes()
+
+    def test_fork_join_shapes(self, rng):
+        g = Graph("fork")
+        g.add(Input("in", (1, 4, 4, 4)))
+        g.add(weighted_conv("a", 4, 2, rng), ["in"])
+        g.add(weighted_conv("b", 4, 3, rng), ["in"])
+        g.add(Concat("cat"), ["a", "b"])
+        assert g.infer_shapes()["cat"] == (1, 5, 4, 4)
+
+
+class TestAccounting:
+    def test_total_macs_is_sum(self, chain):
+        total = sum(chain.layer_work(name).macs
+                    for name in chain.compute_layers())
+        assert chain.total_macs() == total
+
+    def test_total_params(self, chain):
+        expected = (4 * 3 * 9 + 4) + (8 * 4 * 9 + 8)
+        assert chain.total_params() == expected
+
+    def test_kinds_present(self, chain):
+        kinds = {str(kind) for kind in chain.kinds_present()}
+        assert kinds == {"input", "conv", "max_pool"}
+
+    def test_layer_work_for_multi_input(self, rng):
+        g = Graph("g")
+        g.add(Input("in", (1, 2, 4, 4)))
+        g.add(weighted_conv("a", 2, 2, rng), ["in"])
+        g.add(weighted_conv("b", 2, 2, rng), ["in"])
+        g.add(Concat("cat"), ["a", "b"])
+        work = g.layer_work("cat")
+        assert work.input_elements == 2 * (2 * 4 * 4)

@@ -1,0 +1,255 @@
+"""Tests for the concrete NN layers: shapes, forward, work accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (AvgPool2D, Concat, Conv2D, DepthwiseConv2D,
+                      EltwiseAdd, Flatten, FullyConnected,
+                      GlobalAvgPool2D, Input, LRN, LayerKind, MaxPool2D,
+                      ReLU, Softmax)
+
+
+class TestConv2D:
+    def make(self, rng, relu=False):
+        conv = Conv2D("c", 3, 8, 3, padding=1, relu=relu)
+        conv.set_weights(
+            rng.standard_normal((8, 3, 3, 3)).astype(np.float32) * 0.1,
+            rng.standard_normal(8).astype(np.float32) * 0.1)
+        return conv
+
+    def test_shape_inference(self, rng):
+        conv = self.make(rng)
+        assert conv.infer_shape([(1, 3, 16, 16)]) == (1, 8, 16, 16)
+
+    def test_forward_shape(self, rng):
+        conv = self.make(rng)
+        out = conv.forward_f32(
+            [rng.standard_normal((2, 3, 16, 16)).astype(np.float32)])
+        assert out.shape == (2, 8, 16, 16)
+
+    def test_relu_fused(self, rng):
+        conv = self.make(rng, relu=True)
+        out = conv.forward_f32(
+            [rng.standard_normal((1, 3, 8, 8)).astype(np.float32)])
+        assert out.min() >= 0.0
+
+    def test_wrong_input_channels_raises(self, rng):
+        conv = self.make(rng)
+        with pytest.raises(ShapeError, match="channels"):
+            conv.infer_shape([(1, 4, 16, 16)])
+
+    def test_weight_shape_validated(self):
+        conv = Conv2D("c", 3, 8, 3)
+        with pytest.raises(ShapeError):
+            conv.set_weights(np.zeros((8, 3, 5, 5), np.float32),
+                             np.zeros(8, np.float32))
+
+    def test_bias_shape_validated(self):
+        conv = Conv2D("c", 3, 8, 3)
+        with pytest.raises(ShapeError):
+            conv.set_weights(np.zeros((8, 3, 3, 3), np.float32),
+                             np.zeros(4, np.float32))
+
+    def test_work_macs(self, rng):
+        conv = self.make(rng)
+        work = conv.work([(1, 3, 16, 16)])
+        assert work.macs == 16 * 16 * 8 * 3 * 3 * 3
+        assert work.parallel_channels == 8
+        assert work.param_elements == 8 * 3 * 9 + 8
+
+    def test_no_weights_forward_raises(self, rng):
+        conv = Conv2D("c", 3, 8, 3)
+        with pytest.raises(ShapeError, match="no weights"):
+            conv.forward_f32(
+                [rng.standard_normal((1, 3, 8, 8)).astype(np.float32)])
+
+    def test_split_capability(self, rng):
+        conv = self.make(rng)
+        assert conv.splits_filters
+        assert not conv.splits_input
+        assert conv.supports_channel_split
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ShapeError):
+            Conv2D("c", 0, 8, 3)
+        with pytest.raises(ShapeError):
+            Conv2D("c", 3, 8, 3, padding=-1)
+
+
+class TestDepthwiseConv2D:
+    def make(self, rng):
+        dw = DepthwiseConv2D("d", 4, 3, padding=1, relu=True)
+        dw.set_weights(
+            rng.standard_normal((4, 3, 3)).astype(np.float32) * 0.2,
+            np.zeros(4, np.float32))
+        return dw
+
+    def test_preserves_channels(self, rng):
+        dw = self.make(rng)
+        assert dw.infer_shape([(1, 4, 8, 8)]) == (1, 4, 8, 8)
+
+    def test_forward_matches_per_channel_conv(self, rng):
+        dw = self.make(rng)
+        x = rng.standard_normal((1, 4, 8, 8)).astype(np.float32)
+        out = dw.forward_f32([x])
+        # Check channel 2 against an explicit single-channel conv.
+        conv = Conv2D("ref", 1, 1, 3, padding=1, relu=True)
+        conv.set_weights(dw.weights[2][None, None], dw.bias[2:3])
+        ref = conv.forward_f32([x[:, 2:3]])
+        np.testing.assert_allclose(out[:, 2:3], ref, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_splits_input_not_filters(self, rng):
+        dw = self.make(rng)
+        assert dw.splits_input
+        assert not dw.splits_filters
+
+    def test_work(self, rng):
+        dw = self.make(rng)
+        work = dw.work([(1, 4, 8, 8)])
+        assert work.macs == 8 * 8 * 4 * 9
+        assert work.parallel_channels == 4
+
+
+class TestFullyConnected:
+    def make(self, rng):
+        fc = FullyConnected("f", 6, 3)
+        fc.set_weights(rng.standard_normal((3, 6)).astype(np.float32),
+                       rng.standard_normal(3).astype(np.float32))
+        return fc
+
+    def test_forward_matches_matmul(self, rng):
+        fc = self.make(rng)
+        x = rng.standard_normal((2, 6)).astype(np.float32)
+        np.testing.assert_allclose(fc.forward_f32([x]),
+                                   x @ fc.weights.T + fc.bias,
+                                   rtol=1e-5)
+
+    def test_requires_flattened_input(self, rng):
+        fc = self.make(rng)
+        with pytest.raises(ShapeError, match="Flatten"):
+            fc.infer_shape([(1, 6, 1, 1)])
+
+    def test_feature_count_validated(self, rng):
+        fc = self.make(rng)
+        with pytest.raises(ShapeError):
+            fc.infer_shape([(1, 7)])
+
+    def test_work(self, rng):
+        fc = self.make(rng)
+        work = fc.work([(1, 6)])
+        assert work.macs == 18
+        assert work.parallel_channels == 3
+
+
+class TestPooling:
+    def test_max_pool_shape(self):
+        pool = MaxPool2D("p", 2, 2)
+        assert pool.infer_shape([(1, 8, 16, 16)]) == (1, 8, 8, 8)
+
+    def test_avg_pool_forward(self):
+        pool = AvgPool2D("p", 2, 2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = pool.forward_f32([x])
+        assert out[0, 0, 0, 0] == pytest.approx(2.5)
+
+    def test_global_avg_pool_shape(self):
+        pool = GlobalAvgPool2D("g")
+        assert pool.infer_shape([(2, 16, 7, 7)]) == (2, 16, 1, 1)
+
+    def test_pool_has_no_macs(self):
+        pool = MaxPool2D("p", 3, 2)
+        work = pool.work([(1, 8, 16, 16)])
+        assert work.macs == 0
+        assert work.simple_ops > 0
+
+    def test_pool_splits_input(self):
+        assert MaxPool2D("p", 2, 2).splits_input
+        assert not MaxPool2D("p", 2, 2).splits_filters
+
+
+class TestStructuralLayers:
+    def test_input_shape(self):
+        layer = Input("in", (1, 3, 8, 8))
+        assert layer.infer_shape([]) == (1, 3, 8, 8)
+
+    def test_input_rejects_producers(self):
+        layer = Input("in", (1, 3, 8, 8))
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(1, 1)])
+
+    def test_input_rejects_nonpositive_dims(self):
+        with pytest.raises(ShapeError):
+            Input("in", (1, 0, 8, 8))
+
+    def test_flatten(self, rng):
+        layer = Flatten("f")
+        assert layer.infer_shape([(2, 3, 4, 4)]) == (2, 48)
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        assert layer.forward_f32([x]).shape == (2, 48)
+
+    def test_relu(self):
+        layer = ReLU("r")
+        out = layer.forward_f32([np.array([-1.0, 2.0], np.float32)])
+        np.testing.assert_array_equal(out, [0.0, 2.0])
+
+    def test_concat_shapes(self):
+        layer = Concat("c")
+        assert layer.infer_shape(
+            [(1, 2, 4, 4), (1, 3, 4, 4)]) == (1, 5, 4, 4)
+
+    def test_concat_mismatched_spatial_raises(self):
+        layer = Concat("c")
+        with pytest.raises(ShapeError):
+            layer.infer_shape([(1, 2, 4, 4), (1, 2, 5, 5)])
+
+    def test_concat_needs_two_inputs(self):
+        with pytest.raises(ShapeError):
+            Concat("c").infer_shape([(1, 2, 4, 4)])
+
+    def test_add(self, rng):
+        layer = EltwiseAdd("a")
+        x = rng.standard_normal((1, 2, 2, 2)).astype(np.float32)
+        np.testing.assert_allclose(layer.forward_f32([x, x]), 2 * x)
+
+    def test_add_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            EltwiseAdd("a").infer_shape([(1, 2), (1, 3)])
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        layer = Softmax("s")
+        x = rng.standard_normal((4, 10)).astype(np.float32)
+        out = layer.forward_f32([x])
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(4),
+                                   rtol=1e-5)
+
+    def test_softmax_requires_2d(self):
+        with pytest.raises(ShapeError):
+            Softmax("s").infer_shape([(1, 2, 3, 4)])
+
+    def test_lrn_shape_preserved(self, rng):
+        layer = LRN("l", size=5)
+        x = rng.standard_normal((1, 8, 4, 4)).astype(np.float32)
+        assert layer.forward_f32([x]).shape == x.shape
+
+    def test_lrn_matches_naive(self, rng):
+        layer = LRN("l", size=3, alpha=1e-2, beta=0.5, k=2.0)
+        x = rng.standard_normal((1, 6, 2, 2)).astype(np.float32)
+        out = layer.forward_f32([x])
+        # Naive windowed sum of squares over channels.
+        squared = x * x
+        for c in range(6):
+            lo, hi = max(0, c - 1), min(6, c + 2)
+            window = squared[:, lo:hi].sum(axis=1)
+            denominator = (2.0 + (1e-2 / 3) * window) ** 0.5
+            np.testing.assert_allclose(out[:, c], x[:, c] / denominator,
+                                       rtol=1e-4)
+
+    def test_kind_strings(self):
+        assert str(LayerKind.CONV) == "conv"
+        assert str(LayerKind.MAX_POOL) == "max_pool"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ReLU("")

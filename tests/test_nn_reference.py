@@ -1,0 +1,72 @@
+"""Tests for the float32 reference executor and calibration driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn import (Graph, Input, calibrate_graph, reference_output,
+                      run_reference)
+from repro.quant import CalibrationTable
+
+
+class TestRunReference:
+    def test_returns_all_activations(self, vgg_mini, single_input):
+        activations = run_reference(vgg_mini, {"input": single_input})
+        assert set(activations) == set(vgg_mini.layer_names())
+
+    def test_softmax_output_normalized(self, vgg_mini, single_input):
+        out = reference_output(vgg_mini, single_input)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_deterministic(self, squeezenet_mini, single_input):
+        a = reference_output(squeezenet_mini, single_input)
+        b = reference_output(squeezenet_mini, single_input)
+        np.testing.assert_array_equal(a, b)
+
+    def test_batch_independence(self, vgg_mini, mini_input):
+        """Each batch element's output is independent of the others."""
+        batch_out = reference_output(vgg_mini, mini_input)
+        single_out = reference_output(vgg_mini, mini_input[:1])
+        np.testing.assert_allclose(batch_out[:1], single_out, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_missing_input_raises(self, vgg_mini):
+        with pytest.raises(ShapeError, match="missing data"):
+            run_reference(vgg_mini, {})
+
+    def test_wrong_shape_raises(self, vgg_mini, rng):
+        bad = rng.standard_normal((1, 3, 16, 16)).astype(np.float32)
+        with pytest.raises(ShapeError):
+            run_reference(vgg_mini, {"input": bad})
+
+    def test_multi_output_graph_rejected_by_reference_output(self, rng):
+        g = Graph("two_out")
+        g.add(Input("in", (1, 1, 4, 4)))
+        from repro.nn import ReLU
+        g.add(ReLU("a"), ["in"])
+        g.add(ReLU("b"), ["in"])
+        with pytest.raises(ShapeError):
+            reference_output(g, rng.standard_normal((1, 1, 4, 4)))
+
+
+class TestCalibration:
+    def test_calibrate_covers_all_layers(self, vgg_mini, mini_input):
+        table = calibrate_graph(vgg_mini, [mini_input])
+        for name in vgg_mini.layer_names():
+            assert name in table
+
+    def test_calibration_covers_observed_range(self, vgg_mini,
+                                               mini_input):
+        activations = run_reference(vgg_mini, {"input": mini_input})
+        table = calibrate_graph(vgg_mini, [mini_input])
+        for name, data in activations.items():
+            qp = table.get(name)
+            assert qp.range_min <= data.min() + qp.scale
+            assert qp.range_max >= data.max() - qp.scale
+
+    def test_observer_table_passed_through(self, vgg_mini, mini_input):
+        table = CalibrationTable()
+        run_reference(vgg_mini, {"input": mini_input},
+                      calibration=table)
+        table.freeze()
+        assert "conv1_1" in table

@@ -1,0 +1,218 @@
+"""Tests for the Section 8.3 NPU extension: three-way channel
+distribution, NPU-friendly quantization, NPU-aware branch distribution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError, SimulationError
+from repro.models import build_model
+from repro.runtime import (ExecutionPlan, Executor, LayerAssignment,
+                           MuLayer, Placement, UNIFORM_QUINT8,
+                           run_single_processor)
+from repro.runtime.branch_dist import NPU_KINDS
+from repro.runtime.distribution import (channel_ranges, share_counts,
+                                        split_layer_work_shares)
+from repro.soc import EXYNOS_7420, EXYNOS_7420_NPU, NPU
+from repro.tensor import DType
+
+
+class TestNpuSpec:
+    def test_npu_present(self):
+        assert EXYNOS_7420_NPU.has_npu
+        assert not EXYNOS_7420.has_npu
+
+    def test_resources(self):
+        assert EXYNOS_7420_NPU.resources() == ["cpu", "gpu", "npu"]
+        assert EXYNOS_7420.resources() == ["cpu", "gpu"]
+
+    def test_npu_lookup_without_npu_raises(self):
+        with pytest.raises(SimulationError, match="no NPU"):
+            EXYNOS_7420.processor("npu")
+
+    def test_npu_is_integer_only(self):
+        npu = EXYNOS_7420_NPU.npu
+        assert npu.sustained_macs_per_s(DType.QUINT8) > 0
+        with pytest.raises(SimulationError):
+            npu.peak_macs_per_s(DType.F32)
+
+    def test_npu_dwarfs_cpu_on_quint8(self):
+        soc = EXYNOS_7420_NPU
+        assert (soc.npu.sustained_macs_per_s(DType.QUINT8)
+                > 2 * soc.cpu.sustained_macs_per_s(DType.QUINT8))
+
+
+class TestShareSplitting:
+    def test_three_way_counts_sum(self, rng):
+        for _ in range(50):
+            total = int(rng.integers(3, 2048))
+            raw = rng.uniform(0.05, 1.0, 3)
+            raw = raw / raw.sum()
+            counts = share_counts(total, {"cpu": raw[0], "npu": raw[1],
+                                          "gpu": raw[2]})
+            assert sum(counts.values()) == total
+            assert all(count >= 1 for count in counts.values())
+
+    def test_ranges_contiguous_in_canonical_order(self):
+        ranges = channel_ranges(100, {"cpu": 0.25, "npu": 0.5,
+                                      "gpu": 0.25})
+        assert ranges["cpu"][0] == 0
+        assert ranges["cpu"][1] == ranges["npu"][0]
+        assert ranges["npu"][1] == ranges["gpu"][0]
+        assert ranges["gpu"][1] == 100
+
+    def test_bad_shares_rejected(self):
+        with pytest.raises(PlanError):
+            share_counts(10, {"cpu": 0.5, "gpu": 0.6})
+        with pytest.raises(PlanError):
+            share_counts(10, {})
+        with pytest.raises(PlanError):
+            share_counts(2, {"cpu": 0.3, "npu": 0.3, "gpu": 0.4})
+
+    def test_three_way_work_partition(self):
+        graph = build_model("vgg16", with_weights=False)
+        full = graph.layer_work("conv3_1")
+        works = split_layer_work_shares(
+            graph, "conv3_1", {"cpu": 0.25, "npu": 0.5, "gpu": 0.25})
+        assert sum(w.macs for w in works.values()) == pytest.approx(
+            full.macs, rel=0.01)
+        for work in works.values():
+            assert work.input_elements == full.input_elements
+
+
+class TestAssignments:
+    def test_on_npu(self):
+        a = LayerAssignment.on_npu("c")
+        assert a.placement is Placement.NPU
+        assert a.uses_npu and not a.uses_cpu and not a.uses_gpu
+        assert a.shares() == {"npu": 1.0}
+
+    def test_three_way_cooperative(self):
+        a = LayerAssignment.cooperative("c", 0.25, npu_split=0.5)
+        assert a.shares() == {"cpu": 0.25, "npu": 0.5, "gpu": 0.25}
+        assert a.uses_cpu and a.uses_gpu and a.uses_npu
+
+    def test_cpu_npu_cooperative_without_gpu(self):
+        a = LayerAssignment.cooperative("c", 0.5, npu_split=0.5)
+        assert a.shares() == {"cpu": 0.5, "npu": 0.5}
+        assert not a.uses_gpu
+
+    def test_overcommitted_shares_rejected(self):
+        with pytest.raises(PlanError):
+            LayerAssignment.cooperative("c", 0.75, npu_split=0.5)
+
+    def test_single_share_cooperative_rejected(self):
+        with pytest.raises(PlanError):
+            LayerAssignment("c", Placement.COOPERATIVE, 0.0,
+                            npu_split=1.0)
+
+
+class TestExecutorWithNpu:
+    def test_npu_plan_on_npuless_soc_rejected(self):
+        graph = build_model("vgg_mini", with_weights=False)
+        assignments = {name: LayerAssignment.on_cpu(name)
+                       for name in graph.compute_layers()}
+        assignments["conv2_1"] = LayerAssignment.on_npu("conv2_1")
+        plan = ExecutionPlan(graph_name=graph.name,
+                             policy=UNIFORM_QUINT8,
+                             assignments=assignments)
+        with pytest.raises(PlanError, match="no such processor"):
+            Executor(EXYNOS_7420).run(graph, plan)
+
+    def test_npu_single_processor_run(self):
+        graph = build_model("vgg16", with_weights=False)
+        result = run_single_processor(EXYNOS_7420_NPU, graph, "npu",
+                                      DType.QUINT8)
+        assert result.latency_s > 0
+        assert result.timeline.busy_seconds(NPU) > 0
+
+    def test_npu_faster_than_cpu_on_big_convs(self):
+        graph = build_model("vgg16", with_weights=False)
+        npu = run_single_processor(EXYNOS_7420_NPU, graph, "npu",
+                                   DType.QUINT8)
+        cpu = run_single_processor(EXYNOS_7420_NPU, graph, "cpu",
+                                   DType.QUINT8)
+        assert npu.latency_s < cpu.latency_s
+
+    def test_three_way_split_functionally_exact(
+            self, vgg_mini, single_input, vgg_mini_calibration):
+        """Under uniform QUInt8 all three pipelines are the same
+        integer arithmetic, so a three-way split is bit-exact."""
+        whole_plan = ExecutionPlan(
+            graph_name=vgg_mini.name, policy=UNIFORM_QUINT8,
+            assignments={name: LayerAssignment.on_cpu(name)
+                         for name in vgg_mini.compute_layers()})
+        assignments = {name: LayerAssignment.on_cpu(name)
+                       for name in vgg_mini.compute_layers()}
+        assignments["conv2_1"] = LayerAssignment.cooperative(
+            "conv2_1", 0.25, npu_split=0.5)
+        split_plan = ExecutionPlan(graph_name=vgg_mini.name,
+                                   policy=UNIFORM_QUINT8,
+                                   assignments=assignments)
+        executor = Executor(EXYNOS_7420_NPU)
+        whole = executor.run(vgg_mini, whole_plan, x=single_input,
+                             calibration=vgg_mini_calibration)
+        split = executor.run(vgg_mini, split_plan, x=single_input,
+                             calibration=vgg_mini_calibration)
+        np.testing.assert_array_equal(split.output_array(),
+                                      whole.output_array())
+
+    def test_three_way_timeline_valid(self):
+        graph = build_model("vgg16", with_weights=False)
+        result = MuLayer(EXYNOS_7420_NPU,
+                         use_oracle_costs=True).run(graph)
+        result.timeline.validate()
+        assert result.timeline.busy_seconds(NPU) > 0
+
+
+class TestNpuPlanning:
+    def test_mulayer_with_npu_beats_npu_only(self):
+        """Section 8.3's claim: the key ideas still hold with an NPU --
+        cooperative execution beats the NPU running alone."""
+        for model in ("vgg16", "googlenet"):
+            graph = build_model(model, with_weights=False)
+            npu_only = run_single_processor(EXYNOS_7420_NPU, graph,
+                                            "npu", DType.QUINT8)
+            mulayer = MuLayer(EXYNOS_7420_NPU,
+                              use_oracle_costs=True).run(graph)
+            assert mulayer.latency_s < npu_only.latency_s, model
+
+    def test_npu_never_hurts_mulayer(self):
+        """Adding a processor can only help the planner."""
+        for model in ("vgg16", "googlenet", "mobilenet"):
+            graph = build_model(model, with_weights=False)
+            two_way = MuLayer(EXYNOS_7420,
+                              use_oracle_costs=True).run(graph)
+            three_way = MuLayer(EXYNOS_7420_NPU,
+                                use_oracle_costs=True).run(graph)
+            assert three_way.latency_s <= two_way.latency_s * 1.03, model
+
+    def test_three_way_splits_chosen_for_big_convs(self):
+        graph = build_model("vgg16", with_weights=False)
+        plan = MuLayer(EXYNOS_7420_NPU,
+                       use_oracle_costs=True).plan(graph)
+        three_way = [a for a in plan.assignments.values()
+                     if len(a.shares()) == 3]
+        assert len(three_way) >= 5
+
+    def test_npu_only_for_gemm_kinds(self):
+        graph = build_model("googlenet", with_weights=False)
+        plan = MuLayer(EXYNOS_7420_NPU,
+                       use_oracle_costs=True).plan(graph)
+        for name, assignment in plan.assignments.items():
+            if assignment.uses_npu:
+                assert graph.layer(name).kind in NPU_KINDS, name
+        for branch_assignment in plan.branch_assignments:
+            for branch, target in zip(
+                    branch_assignment.region.branches,
+                    branch_assignment.mapping):
+                if target == "npu":
+                    for name in branch:
+                        assert graph.layer(name).kind in NPU_KINDS
+
+    def test_branch_mappings_can_use_npu(self):
+        graph = build_model("googlenet", with_weights=False)
+        plan = MuLayer(EXYNOS_7420_NPU,
+                       use_oracle_costs=True).plan(graph)
+        targets = {target for ba in plan.branch_assignments
+                   for target in ba.mapping}
+        assert "npu" in targets

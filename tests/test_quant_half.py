@@ -1,0 +1,64 @@
+"""Tests for half-precision conversion helpers."""
+
+import numpy as np
+
+from repro.quant import (dequantize_to_half, from_half, half_ulp,
+                         tensor_to_half, to_half)
+from repro.tensor import DType, QuantParams, Tensor
+
+
+class TestHalfConversion:
+    def test_to_half_dtype(self, rng):
+        assert to_half(rng.standard_normal(4)).dtype == np.float16
+
+    def test_from_half_exact_widening(self):
+        halves = np.array([0.5, 1.25, -3.0], dtype=np.float16)
+        widened = from_half(halves)
+        assert widened.dtype == np.float32
+        np.testing.assert_array_equal(widened,
+                                      halves.astype(np.float32))
+
+    def test_roundtrip_error_within_half_precision(self, rng):
+        values = rng.uniform(-10, 10, 1000).astype(np.float32)
+        recovered = from_half(to_half(values))
+        # f16 has a 10-bit significand: relative error < 2^-10.
+        rel = np.abs(recovered - values) / np.maximum(np.abs(values),
+                                                      1e-3)
+        assert rel.max() < 2 ** -10
+
+    def test_tensor_to_half(self, rng):
+        t = Tensor.from_float(rng.standard_normal(8).astype(np.float32))
+        half = tensor_to_half(t)
+        assert half.dtype is DType.F16
+
+    def test_half_overflow_to_inf(self):
+        assert np.isinf(to_half(np.array([1e6]))[0])
+
+
+class TestDequantizeToHalf:
+    def test_matches_f32_dequantize_within_half_ulp(self, rng):
+        qp = QuantParams.from_range(-2.0, 2.0)
+        codes = rng.integers(0, 256, 500).astype(np.uint8)
+        half = dequantize_to_half(codes, qp).astype(np.float32)
+        full = qp.dequantize(codes)
+        # Error bounded by one half-precision ULP of the magnitude.
+        tolerance = np.vectorize(half_ulp)(np.abs(full) + 1e-3)
+        assert np.all(np.abs(half - full) <= tolerance + 1e-6)
+
+    def test_zero_point_maps_to_zero(self):
+        qp = QuantParams(scale=0.013, zero_point=131)
+        out = dequantize_to_half(np.array([131], dtype=np.uint8), qp)
+        assert out[0] == 0.0
+
+    def test_output_is_float16(self):
+        qp = QuantParams(scale=0.1, zero_point=0)
+        out = dequantize_to_half(np.array([1, 2], dtype=np.uint8), qp)
+        assert out.dtype == np.float16
+
+
+class TestHalfUlp:
+    def test_ulp_positive(self):
+        assert half_ulp(1.0) > 0
+
+    def test_ulp_grows_with_magnitude(self):
+        assert half_ulp(100.0) > half_ulp(1.0)

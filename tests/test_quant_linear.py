@@ -1,0 +1,106 @@
+"""Tests for 8-bit linear quantization and gemmlowp requantization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.quant import (quantize, dequantize, quantize_tensor,
+                         quantized_multiplier, requantize,
+                         requantize_float_reference)
+from repro.tensor import DType, QuantParams, Tensor
+
+
+class TestQuantizeDequantize:
+    def test_quantize_matches_qparams(self, rng):
+        qp = QuantParams.from_range(-2.0, 2.0)
+        values = rng.uniform(-2, 2, 100)
+        np.testing.assert_array_equal(quantize(values, qp),
+                                      qp.quantize(values))
+
+    def test_dequantize_matches_qparams(self):
+        qp = QuantParams.from_range(-2.0, 2.0)
+        codes = np.arange(256, dtype=np.uint8)
+        np.testing.assert_array_equal(dequantize(codes, qp),
+                                      qp.dequantize(codes))
+
+    def test_quantize_tensor_from_float(self, rng):
+        t = Tensor.from_float(rng.uniform(-1, 1, 50).astype(np.float32))
+        q = quantize_tensor(t)
+        assert q.dtype is DType.QUINT8
+        assert np.max(np.abs(q.to_float() - t.to_float())) <= q.qparams.scale
+
+    def test_quantize_tensor_explicit_params(self, rng):
+        qp = QuantParams.from_range(-4.0, 4.0)
+        t = Tensor.from_float(rng.uniform(-1, 1, 10).astype(np.float32))
+        q = quantize_tensor(t, qp)
+        assert q.qparams == qp
+
+
+class TestQuantizedMultiplier:
+    def test_decomposition_accuracy(self):
+        for value in (0.001, 0.3, 0.4999, 0.5, 0.77, 0.9999):
+            mantissa, shift = quantized_multiplier(value)
+            reconstructed = mantissa * 2.0 ** (-31 - shift)
+            assert reconstructed == pytest.approx(value, rel=1e-6)
+
+    def test_mantissa_in_q31_range(self):
+        for value in (0.01, 0.5, 0.99):
+            mantissa, _ = quantized_multiplier(value)
+            assert (1 << 30) <= mantissa <= (1 << 31)
+
+    def test_multiplier_above_one_uses_left_shift(self):
+        mantissa, shift = quantized_multiplier(3.7)
+        assert shift < 0
+        assert mantissa * 2.0 ** (-31 - shift) == pytest.approx(3.7,
+                                                                rel=1e-6)
+
+    def test_zero_multiplier_raises(self):
+        with pytest.raises(QuantizationError):
+            quantized_multiplier(0.0)
+
+    def test_negative_multiplier_raises(self):
+        with pytest.raises(QuantizationError):
+            quantized_multiplier(-0.5)
+
+
+class TestRequantize:
+    def test_matches_float_reference(self, rng):
+        acc = rng.integers(-100000, 100000, size=(64, 64)).astype(np.int32)
+        out = QuantParams(scale=0.05, zero_point=128)
+        fixed = requantize(acc, 0.01, 0.002, out)
+        ref = requantize_float_reference(acc, 0.01, 0.002, out)
+        # The fixed-point pipeline may differ by at most 1 code from the
+        # float reference (round-to-even boundary cases).
+        assert np.max(np.abs(fixed.astype(int) - ref.astype(int))) <= 1
+
+    def test_exact_for_small_accumulators(self):
+        acc = np.arange(-128, 128, dtype=np.int32)
+        out = QuantParams(scale=0.02, zero_point=128)
+        fixed = requantize(acc, 0.1, 0.1, out)
+        ref = requantize_float_reference(acc, 0.1, 0.1, out)
+        assert np.max(np.abs(fixed.astype(int) - ref.astype(int))) <= 1
+
+    def test_saturates_to_uint8(self):
+        acc = np.array([10 ** 9, -10 ** 9], dtype=np.int32)
+        out = QuantParams(scale=0.05, zero_point=128)
+        codes = requantize(acc, 0.01, 0.01, out)
+        assert codes[0] == 255
+        assert codes[1] == 0
+
+    def test_zero_accumulator_maps_to_zero_point(self):
+        out = QuantParams(scale=0.05, zero_point=77)
+        codes = requantize(np.array([0], dtype=np.int32), 0.01, 0.01, out)
+        assert codes[0] == 77
+
+    def test_large_multiplier_path(self):
+        # Narrow output range -> multiplier > 1 -> left-shift path.
+        acc = np.array([5, -5, 100], dtype=np.int32)
+        out = QuantParams(scale=1e-4, zero_point=128)
+        fixed = requantize(acc, 0.01, 0.01, out)
+        ref = requantize_float_reference(acc, 0.01, 0.01, out)
+        assert np.max(np.abs(fixed.astype(int) - ref.astype(int))) <= 1
+
+    def test_output_dtype(self):
+        out = QuantParams(scale=0.05, zero_point=128)
+        codes = requantize(np.zeros(4, dtype=np.int32), 0.01, 0.01, out)
+        assert codes.dtype == np.uint8

@@ -1,0 +1,148 @@
+"""Focused tests of the quantized execution paths of every layer kind."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (AvgPool2D, Concat, EltwiseAdd, Flatten,
+                      GlobalAvgPool2D, Graph, Input, LRN, MaxPool2D,
+                      ReLU, Softmax)
+from repro.runtime import LayerComputer, UNIFORM_QUINT8
+from repro.quant import CalibrationTable
+from repro.tensor import DType, QuantParams, Tensor
+
+
+def quant_tensor(values, qparams=None):
+    values = np.asarray(values, dtype=np.float32)
+    qparams = qparams or QuantParams.from_array(values)
+    return Tensor(qparams.quantize(values), DType.QUINT8, qparams)
+
+
+def single_layer_graph(layer, input_shape):
+    graph = Graph(f"single_{layer.name}")
+    graph.add(Input("in", input_shape))
+    graph.add(layer, ["in"])
+    return graph
+
+
+def computer_for(graph, out_ranges):
+    table = CalibrationTable()
+    table.set("in", QuantParams.from_range(-4.0, 4.0))
+    for name, (lo, hi) in out_ranges.items():
+        table.set(name, QuantParams.from_range(lo, hi))
+    return LayerComputer(graph, UNIFORM_QUINT8, table)
+
+
+class TestInvariantQuantizedKinds:
+    def test_max_pool_preserves_qparams(self, rng):
+        graph = single_layer_graph(MaxPool2D("pool", 2, 2),
+                                   (1, 4, 8, 8))
+        computer = computer_for(graph, {})
+        x = quant_tensor(rng.uniform(-2, 2, (1, 4, 8, 8)))
+        out = computer.run_full("pool", [x], "cpu")
+        assert out.qparams == x.qparams
+        # Max of codes == max over 2x2 windows of the float values.
+        ref = x.to_float().reshape(1, 4, 4, 2, 4, 2).max(
+            axis=(3, 5))
+        np.testing.assert_allclose(out.to_float(), ref, atol=1e-6)
+
+    def test_relu_clamps_at_zero_point(self, rng):
+        graph = single_layer_graph(ReLU("relu"), (1, 2, 4, 4))
+        computer = computer_for(graph, {})
+        x = quant_tensor(rng.uniform(-2, 2, (1, 2, 4, 4)))
+        out = computer.run_full("relu", [x], "cpu")
+        assert out.to_float().min() >= 0.0
+        positive = x.to_float() > 0
+        np.testing.assert_allclose(out.to_float()[positive],
+                                   x.to_float()[positive])
+
+    def test_avg_pool_error_within_one_step(self, rng):
+        graph = single_layer_graph(AvgPool2D("pool", 2, 2),
+                                   (1, 3, 8, 8))
+        computer = computer_for(graph, {})
+        x = quant_tensor(rng.uniform(-2, 2, (1, 3, 8, 8)))
+        out = computer.run_full("pool", [x], "cpu")
+        ref = x.to_float().reshape(1, 3, 4, 2, 4, 2).mean(axis=(3, 5))
+        assert np.max(np.abs(out.to_float() - ref)) <= x.qparams.scale
+
+    def test_global_avg_pool(self, rng):
+        graph = single_layer_graph(GlobalAvgPool2D("pool"),
+                                   (1, 5, 6, 6))
+        computer = computer_for(graph, {})
+        x = quant_tensor(rng.uniform(-2, 2, (1, 5, 6, 6)))
+        out = computer.run_full("pool", [x], "cpu")
+        ref = x.to_float().mean(axis=(2, 3), keepdims=True)
+        assert np.max(np.abs(out.to_float() - ref)) <= x.qparams.scale
+
+    def test_flatten_preserves_codes(self, rng):
+        graph = single_layer_graph(Flatten("flat"), (1, 3, 4, 4))
+        computer = computer_for(graph, {})
+        x = quant_tensor(rng.uniform(-2, 2, (1, 3, 4, 4)))
+        out = computer.run_full("flat", [x], "cpu")
+        np.testing.assert_array_equal(out.data.ravel(), x.data.ravel())
+
+    def test_softmax_requantized(self, rng):
+        graph = single_layer_graph(Softmax("sm"), (2, 6))
+        computer = computer_for(graph, {"sm": (0.0, 1.0)})
+        x = quant_tensor(rng.uniform(-2, 2, (2, 6)))
+        out = computer.run_full("sm", [x], "cpu")
+        sums = out.to_float().sum(axis=1)
+        np.testing.assert_allclose(sums, 1.0, atol=0.05)
+
+    def test_lrn_requantized_close_to_float(self, rng):
+        layer = LRN("lrn", size=3)
+        graph = single_layer_graph(layer, (1, 6, 4, 4))
+        computer = computer_for(graph, {"lrn": (-4.0, 4.0)})
+        x = quant_tensor(rng.uniform(-2, 2, (1, 6, 4, 4)))
+        out = computer.run_full("lrn", [x], "cpu")
+        ref = layer.forward_f32([x.to_float()])
+        assert np.max(np.abs(out.to_float() - ref)) <= 0.1
+
+
+class TestMultiInputQuantizedKinds:
+    def build_fork(self, op_layer):
+        graph = Graph("fork")
+        graph.add(Input("in", (1, 4, 4, 4)))
+        graph.add(ReLU("a"), ["in"])
+        graph.add(ReLU("b"), ["in"])
+        graph.add(op_layer, ["a", "b"])
+        return graph
+
+    def test_concat_rescales_to_common_grid(self, rng):
+        graph = self.build_fork(Concat("cat"))
+        computer = computer_for(graph, {"cat": (-3.0, 3.0)})
+        x = quant_tensor(rng.uniform(-2, 2, (1, 4, 4, 4)),
+                         QuantParams.from_range(-4.0, 4.0))
+        a = computer.run_full("a", [x], "cpu")
+        b = computer.run_full("b", [x], "cpu")
+        out = computer.run_full("cat", [a, b], "cpu")
+        assert out.shape == (1, 8, 4, 4)
+        ref = np.concatenate([a.to_float(), b.to_float()], axis=1)
+        assert np.max(np.abs(out.to_float() - ref)
+                      ) <= out.qparams.scale
+
+    def test_add_requantizes(self, rng):
+        graph = self.build_fork(EltwiseAdd("add"))
+        computer = computer_for(graph, {"add": (0.0, 8.0)})
+        x = quant_tensor(rng.uniform(-2, 2, (1, 4, 4, 4)),
+                         QuantParams.from_range(-4.0, 4.0))
+        a = computer.run_full("a", [x], "cpu")
+        b = computer.run_full("b", [x], "cpu")
+        out = computer.run_full("add", [a, b], "cpu")
+        ref = a.to_float() + b.to_float()
+        assert np.max(np.abs(out.to_float() - ref)
+                      ) <= 2 * out.qparams.scale
+
+
+class TestNpuBaselinePlan:
+    def test_npu_plan_places_non_gemm_on_cpu(self):
+        from repro.models import build_model
+        from repro.nn import LayerKind
+        from repro.runtime import Placement, single_processor_plan
+        graph = build_model("googlenet", with_weights=False)
+        plan = single_processor_plan(graph, "npu", UNIFORM_QUINT8)
+        for name, assignment in plan.assignments.items():
+            kind = graph.layer(name).kind
+            if kind in (LayerKind.CONV, LayerKind.FC):
+                assert assignment.placement is Placement.NPU
+            else:
+                assert assignment.placement is Placement.CPU

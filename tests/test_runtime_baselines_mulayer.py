@@ -1,0 +1,214 @@
+"""Tests for the baseline mechanisms and the MuLayer facade --
+including the paper's headline comparison shapes."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import run_reference
+from repro.runtime import (MuLayer, mulayer_ablation_stages,
+                           run_layer_to_processor,
+                           run_network_to_processor,
+                           run_single_processor, speed_improvement,
+                           geometric_mean)
+from repro.soc import EXYNOS_7420
+from repro.tensor import DType
+
+
+class TestSingleProcessor:
+    def test_runs_all_dtypes(self, highend):
+        graph = build_model("vgg_mini", with_weights=False)
+        for dtype in (DType.F32, DType.F16, DType.QUINT8):
+            for resource in ("cpu", "gpu"):
+                result = run_single_processor(highend, graph, resource,
+                                              dtype)
+                assert result.latency_s > 0
+
+    def test_cpu_quint8_faster_than_f32(self, soc):
+        graph = build_model("vgg16", with_weights=False)
+        f32 = run_single_processor(soc, graph, "cpu", DType.F32)
+        q8 = run_single_processor(soc, graph, "cpu", DType.QUINT8)
+        assert q8.latency_s < f32.latency_s
+
+    def test_cpu_f16_no_faster_than_f32(self, soc):
+        graph = build_model("vgg16", with_weights=False)
+        f32 = run_single_processor(soc, graph, "cpu", DType.F32)
+        f16 = run_single_processor(soc, graph, "cpu", DType.F16)
+        # No vector F16 on the CPU: at best the memory traffic shrinks.
+        assert f16.latency_s >= 0.75 * f32.latency_s
+
+    def test_gpu_f16_faster_than_f32(self, soc):
+        graph = build_model("vgg16", with_weights=False)
+        f32 = run_single_processor(soc, graph, "gpu", DType.F32)
+        f16 = run_single_processor(soc, graph, "gpu", DType.F16)
+        assert f16.latency_s < f32.latency_s
+
+    def test_gpu_quint8_slower_than_f16(self, soc):
+        graph = build_model("vgg16", with_weights=False)
+        f16 = run_single_processor(soc, graph, "gpu", DType.F16)
+        q8 = run_single_processor(soc, graph, "gpu", DType.QUINT8)
+        assert q8.latency_s > f16.latency_s
+
+    def test_functional_output(self, squeezenet_mini, single_input,
+                               highend):
+        result = run_single_processor(highend, squeezenet_mini, "cpu",
+                                      DType.F32, x=single_input)
+        ref = run_reference(squeezenet_mini,
+                            {"input": single_input})["softmax"]
+        np.testing.assert_allclose(result.output_array(), ref,
+                                   rtol=1e-5, atol=1e-6)
+
+
+class TestLayerToProcessor:
+    def test_no_cooperative_layers(self, highend):
+        graph = build_model("vgg_mini", with_weights=False)
+        from repro.runtime import layer_to_processor_plan, \
+            uniform_policy
+        plan = layer_to_processor_plan(highend, graph,
+                                       uniform_policy(DType.QUINT8))
+        assert plan.cooperative_layers() == []
+        assert plan.branch_assignments == []
+
+    def test_not_slower_than_worst_single(self, soc):
+        graph = build_model("googlenet", with_weights=False)
+        l2p = run_layer_to_processor(soc, graph)
+        cpu = run_single_processor(soc, graph, "cpu", DType.QUINT8)
+        gpu = run_single_processor(soc, graph, "gpu", DType.QUINT8)
+        assert l2p.latency_s <= max(cpu.latency_s, gpu.latency_s) * 1.05
+
+
+class TestNetworkToProcessor:
+    def test_throughput_beats_latency_mechanisms(self, highend):
+        """MCDNN-style batching improves throughput but not latency.
+        Needs a model big enough that the GPU is competitive."""
+        graph = build_model("vgg16", with_weights=False)
+        result = run_network_to_processor(highend, graph, num_inputs=8)
+        single = run_single_processor(highend, graph, "cpu",
+                                      DType.QUINT8)
+        single_throughput = 1.0 / single.latency_s
+        assert result.throughput_ips > single_throughput
+        assert result.mean_latency_s >= single.latency_s * 0.99
+
+    def test_per_input_count(self, highend):
+        graph = build_model("vgg_mini", with_weights=False)
+        result = run_network_to_processor(highend, graph, num_inputs=5)
+        assert len(result.per_input_latency_s) == 5
+
+    def test_invalid_count_rejected(self, highend):
+        graph = build_model("vgg_mini", with_weights=False)
+        with pytest.raises(ValueError):
+            run_network_to_processor(highend, graph, num_inputs=0)
+
+
+class TestMuLayerHeadline:
+    """The paper's headline result shapes (Figures 16 and 18)."""
+
+    @pytest.mark.parametrize("model", ["googlenet", "squeezenet",
+                                       "vgg16", "alexnet", "mobilenet"])
+    def test_mulayer_never_slower_than_l2p(self, model, soc):
+        graph = build_model(model, with_weights=False)
+        l2p = run_layer_to_processor(soc, graph)
+        mulayer = MuLayer(soc).run(graph)
+        assert mulayer.latency_s <= l2p.latency_s * 1.02, model
+
+    def test_geomean_speedup_double_digit(self, soc):
+        speedups = []
+        runtime = MuLayer(soc)
+        for model in ("googlenet", "squeezenet", "vgg16", "alexnet",
+                      "mobilenet"):
+            graph = build_model(model, with_weights=False)
+            l2p = run_layer_to_processor(soc, graph)
+            mulayer = runtime.run(graph)
+            speedups.append(l2p.latency_s / mulayer.latency_s)
+        assert geometric_mean(speedups) > 1.10
+
+    def test_energy_never_worse(self, soc):
+        runtime = MuLayer(soc)
+        for model in ("vgg16", "alexnet", "googlenet"):
+            graph = build_model(model, with_weights=False)
+            l2p = run_layer_to_processor(soc, graph)
+            mulayer = runtime.run(graph)
+            assert (mulayer.energy.total_j
+                    <= l2p.energy.total_j * 1.02), model
+
+    def test_vgg_highend_single_gpu_anomaly(self, highend):
+        """Section 7.2: VGG-16 on the high-end SoC is the one case
+        where the single-processor mechanism (GPU, F16) beats the
+        layer-to-processor mechanism."""
+        graph = build_model("vgg16", with_weights=False)
+        gpu_f16 = run_single_processor(highend, graph, "gpu", DType.F16)
+        l2p = run_layer_to_processor(highend, graph)
+        assert gpu_f16.latency_s < l2p.latency_s
+
+    def test_biggest_gains_on_large_filter_nets(self, highend):
+        """Figure 16's shape: AlexNet/VGG (large filters) gain more
+        than MobileNet (minimized computation)."""
+        gains = {}
+        runtime = MuLayer(highend)
+        for model in ("vgg16", "mobilenet"):
+            graph = build_model(model, with_weights=False)
+            l2p = run_layer_to_processor(highend, graph)
+            mulayer = runtime.run(graph)
+            gains[model] = speed_improvement(l2p.latency_s,
+                                             mulayer.latency_s)
+        assert gains["vgg16"] > gains["mobilenet"]
+
+    def test_plan_cached(self, highend):
+        runtime = MuLayer(highend)
+        graph = build_model("vgg_mini", with_weights=False)
+        assert runtime.plan(graph) is runtime.plan(graph)
+
+    def test_functional_run(self, squeezenet_mini, single_input,
+                            squeezenet_calibration, highend):
+        runtime = MuLayer(highend)
+        result = runtime.run(squeezenet_mini, x=single_input,
+                             calibration=squeezenet_calibration)
+        ref = run_reference(squeezenet_mini,
+                            {"input": single_input})["softmax"]
+        out = result.output_array()
+        assert np.corrcoef(out.ravel(), ref.ravel())[0, 1] > 0.99
+
+
+class TestAblationStages:
+    def test_stages_ordered(self, highend):
+        """Figure 17: each added mechanism must not hurt GoogLeNet."""
+        graph = build_model("googlenet", with_weights=False)
+        stages = mulayer_ablation_stages(highend)
+        latency = {name: runtime.run(graph).latency_s
+                   for name, runtime in stages.items()}
+        assert latency["ch_dist+pfq"] <= latency["ch_dist"] * 1.02
+        assert latency["full"] <= latency["ch_dist+pfq"] * 1.02
+
+    def test_branch_distribution_helps_googlenet(self, highend):
+        graph = build_model("googlenet", with_weights=False)
+        stages = mulayer_ablation_stages(highend,
+                                         use_oracle_costs=True)
+        with_branches = stages["full"].run(graph).latency_s
+        without = stages["ch_dist+pfq"].run(graph).latency_s
+        assert with_branches < without
+
+    def test_branch_distribution_irrelevant_for_vgg(self, highend):
+        graph = build_model("vgg16", with_weights=False)
+        stages = mulayer_ablation_stages(highend,
+                                         use_oracle_costs=True)
+        with_branches = stages["full"].run(graph).latency_s
+        without = stages["ch_dist+pfq"].run(graph).latency_s
+        assert with_branches == pytest.approx(without, rel=1e-6)
+
+
+class TestMetrics:
+    def test_speed_improvement_definition(self):
+        assert speed_improvement(2.0, 1.0) == pytest.approx(50.0)
+
+    def test_speed_improvement_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            speed_improvement(0.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,197 @@
+"""Tests for the NN executor: timing structure and functional output."""
+
+import numpy as np
+import pytest
+
+from repro.models import build_model
+from repro.nn import run_reference
+from repro.runtime import (Executor, ExecutionPlan, LayerAssignment,
+                           PROCESSOR_FRIENDLY, UNIFORM_F32,
+                           single_processor_plan)
+from repro.soc import CPU, GPU
+
+
+def cpu_plan(graph, policy=UNIFORM_F32):
+    return single_processor_plan(graph, "cpu", policy)
+
+
+def gpu_plan(graph, policy=UNIFORM_F32):
+    return single_processor_plan(graph, "gpu", policy)
+
+
+class TestTimingStructure:
+    def test_latency_positive(self, vgg_mini, highend):
+        result = Executor(highend).run(vgg_mini, cpu_plan(vgg_mini))
+        assert result.latency_s > 0
+
+    def test_timeline_validates(self, squeezenet_mini, soc):
+        result = Executor(soc).run(squeezenet_mini,
+                                   cpu_plan(squeezenet_mini))
+        result.timeline.validate()
+
+    def test_cpu_plan_uses_no_gpu(self, vgg_mini, highend):
+        result = Executor(highend).run(vgg_mini, cpu_plan(vgg_mini))
+        assert result.timeline.busy_seconds(GPU) == 0.0
+
+    def test_gpu_plan_has_cpu_issue_only(self, vgg_mini, highend):
+        result = Executor(highend).run(vgg_mini, gpu_plan(vgg_mini))
+        cpu_segments = result.timeline.segments(CPU)
+        assert all(s.kind in ("issue", "map", "sync", "copy")
+                   for s in cpu_segments)
+        assert result.timeline.busy_seconds(GPU) > 0
+
+    def test_traces_cover_all_compute_layers(self, vgg_mini, highend):
+        result = Executor(highend).run(vgg_mini, cpu_plan(vgg_mini))
+        traced = {t.layer for t in result.traces}
+        assert traced == set(vgg_mini.compute_layers())
+
+    def test_traces_in_execution_order(self, vgg_mini, highend):
+        result = Executor(highend).run(vgg_mini, cpu_plan(vgg_mini))
+        ends = [t.end_s for t in result.traces]
+        assert ends == sorted(ends)
+
+    def test_makespan_equals_latency(self, vgg_mini, highend):
+        result = Executor(highend).run(vgg_mini, cpu_plan(vgg_mini))
+        assert result.latency_s == result.timeline.makespan()
+
+    def test_traffic_accumulated(self, vgg_mini, highend):
+        result = Executor(highend).run(vgg_mini, cpu_plan(vgg_mini))
+        assert result.traffic_bytes > 0
+
+    def test_quint8_traffic_smaller_than_f32(self, vgg_mini, highend):
+        from repro.runtime import UNIFORM_QUINT8
+        f32 = Executor(highend).run(vgg_mini, cpu_plan(vgg_mini))
+        q8 = Executor(highend).run(
+            vgg_mini, cpu_plan(vgg_mini, UNIFORM_QUINT8))
+        assert q8.traffic_bytes < f32.traffic_bytes / 3
+
+
+class TestCooperativeTiming:
+    def make_coop_plan(self, graph, split=0.5):
+        assignments = {}
+        for name in graph.compute_layers():
+            layer = graph.layer(name)
+            if layer.supports_channel_split:
+                assignments[name] = LayerAssignment.cooperative(name,
+                                                                split)
+            else:
+                assignments[name] = LayerAssignment.on_cpu(name)
+        return ExecutionPlan(graph_name=graph.name,
+                             policy=PROCESSOR_FRIENDLY,
+                             assignments=assignments)
+
+    def test_cooperative_uses_both_processors(self, vgg_mini, highend):
+        plan = self.make_coop_plan(vgg_mini)
+        result = Executor(highend).run(vgg_mini, plan)
+        assert result.timeline.busy_seconds(CPU) > 0
+        assert result.timeline.busy_seconds(GPU) > 0
+
+    def test_cooperative_beats_single_cpu_on_big_layers(self, highend):
+        graph = build_model("vgg16", with_weights=False)
+        coop = Executor(highend).run(graph, self.make_coop_plan(graph))
+        from repro.runtime import UNIFORM_QUINT8
+        single = Executor(highend).run(
+            graph, cpu_plan(graph, UNIFORM_QUINT8))
+        assert coop.latency_s < single.latency_s
+
+    def test_sync_charged_per_cooperative_layer(self, vgg_mini, highend):
+        plan = self.make_coop_plan(vgg_mini)
+        result = Executor(highend).run(vgg_mini, plan)
+        syncs = [s for s in result.timeline.segments(CPU)
+                 if s.kind == "sync"]
+        assert len(syncs) >= len(plan.cooperative_layers())
+
+    def test_overlap_shorter_than_serial(self, highend):
+        """Async issue means layer latency < cpu_busy + gpu_busy."""
+        graph = build_model("vgg16", with_weights=False)
+        plan = self.make_coop_plan(graph)
+        result = Executor(highend).run(graph, plan)
+        trace = result.trace_of("conv3_1")
+        assert trace.latency_s < trace.cpu_busy_s + trace.gpu_busy_s
+
+
+class TestTransitions:
+    def make_alternating_plan(self, graph, policy=UNIFORM_F32):
+        assignments = {}
+        for i, name in enumerate(graph.compute_layers()):
+            if i % 2 == 0:
+                assignments[name] = LayerAssignment.on_cpu(name)
+            else:
+                assignments[name] = LayerAssignment.on_gpu(name)
+        return ExecutionPlan(graph_name=graph.name, policy=policy,
+                             assignments=assignments)
+
+    def test_alternating_plan_charges_transitions(self, vgg_mini,
+                                                  highend):
+        plan = self.make_alternating_plan(vgg_mini)
+        result = Executor(highend).run(vgg_mini, plan)
+        kinds = {s.kind for s in result.timeline.segments(CPU)}
+        assert "sync" in kinds
+        assert "map" in kinds
+
+    def test_alternating_slower_than_best_single(self, highend):
+        """Layer ping-ponging pays transition costs every layer."""
+        graph = build_model("vgg_mini", with_weights=False)
+        alternating = Executor(highend).run(
+            graph, self.make_alternating_plan(graph))
+        cpu_only = Executor(highend).run(graph, cpu_plan(graph))
+        assert alternating.latency_s > cpu_only.latency_s
+
+    def test_copy_mode_slower_than_zero_copy(self, highend):
+        graph = build_model("vgg_mini", with_weights=False)
+        plan = self.make_alternating_plan(graph)
+        zero_copy = Executor(highend, zero_copy=True).run(graph, plan)
+        copies = Executor(highend, zero_copy=False).run(graph, plan)
+        assert copies.latency_s > zero_copy.latency_s
+
+    def test_sync_issue_slower_than_async(self, highend):
+        graph = build_model("vgg16", with_weights=False)
+        plan = TestCooperativeTiming().make_coop_plan(graph)
+        async_run = Executor(highend, async_issue=True).run(graph, plan)
+        sync_run = Executor(highend, async_issue=False).run(graph, plan)
+        assert sync_run.latency_s > async_run.latency_s
+
+
+class TestFunctionalExecution:
+    def test_f32_output_matches_reference(self, squeezenet_mini,
+                                          single_input, highend):
+        result = Executor(highend).run(
+            squeezenet_mini, cpu_plan(squeezenet_mini), x=single_input)
+        ref = run_reference(squeezenet_mini,
+                            {"input": single_input})["softmax"]
+        np.testing.assert_allclose(result.output_array(), ref,
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_timing_only_run_has_no_outputs(self, squeezenet_mini,
+                                            highend):
+        result = Executor(highend).run(squeezenet_mini,
+                                       cpu_plan(squeezenet_mini))
+        assert result.outputs is None
+        with pytest.raises(ValueError, match="timing-only"):
+            result.output_array()
+
+    def test_quantized_run_needs_calibration(self, squeezenet_mini,
+                                             single_input, highend):
+        from repro.errors import QuantizationError
+        from repro.runtime import UNIFORM_QUINT8
+        plan = cpu_plan(squeezenet_mini, UNIFORM_QUINT8)
+        with pytest.raises(QuantizationError):
+            Executor(highend).run(squeezenet_mini, plan, x=single_input)
+
+    def test_pfq_cooperative_output_close_to_reference(
+            self, squeezenet_mini, single_input, squeezenet_calibration,
+            highend):
+        plan = TestCooperativeTiming().make_coop_plan(squeezenet_mini)
+        result = Executor(highend).run(squeezenet_mini, plan,
+                                       x=single_input,
+                                       calibration=squeezenet_calibration)
+        ref = run_reference(squeezenet_mini,
+                            {"input": single_input})["softmax"]
+        out = result.output_array()
+        assert np.corrcoef(out.ravel(), ref.ravel())[0, 1] > 0.99
+
+    def test_trace_lookup(self, vgg_mini, highend):
+        result = Executor(highend).run(vgg_mini, cpu_plan(vgg_mini))
+        assert result.trace_of("conv1_1").layer == "conv1_1"
+        with pytest.raises(KeyError):
+            result.trace_of("ghost")

@@ -1,0 +1,106 @@
+"""Tests for the NN partitioner."""
+
+import pytest
+
+from repro.models import build_model
+from repro.runtime import (Partitioner, PartitionerConfig, Placement,
+                           PROCESSOR_FRIENDLY, UNIFORM_QUINT8)
+from repro.soc import EXYNOS_7420, EXYNOS_7880
+
+
+@pytest.fixture(scope="module")
+def oracle_partitioner():
+    return Partitioner(EXYNOS_7420,
+                       config=PartitionerConfig(use_oracle_costs=True))
+
+
+class TestPlanCompleteness:
+    @pytest.mark.parametrize("model", ["vgg_mini", "squeezenet_mini",
+                                       "mobilenet_mini",
+                                       "googlenet_mini"])
+    def test_plan_validates(self, model, oracle_partitioner):
+        graph = build_model(model, with_weights=False)
+        plan = oracle_partitioner.plan(graph)
+        plan.validate(graph)
+
+    def test_plan_for_full_models(self, oracle_partitioner):
+        for model in ("vgg16", "googlenet"):
+            graph = build_model(model, with_weights=False)
+            oracle_partitioner.plan(graph).validate(graph)
+
+
+class TestSplitChoice:
+    def test_large_conv_split_cooperatively(self, oracle_partitioner):
+        """VGG's big convolutions are worth splitting on the high-end
+        SoC where CPU-q8 and GPU-f16 are balanced."""
+        graph = build_model("vgg16", with_weights=False)
+        plan = oracle_partitioner.plan(graph)
+        coop = plan.cooperative_layers()
+        assert any(name.startswith("conv3") or name.startswith("conv4")
+                   for name in coop)
+
+    def test_split_ratio_from_choices(self, oracle_partitioner):
+        graph = build_model("vgg16", with_weights=False)
+        plan = oracle_partitioner.plan(graph)
+        for assignment in plan.assignments.values():
+            if assignment.placement is Placement.COOPERATIVE:
+                assert assignment.split in (0.25, 0.5, 0.75)
+
+    def test_tiny_layers_stay_single_processor(self, oracle_partitioner):
+        """Splitting a tiny layer cannot amortize launch+sync costs."""
+        graph = build_model("lenet5", with_weights=False)
+        plan = oracle_partitioner.plan(graph)
+        assert plan.cooperative_layers() == []
+
+    def test_non_splittable_layers_assigned_whole(self,
+                                                  oracle_partitioner):
+        graph = build_model("squeezenet_mini", with_weights=False)
+        plan = oracle_partitioner.plan(graph)
+        for name, assignment in plan.assignments.items():
+            if not graph.layer(name).supports_channel_split:
+                assert assignment.placement is not Placement.COOPERATIVE
+
+    def test_channel_distribution_disabled(self):
+        config = PartitionerConfig(enable_channel_distribution=False,
+                                   use_oracle_costs=True)
+        partitioner = Partitioner(EXYNOS_7420, config=config)
+        graph = build_model("vgg16", with_weights=False)
+        plan = partitioner.plan(graph)
+        assert plan.cooperative_layers() == []
+
+    def test_estimates_positive(self, oracle_partitioner):
+        graph = build_model("vgg_mini", with_weights=False)
+        for split in (0.0, 0.25, 0.5, 0.75, 1.0):
+            est = oracle_partitioner.estimate_split_latency(
+                graph, "conv2_1", split)
+            assert est > 0
+
+
+class TestPredictorMode:
+    def test_predictor_partitioner_builds_valid_plans(self):
+        partitioner = Partitioner(EXYNOS_7880, policy=PROCESSOR_FRIENDLY)
+        graph = build_model("googlenet_mini", with_weights=False)
+        partitioner.plan(graph).validate(graph)
+
+    def test_predictor_close_to_oracle_quality(self):
+        """Plans from the predictor should not be drastically worse
+        than oracle plans when executed (the predictor-vs-oracle
+        ablation bound)."""
+        from repro.runtime import Executor
+        graph = build_model("vgg16", with_weights=False)
+        soc = EXYNOS_7420
+        executor = Executor(soc)
+        predicted = executor.run(
+            graph, Partitioner(soc).plan(graph))
+        oracle = executor.run(
+            graph,
+            Partitioner(soc, config=PartitionerConfig(
+                use_oracle_costs=True)).plan(graph))
+        assert predicted.latency_s <= 1.3 * oracle.latency_s
+
+    def test_uniform_q8_policy_plans(self):
+        partitioner = Partitioner(
+            EXYNOS_7420, policy=UNIFORM_QUINT8,
+            config=PartitionerConfig(use_oracle_costs=True))
+        graph = build_model("vgg_mini", with_weights=False)
+        partitioner.plan(graph).validate(graph)

@@ -1,0 +1,134 @@
+"""Tests for execution plans and assignments."""
+
+import pytest
+
+from repro.errors import PlanError
+from repro.models import build_model
+from repro.nn import find_branch_regions
+from repro.runtime import (BranchAssignment, ExecutionPlan,
+                           LayerAssignment, PROCESSOR_FRIENDLY,
+                           Placement, SPLIT_CHOICES)
+
+
+class TestLayerAssignment:
+    def test_on_cpu(self):
+        a = LayerAssignment.on_cpu("c1")
+        assert a.placement is Placement.CPU
+        assert a.split == 1.0
+        assert a.uses_cpu and not a.uses_gpu
+
+    def test_on_gpu(self):
+        a = LayerAssignment.on_gpu("c1")
+        assert a.split == 0.0
+        assert a.uses_gpu and not a.uses_cpu
+
+    def test_cooperative(self):
+        a = LayerAssignment.cooperative("c1", 0.75)
+        assert a.uses_cpu and a.uses_gpu
+
+    def test_invalid_splits_rejected(self):
+        with pytest.raises(PlanError):
+            LayerAssignment("c1", Placement.CPU, 0.5)
+        with pytest.raises(PlanError):
+            LayerAssignment("c1", Placement.GPU, 0.5)
+        with pytest.raises(PlanError):
+            LayerAssignment("c1", Placement.COOPERATIVE, 1.0)
+        with pytest.raises(PlanError):
+            LayerAssignment("c1", Placement.COOPERATIVE, 1.5)
+
+    def test_paper_split_choices(self):
+        assert SPLIT_CHOICES == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+
+class TestBranchAssignment:
+    def make_region(self):
+        graph = build_model("squeezenet_mini", with_weights=False)
+        return find_branch_regions(graph)[0]
+
+    def test_valid_mapping(self):
+        region = self.make_region()
+        ba = BranchAssignment(region, ("cpu", "gpu"))
+        assert ba.placement_of(region.branches[0][0]) == "cpu"
+        assert ba.placement_of(region.branches[1][0]) == "gpu"
+
+    def test_wrong_arity_rejected(self):
+        region = self.make_region()
+        with pytest.raises(PlanError):
+            BranchAssignment(region, ("cpu",))
+
+    def test_bad_target_rejected(self):
+        region = self.make_region()
+        with pytest.raises(PlanError):
+            BranchAssignment(region, ("cpu", "dsp"))
+
+    def test_placement_of_outside_layer_raises(self):
+        region = self.make_region()
+        ba = BranchAssignment(region, ("cpu", "gpu"))
+        with pytest.raises(PlanError):
+            ba.placement_of("not-a-layer")
+
+
+class TestExecutionPlan:
+    def full_plan(self, graph):
+        assignments = {name: LayerAssignment.on_cpu(name)
+                       for name in graph.compute_layers()}
+        return ExecutionPlan(graph_name=graph.name,
+                             policy=PROCESSOR_FRIENDLY,
+                             assignments=assignments)
+
+    def test_validate_complete_plan(self):
+        graph = build_model("vgg_mini", with_weights=False)
+        self.full_plan(graph).validate(graph)
+
+    def test_missing_layer_rejected(self):
+        graph = build_model("vgg_mini", with_weights=False)
+        plan = self.full_plan(graph)
+        del plan.assignments["conv1_1"]
+        with pytest.raises(PlanError, match="unassigned"):
+            plan.validate(graph)
+
+    def test_unknown_layer_rejected(self):
+        graph = build_model("vgg_mini", with_weights=False)
+        plan = self.full_plan(graph)
+        plan.assignments["ghost"] = LayerAssignment.on_cpu("ghost")
+        with pytest.raises(PlanError, match="not in the graph"):
+            plan.validate(graph)
+
+    def test_wrong_graph_rejected(self):
+        graph = build_model("vgg_mini", with_weights=False)
+        other = build_model("alexnet_mini", with_weights=False)
+        with pytest.raises(PlanError, match="applied to graph"):
+            self.full_plan(graph).validate(other)
+
+    def test_double_assignment_via_branch_rejected(self):
+        graph = build_model("squeezenet_mini", with_weights=False)
+        plan = self.full_plan(graph)
+        region = find_branch_regions(graph)[0]
+        plan.branch_assignments.append(
+            BranchAssignment(region, ("cpu", "gpu")))
+        with pytest.raises(PlanError, match="both individually"):
+            plan.validate(graph)
+
+    def test_branch_plan_validates_when_disjoint(self):
+        graph = build_model("squeezenet_mini", with_weights=False)
+        plan = self.full_plan(graph)
+        region = find_branch_regions(graph)[0]
+        for name in region.layer_names:
+            del plan.assignments[name]
+        plan.branch_assignments.append(
+            BranchAssignment(region, ("cpu", "gpu")))
+        plan.validate(graph)
+
+    def test_placement_of(self):
+        graph = build_model("vgg_mini", with_weights=False)
+        plan = self.full_plan(graph)
+        assert plan.placement_of("conv1_1").placement is Placement.CPU
+        with pytest.raises(PlanError):
+            plan.placement_of("ghost")
+
+    def test_cooperative_layers_listing(self):
+        graph = build_model("vgg_mini", with_weights=False)
+        plan = self.full_plan(graph)
+        plan.assignments["conv1_1"] = LayerAssignment.cooperative(
+            "conv1_1", 0.5)
+        assert plan.cooperative_layers() == ["conv1_1"]

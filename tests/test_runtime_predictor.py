@@ -1,0 +1,102 @@
+"""Tests for the Neurosurgeon-style latency predictor."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.models import build_model
+from repro.runtime import (LatencyPredictor, PROCESSOR_FRIENDLY,
+                           default_profiling_samples)
+from repro.soc import EXYNOS_7420, kernel_cost
+from repro.tensor import DType
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    p = LatencyPredictor(EXYNOS_7420)
+    p.calibrate_policy(PROCESSOR_FRIENDLY)
+    return p
+
+
+class TestCalibration:
+    def test_training_error_small(self, predictor):
+        for resource in ("cpu", "gpu"):
+            error = predictor.training_error(resource,
+                                             PROCESSOR_FRIENDLY)
+            assert error < 0.45, (resource, error)
+
+    def test_calibrate_returns_error(self):
+        p = LatencyPredictor(EXYNOS_7420)
+        error = p.calibrate("cpu", DType.QUINT8, DType.QUINT8,
+                            DType.QUINT8)
+        assert 0.0 <= error < 0.5
+
+    def test_uncalibrated_predict_raises(self):
+        p = LatencyPredictor(EXYNOS_7420)
+        work = default_profiling_samples()[0]
+        with pytest.raises(CalibrationError, match="calibrate"):
+            p.predict("cpu", work, PROCESSOR_FRIENDLY)
+
+    def test_uncalibrated_error_query_raises(self):
+        p = LatencyPredictor(EXYNOS_7420)
+        with pytest.raises(CalibrationError):
+            p.training_error("cpu", PROCESSOR_FRIENDLY)
+
+    def test_profiling_samples_deterministic(self):
+        a = default_profiling_samples()
+        b = default_profiling_samples()
+        assert a == b
+
+    def test_profiling_samples_cover_kinds(self):
+        samples = default_profiling_samples()
+        assert any(s.macs == 0 for s in samples)          # pool-shaped
+        assert any(s.param_elements > s.macs / 2
+                   for s in samples)                       # FC-shaped
+        assert any(s.macs > 10 ** 8 for s in samples)      # big conv
+
+
+class TestPrediction:
+    def test_predictions_track_oracle_on_real_layers(self, predictor):
+        """On actual network layers (not training samples), the
+        prediction should be within ~2.5x of the timing model --
+        mirroring Neurosurgeon's published accuracy class."""
+        graph = build_model("googlenet", with_weights=False)
+        soc = EXYNOS_7420
+        for name in graph.compute_layers()[:40]:
+            work = graph.layer_work(name)
+            if work.macs == 0:
+                continue
+            predicted = predictor.predict("cpu", work,
+                                          PROCESSOR_FRIENDLY)
+            actual = kernel_cost(soc.cpu, soc.memory, work,
+                                 DType.QUINT8).busy_s
+            assert predicted == pytest.approx(actual, rel=1.5), name
+
+    def test_prediction_monotone_in_scale(self, predictor):
+        samples = [s for s in default_profiling_samples()
+                   if s.macs > 0][:1]
+        work = samples[0]
+        small = predictor.predict("cpu", work.scaled(0.1),
+                                  PROCESSOR_FRIENDLY)
+        large = predictor.predict("cpu", work, PROCESSOR_FRIENDLY)
+        assert small < large
+
+    def test_predict_split_scales_linearly(self, predictor):
+        work = default_profiling_samples()[0]
+        full = predictor.predict("cpu", work, PROCESSOR_FRIENDLY)
+        half = predictor.predict_split("cpu", work, 0.5,
+                                       PROCESSOR_FRIENDLY)
+        assert half == pytest.approx(full / 2)
+
+    def test_gpu_channel_awareness(self, predictor):
+        """The fitted GPU model must know that narrow kernels are
+        slower per MAC (the channel-occupancy effect)."""
+        from repro.nn import LayerWork
+        wide = LayerWork(macs=10 ** 7, simple_ops=0, param_elements=10
+                         ** 4, input_elements=10 ** 4,
+                         output_elements=10 ** 4, parallel_channels=512)
+        narrow = LayerWork(macs=10 ** 7, simple_ops=0,
+                           param_elements=10 ** 4,
+                           input_elements=10 ** 4,
+                           output_elements=10 ** 4, parallel_channels=8)
+        assert (predictor.predict("gpu", narrow, PROCESSOR_FRIENDLY)
+                > predictor.predict("gpu", wide, PROCESSOR_FRIENDLY))

@@ -1,0 +1,76 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.soc import (CPU, EnergyModel, GPU, Timeline)
+from repro.tensor import DType
+
+
+def timeline_with(cpu_busy=0.0, gpu_busy=0.0, sync=0.0):
+    tl = Timeline()
+    if cpu_busy:
+        tl.reserve(CPU, cpu_busy, "l", "compute", dtype=DType.QUINT8)
+    if gpu_busy:
+        tl.reserve(GPU, gpu_busy, "l", "compute", dtype=DType.F16)
+    if sync:
+        tl.reserve(CPU, sync, "l", "sync")
+    return tl
+
+
+class TestEnergyModel:
+    def test_components_nonnegative(self, soc):
+        energy = EnergyModel(soc).energy(timeline_with(1.0, 0.5), 1e6)
+        assert energy.dynamic_j >= 0
+        assert energy.idle_j >= 0
+        assert energy.static_j >= 0
+        assert energy.dram_j >= 0
+
+    def test_total_is_sum(self, soc):
+        e = EnergyModel(soc).energy(timeline_with(1.0, 0.5), 1e6)
+        assert e.total_j == pytest.approx(e.dynamic_j + e.idle_j
+                                          + e.static_j + e.dram_j)
+
+    def test_static_scales_with_makespan(self, soc):
+        model = EnergyModel(soc)
+        short = model.energy(timeline_with(cpu_busy=1.0), 0)
+        long = model.energy(timeline_with(cpu_busy=2.0), 0)
+        assert long.static_j == pytest.approx(2 * short.static_j)
+
+    def test_idle_gpu_charged_while_cpu_works(self, soc):
+        e = EnergyModel(soc).energy(timeline_with(cpu_busy=1.0), 0)
+        assert e.idle_j == pytest.approx(soc.gpu.idle_power_w, rel=0.01)
+
+    def test_no_idle_when_both_busy_equally(self, soc):
+        e = EnergyModel(soc).energy(timeline_with(1.0, 1.0), 0)
+        assert e.idle_j == pytest.approx(0.0, abs=1e-9)
+
+    def test_dram_energy_proportional(self, soc):
+        model = EnergyModel(soc)
+        one = model.energy(timeline_with(1.0), 1e6)
+        two = model.energy(timeline_with(1.0), 2e6)
+        assert (two.dram_j - one.dram_j) == pytest.approx(one.dram_j
+                                                          - 0.0,
+                                                          rel=0.01)
+
+    def test_overhead_segments_charged_at_control_power(self, soc):
+        model = EnergyModel(soc)
+        sync_only = model.energy(timeline_with(sync=1.0), 0)
+        compute_only = model.energy(timeline_with(cpu_busy=1.0), 0)
+        assert sync_only.dynamic_j < compute_only.dynamic_j
+
+    def test_quint8_compute_cheaper_than_f32(self, soc):
+        tl_q8 = Timeline()
+        tl_q8.reserve(CPU, 1.0, "l", "compute", dtype=DType.QUINT8)
+        tl_f32 = Timeline()
+        tl_f32.reserve(CPU, 1.0, "l", "compute", dtype=DType.F32)
+        model = EnergyModel(soc)
+        assert (model.energy(tl_q8, 0).dynamic_j
+                < model.energy(tl_f32, 0).dynamic_j)
+
+    def test_total_mj_scaling(self, soc):
+        e = EnergyModel(soc).energy(timeline_with(1.0), 0)
+        assert e.total_mj == pytest.approx(e.total_j * 1e3)
+
+    def test_empty_timeline_zero_energy(self, soc):
+        e = EnergyModel(soc).energy(Timeline(), 0)
+        assert e.total_j == 0.0

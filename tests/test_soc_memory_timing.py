@@ -1,0 +1,123 @@
+"""Tests for the memory model and the roofline kernel cost."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nn import LayerWork
+from repro.soc import (EXYNOS_7420, MemorySpec, kernel_cost,
+                       kernel_traffic_bytes, soc_by_name)
+from repro.tensor import DType
+
+
+def make_work(macs, in_el=1000, out_el=1000, params=0, channels=256):
+    return LayerWork(macs=macs, simple_ops=0, param_elements=params,
+                     input_elements=in_el, output_elements=out_el,
+                     parallel_channels=channels)
+
+
+class TestMemorySpec:
+    def test_stream_time_linear(self):
+        mem = EXYNOS_7420.memory
+        assert mem.stream_seconds(2e6) == pytest.approx(
+            2 * mem.stream_seconds(1e6))
+
+    def test_stream_zero_bytes(self):
+        assert EXYNOS_7420.memory.stream_seconds(0) == 0.0
+
+    def test_map_has_fixed_floor(self):
+        mem = EXYNOS_7420.memory
+        assert mem.map_seconds(0) == pytest.approx(
+            mem.map_fixed_us * 1e-6)
+
+    def test_copy_slower_than_map(self):
+        mem = EXYNOS_7420.memory
+        assert mem.copy_seconds(10e6) > mem.map_seconds(10e6)
+
+    def test_traffic_energy(self):
+        mem = EXYNOS_7420.memory
+        assert mem.traffic_energy_j(1e9) == pytest.approx(
+            mem.energy_per_byte_nj)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(SimulationError):
+            MemorySpec(name="bad", bandwidth_gb_s=0.0,
+                       energy_per_byte_nj=0.1, map_fixed_us=1,
+                       map_per_mb_us=1, copy_per_mb_us=1)
+
+
+class TestKernelTraffic:
+    def test_quint8_traffic_quarter_of_f32(self):
+        work = make_work(10 ** 6, in_el=10 ** 5, out_el=10 ** 5,
+                         params=10 ** 4)
+        f32 = kernel_traffic_bytes(work, DType.F32, DType.F32)
+        q8 = kernel_traffic_bytes(work, DType.QUINT8, DType.QUINT8)
+        assert f32 == pytest.approx(4 * q8)
+
+    def test_separate_param_storage(self):
+        work = make_work(10 ** 6, in_el=0, out_el=0, params=10 ** 4)
+        mixed = kernel_traffic_bytes(work, DType.QUINT8, DType.F16)
+        assert mixed == 2 * 10 ** 4
+
+
+class TestKernelCost:
+    def test_compute_bound_large_conv(self):
+        soc = EXYNOS_7420
+        work = make_work(10 ** 9, in_el=10 ** 5, out_el=10 ** 5,
+                         params=10 ** 5)
+        cost = kernel_cost(soc.cpu, soc.memory, work, DType.F32)
+        assert not cost.memory_bound
+        assert cost.busy_s == cost.compute_s
+
+    def test_memory_bound_fc(self):
+        """A VGG-style FC layer is bandwidth-bound: one MAC per weight
+        byte loaded."""
+        soc = EXYNOS_7420
+        work = make_work(10 ** 8, in_el=25088, out_el=4096,
+                         params=10 ** 8, channels=4096)
+        cost = kernel_cost(soc.cpu, soc.memory, work, DType.F32)
+        assert cost.memory_bound
+
+    def test_quint8_relieves_memory_bound(self):
+        soc = EXYNOS_7420
+        work = make_work(10 ** 8, in_el=25088, out_el=4096,
+                         params=10 ** 8, channels=4096)
+        f32 = kernel_cost(soc.cpu, soc.memory, work, DType.F32)
+        q8 = kernel_cost(soc.cpu, soc.memory, work, DType.QUINT8)
+        assert q8.total_s < f32.total_s / 2
+
+    def test_launch_added_on_top(self):
+        soc = EXYNOS_7420
+        work = make_work(10 ** 6)
+        cost = kernel_cost(soc.gpu, soc.memory, work, DType.F32)
+        assert cost.total_s == pytest.approx(
+            cost.busy_s + soc.gpu.launch_seconds())
+
+    def test_gpu_narrow_kernel_penalized(self):
+        soc = EXYNOS_7420
+        wide = make_work(10 ** 7, channels=512)
+        narrow = make_work(10 ** 7, channels=16)
+        wide_cost = kernel_cost(soc.gpu, soc.memory, wide, DType.F16)
+        narrow_cost = kernel_cost(soc.gpu, soc.memory, narrow,
+                                  DType.F16)
+        assert narrow_cost.compute_s > 2 * wide_cost.compute_s
+
+    def test_storage_dtype_defaults_to_compute(self):
+        soc = EXYNOS_7420
+        work = make_work(10 ** 6, params=10 ** 4)
+        default = kernel_cost(soc.cpu, soc.memory, work, DType.F16)
+        explicit = kernel_cost(soc.cpu, soc.memory, work, DType.F16,
+                               DType.F16, DType.F16)
+        assert default.memory_s == explicit.memory_s
+
+
+class TestSocLookup:
+    def test_by_name(self):
+        assert soc_by_name("exynos7420") is EXYNOS_7420
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="known SoCs"):
+            soc_by_name("snapdragon")
+
+    def test_sync_seconds(self):
+        assert EXYNOS_7420.sync_seconds() == pytest.approx(
+            EXYNOS_7420.sync_us * 1e-6)

@@ -1,0 +1,163 @@
+"""Tests for processor specs and the compute-time model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.nn import LayerWork
+from repro.soc import EXYNOS_7420, EXYNOS_7880, ProcessorKind
+from repro.tensor import DType
+
+
+def work(macs=10 ** 7, channels=256, simple=0):
+    return LayerWork(macs=macs, simple_ops=simple, param_elements=0,
+                     input_elements=0, output_elements=0,
+                     parallel_channels=channels)
+
+
+class TestThroughput:
+    def test_peak_scales_with_cores_and_frequency(self):
+        cpu = EXYNOS_7420.cpu
+        expected = (cpu.macs_per_cycle[DType.F32] * cpu.cores
+                    * cpu.frequency_ghz * 1e9)
+        assert cpu.peak_macs_per_s(DType.F32) == pytest.approx(expected)
+
+    def test_sustained_below_peak(self, soc):
+        for proc in (soc.cpu, soc.gpu):
+            for dtype in (DType.F32, DType.F16, DType.QUINT8):
+                assert (proc.sustained_macs_per_s(dtype)
+                        < proc.peak_macs_per_s(dtype))
+
+    def test_cpu_quint8_beats_f32(self, soc):
+        """Section 4.1: CPUs greatly benefit from QUInt8."""
+        cpu = soc.cpu
+        assert (cpu.sustained_macs_per_s(DType.QUINT8)
+                > 1.5 * cpu.sustained_macs_per_s(DType.F32))
+
+    def test_cpu_f16_equals_f32(self, soc):
+        """Section 4.1: no vector F16 on the CPUs -> emulated via F32."""
+        cpu = soc.cpu
+        assert (cpu.sustained_macs_per_s(DType.F16)
+                == cpu.sustained_macs_per_s(DType.F32))
+
+    def test_gpu_f16_doubles_f32(self, soc):
+        """Section 4.1: native half ALUs give ~2x."""
+        gpu = soc.gpu
+        ratio = (gpu.sustained_macs_per_s(DType.F16)
+                 / gpu.sustained_macs_per_s(DType.F32))
+        assert 1.8 <= ratio <= 2.5
+
+    def test_gpu_quint8_slower_than_f32(self, soc):
+        """Section 4.1: 32-bit accumulation halves GPU concurrency."""
+        gpu = soc.gpu
+        assert (gpu.sustained_macs_per_s(DType.QUINT8)
+                < gpu.sustained_macs_per_s(DType.F32))
+
+
+class TestUtilization:
+    def test_monotone_in_macs(self, soc):
+        gpu = soc.gpu
+        assert (gpu.utilization(10 ** 5, 256)
+                < gpu.utilization(10 ** 7, 256)
+                < gpu.utilization(10 ** 9, 256))
+
+    def test_monotone_in_channels_on_gpu(self, soc):
+        gpu = soc.gpu
+        assert (gpu.utilization(10 ** 7, 8)
+                < gpu.utilization(10 ** 7, 64)
+                < gpu.utilization(10 ** 7, 512))
+
+    def test_cpu_ignores_channels(self, soc):
+        cpu = soc.cpu
+        assert cpu.utilization(10 ** 7, 4) == cpu.utilization(10 ** 7,
+                                                              512)
+
+    def test_bounded_by_one(self, soc):
+        for proc in (soc.cpu, soc.gpu):
+            assert proc.utilization(10 ** 12, 10 ** 6) <= 1.0
+
+    def test_zero_macs_full_utilization(self, soc):
+        assert soc.cpu.utilization(0) == 1.0
+
+
+class TestComputeSeconds:
+    def test_scales_linearly_at_saturation(self, soc):
+        gpu = soc.gpu
+        small = gpu.compute_seconds(work(macs=10 ** 9), DType.F32)
+        large = gpu.compute_seconds(work(macs=2 * 10 ** 9), DType.F32)
+        assert large == pytest.approx(2 * small, rel=0.02)
+
+    def test_small_kernels_pay_more_per_mac(self, soc):
+        gpu = soc.gpu
+        per_mac_small = gpu.compute_seconds(work(macs=10 ** 5),
+                                            DType.F32) / 10 ** 5
+        per_mac_large = gpu.compute_seconds(work(macs=10 ** 9),
+                                            DType.F32) / 10 ** 9
+        assert per_mac_small > 2 * per_mac_large
+
+    def test_simple_ops_counted(self, soc):
+        pool = work(macs=0, simple=10 ** 6)
+        assert soc.cpu.compute_seconds(pool, DType.F32) > 0
+
+    def test_unknown_dtype_raises(self, soc):
+        with pytest.raises(SimulationError):
+            soc.cpu.peak_macs_per_s(DType.I32)
+
+
+class TestPower:
+    def test_quint8_cheaper_than_f32_on_cpu(self, soc):
+        cpu = soc.cpu
+        assert (cpu.dynamic_power_w(DType.QUINT8)
+                < cpu.dynamic_power_w(DType.F32))
+
+    def test_control_power_between_idle_and_active(self, soc):
+        for proc in (soc.cpu, soc.gpu):
+            assert proc.idle_power_w < proc.control_power_w
+            assert proc.control_power_w < proc.active_power_w
+
+    def test_gpu_more_efficient_per_mac(self, soc):
+        """Mobile GPUs burn less energy per operation than CPUs -- the
+        reason uLayer can use both processors yet save energy."""
+        cpu_nj = (soc.cpu.dynamic_power_w(DType.QUINT8)
+                  / soc.cpu.sustained_macs_per_s(DType.QUINT8)) * 1e9
+        gpu_nj = (soc.gpu.dynamic_power_w(DType.F16)
+                  / soc.gpu.sustained_macs_per_s(DType.F16)) * 1e9
+        assert gpu_nj < cpu_nj
+
+    def test_kind_enum(self, soc):
+        assert soc.cpu.kind is ProcessorKind.CPU
+        assert soc.gpu.kind is ProcessorKind.GPU
+
+
+class TestCalibration:
+    """The Section 3.1 balance findings hold in the simulated SoCs."""
+
+    def test_highend_gpu_about_1_4x_on_vgg_layers(self):
+        """The Figure 5 calibration target: the GPU's *effective*
+        per-layer advantage on VGG-16 (channel occupancy included)
+        averages ~1.4x, not the raw sustained ratio."""
+        from repro.models import build_model
+        from repro.nn import LayerKind
+        from repro.soc import kernel_cost
+        soc = EXYNOS_7420
+        graph = build_model("vgg16", with_weights=False)
+        ratios = []
+        for name in graph.compute_layers():
+            if graph.layer(name).kind not in (LayerKind.CONV,
+                                              LayerKind.FC):
+                continue
+            work = graph.layer_work(name)
+            cpu = kernel_cost(soc.cpu, soc.memory, work, DType.F32)
+            gpu = kernel_cost(soc.gpu, soc.memory, work, DType.F32)
+            ratios.append(cpu.total_s / gpu.total_s)
+        mean_ratio = sum(ratios) / len(ratios)
+        assert 1.1 <= mean_ratio <= 1.6
+
+    def test_midrange_cpu_faster(self):
+        soc = EXYNOS_7880
+        assert (soc.cpu.sustained_macs_per_s(DType.F32)
+                > soc.gpu.sustained_macs_per_s(DType.F32))
+
+    def test_processor_lookup(self, soc):
+        assert soc.processor("cpu") is soc.cpu
+        assert soc.processor("gpu") is soc.gpu
+        assert soc.processor(ProcessorKind.GPU) is soc.gpu

@@ -1,0 +1,137 @@
+"""Tests for the timeline ledger and the OpenCL-style command queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.soc import (CPU, CommandQueue, GPU, ISSUE_US, Timeline)
+from repro.tensor import DType
+
+
+class TestTimeline:
+    def test_reserve_advances_free(self):
+        tl = Timeline()
+        seg = tl.reserve(CPU, 1.0, "a", "compute", DType.F32)
+        assert seg.start == 0.0
+        assert seg.end == 1.0
+        assert tl.free_at(CPU) == 1.0
+
+    def test_earliest_respected(self):
+        tl = Timeline()
+        seg = tl.reserve(CPU, 1.0, "a", "compute", earliest=5.0)
+        assert seg.start == 5.0
+
+    def test_resources_independent(self):
+        tl = Timeline()
+        tl.reserve(CPU, 3.0, "a", "compute")
+        seg = tl.reserve(GPU, 1.0, "b", "compute")
+        assert seg.start == 0.0
+
+    def test_zero_duration_not_recorded(self):
+        tl = Timeline()
+        tl.reserve(CPU, 0.0, "a", "sync")
+        assert tl.segments() == []
+
+    def test_negative_duration_rejected(self):
+        tl = Timeline()
+        with pytest.raises(SimulationError):
+            tl.reserve(CPU, -1.0, "a", "compute")
+
+    def test_unknown_resource_rejected(self):
+        tl = Timeline()
+        with pytest.raises(SimulationError):
+            tl.reserve("dsp", 1.0, "a", "compute")
+
+    def test_wait_until_moves_forward_only(self):
+        tl = Timeline()
+        tl.wait_until(CPU, 4.0)
+        tl.wait_until(CPU, 2.0)
+        assert tl.free_at(CPU) == 4.0
+
+    def test_makespan(self):
+        tl = Timeline()
+        tl.reserve(CPU, 1.0, "a", "compute")
+        tl.reserve(GPU, 5.0, "b", "compute")
+        assert tl.makespan() == 5.0
+
+    def test_makespan_empty(self):
+        assert Timeline().makespan() == 0.0
+
+    def test_busy_seconds(self):
+        tl = Timeline()
+        tl.reserve(CPU, 1.0, "a", "compute")
+        tl.reserve(CPU, 2.0, "b", "compute")
+        assert tl.busy_seconds(CPU) == 3.0
+        assert tl.busy_seconds(GPU) == 0.0
+
+    def test_validate_passes_for_sequential(self):
+        tl = Timeline()
+        for i in range(5):
+            tl.reserve(CPU, 0.5, f"l{i}", "compute")
+        tl.validate()
+
+    def test_segments_filtered_by_resource(self):
+        tl = Timeline()
+        tl.reserve(CPU, 1.0, "a", "compute")
+        tl.reserve(GPU, 1.0, "b", "compute")
+        assert len(tl.segments(CPU)) == 1
+        assert len(tl.segments()) == 2
+
+    def test_segment_duration(self):
+        tl = Timeline()
+        seg = tl.reserve(CPU, 2.5, "a", "compute")
+        assert seg.duration == 2.5
+
+
+class TestCommandQueue:
+    def test_async_issue_is_cheap_for_cpu(self, highend):
+        tl = Timeline()
+        queue = CommandQueue(tl, highend.gpu, async_issue=True)
+        queue.enqueue("k", 1.0, DType.F16)
+        assert tl.free_at(CPU) == pytest.approx(ISSUE_US * 1e-6)
+
+    def test_sync_issue_blocks_cpu(self, highend):
+        tl = Timeline()
+        queue = CommandQueue(tl, highend.gpu, async_issue=False)
+        event = queue.enqueue("k", 1.0, DType.F16)
+        assert tl.free_at(CPU) == pytest.approx(event.completed_at)
+
+    def test_completion_includes_launch(self, highend):
+        tl = Timeline()
+        queue = CommandQueue(tl, highend.gpu)
+        event = queue.enqueue("k", 1.0, DType.F16)
+        expected = (ISSUE_US * 1e-6 + highend.gpu.launch_seconds() + 1.0)
+        assert event.completed_at == pytest.approx(expected)
+
+    def test_in_order_queue_serializes(self, highend):
+        tl = Timeline()
+        queue = CommandQueue(tl, highend.gpu)
+        first = queue.enqueue("a", 1.0, DType.F16)
+        second = queue.enqueue("b", 1.0, DType.F16)
+        assert second.completed_at > first.completed_at + 1.0
+
+    def test_data_dependency_delays_kernel(self, highend):
+        tl = Timeline()
+        queue = CommandQueue(tl, highend.gpu)
+        event = queue.enqueue("k", 1.0, DType.F16, ready=10.0)
+        assert event.completed_at == pytest.approx(11.0)
+
+    def test_wait_charges_sync_cost(self, highend):
+        tl = Timeline()
+        queue = CommandQueue(tl, highend.gpu)
+        event = queue.enqueue("k", 1.0, DType.F16)
+        done = queue.wait(event, sync_seconds=0.25)
+        assert done == pytest.approx(event.completed_at + 0.25)
+        assert tl.free_at(CPU) == done
+
+    def test_overlap_with_cpu_work(self, highend):
+        """The paper's Section 6 overlap: CPU computes while the GPU
+        kernel runs; total < serial sum."""
+        tl = Timeline()
+        queue = CommandQueue(tl, highend.gpu)
+        event = queue.enqueue("layer", 1.0, DType.F16)
+        cpu_segment = tl.reserve(CPU, 0.8, "layer", "compute",
+                                 dtype=DType.QUINT8)
+        done = queue.wait(event, highend.sync_seconds())
+        assert cpu_segment.end < event.completed_at
+        assert done < 1.0 + 0.8  # overlap happened
+        tl.validate()

@@ -1,0 +1,68 @@
+"""Tests for repro.tensor.dtype."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError
+from repro.tensor import DType, EXECUTION_DTYPES, parse_dtype
+
+
+class TestDType:
+    def test_numpy_dtypes(self):
+        assert DType.F32.numpy_dtype == np.float32
+        assert DType.F16.numpy_dtype == np.float16
+        assert DType.QUINT8.numpy_dtype == np.uint8
+        assert DType.I32.numpy_dtype == np.int32
+
+    def test_itemsizes(self):
+        assert DType.F32.itemsize == 4
+        assert DType.F16.itemsize == 2
+        assert DType.QUINT8.itemsize == 1
+        assert DType.I32.itemsize == 4
+
+    def test_bits(self):
+        assert DType.F32.bits == 32
+        assert DType.F16.bits == 16
+        assert DType.QUINT8.bits == 8
+
+    def test_is_float(self):
+        assert DType.F32.is_float
+        assert DType.F16.is_float
+        assert not DType.QUINT8.is_float
+        assert not DType.I32.is_float
+
+    def test_is_quantized(self):
+        assert DType.QUINT8.is_quantized
+        assert not DType.F32.is_quantized
+        assert not DType.F16.is_quantized
+
+    def test_str(self):
+        assert str(DType.F32) == "f32"
+        assert str(DType.QUINT8) == "quint8"
+
+    def test_execution_dtypes_excludes_i32(self):
+        assert DType.I32 not in EXECUTION_DTYPES
+        assert set(EXECUTION_DTYPES) == {DType.F32, DType.F16,
+                                         DType.QUINT8}
+
+
+class TestParseDtype:
+    def test_parse_lowercase(self):
+        assert parse_dtype("f32") is DType.F32
+
+    def test_parse_uppercase(self):
+        assert parse_dtype("F16") is DType.F16
+
+    def test_parse_quint8(self):
+        assert parse_dtype("quint8") is DType.QUINT8
+
+    def test_parse_passthrough(self):
+        assert parse_dtype(DType.F32) is DType.F32
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(DTypeError, match="unknown data type"):
+            parse_dtype("int4")
+
+    def test_parse_non_string_raises(self):
+        with pytest.raises(DTypeError):
+            parse_dtype(42)

@@ -1,0 +1,109 @@
+"""Tests for affine quantization parameters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QuantizationError
+from repro.tensor import QMAX, QMIN, QuantParams
+
+
+class TestConstruction:
+    def test_valid(self):
+        qp = QuantParams(scale=0.1, zero_point=10)
+        assert qp.scale == 0.1
+        assert qp.zero_point == 10
+
+    def test_zero_scale_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=0.0, zero_point=0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=-1.0, zero_point=0)
+
+    def test_nan_scale_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=float("nan"), zero_point=0)
+
+    def test_out_of_range_zero_point_rejected(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=1.0, zero_point=256)
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=1.0, zero_point=-1)
+
+
+class TestFromRange:
+    def test_symmetric_range(self):
+        qp = QuantParams.from_range(-1.0, 1.0)
+        assert qp.scale == pytest.approx(2.0 / 255.0)
+        # zero should be near the middle
+        assert 126 <= qp.zero_point <= 129
+
+    def test_positive_only_range_widens_to_zero(self):
+        qp = QuantParams.from_range(0.5, 2.0)
+        # widened to [0, 2]: zero maps to code 0
+        assert qp.zero_point == 0
+        assert qp.scale == pytest.approx(2.0 / 255.0)
+
+    def test_negative_only_range(self):
+        qp = QuantParams.from_range(-3.0, -1.0)
+        assert qp.zero_point == 255
+        assert qp.range_min == pytest.approx(-3.0)
+
+    def test_degenerate_range(self):
+        qp = QuantParams.from_range(0.0, 0.0)
+        assert qp.scale > 0
+        assert qp.zero_point == 0
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(QuantizationError, match="inverted"):
+            QuantParams.from_range(1.0, -1.0)
+
+    def test_infinite_range_raises(self):
+        with pytest.raises(QuantizationError, match="finite"):
+            QuantParams.from_range(0.0, float("inf"))
+
+    def test_from_array(self):
+        values = np.array([-2.0, 0.5, 3.0], dtype=np.float32)
+        qp = QuantParams.from_array(values)
+        assert qp.range_min <= -2.0 + qp.scale
+        assert qp.range_max >= 3.0 - qp.scale
+
+    def test_from_empty_array_raises(self):
+        with pytest.raises(QuantizationError, match="empty"):
+            QuantParams.from_array(np.array([]))
+
+
+class TestRoundTrip:
+    def test_zero_is_exact(self):
+        qp = QuantParams.from_range(-1.7, 3.3)
+        codes = qp.quantize(np.array([0.0]))
+        assert qp.dequantize(codes)[0] == 0.0
+
+    def test_roundtrip_error_bounded_by_half_scale(self, rng):
+        values = rng.uniform(-2.0, 2.0, size=1000).astype(np.float32)
+        qp = QuantParams.from_range(-2.0, 2.0)
+        recovered = qp.dequantize(qp.quantize(values))
+        assert np.max(np.abs(recovered - values)) <= qp.scale / 2 + 1e-6
+
+    def test_saturation_at_extremes(self):
+        qp = QuantParams.from_range(-1.0, 1.0)
+        codes = qp.quantize(np.array([-100.0, 100.0]))
+        assert codes[0] == QMIN
+        assert codes[1] == QMAX
+
+    def test_codes_are_uint8(self, rng):
+        qp = QuantParams.from_range(-1.0, 1.0)
+        codes = qp.quantize(rng.uniform(-1, 1, 10))
+        assert codes.dtype == np.uint8
+
+    def test_dequantize_is_float32(self):
+        qp = QuantParams.from_range(-1.0, 1.0)
+        out = qp.dequantize(np.array([0, 128, 255], dtype=np.uint8))
+        assert out.dtype == np.float32
+
+    def test_range_endpoints_representable(self):
+        qp = QuantParams.from_range(-4.0, 4.0)
+        codes = qp.quantize(np.array([qp.range_min, qp.range_max]))
+        assert codes[0] == QMIN
+        assert codes[1] == QMAX

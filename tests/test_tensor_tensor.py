@@ -1,0 +1,111 @@
+"""Tests for the Tensor container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError, QuantizationError, ShapeError
+from repro.tensor import DType, QuantParams, Tensor, concat_channels
+
+
+class TestConstruction:
+    def test_from_float_f32(self, rng):
+        data = rng.standard_normal((2, 3)).astype(np.float64)
+        t = Tensor.from_float(data)
+        assert t.dtype is DType.F32
+        assert t.data.dtype == np.float32
+
+    def test_from_float_f16(self, rng):
+        t = Tensor.from_float(rng.standard_normal((4,)), DType.F16)
+        assert t.data.dtype == np.float16
+
+    def test_from_float_quint8_auto_params(self, rng):
+        values = rng.uniform(-1, 1, (8,)).astype(np.float32)
+        t = Tensor.from_float(values, DType.QUINT8)
+        assert t.qparams is not None
+        assert np.max(np.abs(t.to_float() - values)) <= t.qparams.scale
+
+    def test_quint8_requires_qparams(self):
+        with pytest.raises(QuantizationError):
+            Tensor(np.zeros(3, dtype=np.uint8), DType.QUINT8)
+
+    def test_float_rejects_qparams(self):
+        with pytest.raises(QuantizationError):
+            Tensor(np.zeros(3, dtype=np.float32), DType.F32,
+                   QuantParams(1.0, 0))
+
+    def test_mismatched_numpy_dtype_rejected(self):
+        with pytest.raises(DTypeError):
+            Tensor(np.zeros(3, dtype=np.float64), DType.F32)
+
+    def test_zeros_quint8_uses_zero_point(self):
+        qp = QuantParams(scale=0.5, zero_point=7)
+        t = Tensor.zeros((2, 2), DType.QUINT8, qp)
+        assert np.all(t.data == 7)
+        assert np.all(t.to_float() == 0.0)
+
+    def test_zeros_f32(self):
+        t = Tensor.zeros((3, 4))
+        assert t.shape == (3, 4)
+        assert np.all(t.data == 0)
+
+
+class TestViews:
+    def test_nbytes(self):
+        assert Tensor.zeros((4, 4), DType.F32).nbytes == 64
+        assert Tensor.zeros((4, 4), DType.F16).nbytes == 32
+        qp = QuantParams(1.0, 0)
+        assert Tensor.zeros((4, 4), DType.QUINT8, qp).nbytes == 16
+
+    def test_astype_roundtrip(self, rng):
+        values = rng.uniform(-1, 1, (5,)).astype(np.float32)
+        t = Tensor.from_float(values)
+        half = t.astype(DType.F16)
+        assert half.dtype is DType.F16
+        np.testing.assert_allclose(half.to_float(), values, atol=1e-3)
+
+    def test_astype_same_dtype_is_identity(self):
+        t = Tensor.zeros((2,))
+        assert t.astype(DType.F32) is t
+
+    def test_slice_channels(self, rng):
+        data = rng.standard_normal((1, 8, 4, 4)).astype(np.float32)
+        t = Tensor.from_float(data)
+        part = t.slice_channels(2, 5)
+        assert part.shape == (1, 3, 4, 4)
+        np.testing.assert_array_equal(part.data, data[:, 2:5])
+
+    def test_slice_channels_out_of_bounds(self):
+        t = Tensor.zeros((1, 4, 2, 2))
+        with pytest.raises(ShapeError):
+            t.slice_channels(2, 6)
+
+    def test_slice_preserves_qparams(self, rng):
+        values = rng.uniform(-1, 1, (1, 6, 2, 2)).astype(np.float32)
+        t = Tensor.from_float(values, DType.QUINT8)
+        part = t.slice_channels(0, 3)
+        assert part.qparams == t.qparams
+
+
+class TestConcat:
+    def test_concat_restores_split(self, rng):
+        data = rng.standard_normal((1, 8, 4, 4)).astype(np.float32)
+        t = Tensor.from_float(data)
+        merged = concat_channels([t.slice_channels(0, 3),
+                                  t.slice_channels(3, 8)])
+        np.testing.assert_array_equal(merged.data, t.data)
+
+    def test_concat_mismatched_dtypes_rejected(self):
+        a = Tensor.zeros((1, 2, 2, 2), DType.F32)
+        b = Tensor.zeros((1, 2, 2, 2), DType.F16)
+        with pytest.raises(DTypeError):
+            concat_channels([a, b])
+
+    def test_concat_mismatched_qparams_rejected(self):
+        a = Tensor.zeros((1, 2), DType.QUINT8, QuantParams(1.0, 0))
+        b = Tensor.zeros((1, 2), DType.QUINT8, QuantParams(2.0, 0))
+        with pytest.raises(QuantizationError):
+            concat_channels([a, b])
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            concat_channels([])

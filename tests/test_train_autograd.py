@@ -1,0 +1,192 @@
+"""Tests for the training stack: gradients, SGD, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.train import (ConvLayer, FCLayer, FlattenLayer, MaxPoolLayer,
+                         Param, ReLULayer, SGD, Sequential, accuracy,
+                         col2im, softmax_cross_entropy, train_epochs)
+
+
+def numeric_gradient(f, x, epsilon=1e-4):
+    """Central-difference gradient of scalar function f at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + epsilon
+        up = f()
+        flat[i] = original - epsilon
+        down = f()
+        flat[i] = original
+        grad_flat[i] = (up - down) / (2 * epsilon)
+    return grad
+
+
+class TestGradients:
+    def test_fc_weight_gradient(self, rng):
+        layer = FCLayer("fc", 5, 3, rng=rng)
+        x = rng.standard_normal((2, 5)).astype(np.float32)
+        labels = np.array([0, 2])
+
+        def loss():
+            logits = layer.forward(x)
+            value, _ = softmax_cross_entropy(logits, labels)
+            return value
+
+        layer.weights.zero_grad()
+        layer.bias.zero_grad()
+        logits = layer.forward(x)
+        _, grad = softmax_cross_entropy(logits, labels)
+        layer.backward(grad)
+        numeric = numeric_gradient(loss, layer.weights.value)
+        # Central differencing on float32 carries ~1e-3 noise.
+        np.testing.assert_allclose(layer.weights.grad, numeric,
+                                   rtol=5e-2, atol=2e-3)
+
+    def test_conv_weight_gradient(self, rng):
+        layer = ConvLayer("c", 2, 3, 3, padding=1, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        target = rng.standard_normal((1, 3, 5, 5)).astype(np.float32)
+
+        def loss():
+            out = layer.forward(x)
+            return float(((out - target) ** 2).sum() / 2)
+
+        layer.weights.zero_grad()
+        layer.bias.zero_grad()
+        out = layer.forward(x)
+        layer.backward(out - target)
+        # The loss is quadratic in the weights, so a large central-
+        # difference step is exact and beats float32 roundoff.
+        numeric = numeric_gradient(loss, layer.weights.value,
+                                   epsilon=1e-2)
+        np.testing.assert_allclose(layer.weights.grad, numeric,
+                                   rtol=1e-2, atol=1e-3)
+
+    def test_conv_input_gradient(self, rng):
+        layer = ConvLayer("c", 2, 2, 3, rng=rng)
+        x = rng.standard_normal((1, 2, 5, 5)).astype(np.float32)
+        target = rng.standard_normal((1, 2, 3, 3)).astype(np.float32)
+
+        def loss():
+            out = layer.forward(x)
+            return float(((out - target) ** 2).sum() / 2)
+
+        out = layer.forward(x)
+        grad_in = layer.backward(out - target)
+        numeric = numeric_gradient(loss, x, epsilon=1e-2)
+        np.testing.assert_allclose(grad_in, numeric, rtol=1e-2,
+                                   atol=1e-3)
+
+    def test_maxpool_routes_gradient_to_argmax(self):
+        layer = MaxPoolLayer(2, 2)
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        layer.forward(x)
+        grad = layer.backward(np.array([[[[1.0]]]], dtype=np.float32))
+        expected = np.zeros_like(x)
+        expected[0, 0, 1, 1] = 1.0
+        np.testing.assert_array_equal(grad, expected)
+
+    def test_relu_gradient_mask(self):
+        layer = ReLULayer()
+        x = np.array([-1.0, 2.0], dtype=np.float32)
+        layer.forward(x)
+        grad = layer.backward(np.array([5.0, 5.0], dtype=np.float32))
+        np.testing.assert_array_equal(grad, [0.0, 5.0])
+
+    def test_flatten_roundtrip(self, rng):
+        layer = FlattenLayer()
+        x = rng.standard_normal((2, 3, 4, 4)).astype(np.float32)
+        out = layer.forward(x)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+    def test_col2im_inverts_im2col_for_disjoint_windows(self, rng):
+        from repro.kernels import im2col
+        x = rng.standard_normal((1, 2, 4, 4)).astype(np.float32)
+        columns = im2col(x, 2, 2, 0)   # stride == kernel: disjoint
+        restored = col2im(columns, x.shape, 2, 2, 0)
+        np.testing.assert_allclose(restored, x, rtol=1e-6)
+
+    def test_softmax_cross_entropy_gradient(self, rng):
+        logits = rng.standard_normal((3, 4)).astype(np.float32)
+        labels = np.array([1, 0, 3])
+        _, grad = softmax_cross_entropy(logits, labels)
+        assert grad.shape == logits.shape
+        # Gradient rows sum to zero (softmax property).
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-6)
+
+
+class TestOptimizer:
+    def test_sgd_descends(self, rng):
+        param = Param("w", np.array([10.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, momentum=0.0)
+        for _ in range(100):
+            param.grad = 2 * param.value  # d/dw of w^2
+            optimizer.step()
+        assert abs(param.value[0]) < 0.1
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            param = Param("w", np.array([10.0], dtype=np.float32))
+            optimizer = SGD([param], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                param.grad = 2 * param.value
+                optimizer.step()
+            return abs(param.value[0])
+        assert run(0.9) < run(0.0)
+
+    def test_clip_norm_limits_step(self):
+        param = Param("w", np.array([0.0], dtype=np.float32))
+        optimizer = SGD([param], lr=1.0, momentum=0.0, clip_norm=1.0)
+        param.grad = np.array([100.0], dtype=np.float32)
+        optimizer.step()
+        assert abs(param.value[0]) <= 1.0 + 1e-6
+
+    def test_weight_decay_shrinks(self):
+        param = Param("w", np.array([1.0], dtype=np.float32))
+        optimizer = SGD([param], lr=0.1, momentum=0.0,
+                        weight_decay=0.5)
+        param.grad = np.array([0.0], dtype=np.float32)
+        optimizer.step()
+        assert param.value[0] < 1.0
+
+
+class TestTraining:
+    def test_model_learns_separable_task(self, rng):
+        """A linear-ish task must be learnable to high accuracy."""
+        n = 400
+        x = rng.standard_normal((n, 1, 8, 8)).astype(np.float32)
+        labels = (x.mean(axis=(1, 2, 3)) > 0).astype(np.int64)
+        model = Sequential("toy", [
+            FlattenLayer(),
+            FCLayer("fc1", 64, 16, rng=rng), ReLULayer(),
+            FCLayer("fc2", 16, 2, rng=rng),
+        ])
+        history = train_epochs(model, x, labels, epochs=10, lr=0.05,
+                               seed=0)
+        assert history[-1] < history[0]
+        assert accuracy(model, x, labels) > 0.9
+
+    def test_loss_history_length(self, rng):
+        x = rng.standard_normal((64, 1, 8, 8)).astype(np.float32)
+        labels = rng.integers(0, 2, 64)
+        model = Sequential("toy", [
+            FlattenLayer(), FCLayer("fc", 64, 2, rng=rng)])
+        history = train_epochs(model, x, labels, epochs=3, seed=0)
+        assert len(history) == 3
+
+    def test_training_deterministic(self, rng):
+        x = rng.standard_normal((64, 1, 8, 8)).astype(np.float32)
+        labels = rng.integers(0, 2, 64)
+
+        def run():
+            r = np.random.default_rng(0)
+            model = Sequential("toy", [
+                FlattenLayer(), FCLayer("fc", 64, 2, rng=r)])
+            train_epochs(model, x, labels, epochs=2, seed=0)
+            return model.layers[1].weights.value.copy()
+
+        np.testing.assert_array_equal(run(), run())

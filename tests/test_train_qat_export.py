@@ -1,0 +1,178 @@
+"""Tests for QAT, model surgery, and export to the inference stack."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.eval import make_shapes_dataset
+from repro.nn import reference_output
+from repro.train import (ActivationFakeQuant, ConvLayer, FCLayer,
+                         FakeQuantConv, FlattenLayer, MaxPoolLayer,
+                         ReLULayer, Sequential, accuracy,
+                         equalize_channels, imbalance_channels,
+                         learned_ranges, qat_calibration,
+                         quantize_aware, to_graph, train_epochs)
+
+
+def micronet(rng):
+    return Sequential("micro", [
+        ConvLayer("c1", 1, 6, 3, padding=1, rng=rng), ReLULayer(),
+        MaxPoolLayer(2, 2),
+        ConvLayer("c2", 6, 12, 3, padding=1, rng=rng), ReLULayer(),
+        MaxPoolLayer(2, 2),
+        FlattenLayer(),
+        FCLayer("fc1", 12 * 16, 24, rng=rng), ReLULayer(),
+        FCLayer("fc2", 24, 4, rng=rng),
+    ])
+
+
+@pytest.fixture(scope="module")
+def trained(rng):
+    data = make_shapes_dataset(600, image_size=16, noise=0.5, seed=11)
+    train, test = data.split(0.8)
+    model = micronet(np.random.default_rng(3))
+    train_epochs(model, train.images, train.labels, epochs=4, lr=0.02,
+                 seed=0)
+    return model, train, test
+
+
+class TestQuantizeAware:
+    def test_inserts_fake_quant_layers(self, trained):
+        model, _, _ = trained
+        qat = quantize_aware(model)
+        fq = [layer for layer in qat.layers
+              if isinstance(layer, ActivationFakeQuant)]
+        assert len(fq) == 4   # one per weighted layer
+
+    def test_shares_parameters(self, trained):
+        model, _, _ = trained
+        qat = quantize_aware(model)
+        conv = next(layer for layer in qat.layers
+                    if isinstance(layer, FakeQuantConv))
+        original = next(layer for layer in model.layers
+                        if isinstance(layer, ConvLayer))
+        assert conv.weights is original.weights
+
+    def test_forward_close_to_float(self, trained, rng):
+        model, train, _ = trained
+        qat = quantize_aware(model)
+        x = train.images[:8]
+        float_out = model.forward(x, training=False)
+        qat_out = qat.forward(x, training=True)
+        assert np.corrcoef(float_out.ravel(),
+                           qat_out.ravel())[0, 1] > 0.98
+
+    def test_qat_trainable(self, trained):
+        model, train, test = trained
+        qat = quantize_aware(model)
+        history = train_epochs(qat, train.images, train.labels,
+                               epochs=1, lr=0.005, seed=1)
+        assert np.isfinite(history[-1])
+
+    def test_learned_ranges_exposed(self, trained):
+        model, train, _ = trained
+        qat = quantize_aware(model)
+        qat.forward(train.images[:8], training=True)
+        ranges = learned_ranges(qat)
+        assert len(ranges) == 4
+        assert all(qp.scale > 0 for qp in ranges)
+
+
+class TestSurgery:
+    def test_imbalance_preserves_function(self, trained):
+        model, train, _ = trained
+        x = train.images[:16]
+        before = model.forward(x, training=False)
+        pairs = imbalance_channels(model, spread=10.0, seed=1)
+        after = model.forward(x, training=False)
+        assert pairs >= 3
+        np.testing.assert_allclose(after, before, rtol=1e-3, atol=1e-3)
+
+    def test_equalize_preserves_function(self, trained):
+        model, train, _ = trained
+        x = train.images[:16]
+        before = model.forward(x, training=False)
+        equalize_channels(model)
+        after = model.forward(x, training=False)
+        np.testing.assert_allclose(after, before, rtol=1e-3, atol=1e-3)
+
+    def test_imbalance_hurts_ptq_and_equalize_recovers(self, trained):
+        """The Figure 10 mechanism: channel imbalance breaks per-tensor
+        PTQ; cross-layer equalization restores it."""
+        from repro.eval import evaluate_policy_accuracy
+        from repro.nn import calibrate_graph
+        from repro.runtime import UNIFORM_QUINT8
+        model, train, test = trained
+
+        def ptq_accuracy(m):
+            graph = to_graph(m, (1, 1, 16, 16))
+            table = calibrate_graph(graph, [train.images[:64]])
+            return evaluate_policy_accuracy(
+                graph, test.images, test.labels, UNIFORM_QUINT8,
+                calibration=table)
+
+        baseline = ptq_accuracy(model)
+        imbalance_channels(model, spread=25.0, seed=2)
+        broken = ptq_accuracy(model)
+        equalize_channels(model)
+        recovered = ptq_accuracy(model)
+        assert broken < baseline - 0.1
+        assert recovered > broken + 0.1
+
+    def test_invalid_spread_rejected(self, trained):
+        model, _, _ = trained
+        with pytest.raises(ReproError):
+            imbalance_channels(model, spread=1.0)
+
+
+class TestExport:
+    def test_export_matches_float_model(self, trained):
+        model, train, _ = trained
+        graph = to_graph(model, (1, 1, 16, 16))
+        x = train.images[:4]
+        graph_out = reference_output(graph, x)
+        model_out = model.forward(x, training=False)
+        np.testing.assert_allclose(graph_out, model_out, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_relu_fused_into_conv(self, trained):
+        model, _, _ = trained
+        graph = to_graph(model, (1, 1, 16, 16))
+        assert graph.layer("conv0").relu
+        from repro.nn import LayerKind
+        assert LayerKind.RELU not in graph.kinds_present()
+
+    def test_export_qat_model(self, trained):
+        model, train, _ = trained
+        qat = quantize_aware(model)
+        qat.forward(train.images[:8], training=True)
+        graph = to_graph(qat, (1, 1, 16, 16))
+        table = qat_calibration(qat, graph,
+                                sample_input=train.images[:32])
+        for name in graph.compute_layers():
+            layer = graph.layer(name)
+            from repro.nn import Conv2D, FullyConnected
+            if isinstance(layer, (Conv2D, FullyConnected)):
+                assert name in table
+
+    def test_qat_calibration_mismatch_rejected(self, trained):
+        model, _, _ = trained
+        qat = quantize_aware(model)
+        plain_graph = to_graph(model, (1, 1, 16, 16))
+        # Drop one observer to create a mismatch.
+        broken = Sequential("broken", [
+            layer for layer in qat.layers
+            if not isinstance(layer, ActivationFakeQuant)][:3])
+        with pytest.raises(ReproError):
+            qat_calibration(qat_model_with_fewer_observers(qat),
+                            plain_graph)
+
+
+def qat_model_with_fewer_observers(qat):
+    layers = [layer for layer in qat.layers]
+    # Remove the last fake-quant op.
+    for i in reversed(range(len(layers))):
+        if isinstance(layers[i], ActivationFakeQuant):
+            del layers[i]
+            break
+    return Sequential("fewer", layers)
