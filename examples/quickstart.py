@@ -1,9 +1,9 @@
 """Quickstart: run one NN inference through uLayer on a simulated SoC.
 
 Builds a small SqueezeNet, calibrates its activation ranges, plans the
-cooperative execution with uLayer, runs one functional inference on the
-simulated Exynos 7420, and prints the plan, per-layer trace, latency,
-energy, and a Gantt chart of the two processors.
+cooperative execution with uLayer, runs one verified functional
+inference on the simulated Exynos 7420, and prints the plan, per-layer
+trace, latency, energy, and a Gantt chart of the two processors.
 
 Run:  python examples/quickstart.py
 """
@@ -32,7 +32,10 @@ def main():
         graph, [rng.standard_normal((8, 3, 32, 32)).astype(np.float32)])
 
     # 3. The uLayer runtime: partitioner + latency predictor + executor.
-    runtime = MuLayer(EXYNOS_7420)
+    #    verify=True wraps every run in the static analyzers: the plan
+    #    verifier and dtype-flow linter check the plan before it runs,
+    #    the race detector checks the recorded timeline after.
+    runtime = MuLayer(EXYNOS_7420, verify=True)
     plan = runtime.plan(graph)
     print("\nexecution plan:")
     for name, assignment in plan.assignments.items():
@@ -50,6 +53,8 @@ def main():
     print(f"latency: {result.latency_ms:.3f} ms   "
           f"energy: {result.energy_mj:.3f} mJ   "
           f"DRAM traffic: {result.traffic_bytes / 1e3:.1f} kB")
+    print(f"verification: {result.diagnostics.summary()} "
+          f"(plan, dtype flow, and timeline races checked)")
 
     # 5. The mini model is too small to amortize GPU launch costs, so
     #    the partitioner correctly keeps it on the CPU.  Full-size

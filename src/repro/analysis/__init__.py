@@ -1,0 +1,46 @@
+"""Static analysis and verification of plans, timelines, and dtype flow.
+
+Three analyzers, one diagnostic vocabulary:
+
+* :class:`PlanVerifier` -- proves an
+  :class:`~repro.runtime.plan.ExecutionPlan`'s invariants against its
+  graph and SoC before anything runs (rules ``PV001``-``PV010``);
+* :class:`TimelineRaceDetector` -- checks a post-run
+  :class:`~repro.soc.Timeline` against the graph's happens-before
+  relation and the CPU-accelerator handoff protocol
+  (rules ``RC001``-``RC006``);
+* :class:`DtypeFlowLinter` -- abstract interpretation of the
+  quantization dtype/scale facts flowing along graph edges
+  (rules ``DT001``-``DT004``).
+
+All three emit :class:`Diagnostic` records into a :class:`Report`; the
+:mod:`~repro.analysis.verify` harness (and the ``python -m repro
+verify`` CLI) sweeps them across mechanisms, models, and SoCs.
+"""
+
+from .diagnostics import Diagnostic, Report, RULES, Severity
+from .dtypeflow import DtypeFact, DtypeFlowLinter
+from .plan_verifier import PlanVerifier
+from .races import TimelineRaceDetector
+from .verify import (MECHANISMS, SweepEntry, applicable_mechanisms,
+                     build_plan, verify_mechanism, verify_run,
+                     verify_static, verify_sweep)
+
+__all__ = [
+    "Diagnostic",
+    "DtypeFact",
+    "DtypeFlowLinter",
+    "MECHANISMS",
+    "PlanVerifier",
+    "Report",
+    "RULES",
+    "Severity",
+    "SweepEntry",
+    "TimelineRaceDetector",
+    "applicable_mechanisms",
+    "build_plan",
+    "verify_mechanism",
+    "verify_run",
+    "verify_static",
+    "verify_sweep",
+]

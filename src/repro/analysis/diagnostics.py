@@ -1,0 +1,228 @@
+"""Structured diagnostics shared by all static analyzers.
+
+Every analyzer (:mod:`~repro.analysis.plan_verifier`,
+:mod:`~repro.analysis.races`, :mod:`~repro.analysis.dtypeflow`) emits
+:class:`Diagnostic` records into a :class:`Report`.  A diagnostic names
+the violated rule (a stable identifier from :data:`RULES`), the locus in
+the artifact being analyzed (a layer, segment, or region), a severity,
+and a human-readable message.  Reports render to text or JSON and can
+escalate to :class:`~repro.errors.VerificationError` when errors are
+present, which is how the executor's opt-in ``verify=True`` path fails
+fast on a broken plan or timeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Dict, Iterable, Iterator, List
+
+from ..errors import VerificationError
+
+
+class Severity(enum.Enum):
+    """How serious a diagnostic is.
+
+    ERROR marks a violated correctness invariant (the execution is or
+    would be wrong); WARNING marks a legal-but-inadvisable configuration
+    (e.g. processor-unfriendly quantization); INFO is advisory.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: The rule catalogue: every rule id an analyzer may emit, with a short
+#: description.  Rule ids are stable identifiers: PV* = plan verifier,
+#: RC* = timeline race detector, DT* = dtype-flow linter.
+RULES: Dict[str, str] = {
+    # -- PlanVerifier ------------------------------------------------------
+    "PV001": "plan references a layer or graph that does not exist",
+    "PV002": "compute layer left unassigned by the plan",
+    "PV003": "layer assigned more than once (individually or via "
+             "overlapping branch regions)",
+    "PV004": "layer shares out of range or inconsistent with placement "
+             "(split/npu_split outside [0, 1], shares summing past 1.0, "
+             "or single-processor placement with foreign shares)",
+    "PV005": "cooperative channel partition does not cover the layer's "
+             "output channels exactly once",
+    "PV006": "cooperative placement of a layer whose kind does not "
+             "support channel-wise distribution",
+    "PV007": "placement targets a processor the SoC does not have",
+    "PV008": "branch-region assignment malformed (mapping/branch "
+             "mismatch, non-self-contained region, or fork/join order "
+             "violation)",
+    "PV009": "cooperative layer computes its GPU share in QUInt8, the "
+             "GPU-unfriendly data type (paper Fig. 8)",
+    "PV010": "NPU share under a policy that stores float activations "
+             "(NPUs consume quantized tensors)",
+    # -- TimelineRaceDetector ----------------------------------------------
+    "RC001": "two busy intervals overlap on one resource",
+    "RC002": "compute segment starts before a producer layer's compute "
+             "completed (happens-before violation)",
+    "RC003": "CPU consumes accelerator-produced data without an "
+             "intervening event-sync segment",
+    "RC004": "accelerator consumes foreign-produced data without an "
+             "intervening zero-copy map (or copy) segment",
+    "RC005": "accelerator dispatch malformed (compute without launch, "
+             "launch without compute, or launch before its CPU issue)",
+    "RC006": "timeline structurally malformed (negative duration, "
+             "unknown resource, or unknown segment kind)",
+    # -- DtypeFlowLinter ---------------------------------------------------
+    "DT001": "branch join merges inputs of different storage dtypes",
+    "DT002": "requantisation omitted: quantized layer output has no "
+             "calibrated range to requantize into",
+    "DT003": "i32 accumulator never requantised: GEMM-shaped quantized "
+             "layer lacks the output range its requantization needs",
+    "DT004": "saturation risk: a concat input's representable range "
+             "exceeds the join's output range",
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    Attributes:
+        severity: how serious the finding is.
+        rule: rule id from :data:`RULES`.
+        locus: where the finding anchors (layer/segment/region name).
+        message: human-readable description.
+    """
+
+    severity: Severity
+    rule: str
+    locus: str
+    message: str
+
+    def __post_init__(self) -> None:
+        if self.rule not in RULES:
+            raise ValueError(f"unknown diagnostic rule {self.rule!r}; "
+                             f"register it in repro.analysis.RULES")
+
+    def render(self) -> str:
+        """One-line text form of the diagnostic."""
+        return (f"{self.severity.value.upper():7s} {self.rule} "
+                f"[{self.locus}] {self.message}")
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-serializable form."""
+        return {"severity": self.severity.value, "rule": self.rule,
+                "locus": self.locus, "message": self.message}
+
+
+class Report:
+    """An ordered collection of diagnostics from one or more analyzers."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self._diagnostics: List[Diagnostic] = list(diagnostics)
+
+    # -- collection --------------------------------------------------------
+
+    def add(self, severity: Severity, rule: str, locus: str,
+            message: str) -> None:
+        """Record one diagnostic."""
+        self._diagnostics.append(
+            Diagnostic(severity=severity, rule=rule, locus=locus,
+                       message=message))
+
+    def error(self, rule: str, locus: str, message: str) -> None:
+        """Record an ERROR diagnostic."""
+        self.add(Severity.ERROR, rule, locus, message)
+
+    def warning(self, rule: str, locus: str, message: str) -> None:
+        """Record a WARNING diagnostic."""
+        self.add(Severity.WARNING, rule, locus, message)
+
+    def info(self, rule: str, locus: str, message: str) -> None:
+        """Record an INFO diagnostic."""
+        self.add(Severity.INFO, rule, locus, message)
+
+    def extend(self, other: "Report | Iterable[Diagnostic]") -> "Report":
+        """Append all diagnostics of another report; returns self."""
+        self._diagnostics.extend(other)
+        return self
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """All diagnostics, in emission order."""
+        return list(self._diagnostics)
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        """Diagnostics of one severity."""
+        return [d for d in self._diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        """All ERROR diagnostics."""
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        """All WARNING diagnostics."""
+        return self.by_severity(Severity.WARNING)
+
+    def rules_fired(self) -> List[str]:
+        """Sorted unique rule ids present in the report."""
+        return sorted({d.rule for d in self._diagnostics})
+
+    @property
+    def clean(self) -> bool:
+        """True when no diagnostics of any severity were emitted."""
+        return not self._diagnostics
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR diagnostics were emitted."""
+        return not self.errors
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    # -- rendering ---------------------------------------------------------
+
+    def summary(self) -> str:
+        """Counts by severity, e.g. ``"2 errors, 1 warning"``."""
+        if not self._diagnostics:
+            return "no diagnostics"
+        parts = []
+        for severity in Severity:
+            count = len(self.by_severity(severity))
+            if count:
+                plural = "s" if count != 1 else ""
+                parts.append(f"{count} {severity.value}{plural}")
+        return ", ".join(parts)
+
+    def render(self) -> str:
+        """Multi-line text report (one line per diagnostic + summary)."""
+        lines = [d.render() for d in self._diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self, indent: "int | None" = 2) -> str:
+        """JSON array of the diagnostics."""
+        return json.dumps([d.to_dict() for d in self._diagnostics],
+                          indent=indent)
+
+    def raise_if_errors(self, context: str = "") -> None:
+        """Escalate to :class:`VerificationError` when errors exist."""
+        if self.ok:
+            return
+        prefix = f"{context}: " if context else ""
+        rendered = "\n".join(d.render() for d in self.errors)
+        raise VerificationError(
+            f"{prefix}{len(self.errors)} verification error(s)\n{rendered}",
+            diagnostics=self.diagnostics)
+
+    def __repr__(self) -> str:
+        return f"<Report {self.summary()}>"

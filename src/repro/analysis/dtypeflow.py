@@ -1,0 +1,194 @@
+"""Abstract interpretation of quantization dtype flow (DT001-DT004).
+
+The processor-friendly quantization (Section 4.2) keeps every
+activation in memory as QUInt8 with per-layer affine parameters, and
+every producing kernel requantizes its (i32 or float) intermediate back
+into the consumer-visible 8-bit range.  The :class:`DtypeFlowLinter`
+propagates an abstract *(storage dtype, scale, zero_point)* fact along
+every graph edge and flags the ways that chain can break:
+
+* DT001 -- a branch join (concat/add) merges inputs whose storage
+  dtypes differ, so a single kernel cannot consume them;
+* DT002 -- a quantized layer that re-derives its output range
+  (concat/add/softmax/LRN) has no calibrated range to requantize into;
+* DT003 -- a GEMM-shaped quantized layer (conv/FC/depthwise) whose
+  i32 accumulator would never be requantised for lack of an output
+  range -- the exact failure mode of dropping a layer from the
+  calibration table;
+* DT004 -- a concat input's representable real range exceeds the
+  join's output range, so requantizing into the join's scale saturates
+  (concat is value-preserving, its output range must cover every
+  input).
+
+The linter is purely static: it never touches tensor data, only the
+graph, the policy, the (optional) calibration table, and optional
+per-layer storage-dtype overrides describing partially converted
+imports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional
+
+from ..nn import Graph, LayerKind
+from ..nn.layers import Input
+from ..quant.calibrate import CalibrationTable
+from ..runtime.pfq import QuantizationPolicy
+from ..tensor import DType, QuantParams
+from .diagnostics import Report
+
+#: Kinds whose integer path accumulates in i32 and must requantize
+#: through the calibrated output range (Figure 9a).
+GEMM_REQUANT_KINDS = frozenset({
+    LayerKind.CONV, LayerKind.FC, LayerKind.DEPTHWISE_CONV,
+})
+
+#: Kinds recomputed through float and requantized into a fresh range.
+FLOAT_REQUANT_KINDS = frozenset({
+    LayerKind.CONCAT, LayerKind.ADD, LayerKind.SOFTMAX, LayerKind.LRN,
+})
+
+#: Kinds that pass their input's quantization parameters through
+#: unchanged (monotone or affine in the codes, as in TFLite).
+PASS_THROUGH_KINDS = frozenset({
+    LayerKind.MAX_POOL, LayerKind.AVG_POOL, LayerKind.RELU,
+    LayerKind.FLATTEN,
+})
+
+#: Kinds that merge several producers.
+JOIN_KINDS = frozenset({LayerKind.CONCAT, LayerKind.ADD})
+
+
+@dataclasses.dataclass(frozen=True)
+class DtypeFact:
+    """The abstract state of one edge: storage type and quantization.
+
+    ``qparams`` is None for float storage, for runs without a
+    calibration table, and downstream of an already-reported omission
+    (errors do not cascade).
+    """
+
+    dtype: DType
+    qparams: Optional[QuantParams] = None
+
+
+class DtypeFlowLinter:
+    """Propagates dtype/scale/zero-point facts through an NN graph.
+
+    Args:
+        saturation_slack: fraction of the output range a concat input
+            may exceed it by before DT004 fires; absorbs the rounding
+            of independently calibrated ranges.
+    """
+
+    def __init__(self, saturation_slack: float = 0.01) -> None:
+        self.saturation_slack = saturation_slack
+
+    def lint(self, graph: Graph, policy: QuantizationPolicy,
+             calibration: Optional[CalibrationTable] = None,
+             dtype_overrides: Optional[Mapping[str, DType]] = None
+             ) -> Report:
+        """Lint one graph under one policy.
+
+        Args:
+            graph: the network.
+            policy: storage/compute dtypes in force.
+            calibration: frozen per-layer activation ranges; when
+                omitted, only dtype-level rules can fire (scale facts
+                stay unknown).
+            dtype_overrides: per-layer storage dtypes that differ from
+                the policy (e.g. a partially quantized import); layers
+                not listed use ``policy.activation_storage``.
+        """
+        overrides = dict(dtype_overrides or {})
+        report = Report()
+        facts: Dict[str, DtypeFact] = {}
+        for name in graph.topological_order():
+            layer = graph.layer(name)
+            if isinstance(layer, Input):
+                facts[name] = self._fresh_fact(name, policy, overrides,
+                                               calibration)
+                continue
+            in_facts = [facts[p] for p in graph.inputs_of(name)]
+            if layer.kind in JOIN_KINDS:
+                self._check_join_dtypes(name, graph, in_facts, report)
+            if layer.kind in PASS_THROUGH_KINDS and name not in overrides:
+                facts[name] = in_facts[0]
+                continue
+            fact = self._fresh_fact(name, policy, overrides, calibration)
+            if (fact.dtype.is_quantized and calibration is not None
+                    and fact.qparams is None
+                    and layer.kind in (GEMM_REQUANT_KINDS
+                                       | FLOAT_REQUANT_KINDS)):
+                self._report_missing_requant(name, layer.kind, report)
+            if layer.kind is LayerKind.CONCAT:
+                self._check_saturation(name, graph, in_facts, fact,
+                                       report)
+            facts[name] = fact
+        return report
+
+    # -- fact construction -------------------------------------------------
+
+    @staticmethod
+    def _fresh_fact(name: str, policy: QuantizationPolicy,
+                    overrides: Mapping[str, DType],
+                    calibration: Optional[CalibrationTable]) -> DtypeFact:
+        dtype = overrides.get(name, policy.activation_storage)
+        qparams = None
+        if dtype.is_quantized and calibration is not None \
+                and name in calibration:
+            qparams = calibration.get(name)
+        return DtypeFact(dtype=dtype, qparams=qparams)
+
+    # -- rules -------------------------------------------------------------
+
+    @staticmethod
+    def _check_join_dtypes(name: str, graph: Graph,
+                           in_facts: List[DtypeFact],
+                           report: Report) -> None:
+        dtypes = {fact.dtype for fact in in_facts}
+        if len(dtypes) > 1:
+            pairs = ", ".join(
+                f"{producer}:{fact.dtype}"
+                for producer, fact in zip(graph.inputs_of(name), in_facts))
+            report.error(
+                "DT001", name,
+                f"join merges mixed storage dtypes ({pairs}); insert a "
+                "conversion or align the producers' storage types")
+
+    @staticmethod
+    def _report_missing_requant(name: str, kind: LayerKind,
+                                report: Report) -> None:
+        if kind in GEMM_REQUANT_KINDS:
+            report.error(
+                "DT003", name,
+                f"{kind} layer accumulates in i32 but has no calibrated "
+                "output range; the accumulator is never requantised to "
+                "QUInt8")
+        else:
+            report.error(
+                "DT002", name,
+                f"{kind} layer output stays QUInt8 but has no "
+                "calibrated range to requantize into")
+
+    def _check_saturation(self, name: str, graph: Graph,
+                          in_facts: List[DtypeFact], fact: DtypeFact,
+                          report: Report) -> None:
+        if fact.qparams is None:
+            return
+        out = fact.qparams
+        slack = self.saturation_slack * (out.range_max - out.range_min)
+        for producer, in_fact in zip(graph.inputs_of(name), in_facts):
+            qparams = in_fact.qparams
+            if qparams is None:
+                continue
+            if (qparams.range_max > out.range_max + slack
+                    or qparams.range_min < out.range_min - slack):
+                report.warning(
+                    "DT004", name,
+                    f"input {producer!r} represents "
+                    f"[{qparams.range_min:.4g}, {qparams.range_max:.4g}] "
+                    f"but the concat output scale only covers "
+                    f"[{out.range_min:.4g}, {out.range_max:.4g}]; "
+                    "requantization will saturate")

@@ -1,0 +1,148 @@
+"""Mechanism-level verification harness.
+
+Ties the three analyzers together for one (model, SoC, mechanism)
+triple: build the mechanism's plan the same way the runtime would,
+statically verify it (:class:`~repro.analysis.plan_verifier.PlanVerifier`
+plus the :class:`~repro.analysis.dtypeflow.DtypeFlowLinter`), run a
+timing-only execution, and check the recorded timeline with the
+:class:`~repro.analysis.races.TimelineRaceDetector`.  The CLI's
+``verify`` subcommand and the clean-run regression tests drive these
+functions over the whole model zoo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..models import build_model, list_models
+from ..nn import Graph
+from ..quant.calibrate import CalibrationTable
+from ..runtime.baselines import (layer_to_processor_plan,
+                                 single_processor_plan)
+from ..runtime.executor import Executor
+from ..runtime.mulayer import MuLayer
+from ..runtime.pfq import UNIFORM_QUINT8, uniform_policy
+from ..runtime.plan import ExecutionPlan
+from ..soc import SOCS, SoCSpec, Timeline
+from ..tensor import DType
+from .diagnostics import Report
+from .dtypeflow import DtypeFlowLinter
+from .plan_verifier import PlanVerifier
+from .races import TimelineRaceDetector
+
+#: Every mechanism the harness can verify.
+MECHANISMS = ("mulayer", "l2p", "cpu", "gpu", "npu")
+
+#: The dtype each single-processor mechanism is verified at -- each
+#: processor's *friendly* type (Figure 8), so a clean zoo stays clean.
+_SINGLE_PROCESSOR_DTYPE = {
+    "cpu": DType.QUINT8,
+    "gpu": DType.F16,
+    "npu": DType.QUINT8,
+}
+
+#: MuLayer runtimes by SoC name, so repeated sweeps reuse the fitted
+#: latency predictor and the per-graph plan cache.
+_MULAYER_CACHE: Dict[str, MuLayer] = {}
+
+
+def applicable_mechanisms(soc: SoCSpec) -> Tuple[str, ...]:
+    """The mechanisms that can run on ``soc`` (no NPU, no npu run)."""
+    if soc.has_npu:
+        return MECHANISMS
+    return tuple(m for m in MECHANISMS if m != "npu")
+
+
+def build_plan(soc: SoCSpec, graph: Graph,
+               mechanism: str) -> ExecutionPlan:
+    """The plan a mechanism would execute, built the runtime's way."""
+    if mechanism == "mulayer":
+        runtime = _MULAYER_CACHE.get(soc.name)
+        if runtime is None:
+            # The fitted latency predictor only covers CPU and GPU;
+            # three-way planning uses oracle costs (Section 8.3).
+            runtime = _MULAYER_CACHE[soc.name] = MuLayer(
+                soc, use_oracle_costs=soc.has_npu)
+        return runtime.plan(graph)
+    if mechanism == "l2p":
+        return layer_to_processor_plan(soc, graph, UNIFORM_QUINT8)
+    if mechanism in _SINGLE_PROCESSOR_DTYPE:
+        policy = uniform_policy(_SINGLE_PROCESSOR_DTYPE[mechanism])
+        return single_processor_plan(graph, mechanism, policy)
+    raise ValueError(f"unknown mechanism {mechanism!r}; expected one "
+                     f"of {MECHANISMS}")
+
+
+def verify_static(soc: SoCSpec, graph: Graph, plan: ExecutionPlan,
+                  calibration: Optional[CalibrationTable] = None
+                  ) -> Report:
+    """Pre-execution verification: plan invariants + dtype flow."""
+    report = PlanVerifier(soc).verify(graph, plan)
+    report.extend(DtypeFlowLinter().lint(graph, plan.policy,
+                                         calibration))
+    return report
+
+
+def verify_run(soc: SoCSpec, graph: Graph, plan: ExecutionPlan,
+               timeline: Timeline) -> Report:
+    """Post-execution verification: timeline ordering and handoffs."""
+    return TimelineRaceDetector(soc).check(graph, plan, timeline)
+
+
+def verify_mechanism(soc: SoCSpec, graph: Graph, mechanism: str,
+                     calibration: Optional[CalibrationTable] = None
+                     ) -> Report:
+    """Full verification of one mechanism on one model and SoC.
+
+    Builds the mechanism's plan, verifies it statically, performs one
+    timing-only execution, and race-checks the resulting timeline.
+    Static errors do not abort the run (all diagnostics are wanted),
+    but a plan the executor itself rejects is reported, not raised.
+    """
+    plan = build_plan(soc, graph, mechanism)
+    report = verify_static(soc, graph, plan, calibration)
+    if not report.ok:
+        return report    # executing a provably broken plan adds noise
+    result = Executor(soc).run(graph, plan, mechanism=mechanism)
+    return report.extend(verify_run(soc, graph, plan, result.timeline))
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepEntry:
+    """One verified (model, SoC, mechanism) triple of a sweep."""
+
+    model: str
+    soc: str
+    mechanism: str
+    report: Report
+
+
+def verify_sweep(models: Optional[Iterable[str]] = None,
+                 socs: Optional[Iterable[str]] = None,
+                 mechanisms: Optional[Iterable[str]] = None
+                 ) -> List[SweepEntry]:
+    """Verify mechanisms across the zoo.
+
+    Args:
+        models: model names (default: the whole zoo).
+        socs: SoC names (default: all simulated SoCs).
+        mechanisms: mechanisms to check (default: every mechanism the
+            SoC supports; an explicit ``npu`` request on an NPU-less
+            SoC is skipped rather than reported).
+    """
+    entries: List[SweepEntry] = []
+    requested = tuple(mechanisms) if mechanisms is not None else None
+    for soc_name in (tuple(socs) if socs is not None else sorted(SOCS)):
+        soc = SOCS[soc_name]
+        supported = applicable_mechanisms(soc)
+        chosen = (supported if requested is None
+                  else tuple(m for m in requested if m in supported))
+        for model in (tuple(models) if models is not None
+                      else list_models()):
+            graph = build_model(model, with_weights=False)
+            for mechanism in chosen:
+                entries.append(SweepEntry(
+                    model=model, soc=soc_name, mechanism=mechanism,
+                    report=verify_mechanism(soc, graph, mechanism)))
+    return entries

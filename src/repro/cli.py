@@ -6,6 +6,8 @@ Commands:
 * ``run`` -- one inference through a chosen mechanism; prints latency,
   energy, and optionally the plan and a Gantt chart.
 * ``compare`` -- all mechanisms on one model/SoC.
+* ``verify`` -- statically verify plans, timelines, and dtype flow for
+  one model (or, with ``--all``, the whole zoo) on one or all SoCs.
 * ``figure`` -- regenerate one of the paper's figures.
 """
 
@@ -57,6 +59,23 @@ def _build_parser() -> argparse.ArgumentParser:
                              help="compare all mechanisms on one model")
     compare.add_argument("--model", required=True)
     compare.add_argument("--soc", default="exynos7420")
+
+    verify = sub.add_parser(
+        "verify",
+        help="statically verify plans, timelines, and dtype flow")
+    verify.add_argument("model", nargs="?", default=None,
+                        help="model name (omit with --all)")
+    verify.add_argument("soc", nargs="?", default=None,
+                        help="SoC name (default: every simulated SoC)")
+    verify.add_argument("--mechanism", action="append",
+                        dest="mechanisms", metavar="MECH",
+                        choices=["mulayer", "l2p", "cpu", "gpu", "npu"],
+                        help="mechanism to verify (repeatable; "
+                             "default: all the SoC supports)")
+    verify.add_argument("--all", action="store_true", dest="all_models",
+                        help="verify every model in the zoo")
+    verify.add_argument("--json", action="store_true",
+                        help="emit diagnostics as JSON")
 
     figure = sub.add_parser("figure",
                             help="regenerate one paper figure")
@@ -147,6 +166,39 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from .analysis import verify_sweep
+    if args.all_models:
+        models = None
+    elif args.model is not None:
+        models = [args.model]
+    else:
+        print("verify: give a model name or --all", file=sys.stderr)
+        return 2
+    socs = [args.soc] if args.soc is not None else None
+    entries = verify_sweep(models=models, socs=socs,
+                           mechanisms=args.mechanisms)
+    if args.json:
+        print(json_module.dumps(
+            [{"model": e.model, "soc": e.soc,
+              "mechanism": e.mechanism,
+              "diagnostics": [d.to_dict() for d in e.report]}
+             for e in entries], indent=2))
+    else:
+        for entry in entries:
+            print(f"{entry.model:18s} {entry.soc:14s} "
+                  f"{entry.mechanism:8s} {entry.report.summary()}")
+            for diagnostic in entry.report:
+                print(f"    {diagnostic.render()}")
+    dirty = sum(1 for e in entries if not e.report.clean)
+    if not args.json:
+        print(f"{len(entries)} mechanism runs verified, "
+              f"{dirty} with diagnostics")
+    return 1 if dirty else 0
+
+
 def _cmd_figure(name: str) -> int:
     from . import harness
     functions = {
@@ -175,6 +227,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "figure":
         return _cmd_figure(args.name)
     return 1

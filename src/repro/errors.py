@@ -37,3 +37,17 @@ class SimulationError(ReproError):
 
 class CalibrationError(ReproError):
     """A predictor or observer was used before being calibrated."""
+
+
+class VerificationError(ReproError):
+    """A static analyzer found correctness errors in a plan, timeline,
+    or dtype flow.
+
+    Attributes:
+        diagnostics: the :class:`~repro.analysis.Diagnostic` records
+            (all severities) of the failing report.
+    """
+
+    def __init__(self, message: str, diagnostics=None) -> None:
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])

@@ -161,7 +161,7 @@ def fig10_quantization_accuracy(train_size: int = 1200,
                         quantization_accuracy_sweep)
     from ..runtime import UNIFORM_QUINT8
     from ..train import (ConvLayer, FCLayer, FlattenLayer, MaxPoolLayer,
-                         ReLULayer, Sequential, accuracy,
+                         ReLULayer, Sequential,
                          imbalance_channels, qat_calibration,
                          quantize_aware, to_graph, train_epochs)
 

@@ -27,7 +27,12 @@ def render_gantt(timeline: Timeline, width: int = 100,
     simulated time; the mark shows what the processor spent most of
     that slice on (``#`` compute, ``L`` launch, ``i`` issue, ``m``
     map, ``c`` copy, ``s`` sync, ``.`` idle).
+
+    Raises:
+        SimulationError: if the timeline is structurally invalid
+            (a chart of an inconsistent ledger would mislead).
     """
+    timeline.validate()
     if end_s is None:
         end_s = timeline.makespan()
     span = end_s - start_s

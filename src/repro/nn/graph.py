@@ -8,7 +8,7 @@ provided by :mod:`repro.nn.branches`.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 from ..errors import GraphError, ShapeError
 from .layer import Layer, LayerKind, LayerWork, Shape

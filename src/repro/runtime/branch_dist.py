@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 import math
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..nn import BranchRegion, Graph, LayerKind, LayerWork
 from ..soc import ISSUE_US, SoCSpec

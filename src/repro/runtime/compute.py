@@ -278,7 +278,7 @@ class LayerComputer:
         folded = self._fold_gemm_output(out_rows, shape)
         return self._store(name, folded)
 
-    # -- depthwise convolution --------------------------------------------------
+    # -- depthwise convolution ------------------------------------------------
 
     def _run_depthwise(self, name: str, inputs: List[Tensor],
                        resource: str,

@@ -51,13 +51,20 @@ class Executor:
         async_issue: issue accelerator commands asynchronously so they
             overlap with CPU work (True) or block on each command
             (False).
+        verify: run the static analyzers around every execution --
+            plan verifier and dtype-flow linter before, race detector
+            after.  Errors raise
+            :class:`~repro.errors.VerificationError`; the full report
+            (including warnings) is attached to the result's
+            ``diagnostics`` field.
     """
 
     def __init__(self, soc: SoCSpec, zero_copy: bool = True,
-                 async_issue: bool = True) -> None:
+                 async_issue: bool = True, verify: bool = False) -> None:
         self.soc = soc
         self.zero_copy = zero_copy
         self.async_issue = async_issue
+        self.verify = verify
 
     def run(self, graph: Graph, plan: ExecutionPlan,
             x: Optional[np.ndarray] = None,
@@ -78,9 +85,37 @@ class Executor:
             (for functional runs) all layer outputs.
         """
         plan.validate(graph)
+        report = (self._verify_static(graph, plan, calibration)
+                  if self.verify else None)
         run_state = _RunState(self, graph, plan, x, calibration)
         run_state.execute()
-        return run_state.result(mechanism)
+        result = run_state.result(mechanism)
+        if report is not None:
+            self._verify_timeline(graph, plan, result, report)
+        return result
+
+    def _verify_static(self, graph: Graph, plan: ExecutionPlan,
+                       calibration: Optional[CalibrationTable]):
+        """Pre-execution verification (verify=True); fails fast on
+        errors so a broken plan never reaches the timeline."""
+        # Imported lazily: repro.analysis imports the runtime package.
+        from ..analysis.dtypeflow import DtypeFlowLinter
+        from ..analysis.plan_verifier import PlanVerifier
+        report = PlanVerifier(self.soc).verify(graph, plan)
+        report.extend(DtypeFlowLinter().lint(graph, plan.policy,
+                                             calibration))
+        report.raise_if_errors(
+            f"plan for {graph.name!r} on {self.soc.name}")
+        return report
+
+    def _verify_timeline(self, graph: Graph, plan: ExecutionPlan,
+                         result: InferenceResult, report) -> None:
+        from ..analysis.races import TimelineRaceDetector
+        report.extend(TimelineRaceDetector(self.soc).check(
+            graph, plan, result.timeline))
+        report.raise_if_errors(
+            f"timeline of {graph.name!r} on {self.soc.name}")
+        result.diagnostics = report
 
 
 class _RunState:
@@ -119,7 +154,7 @@ class _RunState:
                 self._region_of[name] = branch_assignment
         self._done_regions: Set[int] = set()
 
-    # -- orchestration ---------------------------------------------------------
+    # -- orchestration --------------------------------------------------------
 
     def execute(self) -> None:
         """Run all layers in topological order."""
@@ -153,7 +188,7 @@ class _RunState:
             outputs=dict(self.values) if self.computer else None,
         )
 
-    # -- building blocks ---------------------------------------------------------
+    # -- building blocks ------------------------------------------------------
 
     def _seed_input(self, name: str) -> None:
         self.ready[name] = 0.0
@@ -217,7 +252,7 @@ class _RunState:
                                   "copy")
             self.traffic += 2.0 * nbytes   # copy reads and rewrites DRAM
 
-    # -- layer execution -----------------------------------------------------------
+    # -- layer execution ------------------------------------------------------
 
     def _execute_layer(self, name: str,
                        assignment: LayerAssignment) -> None:
@@ -344,7 +379,7 @@ class _RunState:
                 work, self.policy.activation_storage,
                 self.policy.activation_storage)))
 
-    # -- branch-distributed regions ------------------------------------------------
+    # -- branch-distributed regions -------------------------------------------
 
     def _execute_region(self, branch_assignment: BranchAssignment) -> None:
         """Run a fork/join region with whole branches on single

@@ -4,10 +4,13 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from ..soc import EnergyBreakdown, Timeline
 from ..tensor import Tensor
+
+if TYPE_CHECKING:   # pragma: no cover - import cycle guard
+    from ..analysis.diagnostics import Report
 
 
 @dataclasses.dataclass(frozen=True)
@@ -52,6 +55,9 @@ class InferenceResult:
         traffic_bytes: total DRAM traffic.
         outputs: layer outputs in storage representation (present only
             for functional runs).
+        diagnostics: the verification report (present only when the
+            executor ran with ``verify=True``; contains at most
+            warnings/infos, since errors raise instead).
     """
 
     graph_name: str
@@ -64,6 +70,7 @@ class InferenceResult:
     traces: List[LayerTrace]
     traffic_bytes: float
     outputs: Optional[Dict[str, Tensor]] = None
+    diagnostics: Optional["Report"] = None
 
     @property
     def latency_ms(self) -> float:

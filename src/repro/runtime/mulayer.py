@@ -41,6 +41,8 @@ class MuLayer:
             of the fitted latency predictor (ablation).
         zero_copy / async_issue: the Section 6 implementation
             optimizations (ablations flip them off).
+        verify: run the static analyzers around every execution (see
+            :class:`~repro.runtime.executor.Executor`).
     """
 
     def __init__(self, soc: SoCSpec,
@@ -50,6 +52,7 @@ class MuLayer:
                  use_oracle_costs: bool = False,
                  zero_copy: bool = True,
                  async_issue: bool = True,
+                 verify: bool = False,
                  predictor: Optional[LatencyPredictor] = None) -> None:
         self.soc = soc
         self.policy = policy
@@ -61,7 +64,7 @@ class MuLayer:
         self.partitioner = Partitioner(soc, policy=policy, config=config,
                                        predictor=predictor)
         self.executor = Executor(soc, zero_copy=zero_copy,
-                                 async_issue=async_issue)
+                                 async_issue=async_issue, verify=verify)
         self._plan_cache: Dict[str, ExecutionPlan] = {}
 
     def plan(self, graph: Graph) -> ExecutionPlan:

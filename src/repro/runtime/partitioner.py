@@ -17,8 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..nn import BranchRegion, Graph, LayerWork, find_branch_regions
 from ..nn.branches import region_subgraph
 from ..soc import ISSUE_US, SoCSpec, kernel_cost
-from .branch_dist import (NPU_KINDS, best_branch_mapping,
-                          estimate_mapping, profile_branches)
+from .branch_dist import NPU_KINDS, estimate_mapping, profile_branches
 from .distribution import split_layer_work_shares
 from .pfq import PROCESSOR_FRIENDLY, QuantizationPolicy
 from .plan import (BranchAssignment, ExecutionPlan, LayerAssignment,
@@ -179,7 +178,7 @@ class Partitioner:
             name, active.get("cpu", 0.0),
             npu_split=active.get("npu", 0.0))
 
-    # -- planning ----------------------------------------------------------------
+    # -- planning -------------------------------------------------------------
 
     def plan(self, graph: Graph) -> ExecutionPlan:
         """Build a validated execution plan for ``graph``."""

@@ -26,7 +26,7 @@ from __future__ import annotations
 import dataclasses
 
 from .soc import SoCSpec
-from .timeline import CPU, GPU, Timeline
+from .timeline import Timeline
 
 
 @dataclasses.dataclass(frozen=True)

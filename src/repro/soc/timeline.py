@@ -21,6 +21,10 @@ GPU = "gpu"
 NPU = "npu"
 RESOURCES = (CPU, GPU, NPU)
 
+#: Segment kinds the simulator records; anything else in a timeline is
+#: a sign of a corrupted or hand-built ledger.
+KNOWN_KINDS = ("compute", "launch", "issue", "map", "sync", "copy")
+
 
 @dataclasses.dataclass(frozen=True)
 class Segment:
@@ -114,15 +118,34 @@ class Timeline:
                    for segment in self.segments(resource))
 
     def validate(self) -> None:
-        """Check the per-resource non-overlap and monotonicity invariant.
+        """Check the ledger's structural invariants.
+
+        Verifies that every segment carries a known resource and kind
+        label and a non-negative duration, that segments were recorded
+        in per-resource start order, and that reservations on one
+        resource never overlap.
 
         Raises:
-            SimulationError: if two segments on one resource overlap.
+            SimulationError: describing the first violation found.
         """
+        for segment in self._segments:
+            if segment.resource not in RESOURCES:
+                raise SimulationError(
+                    f"segment with unknown resource: {segment}")
+            if segment.kind not in KNOWN_KINDS:
+                raise SimulationError(
+                    f"segment with unknown kind {segment.kind!r}: "
+                    f"{segment}")
+            if segment.end < segment.start:
+                raise SimulationError(
+                    f"segment with negative duration: {segment}")
         for resource in RESOURCES:
-            segments = sorted(self.segments(resource),
-                              key=lambda s: s.start)
-            for before, after in zip(segments, segments[1:]):
+            recorded = self.segments(resource)
+            if recorded != sorted(recorded, key=lambda s: s.start):
+                raise SimulationError(
+                    f"segments on {resource} recorded out of start "
+                    "order")
+            for before, after in zip(recorded, recorded[1:]):
                 if after.start < before.end - 1e-12:
                     raise SimulationError(
                         f"overlapping segments on {resource}: "

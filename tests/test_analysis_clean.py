@@ -1,0 +1,80 @@
+"""Clean-run guarantees: the shipped mechanisms verify diagnostic-free.
+
+The analyzers exist to catch regressions in the planner and executor,
+so the strongest regression test is that everything the repo itself
+produces -- every model, SoC, and mechanism -- passes with zero
+diagnostics, and that the verifying executor path works end to end.
+"""
+
+import pytest
+
+from repro.analysis import applicable_mechanisms, verify_sweep
+from repro.cli import main
+from repro.errors import VerificationError
+from repro.models import MINI_MODELS, build_model
+from repro.runtime import MuLayer, UNIFORM_QUINT8
+from repro.runtime.baselines import single_processor_plan
+from repro.runtime.executor import Executor
+from repro.soc import SOCS, soc_by_name
+
+
+class TestZooSweep:
+    @pytest.mark.parametrize("soc_name", sorted(SOCS))
+    def test_mini_models_verify_clean(self, soc_name):
+        soc = SOCS[soc_name]
+        entries = verify_sweep(models=MINI_MODELS, socs=[soc_name])
+        assert len(entries) == (len(MINI_MODELS)
+                                * len(applicable_mechanisms(soc)))
+        dirty = [e for e in entries if not e.report.clean]
+        assert not dirty, "\n".join(
+            f"{e.model}/{e.soc}/{e.mechanism}: {e.report.render()}"
+            for e in dirty)
+
+    def test_npu_mechanism_skipped_on_npuless_socs(self):
+        entries = verify_sweep(models=["vgg_mini"],
+                               socs=["exynos7420"],
+                               mechanisms=["npu"])
+        assert entries == []
+
+
+class TestCli:
+    def test_verify_exit_code_zero_on_clean(self, capsys):
+        assert main(["verify", "googlenet_mini", "exynos7420"]) == 0
+        out = capsys.readouterr().out
+        assert "no diagnostics" in out
+        assert "0 with diagnostics" in out
+
+    def test_verify_requires_model_or_all(self, capsys):
+        assert main(["verify"]) == 2
+
+    def test_verify_json_output(self, capsys):
+        import json
+        assert main(["verify", "vgg_mini", "exynos7420",
+                     "--mechanism", "cpu", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert entries == [{"model": "vgg_mini", "soc": "exynos7420",
+                            "mechanism": "cpu", "diagnostics": []}]
+
+
+class TestVerifyingExecutor:
+    def test_mulayer_verify_attaches_report(self, squeezenet_mini,
+                                            single_input,
+                                            squeezenet_calibration):
+        runtime = MuLayer(soc_by_name("exynos7420"), verify=True)
+        result = runtime.run(squeezenet_mini, x=single_input,
+                             calibration=squeezenet_calibration)
+        assert result.diagnostics is not None
+        assert result.diagnostics.clean
+
+    def test_unverified_run_has_no_report(self, squeezenet_mini):
+        result = MuLayer(soc_by_name("exynos7420")).run(squeezenet_mini)
+        assert result.diagnostics is None
+
+    def test_broken_plan_raises_before_running(self):
+        graph = build_model("vgg_mini", with_weights=False)
+        plan = single_processor_plan(graph, "npu", UNIFORM_QUINT8)
+        executor = Executor(soc_by_name("exynos7420"), verify=True)
+        with pytest.raises(VerificationError) as excinfo:
+            executor.run(graph, plan)
+        assert any(d.rule == "PV007"
+                   for d in excinfo.value.diagnostics)

@@ -1,0 +1,99 @@
+"""Golden tests for the dtype-flow linter (DT rules)."""
+
+import pytest
+
+from repro.analysis import DtypeFlowLinter
+from repro.quant.calibrate import CalibrationTable
+from repro.runtime import (PROCESSOR_FRIENDLY, UNIFORM_F16,
+                           UNIFORM_QUINT8)
+from repro.tensor import DType, QuantParams
+
+
+def drop_layers(calibration, *names):
+    """A copy of a calibration table without the given layers."""
+    table = CalibrationTable()
+    for layer in calibration.layers():
+        if layer not in names:
+            table.set(layer, calibration.get(layer))
+    return table
+
+
+@pytest.fixture
+def linter():
+    return DtypeFlowLinter()
+
+
+class TestCleanFlows:
+    def test_calibrated_pfq_is_clean(self, linter, squeezenet_mini,
+                                     squeezenet_calibration):
+        report = linter.lint(squeezenet_mini, PROCESSOR_FRIENDLY,
+                             squeezenet_calibration)
+        assert report.clean, report.render()
+
+    def test_float_policy_is_clean_without_calibration(
+            self, linter, squeezenet_mini):
+        assert linter.lint(squeezenet_mini, UNIFORM_F16).clean
+
+    def test_quantized_policy_without_calibration_is_clean(
+            self, linter, squeezenet_mini):
+        """No calibration table at all means a timing-only run; scale
+        facts are unknown, not wrong."""
+        assert linter.lint(squeezenet_mini, UNIFORM_QUINT8).clean
+
+
+class TestMixedDtypeJoins:
+    def test_mixed_join_dt001(self, linter, squeezenet_mini,
+                              squeezenet_calibration):
+        report = linter.lint(
+            squeezenet_mini, PROCESSOR_FRIENDLY,
+            squeezenet_calibration,
+            dtype_overrides={"fire1/expand1x1": DType.F16})
+        assert "DT001" in report.rules_fired()
+        assert any(d.locus == "fire1/concat" for d in report.errors)
+
+    def test_uniform_override_of_all_producers_is_join_clean(
+            self, linter, squeezenet_mini, squeezenet_calibration):
+        report = linter.lint(
+            squeezenet_mini, PROCESSOR_FRIENDLY,
+            squeezenet_calibration,
+            dtype_overrides={"fire1/expand1x1": DType.F16,
+                             "fire1/expand3x3": DType.F16})
+        assert "DT001" not in report.rules_fired()
+
+
+class TestMissingRequantisation:
+    def test_missing_concat_range_dt002(self, linter, squeezenet_mini,
+                                        squeezenet_calibration):
+        partial = drop_layers(squeezenet_calibration, "fire1/concat")
+        report = linter.lint(squeezenet_mini, PROCESSOR_FRIENDLY,
+                             partial)
+        assert report.rules_fired() == ["DT002"]
+        assert report.errors[0].locus == "fire1/concat"
+
+    def test_missing_conv_range_dt003(self, linter, squeezenet_mini,
+                                      squeezenet_calibration):
+        partial = drop_layers(squeezenet_calibration, "conv1")
+        report = linter.lint(squeezenet_mini, PROCESSOR_FRIENDLY,
+                             partial)
+        assert report.rules_fired() == ["DT003"]
+        assert "i32" in report.errors[0].message
+
+    def test_missing_pass_through_range_not_flagged(
+            self, linter, vgg_mini, vgg_mini_calibration):
+        """Pooling reuses its input's parameters; a missing table
+        entry for it omits nothing."""
+        partial = drop_layers(vgg_mini_calibration, "pool1")
+        report = linter.lint(vgg_mini, PROCESSOR_FRIENDLY, partial)
+        assert report.clean, report.render()
+
+
+class TestSaturation:
+    def test_narrowed_concat_range_dt004(self, linter, squeezenet_mini,
+                                         squeezenet_calibration):
+        narrowed = drop_layers(squeezenet_calibration)
+        narrowed.set("fire1/concat", QuantParams.from_range(-0.01, 0.01))
+        report = linter.lint(squeezenet_mini, PROCESSOR_FRIENDLY,
+                             narrowed)
+        saturations = [d for d in report if d.rule == "DT004"]
+        assert saturations and report.ok   # warning, not error
+        assert all(d.locus == "fire1/concat" for d in saturations)

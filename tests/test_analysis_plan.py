@@ -1,0 +1,200 @@
+"""Golden tests for the static plan verifier (PV rules)."""
+
+import pytest
+
+from repro.analysis import PlanVerifier, Severity
+from repro.models import build_model
+from repro.nn import (Conv2D, Flatten, Graph, Input, MaxPool2D,
+                      Softmax, find_branch_regions)
+from repro.runtime import (BranchAssignment, ExecutionPlan,
+                           LayerAssignment, PROCESSOR_FRIENDLY,
+                           Placement, UNIFORM_QUINT8)
+from repro.soc import EXYNOS_7420, EXYNOS_7420_NPU
+
+
+@pytest.fixture
+def chain():
+    g = Graph("chain")
+    g.add(Input("in", (1, 3, 8, 8)))
+    g.add(Conv2D("c1", 3, 4, 3, padding=1), ["in"])
+    g.add(MaxPool2D("p1", 2, 2), ["c1"])
+    g.add(Conv2D("c2", 4, 8, 3, padding=1), ["p1"])
+    g.add(Flatten("flat"), ["c2"])
+    g.add(Softmax("sm"), ["flat"])
+    return g
+
+
+def plan_for(graph, assignments, policy=PROCESSOR_FRIENDLY,
+             branch_assignments=()):
+    return ExecutionPlan(graph_name=graph.name, policy=policy,
+                         assignments=assignments,
+                         branch_assignments=tuple(branch_assignments))
+
+
+def full_assignments(graph, make=LayerAssignment.on_cpu):
+    return {name: make(name) for name in graph.compute_layers()}
+
+
+def corrupt(assignment, **fields):
+    """Bypass LayerAssignment validation to build an illegal record."""
+    for field, value in fields.items():
+        object.__setattr__(assignment, field, value)
+    return assignment
+
+
+class TestCoverage:
+    def test_clean_plan(self, chain):
+        plan = plan_for(chain, full_assignments(chain))
+        assert PlanVerifier(EXYNOS_7420).verify(chain, plan).clean
+
+    def test_unassigned_layer_pv002(self, chain):
+        assignments = full_assignments(chain)
+        del assignments["c2"]
+        plan = plan_for(chain, assignments)
+        report = PlanVerifier(EXYNOS_7420).verify(chain, plan)
+        assert report.rules_fired() == ["PV002"]
+        assert [d.locus for d in report.errors] == ["c2"]
+
+    def test_unknown_and_input_layers_pv001(self, chain):
+        assignments = full_assignments(chain)
+        assignments["ghost"] = LayerAssignment.on_cpu("ghost")
+        assignments["in"] = LayerAssignment.on_cpu("in")
+        plan = plan_for(chain, assignments)
+        report = PlanVerifier(EXYNOS_7420).verify(chain, plan)
+        assert report.rules_fired() == ["PV001"]
+        assert {d.locus for d in report.errors} == {"ghost", "in"}
+
+    def test_graph_name_mismatch_pv001(self, chain):
+        plan = ExecutionPlan(graph_name="other",
+                             policy=PROCESSOR_FRIENDLY,
+                             assignments=full_assignments(chain))
+        report = PlanVerifier(EXYNOS_7420).verify(chain, plan)
+        assert "PV001" in report.rules_fired()
+        assert any(d.locus == "plan" for d in report.errors)
+
+
+class TestShares:
+    def test_split_out_of_range_pv004(self, chain):
+        assignments = full_assignments(chain)
+        corrupt(assignments["c1"], split=1.5)
+        report = PlanVerifier(EXYNOS_7420).verify(
+            chain, plan_for(chain, assignments))
+        assert "PV004" in report.rules_fired()
+
+    def test_share_sum_over_one_pv004(self, chain):
+        assignments = full_assignments(chain)
+        corrupt(assignments["c1"], placement=Placement.COOPERATIVE,
+                split=0.75, npu_split=0.75)
+        report = PlanVerifier(EXYNOS_7420_NPU).verify(
+            chain, plan_for(chain, assignments))
+        assert "PV004" in report.rules_fired()
+        assert "negative share" in report.errors[0].message
+
+    def test_placement_share_mismatch_pv004(self, chain):
+        assignments = full_assignments(chain)
+        corrupt(assignments["c2"], split=0.5)   # CPU placement
+        report = PlanVerifier(EXYNOS_7420).verify(
+            chain, plan_for(chain, assignments))
+        assert "PV004" in report.rules_fired()
+
+
+class TestCooperative:
+    def test_unsupported_kind_pv006(self, chain):
+        assignments = full_assignments(chain)
+        assignments["sm"] = LayerAssignment.cooperative("sm", 0.5)
+        report = PlanVerifier(EXYNOS_7420).verify(
+            chain, plan_for(chain, assignments))
+        assert report.rules_fired() == ["PV006"]
+
+    def test_infeasible_partition_pv005(self):
+        g = Graph("tiny")
+        g.add(Input("in", (1, 3, 8, 8)))
+        g.add(Conv2D("c1", 3, 1, 3, padding=1), ["in"])
+        assignments = {"c1": LayerAssignment.cooperative("c1", 0.5)}
+        report = PlanVerifier(EXYNOS_7420).verify(
+            g, plan_for(g, assignments))
+        assert report.rules_fired() == ["PV005"]
+
+    def test_quint8_gpu_share_pv009_warning(self, chain):
+        assignments = full_assignments(chain)
+        assignments["c1"] = LayerAssignment.cooperative("c1", 0.5)
+        report = PlanVerifier(EXYNOS_7420).verify(
+            chain, plan_for(chain, assignments, policy=UNIFORM_QUINT8))
+        assert report.rules_fired() == ["PV009"]
+        assert report.ok             # warning, not error
+        assert report.warnings[0].severity is Severity.WARNING
+
+    def test_pfq_gpu_share_is_clean(self, chain):
+        assignments = full_assignments(chain)
+        assignments["c1"] = LayerAssignment.cooperative("c1", 0.5)
+        report = PlanVerifier(EXYNOS_7420).verify(
+            chain, plan_for(chain, assignments))
+        assert report.clean
+
+
+class TestPlacementLegality:
+    def test_npu_on_npuless_soc_pv007(self, chain):
+        assignments = full_assignments(chain)
+        assignments["c1"] = LayerAssignment.on_npu("c1")
+        report = PlanVerifier(EXYNOS_7420).verify(
+            chain, plan_for(chain, assignments))
+        assert report.rules_fired() == ["PV007"]
+
+    def test_npu_on_npu_soc_is_clean(self, chain):
+        assignments = full_assignments(chain)
+        assignments["c1"] = LayerAssignment.on_npu("c1")
+        report = PlanVerifier(EXYNOS_7420_NPU).verify(
+            chain, plan_for(chain, assignments))
+        assert report.clean
+
+    def test_npu_share_under_float_policy_pv010(self, chain):
+        from repro.runtime import UNIFORM_F16
+        assignments = full_assignments(chain)
+        assignments["c1"] = LayerAssignment.on_npu("c1")
+        report = PlanVerifier(EXYNOS_7420_NPU).verify(
+            chain, plan_for(chain, assignments, policy=UNIFORM_F16))
+        assert report.rules_fired() == ["PV010"]
+        assert report.ok
+
+
+class TestBranchRegions:
+    @pytest.fixture
+    def squeezenet(self):
+        return build_model("squeezenet_mini", with_weights=False)
+
+    def region_plan(self, graph, mapping):
+        region = find_branch_regions(graph)[0]
+        assignments = {
+            name: LayerAssignment.on_cpu(name)
+            for name in graph.compute_layers()
+            if name not in region.layer_names}
+        return plan_for(graph, assignments, branch_assignments=[
+            BranchAssignment(region, mapping)])
+
+    def test_clean_region(self, squeezenet):
+        plan = self.region_plan(squeezenet, ("cpu", "gpu"))
+        assert PlanVerifier(EXYNOS_7420).verify(squeezenet, plan).clean
+
+    def test_npu_branch_on_npuless_soc_pv007(self, squeezenet):
+        plan = self.region_plan(squeezenet, ("cpu", "npu"))
+        report = PlanVerifier(EXYNOS_7420).verify(squeezenet, plan)
+        assert report.rules_fired() == ["PV007"]
+
+    def test_dual_assignment_pv003(self, squeezenet):
+        plan = self.region_plan(squeezenet, ("cpu", "gpu"))
+        region = plan.branch_assignments[0].region
+        inside = region.layer_names[0]
+        assignments = dict(plan.assignments)
+        assignments[inside] = LayerAssignment.on_cpu(inside)
+        dup = plan_for(squeezenet, assignments,
+                       branch_assignments=plan.branch_assignments)
+        report = PlanVerifier(EXYNOS_7420).verify(squeezenet, dup)
+        assert report.rules_fired() == ["PV003"]
+
+    def test_foreign_region_pv008(self, chain, squeezenet):
+        region = find_branch_regions(squeezenet)[0]
+        plan = plan_for(chain, full_assignments(chain),
+                        branch_assignments=[
+                            BranchAssignment(region, ("cpu", "gpu"))])
+        report = PlanVerifier(EXYNOS_7420).verify(chain, plan)
+        assert "PV008" in report.rules_fired()

@@ -1,0 +1,179 @@
+"""Golden tests for the timeline race detector (RC rules).
+
+Most tests hand-build pathological segment ledgers -- the executor and
+:class:`Timeline` cannot be driven into these states, which is exactly
+why the detector accepts a bare iterable of segments.
+"""
+
+import pytest
+
+from repro.analysis import TimelineRaceDetector
+from repro.errors import SimulationError
+from repro.models import build_model
+from repro.nn import Conv2D, Graph, Input
+from repro.runtime import (ExecutionPlan, LayerAssignment, MuLayer,
+                           PROCESSOR_FRIENDLY)
+from repro.soc import EXYNOS_7420, Segment, Timeline
+
+US = 1e-6
+
+
+def seg(resource, start_us, end_us, layer, kind):
+    return Segment(resource=resource, start=start_us * US,
+                   end=end_us * US, layer=layer, kind=kind)
+
+
+@pytest.fixture
+def chain():
+    g = Graph("chain")
+    g.add(Input("in", (1, 3, 8, 8)))
+    g.add(Conv2D("c1", 3, 4, 3, padding=1), ["in"])
+    g.add(Conv2D("c2", 4, 8, 3, padding=1), ["c1"])
+    return g
+
+
+def plan_for(chain, c1, c2):
+    return ExecutionPlan(graph_name=chain.name,
+                         policy=PROCESSOR_FRIENDLY,
+                         assignments={"c1": c1, "c2": c2})
+
+
+@pytest.fixture
+def gpu_then_cpu(chain):
+    """c1 on the GPU, c2 on the CPU: the handoff needs sync + map."""
+    return plan_for(chain, LayerAssignment.on_gpu("c1"),
+                    LayerAssignment.on_cpu("c2"))
+
+
+#: A fully legal ledger for ``gpu_then_cpu``: map the host input into
+#: the GPU, issue -> launch -> kernel, then event-sync and zero-copy
+#: map before the CPU consumes the GPU's output.
+CLEAN_LEDGER = [
+    seg("cpu", 0, 20, "c1", "map"),
+    seg("cpu", 20, 24, "c1", "issue"),
+    seg("gpu", 24, 32, "c1", "launch"),
+    seg("gpu", 32, 70, "c1", "compute"),
+    seg("cpu", 70, 140, "c2", "sync"),
+    seg("cpu", 140, 160, "c2", "map"),
+    seg("cpu", 160, 220, "c2", "compute"),
+]
+
+
+def check(chain, plan, segments):
+    return TimelineRaceDetector(EXYNOS_7420).check(chain, plan,
+                                                   segments)
+
+
+class TestHandBuiltLedgers:
+    def test_clean_ledger(self, chain, gpu_then_cpu):
+        assert check(chain, gpu_then_cpu, CLEAN_LEDGER).clean
+
+    def test_overlap_rc001(self, chain, gpu_then_cpu):
+        ledger = CLEAN_LEDGER + [seg("cpu", 130, 150, "c2", "compute")]
+        report = check(chain, gpu_then_cpu, ledger)
+        assert "RC001" in report.rules_fired()
+
+    def test_compute_before_producer_rc002(self, chain, gpu_then_cpu):
+        ledger = list(CLEAN_LEDGER)
+        ledger[-1] = seg("cpu", 30, 90, "c2", "compute")  # c1 ends at 50
+        report = check(chain, gpu_then_cpu, ledger)
+        assert "RC002" in report.rules_fired()
+
+    def test_missing_sync_rc003(self, chain, gpu_then_cpu):
+        ledger = [s for s in CLEAN_LEDGER if s.kind != "sync"]
+        report = check(chain, gpu_then_cpu, ledger)
+        assert report.rules_fired() == ["RC003"]
+
+    def test_missing_map_rc004(self, chain):
+        plan = plan_for(chain, LayerAssignment.on_cpu("c1"),
+                        LayerAssignment.on_gpu("c2"))
+        ledger = [
+            seg("cpu", 0, 50, "c1", "compute"),
+            # a zero-copy map of c1's buffer belongs here
+            seg("cpu", 50, 54, "c2", "issue"),
+            seg("gpu", 54, 62, "c2", "launch"),
+            seg("gpu", 62, 100, "c2", "compute"),
+        ]
+        report = check(chain, plan, ledger)
+        assert report.rules_fired() == ["RC004"]
+        fixed = ledger[:1] + [seg("cpu", 50, 70, "c2", "map")] + [
+            seg("cpu", 70, 74, "c2", "issue"),
+            seg("gpu", 74, 82, "c2", "launch"),
+            seg("gpu", 82, 120, "c2", "compute"),
+        ]
+        assert check(chain, plan, fixed).clean
+
+    def test_kernel_without_launch_rc005(self, chain, gpu_then_cpu):
+        ledger = [s for s in CLEAN_LEDGER if s.kind != "launch"]
+        report = check(chain, gpu_then_cpu, ledger)
+        assert "RC005" in report.rules_fired()
+
+    def test_launch_without_kernel_rc005(self, chain, gpu_then_cpu):
+        ledger = [s for s in CLEAN_LEDGER
+                  if not (s.kind == "compute" and s.resource == "gpu")]
+        report = check(chain, gpu_then_cpu, ledger)
+        assert "RC005" in report.rules_fired()
+
+    def test_launch_before_issue_rc005(self, chain, gpu_then_cpu):
+        ledger = [s if s.kind != "issue"
+                  else seg("cpu", 28, 32, "c1", "issue")
+                  for s in CLEAN_LEDGER]   # issue ends after launch start
+        report = check(chain, gpu_then_cpu, ledger)
+        assert "RC005" in report.rules_fired()
+
+    def test_malformed_segments_rc006(self, chain, gpu_then_cpu):
+        ledger = CLEAN_LEDGER + [
+            seg("cpu", 300, 290, "c2", "compute"),      # negative
+            seg("dsp", 300, 310, "c2", "compute"),      # unknown res
+            seg("cpu", 300, 310, "c2", "teleport"),     # unknown kind
+        ]
+        report = check(chain, gpu_then_cpu, ledger)
+        assert "RC006" in report.rules_fired()
+        assert len([d for d in report if d.rule == "RC006"]) == 3
+
+
+class TestRealExecutions:
+    @pytest.mark.parametrize("model", ["squeezenet_mini",
+                                       "googlenet_mini", "vgg_mini"])
+    def test_executor_timelines_are_race_free(self, model):
+        graph = build_model(model, with_weights=False)
+        runtime = MuLayer(EXYNOS_7420)
+        result = runtime.run(graph)
+        report = TimelineRaceDetector(EXYNOS_7420).check(
+            graph, runtime.plan(graph), result.timeline)
+        assert report.clean, report.render()
+
+
+class TestTimelineValidate:
+    def test_unknown_kind_rejected(self):
+        timeline = Timeline()
+        timeline.reserve("cpu", 1e-5, "c1", "teleport")
+        with pytest.raises(SimulationError, match="unknown kind"):
+            timeline.validate()
+
+    def test_negative_duration_rejected(self):
+        timeline = Timeline()
+        timeline._segments.append(seg("cpu", 10, 5, "c1", "compute"))
+        with pytest.raises(SimulationError, match="negative"):
+            timeline.validate()
+
+    def test_overlap_rejected(self):
+        timeline = Timeline()
+        timeline._segments.append(seg("cpu", 0, 10, "c1", "compute"))
+        timeline._segments.append(seg("cpu", 5, 15, "c2", "compute"))
+        with pytest.raises(SimulationError, match="overlap"):
+            timeline.validate()
+
+    def test_out_of_order_recording_rejected(self):
+        timeline = Timeline()
+        timeline._segments.append(seg("cpu", 20, 30, "c2", "compute"))
+        timeline._segments.append(seg("cpu", 0, 10, "c1", "compute"))
+        with pytest.raises(SimulationError, match="order"):
+            timeline.validate()
+
+    def test_gantt_refuses_invalid_timeline(self):
+        from repro.harness import render_gantt
+        timeline = Timeline()
+        timeline.reserve("cpu", 1e-5, "c1", "teleport")
+        with pytest.raises(SimulationError):
+            render_gantt(timeline)

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.eval import (Dataset, SHAPE_CLASSES, evaluate_policy_accuracy,
+from repro.eval import (SHAPE_CLASSES, evaluate_policy_accuracy,
                         make_shapes_dataset, run_graph_with_policy,
                         top_k_accuracy)
 from repro.nn import run_reference

@@ -5,7 +5,7 @@ import pytest
 from repro.harness import (hotspots, memory_bound_layers, profile_layers,
                            render_profile)
 from repro.models import build_model
-from repro.runtime import MuLayer, run_single_processor
+from repro.runtime import MuLayer
 from repro.tensor import DType
 
 

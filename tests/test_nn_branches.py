@@ -6,7 +6,7 @@ import pytest
 from repro.errors import GraphError
 from repro.models import build_model
 from repro.nn import (Concat, Conv2D, EltwiseAdd, Graph, Input, MaxPool2D,
-                      ReLU, assert_region_partitions, find_branch_regions)
+                      assert_region_partitions, find_branch_regions)
 
 
 def conv(name, in_c, out_c, rng):

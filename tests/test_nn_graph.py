@@ -4,8 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import GraphError, ShapeError
-from repro.nn import (Concat, Conv2D, Flatten, FullyConnected, Graph,
-                      Input, MaxPool2D, ReLU)
+from repro.nn import (Concat, Conv2D, Graph, Input, MaxPool2D, ReLU)
 
 
 def weighted_conv(name, in_c, out_c, rng, **kwargs):

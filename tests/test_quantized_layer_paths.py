@@ -1,7 +1,6 @@
 """Focused tests of the quantized execution paths of every layer kind."""
 
 import numpy as np
-import pytest
 
 from repro.nn import (AvgPool2D, Concat, EltwiseAdd, Flatten,
                       GlobalAvgPool2D, Graph, Input, LRN, MaxPool2D,

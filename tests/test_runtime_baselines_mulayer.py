@@ -11,7 +11,6 @@ from repro.runtime import (MuLayer, mulayer_ablation_stages,
                            run_network_to_processor,
                            run_single_processor, speed_improvement,
                            geometric_mean)
-from repro.soc import EXYNOS_7420
 from repro.tensor import DType
 
 

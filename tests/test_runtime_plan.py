@@ -39,6 +39,20 @@ class TestLayerAssignment:
     def test_paper_split_choices(self):
         assert SPLIT_CHOICES == (0.0, 0.25, 0.5, 0.75, 1.0)
 
+    def test_cpu_plus_npu_share_over_one_rejected(self):
+        """split + npu_split > 1.0 would give the GPU a negative
+        share; the constructor must reject it."""
+        with pytest.raises(PlanError):
+            LayerAssignment("c1", Placement.COOPERATIVE, split=0.75,
+                            npu_split=0.75)
+        with pytest.raises(PlanError):
+            LayerAssignment("c1", Placement.COOPERATIVE, split=0.5,
+                            npu_split=0.75)
+        # Exactly 1.0 is legal (a CPU+NPU split with no GPU share).
+        both = LayerAssignment("c1", Placement.COOPERATIVE, split=0.5,
+                               npu_split=0.5)
+        assert both.gpu_split == 0.0
+
 
 class TestBranchAssignment:
     def make_region(self):

@@ -1,7 +1,6 @@
 """Tests for the training stack: gradients, SGD, convergence."""
 
 import numpy as np
-import pytest
 
 from repro.train import (ConvLayer, FCLayer, FlattenLayer, MaxPoolLayer,
                          Param, ReLULayer, SGD, Sequential, accuracy,

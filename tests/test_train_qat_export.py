@@ -8,7 +8,7 @@ from repro.eval import make_shapes_dataset
 from repro.nn import reference_output
 from repro.train import (ActivationFakeQuant, ConvLayer, FCLayer,
                          FakeQuantConv, FlattenLayer, MaxPoolLayer,
-                         ReLULayer, Sequential, accuracy,
+                         ReLULayer, Sequential,
                          equalize_channels, imbalance_channels,
                          learned_ranges, qat_calibration,
                          quantize_aware, to_graph, train_epochs)
