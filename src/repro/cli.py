@@ -8,12 +8,18 @@ Commands:
 * ``compare`` -- all mechanisms on one model/SoC.
 * ``verify`` -- statically verify plans, timelines, and dtype flow for
   one model (or, with ``--all``, the whole zoo) on one or all SoCs.
+* ``serve`` -- simulate a multi-request stream against a device fleet
+  under a chosen scheduler and report serving metrics.
 * ``figure`` -- regenerate one of the paper's figures.
+
+``run``, ``compare``, ``verify``, and ``serve`` all accept ``--json``
+for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -54,11 +60,50 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print the execution plan")
     run.add_argument("--gantt", action="store_true",
                      help="print a Gantt chart of the timeline")
+    run.add_argument("--json", action="store_true",
+                     help="emit the result as JSON")
 
     compare = sub.add_parser("compare",
                              help="compare all mechanisms on one model")
     compare.add_argument("--model", required=True)
     compare.add_argument("--soc", default="exynos7420")
+    compare.add_argument("--json", action="store_true",
+                         help="emit the comparison as JSON")
+
+    serve = sub.add_parser(
+        "serve",
+        help="simulate SLO-aware serving of a request stream on a "
+             "fleet of SoC devices")
+    serve.add_argument("--soc", action="append", dest="socs",
+                       metavar="SOC",
+                       help="SoC type; repeat for a mixed fleet "
+                            "(default: exynos7420)")
+    serve.add_argument("--devices", type=int, default=2,
+                       help="number of devices in the fleet")
+    serve.add_argument("--requests", type=int, default=200,
+                       help="number of requests to simulate")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="workload seed (same seed, same trace)")
+    serve.add_argument("--scheduler", default="edf",
+                       choices=["fifo", "least-loaded", "edf"],
+                       help="scheduling policy")
+    serve.add_argument("--workload", default="poisson",
+                       choices=["poisson", "bursty"],
+                       help="arrival process")
+    serve.add_argument("--models", default=None,
+                       help="comma-separated model names "
+                            "(default: the mini zoo)")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="offered load in requests/s "
+                            "(default: 70%% of fleet capacity)")
+    serve.add_argument("--load", type=float, default=None,
+                       help="offered load as a fraction of fleet "
+                            "capacity (overrides --rate)")
+    serve.add_argument("--slo-factor", type=float, default=4.0,
+                       help="per-model SLO as a multiple of its "
+                            "unloaded uLayer latency")
+    serve.add_argument("--json", action="store_true",
+                       help="emit serving metrics as JSON")
 
     verify = sub.add_parser(
         "verify",
@@ -117,6 +162,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result = run_single_processor(soc, graph, args.mechanism,
                                       parse_dtype(args.dtype))
         plan = None
+    if args.json:
+        payload = result.to_dict()
+        if args.plan and plan is not None:
+            payload["plan"] = {
+                name: assignment.shares()
+                for name, assignment in plan.assignments.items()}
+        print(json.dumps(payload, indent=2))
+        return 0
     print(f"{args.model} on {soc.display_name} via {result.mechanism}:")
     print(f"  latency {result.latency_ms:10.3f} ms")
     print(f"  energy  {result.energy_mj:10.3f} mJ "
@@ -159,16 +212,25 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     rows.append(["layer-to-processor", l2p.latency_ms, l2p.energy_mj])
     mulayer = MuLayer(soc).run(graph)
     rows.append(["ulayer", mulayer.latency_ms, mulayer.energy_mj])
+    speedup = l2p.latency_s / mulayer.latency_s
+    if args.json:
+        print(json.dumps({
+            "model": args.model,
+            "soc": soc.name,
+            "mechanisms": [
+                {"mechanism": str(row[0]), "latency_ms": row[1],
+                 "energy_mj": row[2]} for row in rows],
+            "ulayer_speedup_over_l2p": speedup,
+        }, indent=2))
+        return 0
     print(format_table(["mechanism", "latency_ms", "energy_mj"], rows,
                        title=f"{args.model} on {soc.display_name}"))
     print(f"\nulayer speedup over layer-to-processor: "
-          f"{l2p.latency_s / mulayer.latency_s:.2f}x")
+          f"{speedup:.2f}x")
     return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    import json as json_module
-
     from .analysis import verify_sweep
     if args.all_models:
         models = None
@@ -181,7 +243,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     entries = verify_sweep(models=models, socs=socs,
                            mechanisms=args.mechanisms)
     if args.json:
-        print(json_module.dumps(
+        print(json.dumps(
             [{"model": e.model, "soc": e.soc,
               "mechanism": e.mechanism,
               "diagnostics": [d.to_dict() for d in e.report]}
@@ -197,6 +259,58 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(f"{len(entries)} mechanism runs verified, "
               f"{dirty} with diagnostics")
     return 1 if dirty else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .models import MINI_MODELS
+    from .serve import (Fleet, PoissonWorkload, ServingMetrics,
+                        ServingSimulator, bursty_for_rate, default_slos,
+                        make_scheduler)
+
+    soc_names = args.socs or ["exynos7420"]
+    models = (args.models.split(",") if args.models
+              else list(MINI_MODELS))
+    fleet = Fleet.build(soc_names, args.devices)
+    slos = default_slos(fleet, models, slo_factor=args.slo_factor)
+    capacity = fleet.capacity_rps(models)
+    if args.load is not None:
+        rate = args.load * capacity
+    elif args.rate is not None:
+        rate = args.rate
+    else:
+        rate = 0.7 * capacity
+    if args.workload == "poisson":
+        workload = PoissonWorkload(rate, models, slos, seed=args.seed)
+    else:
+        workload = bursty_for_rate(rate, models, slos, seed=args.seed)
+    requests = workload.generate(args.requests)
+    scheduler = make_scheduler(args.scheduler)
+    result = ServingSimulator(fleet, scheduler).run(requests)
+    metrics = ServingMetrics.from_result(result)
+    if args.json:
+        payload = metrics.to_dict()
+        payload["config"] = {
+            "socs": soc_names,
+            "devices": args.devices,
+            "models": models,
+            "workload": args.workload,
+            "rate_rps": rate,
+            "capacity_rps": capacity,
+            "slo_factor": args.slo_factor,
+            "seed": args.seed,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    device_names = ", ".join(d.device_id for d in fleet.devices)
+    print(f"fleet: {device_names}")
+    print(f"workload: {args.workload}, {len(requests)} requests at "
+          f"{rate:.1f} rps (capacity ~{capacity:.1f} rps), seed "
+          f"{args.seed}")
+    print(f"slo: {args.slo_factor:.1f}x unloaded ulayer latency "
+          "per model")
+    print()
+    print(metrics.render())
+    return 0
 
 
 def _cmd_figure(name: str) -> int:
@@ -229,6 +343,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "figure":
         return _cmd_figure(args.name)
     return 1

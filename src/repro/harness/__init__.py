@@ -10,8 +10,10 @@ from .gantt import render_gantt
 from .profiles import (LayerProfile, hotspots, memory_bound_layers,
                        profile_layers, render_profile)
 from .report import format_bars, format_table, normalized
+from .serving import serving_load_sweep
 
 __all__ = [
+    "serving_load_sweep",
     "DEFAULT_SOCS",
     "ExperimentResult",
     "build_inception_3a_graph",

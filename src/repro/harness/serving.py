@@ -1,0 +1,78 @@
+"""Serving-layer experiment: offered load vs. tail latency and SLOs.
+
+Not a paper figure -- the paper stops at single-inference latency --
+but the natural extension experiment for the ROADMAP's serving north
+star: sweep offered load across schedulers and watch FIFO collapse past
+saturation while the SLO-aware EDF policy holds its attainment by
+reordering, co-scheduling mechanisms, and shedding hopeless requests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..models import MINI_MODELS
+from .figures import ExperimentResult
+
+
+def serving_load_sweep(
+        soc_names: Sequence[str] = ("exynos7420",),
+        num_devices: int = 2,
+        models: Optional[Sequence[str]] = None,
+        schedulers: Sequence[str] = ("fifo", "edf"),
+        load_levels: Sequence[float] = (0.4, 0.8, 1.2, 1.8),
+        num_requests: int = 250,
+        slo_factor: float = 4.0,
+        seed: int = 0) -> ExperimentResult:
+    """Offered load sweep: one row per (load level, scheduler).
+
+    Every cell re-simulates the *same* seeded arrival trace on a fresh
+    fleet, so schedulers are compared on identical workloads and the
+    whole table is deterministic for a given seed.
+    """
+    from ..serve import (Fleet, PoissonWorkload, ServingMetrics,
+                         ServingSimulator, default_slos, make_scheduler)
+
+    models = list(models) if models is not None else list(MINI_MODELS)
+    probe = Fleet.build(soc_names, num_devices)
+    slos = default_slos(probe, models, slo_factor=slo_factor)
+    capacity = probe.capacity_rps(models)
+    rows: List[List[object]] = []
+    attainment: Dict[str, List[float]] = {name: [] for name in schedulers}
+    for load in load_levels:
+        rate = load * capacity
+        trace = PoissonWorkload(rate, models, slos,
+                                seed=seed).generate(num_requests)
+        for name in schedulers:
+            fleet = Fleet.build(soc_names, num_devices)
+            result = ServingSimulator(fleet,
+                                      make_scheduler(name)).run(trace)
+            metrics = ServingMetrics.from_result(result)
+            attainment[name].append(metrics.slo_attainment)
+            rows.append([
+                f"{load:.1f}", name, rate,
+                metrics.throughput_rps,
+                metrics.latency_p50_ms,
+                metrics.latency_p99_ms,
+                metrics.slo_attainment,
+                float(metrics.num_shed),
+                metrics.plan_cache["hit_rate"],
+            ])
+    notes = [
+        f"fleet: {num_devices} device(s) of {', '.join(soc_names)}; "
+        f"capacity ~{capacity:.1f} rps",
+        f"models: {', '.join(models)}; SLO = {slo_factor:.1f}x "
+        "unloaded ulayer latency",
+        f"{num_requests} Poisson requests per cell, seed {seed}; "
+        "shed requests count against SLO attainment",
+    ]
+    return ExperimentResult(
+        experiment="serving",
+        title="offered load vs. p99 latency and SLO attainment "
+              "(FIFO vs. SLO-aware EDF)",
+        headers=["load", "scheduler", "rate_rps", "throughput_rps",
+                 "p50_ms", "p99_ms", "slo_attainment", "shed",
+                 "cache_hit_rate"],
+        rows=rows,
+        notes=notes,
+    )

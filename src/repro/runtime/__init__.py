@@ -20,7 +20,9 @@ from .pfq import (PROCESSOR_FRIENDLY, QuantizationPolicy, UNIFORM_F16,
                   UNIFORM_F32, UNIFORM_QUINT8, uniform_policy)
 from .plan import (BranchAssignment, ExecutionPlan, LayerAssignment,
                    Placement, SPLIT_CHOICES)
-from .predictor import LatencyPredictor, default_profiling_samples
+from .plan_cache import PlanCache, PlanKey
+from .predictor import (DEFAULT_PROFILING_SEED, LatencyPredictor,
+                        default_profiling_samples)
 
 __all__ = [
     "ThroughputResult",
@@ -63,6 +65,9 @@ __all__ = [
     "LayerAssignment",
     "Placement",
     "SPLIT_CHOICES",
+    "PlanCache",
+    "PlanKey",
+    "DEFAULT_PROFILING_SEED",
     "LatencyPredictor",
     "default_profiling_samples",
 ]

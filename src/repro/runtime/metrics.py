@@ -40,6 +40,20 @@ class LayerTrace:
         """Wall-clock span of the layer."""
         return self.end_s - self.start_s
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation of the trace."""
+        return {
+            "layer": self.layer,
+            "placement": self.placement,
+            "split": self.split,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "latency_s": self.latency_s,
+            "cpu_busy_s": self.cpu_busy_s,
+            "gpu_busy_s": self.gpu_busy_s,
+            "traffic_bytes": self.traffic_bytes,
+        }
+
 
 @dataclasses.dataclass
 class InferenceResult:
@@ -92,6 +106,39 @@ class InferenceResult:
             if trace.layer == layer:
                 return trace
         raise KeyError(f"no trace for layer {layer!r}")
+
+    def to_dict(self, include_traces: bool = True) -> Dict[str, object]:
+        """JSON-friendly representation of the result.
+
+        Covers identity, latency, energy, and traffic; per-layer traces
+        are included unless ``include_traces`` is False.  Functional
+        outputs and the raw timeline are deliberately omitted (they are
+        bulky and not serializable as-is); diagnostics, when present,
+        serialize through their own ``to_dict``.
+        """
+        data: Dict[str, object] = {
+            "graph": self.graph_name,
+            "soc": self.soc_name,
+            "policy": self.policy_name,
+            "mechanism": self.mechanism,
+            "latency_s": self.latency_s,
+            "latency_ms": self.latency_ms,
+            "energy_mj": self.energy_mj,
+            "energy": {
+                "dynamic_j": self.energy.dynamic_j,
+                "idle_j": self.energy.idle_j,
+                "static_j": self.energy.static_j,
+                "dram_j": self.energy.dram_j,
+                "total_j": self.energy.total_j,
+            },
+            "traffic_bytes": self.traffic_bytes,
+        }
+        if include_traces:
+            data["traces"] = [trace.to_dict() for trace in self.traces]
+        if self.diagnostics is not None:
+            data["diagnostics"] = [diagnostic.to_dict()
+                                   for diagnostic in self.diagnostics]
+        return data
 
     def output_array(self):
         """The final output as a float32 numpy array.

@@ -10,7 +10,7 @@ can each be enabled independently.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -22,6 +22,7 @@ from .metrics import InferenceResult
 from .partitioner import Partitioner, PartitionerConfig
 from .pfq import (PROCESSOR_FRIENDLY, QuantizationPolicy, UNIFORM_QUINT8)
 from .plan import ExecutionPlan
+from .plan_cache import PlanCache, PlanKey
 from .predictor import LatencyPredictor
 
 
@@ -43,6 +44,10 @@ class MuLayer:
             optimizations (ablations flip them off).
         verify: run the static analyzers around every execution (see
             :class:`~repro.runtime.executor.Executor`).
+        plan_cache: an externally shared
+            :class:`~repro.runtime.plan_cache.PlanCache` (the serving
+            fleet passes one cache to many runtimes); a private cache
+            is created when omitted.
     """
 
     def __init__(self, soc: SoCSpec,
@@ -53,7 +58,8 @@ class MuLayer:
                  zero_copy: bool = True,
                  async_issue: bool = True,
                  verify: bool = False,
-                 predictor: Optional[LatencyPredictor] = None) -> None:
+                 predictor: Optional[LatencyPredictor] = None,
+                 plan_cache: Optional[PlanCache] = None) -> None:
         self.soc = soc
         self.policy = policy
         config = PartitionerConfig(
@@ -65,15 +71,18 @@ class MuLayer:
                                        predictor=predictor)
         self.executor = Executor(soc, zero_copy=zero_copy,
                                  async_issue=async_issue, verify=verify)
-        self._plan_cache: Dict[str, ExecutionPlan] = {}
+        self.plan_cache = plan_cache if plan_cache is not None else (
+            PlanCache())
+
+    def _plan_key(self, graph: Graph) -> PlanKey:
+        """The cache identity of this runtime's plan for ``graph``."""
+        return PlanKey(model=graph.name, soc=self.soc.name,
+                       mechanism="mulayer", policy=self.policy.name)
 
     def plan(self, graph: Graph) -> ExecutionPlan:
-        """The execution plan for ``graph`` (cached per graph name)."""
-        cached = self._plan_cache.get(graph.name)
-        if cached is None:
-            cached = self.partitioner.plan(graph)
-            self._plan_cache[graph.name] = cached
-        return cached
+        """The execution plan for ``graph`` (cached per configuration)."""
+        return self.plan_cache.get_or_build(
+            self._plan_key(graph), lambda: self.partitioner.plan(graph))
 
     def run(self, graph: Graph, x: Optional[np.ndarray] = None,
             calibration: Optional[CalibrationTable] = None

@@ -1,0 +1,90 @@
+"""A shared execution-plan cache.
+
+Partitioning is by far the most expensive step of an inference request
+(the partitioner sweeps candidate splits per layer and profiles branch
+regions), yet its output depends only on the *configuration* -- the
+model, the SoC, the execution mechanism, and the quantization policy.
+The serving layer therefore shares one :class:`PlanCache` across all
+devices of a fleet so the partitioner runs once per configuration
+instead of once per request; :class:`~repro.runtime.mulayer.MuLayer`
+uses the same cache type for its per-graph memoization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Optional
+
+from .plan import ExecutionPlan
+
+
+@dataclasses.dataclass(frozen=True)
+class PlanKey:
+    """Identity of one plannable configuration.
+
+    Attributes:
+        model: graph name the plan was built for.
+        soc: SoC name.
+        mechanism: ``"mulayer"``, ``"cpu"``, ``"gpu"``, ``"npu"``, or
+            ``"l2p"``.
+        policy: name of the quantization policy in force (distinct
+            dtype policies must never share a plan).
+    """
+
+    model: str
+    soc: str
+    mechanism: str
+    policy: str
+
+
+class PlanCache:
+    """Maps :class:`PlanKey` to built plans, counting hits and misses."""
+
+    def __init__(self) -> None:
+        self._plans: Dict[PlanKey, ExecutionPlan] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: PlanKey) -> bool:
+        return key in self._plans
+
+    def get(self, key: PlanKey) -> Optional[ExecutionPlan]:
+        """The cached plan for ``key`` (counts a hit or a miss)."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return plan
+
+    def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
+        """Store ``plan`` under ``key`` (no eviction; plans are tiny)."""
+        self._plans[key] = plan
+
+    def get_or_build(self, key: PlanKey,
+                     builder: Callable[[], ExecutionPlan]
+                     ) -> ExecutionPlan:
+        """The cached plan, building and storing it on a miss."""
+        plan = self.get(key)
+        if plan is None:
+            plan = builder()
+            self.put(key, plan)
+        return plan
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when cold)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters as a JSON-friendly dict."""
+        return {
+            "entries": float(len(self._plans)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+        }

@@ -69,11 +69,23 @@ class _Regression:
         return float(np.exp(log_latency))
 
 
-class LatencyPredictor:
-    """Per-(processor, dtype) latency regression for one SoC."""
+#: Seed of the default profiling sweep (the paper's publication year).
+DEFAULT_PROFILING_SEED = 2019
 
-    def __init__(self, soc: SoCSpec) -> None:
+
+class LatencyPredictor:
+    """Per-(processor, dtype) latency regression for one SoC.
+
+    Args:
+        soc: the SoC whose timing model supplies profiling samples.
+        seed: seed of the default profiling sweep, so fitting is
+            reproducible end-to-end (serving simulations depend on it).
+    """
+
+    def __init__(self, soc: SoCSpec,
+                 seed: int = DEFAULT_PROFILING_SEED) -> None:
         self._soc = soc
+        self._seed = seed
         self._models: Dict[ModelKey, _Regression] = {}
 
     # -- training ----------------------------------------------------------
@@ -88,7 +100,7 @@ class LatencyPredictor:
         pool-shaped configurations is profiled.
         """
         if samples is None:
-            samples = default_profiling_samples()
+            samples = default_profiling_samples(seed=self._seed)
         processor = self._soc.processor(resource)
         rows = []
         targets = []
@@ -110,8 +122,13 @@ class LatencyPredictor:
         return error
 
     def calibrate_policy(self, policy: QuantizationPolicy) -> None:
-        """Fit the CPU and GPU models a policy needs."""
-        for resource in ("cpu", "gpu"):
+        """Fit the per-processor models a policy needs on this SoC.
+
+        Covers every processor the SoC has (including the NPU, whose
+        compute type is fixed by the policy), so NPU-equipped SoCs can
+        be partitioned with the predictor rather than only the oracle.
+        """
+        for resource in self._soc.resources():
             self.calibrate(resource, policy.compute_dtype(resource),
                            policy.activation_storage,
                            policy.param_storage(resource))
@@ -156,15 +173,18 @@ class LatencyPredictor:
         return model.training_error
 
 
-def default_profiling_samples() -> List[LayerWork]:
+def default_profiling_samples(
+        seed: int = DEFAULT_PROFILING_SEED) -> List[LayerWork]:
     """A deterministic sweep of layer configurations for calibration.
 
     Covers conv-shaped (MAC-heavy), FC-shaped (parameter-heavy), and
     pool-shaped (simple-op-only) kernels across four orders of
     magnitude, mirroring the layer population of the evaluated NNs.
+    The sweep is drawn from an explicitly seeded generator so two
+    predictors fitted with the same seed are bit-identical.
     """
     samples: List[LayerWork] = []
-    rng = np.random.default_rng(2019)
+    rng = np.random.default_rng(seed)
     # Conv-shaped: output spatial x channels x filter volume.  Channel
     # counts include the small widths produced by channel splitting so
     # the model learns the GPU's channel-occupancy behaviour.

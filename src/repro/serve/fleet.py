@@ -1,0 +1,429 @@
+"""A fleet of simulated SoC devices behind one shared plan cache.
+
+The fleet is the serving layer's device model: N SoC instances (possibly
+of mixed SoC types, e.g. Exynos 7420 flagships next to 7880 mid-rangers)
+that each execute one request at a time *per resource set*.  Every
+device keeps one clock per processor, so a μLayer co-execution occupies
+the whole SoC while a single-processor request occupies only its own
+processor -- which is exactly the latency-versus-throughput trade-off
+between the paper's μLayer and network-to-processor mechanisms
+(Sections 2.2 and 7), now exposed to a scheduler.
+
+Per-request service times are not modelled analytically: each dispatch
+runs the real :class:`~repro.runtime.executor.Executor` on the cached
+plan and advances the device clock by the executor-reported
+:class:`~repro.runtime.metrics.InferenceResult` latency.  Plans are
+built once per ``(model, soc, mechanism, policy)`` through the shared
+:class:`~repro.runtime.plan_cache.PlanCache`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..models import build_model
+from ..nn import Graph
+from ..runtime import (Executor, InferenceResult, LayerAssignment,
+                       Partitioner, PartitionerConfig, PROCESSOR_FRIENDLY,
+                       QuantizationPolicy, single_processor_plan,
+                       uniform_policy)
+from ..runtime.plan import ExecutionPlan
+from ..runtime.plan_cache import PlanCache, PlanKey
+from ..soc import SoCSpec, soc_by_name
+from ..tensor import DType
+from .workload import Request
+
+#: Compute dtype of each single-processor mechanism -- the fastest
+#: per-processor data type per the paper (Section 7.2, Section 8.3).
+SINGLE_PROCESSOR_DTYPES: Dict[str, DType] = {
+    "cpu": DType.QUINT8,
+    "gpu": DType.F16,
+    "npu": DType.QUINT8,
+}
+
+#: Small slack for floating-point clock comparisons.
+_EPS = 1e-12
+
+
+def plan_resources(plan: ExecutionPlan, graph: Graph) -> Tuple[str, ...]:
+    """The processors a plan actually touches, sorted.
+
+    A μLayer plan that co-executes owns CPU and GPU (and NPU where
+    split three ways); a single-processor plan owns one processor --
+    except NPU plans, whose unsupported layers fall back to the host
+    CPU, so they occupy both.  Deriving occupancy from the plan keeps
+    the device model honest for scheduling and utilization.
+    """
+    used: set = set()
+    for name in graph.compute_layers():
+        placement = plan.placement_of(name)
+        if isinstance(placement, LayerAssignment):
+            used.update(placement.shares())
+        else:
+            used.add(placement)
+    return tuple(sorted(used))
+
+
+class _SoCContext:
+    """Machinery shared by all fleet devices of one SoC type.
+
+    Holds the partitioner (and therefore the fitted latency predictor)
+    for the serving policy, one estimator partitioner per
+    single-processor mechanism (each under its own uniform policy), and
+    the executor.  Building this once per SoC type amortizes predictor
+    calibration across the devices and requests of a simulation.
+    """
+
+    def __init__(self, soc: SoCSpec, policy: QuantizationPolicy) -> None:
+        self.soc = soc
+        self.policy = policy
+        self.partitioner = Partitioner(soc, policy=policy)
+        self.executor = Executor(soc)
+        config = PartitionerConfig(enable_channel_distribution=False,
+                                   enable_branch_distribution=False)
+        self._estimators: Dict[str, Partitioner] = {
+            "mulayer": self.partitioner}
+        for resource, dtype in SINGLE_PROCESSOR_DTYPES.items():
+            if resource == "npu" and not soc.has_npu:
+                continue
+            self._estimators[resource] = Partitioner(
+                soc, policy=uniform_policy(dtype), config=config)
+
+    def mechanisms(self) -> Tuple[str, ...]:
+        """Mechanisms this SoC supports, μLayer first."""
+        names = ["mulayer", "cpu", "gpu"]
+        if self.soc.has_npu:
+            names.append("npu")
+        return tuple(names)
+
+    def policy_name(self, mechanism: str) -> str:
+        """Name of the quantization policy a mechanism runs under."""
+        if mechanism == "mulayer":
+            return self.policy.name
+        return uniform_policy(SINGLE_PROCESSOR_DTYPES[mechanism]).name
+
+    def build_plan(self, graph: Graph, mechanism: str) -> ExecutionPlan:
+        """Partition ``graph`` for ``mechanism`` (uncached)."""
+        if mechanism == "mulayer":
+            return self.partitioner.plan(graph)
+        return single_processor_plan(
+            graph, mechanism,
+            uniform_policy(SINGLE_PROCESSOR_DTYPES[mechanism]))
+
+    def estimate_service_s(self, graph: Graph, mechanism: str,
+                           plan: ExecutionPlan) -> float:
+        """Predictor-based service-time estimate of one request.
+
+        Sums the per-layer latency estimates of the plan's placements
+        (the same estimates the partitioner optimizes), ignoring
+        cross-layer pipelining -- a slightly conservative figure, which
+        is the right bias for admission control.
+        """
+        estimator = self._estimators[mechanism]
+        total = 0.0
+        for name in graph.compute_layers():
+            placement = plan.placement_of(name)
+            if isinstance(placement, LayerAssignment):
+                shares = placement.shares()
+            else:
+                shares = {placement: 1.0}
+            total += estimator.estimate_shares_latency(graph, name,
+                                                       shares)
+        return total
+
+
+@dataclasses.dataclass
+class Device:
+    """One simulated SoC instance with per-processor clocks.
+
+    Attributes:
+        device_id: stable identifier (``dev0:exynos7420`` style).
+        soc: the SoC specification.
+        free_s: per-resource time at which the processor next idles.
+        busy_s: per-resource cumulative occupied time.
+        completed: number of requests served.
+    """
+
+    device_id: str
+    soc: SoCSpec
+    free_s: Dict[str, float]
+    busy_s: Dict[str, float]
+    completed: int = 0
+
+    @staticmethod
+    def make(device_id: str, soc: SoCSpec) -> "Device":
+        """A fresh idle device."""
+        return Device(device_id=device_id, soc=soc,
+                      free_s={r: 0.0 for r in soc.resources()},
+                      busy_s={r: 0.0 for r in soc.resources()})
+
+    def earliest_start_s(self, resources: Sequence[str],
+                         now: float) -> float:
+        """Earliest time a resource set is entirely free."""
+        return max([now] + [self.free_s[r] for r in resources])
+
+    def idle_now(self, resources: Sequence[str], now: float) -> bool:
+        """True when the resource set could be claimed at ``now``."""
+        return self.earliest_start_s(resources, now) <= now + _EPS
+
+    def backlog_s(self, now: float) -> float:
+        """Remaining busy time of the most-loaded resource."""
+        return max(0.0, max(self.free_s.values()) - now)
+
+    def total_busy_s(self) -> float:
+        """Cumulative occupied time summed over resources."""
+        return sum(self.busy_s.values())
+
+    def occupy(self, resources: Sequence[str], start_s: float,
+               end_s: float) -> None:
+        """Reserve a resource set for [start, end)."""
+        for resource in resources:
+            self.free_s[resource] = end_s
+            self.busy_s[resource] += end_s - start_s
+        self.completed += 1
+
+    def utilization(self, horizon_s: float) -> Dict[str, float]:
+        """Per-resource busy fraction over a horizon."""
+        if horizon_s <= 0.0:
+            return {resource: 0.0 for resource in self.busy_s}
+        return {resource: busy / horizon_s
+                for resource, busy in self.busy_s.items()}
+
+
+@dataclasses.dataclass(frozen=True)
+class Completion:
+    """Record of one served request.
+
+    Attributes:
+        request: the request served.
+        device_id / mechanism: where and how it ran.
+        start_s / finish_s: dispatch and completion times.
+        result: the executor's full inference result.
+    """
+
+    request: Request
+    device_id: str
+    mechanism: str
+    start_s: float
+    finish_s: float
+    result: InferenceResult
+
+    @property
+    def service_s(self) -> float:
+        """Pure execution time on the device."""
+        return self.finish_s - self.start_s
+
+    @property
+    def sojourn_s(self) -> float:
+        """Arrival-to-completion latency (queueing included)."""
+        return self.finish_s - self.request.arrival_s
+
+    @property
+    def met_slo(self) -> bool:
+        """True when the request finished within its SLO."""
+        return self.finish_s <= self.request.deadline_s + _EPS
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly record (without per-layer traces)."""
+        return {
+            "request_id": self.request.request_id,
+            "model": self.request.model,
+            "arrival_s": self.request.arrival_s,
+            "slo_s": self.request.slo_s,
+            "device": self.device_id,
+            "mechanism": self.mechanism,
+            "start_s": self.start_s,
+            "finish_s": self.finish_s,
+            "service_s": self.service_s,
+            "sojourn_s": self.sojourn_s,
+            "met_slo": self.met_slo,
+            "result": self.result.to_dict(include_traces=False),
+        }
+
+
+class Fleet:
+    """N devices, shared per-SoC machinery, one plan cache.
+
+    Args:
+        socs: the SoC of each device, in device order.
+        policy: quantization policy for μLayer co-execution.
+        plan_cache: externally shared cache; a fresh one by default.
+    """
+
+    def __init__(self, socs: Sequence[SoCSpec],
+                 policy: QuantizationPolicy = PROCESSOR_FRIENDLY,
+                 plan_cache: Optional[PlanCache] = None) -> None:
+        if not socs:
+            raise ValueError("a fleet needs at least one device")
+        self.policy = policy
+        self.plan_cache = plan_cache if plan_cache is not None else (
+            PlanCache())
+        self._contexts: Dict[str, _SoCContext] = {}
+        self.devices: List[Device] = []
+        for index, soc in enumerate(socs):
+            if soc.name not in self._contexts:
+                self._contexts[soc.name] = _SoCContext(soc, policy)
+            self.devices.append(
+                Device.make(f"dev{index}:{soc.name}", soc))
+        self._graphs: Dict[str, Graph] = {}
+        self._estimates: Dict[Tuple[str, str, str], float] = {}
+        self._resources: Dict[Tuple[str, str, str], Tuple[str, ...]] = {}
+        self._isolated: Dict[Tuple[str, str], float] = {}
+
+    @classmethod
+    def build(cls, soc_names: Sequence[str], num_devices: int,
+              policy: QuantizationPolicy = PROCESSOR_FRIENDLY,
+              plan_cache: Optional[PlanCache] = None) -> "Fleet":
+        """A fleet of ``num_devices`` cycling through ``soc_names``."""
+        if num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if not soc_names:
+            raise ValueError("soc_names must not be empty")
+        cycle = itertools.cycle([soc_by_name(name) for name in soc_names])
+        socs = [next(cycle) for _ in range(num_devices)]
+        return cls(socs, policy=policy, plan_cache=plan_cache)
+
+    # -- lookups -------------------------------------------------------------
+
+    def device(self, device_id: str) -> Device:
+        """The device with a given id.
+
+        Raises:
+            KeyError: for unknown ids.
+        """
+        for device in self.devices:
+            if device.device_id == device_id:
+                return device
+        raise KeyError(f"no device {device_id!r} in the fleet")
+
+    def context(self, soc_name: str) -> _SoCContext:
+        """The shared per-SoC machinery."""
+        return self._contexts[soc_name]
+
+    def graph(self, model: str) -> Graph:
+        """The (weight-less) graph of a model, built once."""
+        cached = self._graphs.get(model)
+        if cached is None:
+            cached = build_model(model, with_weights=False)
+            self._graphs[model] = cached
+        return cached
+
+    def mechanisms(self, device: Device) -> Tuple[str, ...]:
+        """Mechanisms available on one device."""
+        return self._contexts[device.soc.name].mechanisms()
+
+    # -- planning and execution ----------------------------------------------
+
+    def plan_for(self, model: str, device: Device,
+                 mechanism: str) -> ExecutionPlan:
+        """The (cached) plan of a configuration."""
+        context = self._contexts[device.soc.name]
+        key = PlanKey(model=model, soc=device.soc.name,
+                      mechanism=mechanism,
+                      policy=context.policy_name(mechanism))
+        graph = self.graph(model)
+        return self.plan_cache.get_or_build(
+            key, lambda: context.build_plan(graph, mechanism))
+
+    def resources_for(self, model: str, device: Device,
+                      mechanism: str) -> Tuple[str, ...]:
+        """The processors a configuration occupies (plan-derived,
+        memoized per model/SoC type/mechanism)."""
+        key = (model, device.soc.name, mechanism)
+        cached = self._resources.get(key)
+        if cached is None:
+            plan = self.plan_for(model, device, mechanism)
+            cached = plan_resources(plan, self.graph(model))
+            self._resources[key] = cached
+        return cached
+
+    def estimate_service_s(self, model: str, device: Device,
+                           mechanism: str) -> float:
+        """Predicted service time of ``model`` via ``mechanism``.
+
+        Memoized per (model, SoC type, mechanism); the first call warms
+        the plan cache for the configuration.
+        """
+        key = (model, device.soc.name, mechanism)
+        cached = self._estimates.get(key)
+        if cached is None:
+            context = self._contexts[device.soc.name]
+            plan = self.plan_for(model, device, mechanism)
+            cached = context.estimate_service_s(self.graph(model),
+                                                mechanism, plan)
+            self._estimates[key] = cached
+        return cached
+
+    def isolated_latency_s(self, model: str,
+                           mechanism: str = "mulayer") -> float:
+        """Measured unloaded latency, worst across the fleet's SoCs.
+
+        The natural reference point for SLO sizing: an SLO of
+        ``k * isolated_latency_s`` gives every device ``k`` times the
+        no-contention service time.
+        """
+        worst = 0.0
+        graph = self.graph(model)
+        for soc_name, context in self._contexts.items():
+            cache_key = (model + ":" + mechanism, soc_name)
+            cached = self._isolated.get(cache_key)
+            if cached is None:
+                device = Device.make("probe:" + soc_name, context.soc)
+                plan = self.plan_for(model, device, mechanism)
+                cached = context.executor.run(
+                    graph, plan, mechanism=mechanism).latency_s
+                self._isolated[cache_key] = cached
+            worst = max(worst, cached)
+        return worst
+
+    def capacity_rps(self, models: Sequence[str],
+                     weights: Optional[Sequence[float]] = None) -> float:
+        """Rough fleet capacity under all-μLayer execution.
+
+        One over the (weighted) mean isolated μLayer latency, times the
+        device count -- the saturation throughput if every request ran
+        co-executed with zero scheduling slack.
+        """
+        if not models:
+            raise ValueError("capacity needs at least one model")
+        if weights is None:
+            share = [1.0 / len(models)] * len(models)
+        else:
+            total = float(sum(weights))
+            share = [w / total for w in weights]
+        mean_latency = sum(
+            s * self.isolated_latency_s(m)
+            for m, s in zip(models, share))
+        return len(self.devices) / mean_latency
+
+    def execute(self, request: Request, device: Device, mechanism: str,
+                start_s: float) -> Completion:
+        """Run one request on a device, advancing its clocks.
+
+        The service time is the executor-reported latency of the cached
+        plan; the mechanism's resources are occupied for exactly that
+        span starting at ``start_s``.
+        """
+        context = self._contexts[device.soc.name]
+        plan = self.plan_for(request.model, device, mechanism)
+        result = context.executor.run(self.graph(request.model), plan,
+                                      mechanism=f"serve-{mechanism}")
+        finish = start_s + result.latency_s
+        device.occupy(self.resources_for(request.model, device,
+                                         mechanism),
+                      start_s, finish)
+        return Completion(request=request, device_id=device.device_id,
+                          mechanism=mechanism, start_s=start_s,
+                          finish_s=finish, result=result)
+
+
+def default_slos(fleet: Fleet, models: Sequence[str],
+                 slo_factor: float = 4.0) -> Mapping[str, float]:
+    """Per-model SLOs: ``slo_factor`` times the worst isolated μLayer
+    latency across the fleet's SoC types."""
+    if slo_factor <= 0.0:
+        raise ValueError("slo_factor must be positive")
+    return {model: slo_factor * fleet.isolated_latency_s(model)
+            for model in models}

@@ -1,0 +1,180 @@
+"""Serving metrics: throughput, tail latency, SLO attainment.
+
+Aggregates a :class:`~repro.serve.simulator.ServingResult` into the
+numbers a serving operator watches: offered vs. completed counts,
+p50/p95/p99 end-to-end latency, SLO attainment (shed and unserved
+requests count against it -- a dropped request is a broken promise),
+per-device per-processor utilization, the execution-mechanism mix, and
+the plan cache's hit rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from .simulator import ServingResult
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile by linear interpolation.
+
+    Deterministic, dependency-light equivalent of numpy's default
+    method; ``q`` in [0, 100].
+
+    Raises:
+        ValueError: for an empty sequence or ``q`` outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q / 100.0
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+@dataclasses.dataclass
+class ServingMetrics:
+    """One simulation summarized.
+
+    Attributes:
+        scheduler: policy name.
+        num_offered / num_completed / num_shed / num_unserved: request
+            accounting (offered = completed + shed + unserved).
+        makespan_s: span of the simulation.
+        throughput_rps: completed requests per second of makespan.
+        latency percentiles/mean: end-to-end (queueing included)
+            latency of completed requests, milliseconds.
+        slo_attainment: fraction of *offered* requests that finished
+            within their SLO.
+        slo_violations: completed requests that finished late.
+        mechanism_counts: completions per execution mechanism.
+        device_utilization: per device, per processor busy fraction.
+        plan_cache: the shared plan cache's counters.
+    """
+
+    scheduler: str
+    num_offered: int
+    num_completed: int
+    num_shed: int
+    num_unserved: int
+    makespan_s: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    slo_attainment: float
+    slo_violations: int
+    mechanism_counts: Dict[str, int]
+    device_utilization: Dict[str, Dict[str, float]]
+    plan_cache: Dict[str, float]
+
+    @classmethod
+    def from_result(cls, result: ServingResult) -> "ServingMetrics":
+        """Aggregate one finished simulation."""
+        completions = result.completions
+        sojourns_ms = [c.sojourn_s * 1e3 for c in completions]
+        met = sum(1 for c in completions if c.met_slo)
+        offered = result.num_offered
+        makespan = result.makespan_s
+        mechanism_counts: Dict[str, int] = {}
+        for completion in completions:
+            mechanism_counts[completion.mechanism] = (
+                mechanism_counts.get(completion.mechanism, 0) + 1)
+        if sojourns_ms:
+            p50 = percentile(sojourns_ms, 50.0)
+            p95 = percentile(sojourns_ms, 95.0)
+            p99 = percentile(sojourns_ms, 99.0)
+            mean = sum(sojourns_ms) / len(sojourns_ms)
+        else:
+            p50 = p95 = p99 = mean = 0.0
+        return cls(
+            scheduler=result.scheduler,
+            num_offered=offered,
+            num_completed=len(completions),
+            num_shed=len(result.sheds),
+            num_unserved=len(result.unserved),
+            makespan_s=makespan,
+            throughput_rps=(len(completions) / makespan
+                            if makespan > 0.0 else 0.0),
+            latency_p50_ms=p50,
+            latency_p95_ms=p95,
+            latency_p99_ms=p99,
+            latency_mean_ms=mean,
+            slo_attainment=met / offered if offered else 1.0,
+            slo_violations=len(completions) - met,
+            mechanism_counts=mechanism_counts,
+            device_utilization={
+                device.device_id: device.utilization(makespan)
+                for device in result.fleet.devices},
+            plan_cache=result.fleet.plan_cache.stats(),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "scheduler": self.scheduler,
+            "num_offered": self.num_offered,
+            "num_completed": self.num_completed,
+            "num_shed": self.num_shed,
+            "num_unserved": self.num_unserved,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "slo_attainment": self.slo_attainment,
+            "slo_violations": self.slo_violations,
+            "mechanism_counts": dict(self.mechanism_counts),
+            "device_utilization": {
+                device: dict(resources)
+                for device, resources in
+                self.device_utilization.items()},
+            "plan_cache": dict(self.plan_cache),
+        }
+
+    def render(self) -> str:
+        """Printable summary tables."""
+        from ..harness.report import format_table
+        rows = [
+            ["offered", float(self.num_offered)],
+            ["completed", float(self.num_completed)],
+            ["shed", float(self.num_shed)],
+            ["unserved", float(self.num_unserved)],
+            ["makespan_s", self.makespan_s],
+            ["throughput_rps", self.throughput_rps],
+            ["latency_p50_ms", self.latency_p50_ms],
+            ["latency_p95_ms", self.latency_p95_ms],
+            ["latency_p99_ms", self.latency_p99_ms],
+            ["latency_mean_ms", self.latency_mean_ms],
+            ["slo_attainment", self.slo_attainment],
+            ["slo_violations", float(self.slo_violations)],
+            ["plan_cache_hit_rate", self.plan_cache["hit_rate"]],
+        ]
+        text = format_table(
+            ["metric", "value"], rows,
+            title=f"serving summary ({self.scheduler} scheduler)")
+        mechanism_rows: List[List[object]] = [
+            [mechanism, float(count)]
+            for mechanism, count in sorted(self.mechanism_counts.items())]
+        if mechanism_rows:
+            text += "\n\n" + format_table(["mechanism", "requests"],
+                                          mechanism_rows,
+                                          title="execution mechanisms")
+        utilization_rows: List[List[object]] = []
+        for device_id, resources in self.device_utilization.items():
+            for resource, value in resources.items():
+                utilization_rows.append([device_id, resource, value])
+        if utilization_rows:
+            text += "\n\n" + format_table(
+                ["device", "resource", "utilization"], utilization_rows,
+                title="device utilization")
+        return text

@@ -1,0 +1,216 @@
+"""Serving schedulers: FIFO, least-loaded, and SLO-aware EDF.
+
+A scheduler is consulted by the simulator at every event (arrival or
+completion).  It inspects the pending queue and the fleet and returns
+*one* action at a time -- start a request on a device via a mechanism,
+or shed a request -- until it has nothing more to do at the current
+simulated time.  Returning single actions keeps the protocol simple and
+race-free: the fleet's clocks advance between calls, so the scheduler
+always sees the true residual capacity.
+
+Three policies are provided:
+
+* :class:`FIFOScheduler` -- strict arrival order with head-of-line
+  blocking; every request runs μLayer co-executed on the first fully
+  idle device.  The baseline.
+* :class:`LeastLoadedScheduler` -- FIFO order, but ties between idle
+  devices break toward the least cumulative work, balancing mixed
+  fleets.
+* :class:`EDFScheduler` -- earliest-deadline-first over the pending
+  queue, choosing *both* the device and the execution mechanism
+  (μLayer co-execution vs. a single processor) by predicted
+  completion time, using the runtime's fitted
+  :class:`~repro.runtime.predictor.LatencyPredictor` as its service
+  time oracle.  Admission control sheds a request as soon as no
+  (device, mechanism) pair is predicted to meet its deadline --
+  predicted queue delay included -- so a saturated fleet spends no
+  cycles on requests that are already lost.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional, Sequence, Tuple, Union
+
+from .fleet import Device, Fleet
+from .workload import Request
+
+
+@dataclasses.dataclass(frozen=True)
+class Start:
+    """Dispatch ``request`` on ``device_id`` via ``mechanism`` now."""
+
+    request: Request
+    device_id: str
+    mechanism: str
+    predicted_service_s: Optional[float] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Shed:
+    """Drop ``request`` (admission control)."""
+
+    request: Request
+    reason: str
+
+
+Action = Union[Start, Shed]
+
+
+class Scheduler(abc.ABC):
+    """Policy interface consulted by the simulator."""
+
+    name: str = "scheduler"
+
+    @abc.abstractmethod
+    def next_action(self, pending: Sequence[Request], fleet: Fleet,
+                    now: float) -> Optional[Action]:
+        """The next action at simulated time ``now``, or None.
+
+        ``pending`` is in arrival order.  A returned
+        :class:`Start` must be startable immediately (its resources
+        idle at ``now``); the simulator executes it, advances the
+        device clocks, and asks again.
+        """
+
+
+class FIFOScheduler(Scheduler):
+    """Arrival order, first idle device, fixed mechanism.
+
+    Head-of-line blocking included: while the oldest request cannot
+    start, nothing behind it runs -- the classic baseline the SLO-aware
+    policy is measured against.
+    """
+
+    name = "fifo"
+
+    def __init__(self, mechanism: str = "mulayer") -> None:
+        self.mechanism = mechanism
+
+    def _pick_device(self, request: Request, fleet: Fleet,
+                     now: float) -> Optional[Device]:
+        for device in fleet.devices:
+            resources = fleet.resources_for(request.model, device,
+                                            self.mechanism)
+            if device.idle_now(resources, now):
+                return device
+        return None
+
+    def next_action(self, pending: Sequence[Request], fleet: Fleet,
+                    now: float) -> Optional[Action]:
+        if not pending:
+            return None
+        head = pending[0]
+        device = self._pick_device(head, fleet, now)
+        if device is None:
+            return None
+        return Start(request=head, device_id=device.device_id,
+                     mechanism=self.mechanism)
+
+
+class LeastLoadedScheduler(FIFOScheduler):
+    """FIFO order, but idle-device ties break to the least-worked
+    device -- keeps a mixed fleet's fast SoCs from idling."""
+
+    name = "least-loaded"
+
+    def _pick_device(self, request: Request, fleet: Fleet,
+                     now: float) -> Optional[Device]:
+        best: Optional[Device] = None
+        best_load = float("inf")
+        for device in fleet.devices:
+            resources = fleet.resources_for(request.model, device,
+                                            self.mechanism)
+            if not device.idle_now(resources, now):
+                continue
+            load = device.total_busy_s()
+            if load < best_load:
+                best, best_load = device, load
+        return best
+
+
+class EDFScheduler(Scheduler):
+    """Earliest-deadline-first with latency-predictor admission.
+
+    For each pending request (in deadline order) every (device,
+    mechanism) pair is scored by its predicted completion time:
+    ``max(now, resources free) + predicted service``.  The request is
+
+    * **shed** when no pair is predicted to make the deadline,
+    * **started** on the best immediately startable pair that makes
+      the deadline,
+    * **left queued** when a pair could make the deadline but none of
+      the feasible pairs is idle yet.
+
+    Because single-processor mechanisms occupy only part of a device,
+    EDF naturally co-schedules: while one request holds the GPU, a
+    tight-deadline arrival can still start CPU-only on the same SoC.
+    There is no head-of-line blocking -- later-deadline requests may
+    start on resources the front of the queue cannot use yet.
+    """
+
+    name = "edf"
+
+    def __init__(self, mechanisms: Optional[Sequence[str]] = None,
+                 admission_control: bool = True) -> None:
+        self.mechanisms = tuple(mechanisms) if mechanisms else None
+        self.admission_control = admission_control
+
+    def _mechanisms_for(self, fleet: Fleet,
+                        device: Device) -> Tuple[str, ...]:
+        available = fleet.mechanisms(device)
+        if self.mechanisms is None:
+            return available
+        return tuple(m for m in self.mechanisms if m in available)
+
+    def next_action(self, pending: Sequence[Request], fleet: Fleet,
+                    now: float) -> Optional[Action]:
+        ordered = sorted(pending,
+                         key=lambda r: (r.deadline_s, r.request_id))
+        for request in ordered:
+            feasible_later = False
+            best: Optional[Tuple[float, int, str, float]] = None
+            for index, device in enumerate(fleet.devices):
+                for mechanism in self._mechanisms_for(fleet, device):
+                    service = fleet.estimate_service_s(
+                        request.model, device, mechanism)
+                    resources = fleet.resources_for(request.model,
+                                                    device, mechanism)
+                    start = device.earliest_start_s(resources, now)
+                    finish = start + service
+                    if finish > request.deadline_s + 1e-12:
+                        continue
+                    if not device.idle_now(resources, now):
+                        feasible_later = True
+                        continue
+                    candidate = (finish, index, mechanism, service)
+                    if best is None or candidate < best:
+                        best = candidate
+            if best is not None:
+                _, index, mechanism, service = best
+                return Start(request=request,
+                             device_id=fleet.devices[index].device_id,
+                             mechanism=mechanism,
+                             predicted_service_s=service)
+            if not feasible_later and self.admission_control:
+                return Shed(request=request,
+                            reason="predicted-deadline-miss")
+            # Feasible on a busy device (or shedding disabled): wait.
+        return None
+
+
+def make_scheduler(name: str) -> Scheduler:
+    """Scheduler factory used by the CLI and the harness.
+
+    Raises:
+        ValueError: for unknown scheduler names.
+    """
+    if name == "fifo":
+        return FIFOScheduler()
+    if name == "least-loaded":
+        return LeastLoadedScheduler()
+    if name == "edf":
+        return EDFScheduler()
+    raise ValueError(f"unknown scheduler {name!r}; "
+                     "choose fifo, least-loaded, or edf")

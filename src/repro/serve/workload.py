@@ -1,0 +1,237 @@
+"""Request arrival workloads for the serving simulator.
+
+A workload generator turns a seed into a deterministic trace of
+:class:`Request` objects -- each with an arrival time, a model to run,
+and a latency SLO.  Two arrival processes are provided:
+
+* :class:`PoissonWorkload` -- memoryless arrivals at a constant rate,
+  the standard open-loop serving assumption;
+* :class:`BurstyWorkload` -- a two-state Markov-modulated Poisson
+  process (MMPP) alternating between a quiet base state and a burst
+  state, producing the overdispersed arrivals real request streams
+  show.
+
+All randomness flows through one ``numpy`` generator seeded in
+``generate``, so the same seed always yields the same trace and the
+simulator stays reproducible end-to-end.  No wall-clock time is ever
+consulted.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+#: Per-model SLOs, or one budget applied to every model.
+SLOSpec = Union[float, Mapping[str, float]]
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One inference request of the serving workload.
+
+    Attributes:
+        request_id: unique, dense id in arrival order.
+        model: name of the model to run (a zoo model name).
+        arrival_s: simulated arrival time.
+        slo_s: latency budget; the request must finish by
+            ``arrival_s + slo_s`` to meet its SLO.
+    """
+
+    request_id: int
+    model: str
+    arrival_s: float
+    slo_s: float
+
+    def __post_init__(self) -> None:
+        if self.slo_s <= 0.0:
+            raise ValueError(
+                f"request {self.request_id}: SLO must be positive, "
+                f"got {self.slo_s}")
+
+    @property
+    def deadline_s(self) -> float:
+        """Absolute completion deadline."""
+        return self.arrival_s + self.slo_s
+
+
+class WorkloadGenerator(abc.ABC):
+    """Base class: seeded request-trace generation over a model mix.
+
+    Args:
+        models: model names requests are drawn from.
+        slo_s: per-model SLO mapping, or one budget for all models.
+        seed: generator seed; same seed, same trace.
+        model_weights: relative request frequency per model (uniform
+            when omitted).
+    """
+
+    def __init__(self, models: Sequence[str], slo_s: SLOSpec,
+                 seed: int = 0,
+                 model_weights: Optional[Sequence[float]] = None) -> None:
+        if not models:
+            raise ValueError("workload needs at least one model")
+        self.models = list(models)
+        self.seed = seed
+        self._slo = slo_s
+        if model_weights is None:
+            weights = np.full(len(self.models), 1.0 / len(self.models))
+        else:
+            if len(model_weights) != len(self.models):
+                raise ValueError(
+                    f"{len(model_weights)} weights for "
+                    f"{len(self.models)} models")
+            weights = np.asarray(model_weights, dtype=float)
+            if np.any(weights < 0.0) or weights.sum() <= 0.0:
+                raise ValueError("model weights must be non-negative "
+                                 "and sum to a positive value")
+            weights = weights / weights.sum()
+        self._weights = weights
+
+    def slo_of(self, model: str) -> float:
+        """The latency budget assigned to ``model``."""
+        if isinstance(self._slo, Mapping):
+            try:
+                return float(self._slo[model])
+            except KeyError:
+                raise KeyError(
+                    f"no SLO configured for model {model!r}") from None
+        return float(self._slo)
+
+    # -- the arrival process, supplied by subclasses ------------------------
+
+    @abc.abstractmethod
+    def _initial_state(self) -> object:
+        """Opaque initial state of the arrival process."""
+
+    @abc.abstractmethod
+    def _next_gap(self, rng: np.random.Generator,
+                  state: object) -> Tuple[float, object]:
+        """(inter-arrival gap, next state) of the arrival process."""
+
+    # -- trace generation ----------------------------------------------------
+
+    def generate(self, num_requests: int) -> List[Request]:
+        """A deterministic trace of ``num_requests`` requests."""
+        if num_requests < 0:
+            raise ValueError("num_requests must be >= 0")
+        rng = np.random.default_rng(self.seed)
+        state = self._initial_state()
+        now = 0.0
+        requests: List[Request] = []
+        for request_id in range(num_requests):
+            gap, state = self._next_gap(rng, state)
+            now += gap
+            index = int(rng.choice(len(self.models), p=self._weights))
+            model = self.models[index]
+            requests.append(Request(request_id=request_id, model=model,
+                                    arrival_s=now,
+                                    slo_s=self.slo_of(model)))
+        return requests
+
+
+class PoissonWorkload(WorkloadGenerator):
+    """Open-loop Poisson arrivals at a constant offered rate.
+
+    Args:
+        rate_rps: mean arrival rate in requests per second.
+    """
+
+    def __init__(self, rate_rps: float, models: Sequence[str],
+                 slo_s: SLOSpec, seed: int = 0,
+                 model_weights: Optional[Sequence[float]] = None) -> None:
+        if rate_rps <= 0.0:
+            raise ValueError("rate_rps must be positive")
+        super().__init__(models, slo_s, seed=seed,
+                         model_weights=model_weights)
+        self.rate_rps = rate_rps
+
+    def _initial_state(self) -> object:
+        return None
+
+    def _next_gap(self, rng: np.random.Generator,
+                  state: object) -> Tuple[float, object]:
+        return float(rng.exponential(1.0 / self.rate_rps)), None
+
+
+class BurstyWorkload(WorkloadGenerator):
+    """Two-state MMPP arrivals: quiet base traffic with bursts.
+
+    The process dwells in the base state (rate ``base_rate_rps``) for
+    an exponentially distributed time of mean ``mean_base_s``, then
+    switches to the burst state (rate ``burst_rate_rps``) for a mean of
+    ``mean_burst_s``, and back.  Inter-arrival gaps are generated by
+    racing the next-arrival exponential against the next state switch,
+    which is the exact MMPP construction (competing exponentials), not
+    a discretized approximation.
+    """
+
+    def __init__(self, base_rate_rps: float, burst_rate_rps: float,
+                 mean_base_s: float, mean_burst_s: float,
+                 models: Sequence[str], slo_s: SLOSpec, seed: int = 0,
+                 model_weights: Optional[Sequence[float]] = None) -> None:
+        for label, value in (("base_rate_rps", base_rate_rps),
+                             ("burst_rate_rps", burst_rate_rps),
+                             ("mean_base_s", mean_base_s),
+                             ("mean_burst_s", mean_burst_s)):
+            if value <= 0.0:
+                raise ValueError(f"{label} must be positive")
+        super().__init__(models, slo_s, seed=seed,
+                         model_weights=model_weights)
+        self.base_rate_rps = base_rate_rps
+        self.burst_rate_rps = burst_rate_rps
+        self.mean_base_s = mean_base_s
+        self.mean_burst_s = mean_burst_s
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Long-run average arrival rate of the MMPP."""
+        dwell = self.mean_base_s + self.mean_burst_s
+        return (self.base_rate_rps * self.mean_base_s
+                + self.burst_rate_rps * self.mean_burst_s) / dwell
+
+    def _initial_state(self) -> object:
+        return "base"
+
+    def _next_gap(self, rng: np.random.Generator,
+                  state: object) -> Tuple[float, object]:
+        gap = 0.0
+        while True:
+            if state == "base":
+                rate, dwell = self.base_rate_rps, self.mean_base_s
+            else:
+                rate, dwell = self.burst_rate_rps, self.mean_burst_s
+            arrival = float(rng.exponential(1.0 / rate))
+            switch = float(rng.exponential(dwell))
+            if arrival <= switch:
+                return gap + arrival, state
+            gap += switch
+            state = "burst" if state == "base" else "base"
+
+
+def bursty_for_rate(rate_rps: float, models: Sequence[str],
+                    slo_s: SLOSpec, seed: int = 0,
+                    burstiness: float = 4.0,
+                    model_weights: Optional[Sequence[float]] = None
+                    ) -> BurstyWorkload:
+    """A bursty workload whose long-run rate matches ``rate_rps``.
+
+    The burst state runs ``burstiness`` times hotter than the base
+    state; dwell times are chosen so the time-average rate equals the
+    requested one and each state typically spans tens of requests.
+    """
+    if burstiness <= 1.0:
+        raise ValueError("burstiness must exceed 1.0")
+    # Three quarters of the *time* in the base state, one quarter
+    # bursting: base * 0.75 + burst * 0.25 == rate with burst == b *
+    # base, so the dwell times must keep a 3:1 ratio.
+    base = rate_rps / (0.75 + 0.25 * burstiness)
+    burst = base * burstiness
+    return BurstyWorkload(
+        base_rate_rps=base, burst_rate_rps=burst,
+        mean_base_s=30.0 / base, mean_burst_s=10.0 / base,
+        models=models, slo_s=slo_s, seed=seed,
+        model_weights=model_weights)

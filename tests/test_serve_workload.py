@@ -1,0 +1,124 @@
+"""Tests for the serving workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.serve import (BurstyWorkload, PoissonWorkload, Request,
+                         bursty_for_rate)
+
+
+def gaps(requests):
+    times = [r.arrival_s for r in requests]
+    return np.diff([0.0] + times)
+
+
+class TestRequest:
+    def test_deadline(self):
+        r = Request(request_id=0, model="vgg_mini", arrival_s=1.5,
+                    slo_s=0.25)
+        assert r.deadline_s == pytest.approx(1.75)
+
+    def test_nonpositive_slo_rejected(self):
+        with pytest.raises(ValueError, match="SLO"):
+            Request(request_id=0, model="vgg_mini", arrival_s=0.0,
+                    slo_s=0.0)
+
+
+class TestPoisson:
+    def test_trace_is_deterministic(self):
+        workload = PoissonWorkload(50.0, ["vgg_mini"], 0.1, seed=7)
+        assert workload.generate(100) == workload.generate(100)
+
+    def test_different_seeds_differ(self):
+        a = PoissonWorkload(50.0, ["vgg_mini"], 0.1, seed=1).generate(50)
+        b = PoissonWorkload(50.0, ["vgg_mini"], 0.1, seed=2).generate(50)
+        assert a != b
+
+    def test_arrivals_increase_and_ids_dense(self):
+        trace = PoissonWorkload(50.0, ["vgg_mini"], 0.1,
+                                seed=0).generate(200)
+        assert [r.request_id for r in trace] == list(range(200))
+        times = [r.arrival_s for r in trace]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_interarrival_mean_matches_rate(self):
+        rate = 200.0
+        trace = PoissonWorkload(rate, ["vgg_mini"], 0.1,
+                                seed=0).generate(4000)
+        assert np.mean(gaps(trace)) == pytest.approx(1.0 / rate,
+                                                     rel=0.05)
+
+    def test_interarrival_cv_near_one(self):
+        """Exponential gaps: coefficient of variation ~= 1."""
+        g = gaps(PoissonWorkload(100.0, ["vgg_mini"], 0.1,
+                                 seed=0).generate(4000))
+        assert 0.9 < np.std(g) / np.mean(g) < 1.1
+
+    def test_per_model_slos(self):
+        slos = {"vgg_mini": 0.2, "squeezenet_mini": 0.4}
+        trace = PoissonWorkload(
+            10.0, list(slos), slos, seed=0).generate(100)
+        assert {r.model for r in trace} == set(slos)
+        for r in trace:
+            assert r.slo_s == pytest.approx(slos[r.model])
+
+    def test_missing_model_slo_raises(self):
+        workload = PoissonWorkload(10.0, ["vgg_mini"],
+                                   {"other": 0.1}, seed=0)
+        with pytest.raises(KeyError, match="vgg_mini"):
+            workload.generate(1)
+
+    def test_model_weights_skew_mix(self):
+        trace = PoissonWorkload(
+            10.0, ["a", "b"], 0.1, seed=0,
+            model_weights=[9.0, 1.0]).generate(1000)
+        share_a = sum(r.model == "a" for r in trace) / len(trace)
+        assert share_a == pytest.approx(0.9, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            PoissonWorkload(0.0, ["vgg_mini"], 0.1)
+        with pytest.raises(ValueError, match="model"):
+            PoissonWorkload(1.0, [], 0.1)
+        with pytest.raises(ValueError, match="weights"):
+            PoissonWorkload(1.0, ["a", "b"], 0.1,
+                            model_weights=[1.0])
+        with pytest.raises(ValueError, match="weights"):
+            PoissonWorkload(1.0, ["a"], 0.1, model_weights=[-1.0])
+        with pytest.raises(ValueError, match="num_requests"):
+            PoissonWorkload(1.0, ["a"], 0.1).generate(-1)
+
+
+class TestBursty:
+    def test_mean_rate_property(self):
+        workload = BurstyWorkload(
+            base_rate_rps=10.0, burst_rate_rps=40.0,
+            mean_base_s=3.0, mean_burst_s=1.0,
+            models=["vgg_mini"], slo_s=0.1)
+        # (10*3 + 40*1) / 4
+        assert workload.mean_rate_rps == pytest.approx(17.5)
+
+    def test_trace_is_deterministic(self):
+        workload = bursty_for_rate(100.0, ["vgg_mini"], 0.1, seed=3)
+        assert workload.generate(200) == workload.generate(200)
+
+    def test_long_run_rate_matches_request(self):
+        rate = 100.0
+        workload = bursty_for_rate(rate, ["vgg_mini"], 0.1, seed=0)
+        assert workload.mean_rate_rps == pytest.approx(rate)
+        trace = workload.generate(6000)
+        empirical = len(trace) / trace[-1].arrival_s
+        assert empirical == pytest.approx(rate, rel=0.15)
+
+    def test_overdispersed_relative_to_poisson(self):
+        """The MMPP's gap CV exceeds the Poisson's ~1.0: bursts pack
+        many short gaps, quiet spells stretch long ones."""
+        g = gaps(bursty_for_rate(100.0, ["vgg_mini"], 0.1, seed=0,
+                                 burstiness=6.0).generate(6000))
+        assert np.std(g) / np.mean(g) > 1.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="burst_rate_rps"):
+            BurstyWorkload(1.0, 0.0, 1.0, 1.0, ["a"], 0.1)
+        with pytest.raises(ValueError, match="burstiness"):
+            bursty_for_rate(10.0, ["a"], 0.1, burstiness=1.0)
