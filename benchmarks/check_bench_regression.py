@@ -1,0 +1,88 @@
+"""Fail CI when a fresh BENCH_e2e.json regresses against the baseline.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py BASELINE FRESH \
+        [--threshold 1.25]
+
+Compares the committed baseline against a freshly generated run and
+exits non-zero when:
+
+* warm functional time (``summary.warm_total_ms``) grew by more than
+  the threshold factor -- the caches stopped paying;
+* the cold/warm speedup (``summary.speedup``) shrank by more than the
+  threshold factor -- ditto, from the other side;
+* the serial sweep time (``sweep.serial_s``) grew by more than the
+  threshold factor.
+
+Cold absolute time is reported but not gated: it measures the uncached
+reference path, whose wall clock mostly tracks runner speed, and the
+speedup ratio already normalizes runner differences out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _check(name: str, baseline: float, fresh: float, threshold: float,
+           lower_is_better: bool) -> bool:
+    """Print one comparison; returns True when it regressed."""
+    if baseline <= 0.0:
+        print(f"  {name}: baseline {baseline:g} not positive, skipped")
+        return False
+    ratio = fresh / baseline
+    if lower_is_better:
+        regressed = ratio > threshold
+        direction = "grew"
+    else:
+        regressed = ratio < 1.0 / threshold
+        direction = "shrank"
+    verdict = "REGRESSED" if regressed else "ok"
+    print(f"  {name}: baseline {baseline:.3f}, fresh {fresh:.3f} "
+          f"({direction} to {ratio:.2f}x) -- {verdict}")
+    return regressed
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_e2e.json")
+    parser.add_argument("fresh", help="freshly generated BENCH_e2e.json")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="allowed regression factor (default 1.25 "
+                             "= 25%%)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+
+    print(f"bench regression check (threshold {args.threshold:.2f}x):")
+    print(f"  cold_total_ms (informational): baseline "
+          f"{baseline['summary']['cold_total_ms']:.1f}, fresh "
+          f"{fresh['summary']['cold_total_ms']:.1f}")
+    regressed = False
+    regressed |= _check("warm_total_ms",
+                        baseline["summary"]["warm_total_ms"],
+                        fresh["summary"]["warm_total_ms"],
+                        args.threshold, lower_is_better=True)
+    regressed |= _check("speedup",
+                        baseline["summary"]["speedup"],
+                        fresh["summary"]["speedup"],
+                        args.threshold, lower_is_better=False)
+    regressed |= _check("sweep.serial_s",
+                        baseline["sweep"]["serial_s"],
+                        fresh["sweep"]["serial_s"],
+                        args.threshold, lower_is_better=True)
+    if regressed:
+        print("bench regression detected", file=sys.stderr)
+        return 1
+    print("no bench regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

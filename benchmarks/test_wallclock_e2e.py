@@ -1,0 +1,51 @@
+"""Wall-clock benchmark of functional execution (seeds BENCH_e2e.json).
+
+Times end-to-end functional inference cold (fresh uncached computer
+per inference -- the pre-cache behaviour) versus warm (persistent
+operand caches), and the verification sweep serial versus parallel,
+then writes the numbers to ``BENCH_e2e.json`` at the repo root so the
+perf trajectory is tracked across PRs
+(``benchmarks/check_bench_regression.py`` compares a fresh run against
+the committed baseline in CI).
+
+Byte-identity of cached versus uncached outputs is asserted inside the
+benchmark itself while timing.
+"""
+
+import json
+import pathlib
+
+from repro.harness.bench import render_bench, run_bench
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_wallclock_e2e():
+    results = run_bench(repeats=3, jobs=2)
+    print()
+    print(render_bench(results))
+    (_REPO_ROOT / "BENCH_e2e.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    functional = results["functional"]
+    # Every mini-zoo cell ran, under all four policies.
+    for model in ("alexnet_mini", "googlenet_mini", "mobilenet_mini",
+                  "squeezenet_mini", "vgg_mini"):
+        for policy in ("pfq", "quint8", "f16", "f32"):
+            assert f"{model}/{policy}" in functional
+    # The weight-heavy full model is the headline cache win.
+    assert functional["alexnet/pfq"]["speedup"] > 1.0
+
+    summary = results["summary"]
+    assert summary["warm_total_ms"] > 0.0
+    # The acceptance bar of the caching layer: the zoo sweep runs at
+    # least twice as fast warm as cold (measured ~6x; 2.0 leaves head-
+    # room for noisy CI runners).
+    assert summary["speedup"] >= 2.0
+
+    sweep = results["sweep"]
+    assert sweep["serial_s"] > 0.0
+    assert sweep["cells"] > 0
+    # The parallel leg ran and kept deterministic ordering (run_bench
+    # raises on order divergence).
+    assert "parallel_s" in sweep

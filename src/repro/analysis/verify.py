@@ -118,10 +118,25 @@ class SweepEntry:
     report: Report
 
 
+def _sweep_unit(item: Tuple[str, str, Tuple[str, ...]]
+                ) -> List[SweepEntry]:
+    """All entries of one (soc, model) sweep cell.
+
+    Module-level so :func:`~repro.harness.parallel.parallel_map` can
+    ship it to worker processes; the graph is built once per cell.
+    """
+    soc_name, model, chosen = item
+    soc = SOCS[soc_name]
+    graph = build_model(model, with_weights=False)
+    return [SweepEntry(model=model, soc=soc_name, mechanism=mechanism,
+                       report=verify_mechanism(soc, graph, mechanism))
+            for mechanism in chosen]
+
+
 def verify_sweep(models: Optional[Iterable[str]] = None,
                  socs: Optional[Iterable[str]] = None,
-                 mechanisms: Optional[Iterable[str]] = None
-                 ) -> List[SweepEntry]:
+                 mechanisms: Optional[Iterable[str]] = None,
+                 jobs: Optional[int] = None) -> List[SweepEntry]:
     """Verify mechanisms across the zoo.
 
     Args:
@@ -130,19 +145,22 @@ def verify_sweep(models: Optional[Iterable[str]] = None,
         mechanisms: mechanisms to check (default: every mechanism the
             SoC supports; an explicit ``npu`` request on an NPU-less
             SoC is skipped rather than reported).
+        jobs: fan (soc, model) cells across this many processes
+            (None/1 = serial; <=0 = one per CPU).  Results are in the
+            same deterministic order either way.
     """
-    entries: List[SweepEntry] = []
+    from ..harness.parallel import parallel_map
+
+    work: List[Tuple[str, str, Tuple[str, ...]]] = []
     requested = tuple(mechanisms) if mechanisms is not None else None
     for soc_name in (tuple(socs) if socs is not None else sorted(SOCS)):
-        soc = SOCS[soc_name]
-        supported = applicable_mechanisms(soc)
+        supported = applicable_mechanisms(SOCS[soc_name])
         chosen = (supported if requested is None
                   else tuple(m for m in requested if m in supported))
         for model in (tuple(models) if models is not None
                       else list_models()):
-            graph = build_model(model, with_weights=False)
-            for mechanism in chosen:
-                entries.append(SweepEntry(
-                    model=model, soc=soc_name, mechanism=mechanism,
-                    report=verify_mechanism(soc, graph, mechanism)))
+            work.append((soc_name, model, chosen))
+    entries: List[SweepEntry] = []
+    for cell in parallel_map(_sweep_unit, work, jobs=jobs):
+        entries.extend(cell)
     return entries

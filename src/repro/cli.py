@@ -11,9 +11,13 @@ Commands:
 * ``serve`` -- simulate a multi-request stream against a device fleet
   under a chosen scheduler and report serving metrics.
 * ``figure`` -- regenerate one of the paper's figures.
+* ``bench`` -- wall-clock benchmark of functional execution and the
+  sweep harness; writes ``BENCH_e2e.json``.
 
-``run``, ``compare``, ``verify``, and ``serve`` all accept ``--json``
-for machine-readable output.
+``run``, ``compare``, ``verify``, ``serve``, and ``bench`` all accept
+``--json`` for machine-readable output.  ``verify``, ``figure``,
+``serve``, and ``bench`` accept ``--jobs N`` to fan independent sweep
+units across a process pool (results are deterministic either way).
 """
 
 from __future__ import annotations
@@ -102,6 +106,13 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo-factor", type=float, default=4.0,
                        help="per-model SLO as a multiple of its "
                             "unloaded uLayer latency")
+    serve.add_argument("--plan-cache-size", type=int, default=None,
+                       metavar="N",
+                       help="bound the shared plan cache to N entries "
+                            "(LRU; default unbounded)")
+    serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="warm the plan cache with N processes "
+                            "before simulating (default: serial)")
     serve.add_argument("--json", action="store_true",
                        help="emit serving metrics as JSON")
 
@@ -119,12 +130,36 @@ def _build_parser() -> argparse.ArgumentParser:
                              "default: all the SoC supports)")
     verify.add_argument("--all", action="store_true", dest="all_models",
                         help="verify every model in the zoo")
+    verify.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="verify (soc, model) cells with N "
+                             "processes (default: serial)")
     verify.add_argument("--json", action="store_true",
                         help="emit diagnostics as JSON")
 
     figure = sub.add_parser("figure",
                             help="regenerate one paper figure")
     figure.add_argument("name", choices=_FIGURES)
+    figure.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="generate (soc, model) cells with N "
+                             "processes where the figure supports it")
+
+    bench = sub.add_parser(
+        "bench",
+        help="wall-clock benchmark of functional execution and sweeps")
+    bench.add_argument("--models", default=None,
+                       help="comma-separated models (default: the "
+                            "mini zoo)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="warm inferences measured per model "
+                            "(default 3)")
+    bench.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="process count for the verify-sweep "
+                            "timing (default: serial)")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="write the results as JSON to PATH "
+                            "(e.g. BENCH_e2e.json)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the results as JSON")
     return parser
 
 
@@ -241,7 +276,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         return 2
     socs = [args.soc] if args.soc is not None else None
     entries = verify_sweep(models=models, socs=socs,
-                           mechanisms=args.mechanisms)
+                           mechanisms=args.mechanisms, jobs=args.jobs)
     if args.json:
         print(json.dumps(
             [{"model": e.model, "soc": e.soc,
@@ -267,10 +302,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         ServingSimulator, bursty_for_rate, default_slos,
                         make_scheduler)
 
+    from .runtime.plan_cache import PlanCache
+
     soc_names = args.socs or ["exynos7420"]
     models = (args.models.split(",") if args.models
               else list(MINI_MODELS))
-    fleet = Fleet.build(soc_names, args.devices)
+    plan_cache = (PlanCache(max_entries=args.plan_cache_size)
+                  if args.plan_cache_size is not None else None)
+    fleet = Fleet.build(soc_names, args.devices, plan_cache=plan_cache)
+    if args.jobs is not None:
+        fleet.warm_plans(models, jobs=args.jobs)
     slos = default_slos(fleet, models, slo_factor=args.slo_factor)
     capacity = fleet.capacity_rps(models)
     if args.load is not None:
@@ -298,7 +339,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "capacity_rps": capacity,
             "slo_factor": args.slo_factor,
             "seed": args.seed,
+            "plan_cache_size": args.plan_cache_size,
         }
+        payload["plan_cache"] = fleet.plan_cache.stats()
         print(json.dumps(payload, indent=2))
         return 0
     device_names = ", ".join(d.device_id for d in fleet.devices)
@@ -313,7 +356,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_figure(name: str) -> int:
+def _cmd_figure(name: str, jobs: Optional[int] = None) -> int:
     from . import harness
     functions = {
         "fig05": harness.fig05_perlayer_vgg,
@@ -326,7 +369,27 @@ def _cmd_figure(name: str) -> int:
         "fig17": harness.fig17_ablation,
         "fig18": harness.fig18_energy,
     }
-    print(functions[name]().render())
+    parallel = {"fig06", "fig08", "fig16", "fig17", "fig18"}
+    if jobs is not None and name in parallel:
+        print(functions[name](jobs=jobs).render())
+    else:
+        print(functions[name]().render())
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .harness.bench import render_bench, run_bench
+    models = args.models.split(",") if args.models else None
+    results = run_bench(models=models, repeats=args.repeats,
+                        jobs=args.jobs)
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        print(render_bench(results))
     return 0
 
 
@@ -346,7 +409,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "figure":
-        return _cmd_figure(args.name)
+        return _cmd_figure(args.name, jobs=args.jobs)
+    if args.command == "bench":
+        return _cmd_bench(args)
     return 1
 
 

@@ -7,6 +7,7 @@ from .figures import (DEFAULT_SOCS, ExperimentResult,
                       fig16_e2e_latency, fig17_ablation, fig18_energy,
                       table1_applicability)
 from .gantt import render_gantt
+from .parallel import default_jobs, parallel_map
 from .profiles import (LayerProfile, hotspots, memory_bound_layers,
                        profile_layers, render_profile)
 from .report import format_bars, format_table, normalized
@@ -14,6 +15,8 @@ from .serving import serving_load_sweep
 
 __all__ = [
     "serving_load_sweep",
+    "default_jobs",
+    "parallel_map",
     "DEFAULT_SOCS",
     "ExperimentResult",
     "build_inception_3a_graph",

@@ -1,0 +1,211 @@
+"""Wall-clock benchmark of functional execution and the sweep harness.
+
+Measures what the operand caches and the process-pool harness actually
+buy, in seconds, and emits the numbers as ``BENCH_e2e.json`` so the
+perf trajectory is tracked across PRs:
+
+* **functional** -- end-to-end functional inference per mini-zoo model
+  and policy, *cold* (a fresh uncached :class:`LayerComputer` per
+  inference -- the pre-cache behaviour) versus *warm* (one persistent
+  computer whose packed-operand caches carry across inferences, with
+  cooperative layers sharing im2col columns).  Outputs are checked
+  byte-identical while timing.
+* **sweep** -- the static verification sweep over the mini zoo, serial
+  versus ``jobs`` processes.
+
+All timings use ``time.perf_counter``.  The benchmark is sized to run
+in well under a minute so CI can afford it as a smoke job.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models import MINI_MODELS, build_model
+from ..nn import Graph, calibrate_graph
+from ..quant.calibrate import CalibrationTable
+from ..runtime.compute import LayerComputer
+from ..runtime.pfq import (PROCESSOR_FRIENDLY, QuantizationPolicy,
+                           UNIFORM_F16, UNIFORM_F32, UNIFORM_QUINT8)
+from ..tensor import Tensor
+
+#: The policies the functional benchmark exercises, processor-friendly
+#: first (the paper's mechanism).
+BENCH_POLICIES: Dict[str, QuantizationPolicy] = {
+    "pfq": PROCESSOR_FRIENDLY,
+    "quint8": UNIFORM_QUINT8,
+    "f16": UNIFORM_F16,
+    "f32": UNIFORM_F32,
+}
+
+#: Weight-heavy full models added to the default grid under the
+#: quantized policies, where re-packing weights per inference (the
+#: cold path) dominates.  Timed with a single repeat -- AlexNet's cold
+#: leg re-quantizes and re-widens ~61M weights per inference.
+_FULL_MODELS: Dict[str, "tuple[str, ...]"] = {
+    "alexnet": ("pfq", "quint8"),
+}
+
+
+def _run_functional(graph: Graph, computer: LayerComputer,
+                    x: np.ndarray) -> Tensor:
+    """One cooperative functional inference (0.5 CPU/GPU split on every
+    splittable layer -- the configuration that exercises both PFQ
+    pipelines and column sharing)."""
+    computer.begin_inference()
+    input_name = graph.input_layers()[0]
+    values = {input_name: computer.input_tensor(input_name, x)}
+    for name in graph.compute_layers():
+        inputs = [values[p] for p in graph.inputs_of(name)]
+        if graph.layer(name).supports_channel_split:
+            values[name] = computer.run_cooperative(name, inputs, 0.5)
+        else:
+            values[name] = computer.run_full(name, inputs, "cpu")
+    return values[graph.output_layers()[0]]
+
+
+def _bench_model_policy(graph: Graph, calibration: CalibrationTable,
+                        policy: QuantizationPolicy, x: np.ndarray,
+                        repeats: int) -> Dict[str, float]:
+    """Cold-vs-warm timing of one (model, policy) cell."""
+    # Cold: the pre-cache behaviour -- a fresh computer per inference,
+    # no caches, so weights re-quantize and operands re-pack each time.
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        cold_computer = LayerComputer(graph, policy, calibration,
+                                      enable_caches=False)
+        reference = _run_functional(graph, cold_computer, x)
+    cold_s = (time.perf_counter() - t0) / repeats
+
+    # Warm: one persistent cached computer; the first inference fills
+    # the packed-operand caches and is not timed.
+    computer = LayerComputer(graph, policy, calibration,
+                             enable_caches=True)
+    warmup = _run_functional(graph, computer, x)
+    if warmup.data.tobytes() != reference.data.tobytes():
+        raise AssertionError(
+            "cached execution diverged from uncached output")
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        out = _run_functional(graph, computer, x)
+    warm_s = (time.perf_counter() - t0) / repeats
+    if out.data.tobytes() != reference.data.tobytes():
+        raise AssertionError(
+            "warm cached execution diverged from uncached output")
+
+    stats = computer.cache_stats()
+    return {
+        "cold_ms": cold_s * 1e3,
+        "warm_ms": warm_s * 1e3,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "im2col_hit_rate": stats["im2col"]["hit_rate"],
+        "packed_hit_rate": stats["packed"]["hit_rate"],
+    }
+
+
+def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
+              jobs: Optional[int] = None,
+              policies: Optional[Sequence[str]] = None) -> Dict:
+    """The full benchmark; returns a JSON-ready dict.
+
+    Args:
+        models: models to time (default: the mini zoo).
+        repeats: timed inferences per (model, policy) cell.
+        jobs: process count for the parallel sweep timing; None skips
+            the parallel leg (the serial leg always runs).
+        policies: policy names from :data:`BENCH_POLICIES` (default:
+            all four).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if models is not None:
+        chosen = tuple(policies) if policies else tuple(BENCH_POLICIES)
+        grid = [(model, chosen, repeats) for model in models]
+    else:
+        # The default grid: every mini across every policy, plus the
+        # weight-heavy full models under their quantized policies.
+        chosen = tuple(policies) if policies else tuple(BENCH_POLICIES)
+        grid = [(model, chosen, repeats) for model in MINI_MODELS]
+        for model, quant_policies in _FULL_MODELS.items():
+            selected = tuple(p for p in quant_policies
+                             if policies is None or p in policies)
+            if selected:
+                grid.append((model, selected, 1))
+    rng = np.random.default_rng(0)
+
+    functional: Dict[str, Dict[str, float]] = {}
+    cold_total = warm_total = 0.0
+    sweep_models: List[str] = []
+    for model, model_policies, model_repeats in grid:
+        sweep_models.append(model)
+        graph = build_model(model, with_weights=True)
+        shape = graph.infer_shapes()[graph.input_layers()[0]]
+        x = rng.standard_normal(shape).astype(np.float32)
+        calibration = calibrate_graph(graph, [x])
+        for policy_name in model_policies:
+            cell = _bench_model_policy(
+                graph, calibration, BENCH_POLICIES[policy_name], x,
+                model_repeats)
+            functional[f"{model}/{policy_name}"] = cell
+            cold_total += cell["cold_ms"]
+            warm_total += cell["warm_ms"]
+
+    chosen_models = tuple(sweep_models)
+    sweep: Dict[str, float] = {}
+    from ..analysis.verify import verify_sweep
+    t0 = time.perf_counter()
+    serial_entries = verify_sweep(models=chosen_models)
+    sweep["serial_s"] = time.perf_counter() - t0
+    sweep["cells"] = float(len(serial_entries))
+    if jobs is not None and jobs != 1:
+        t0 = time.perf_counter()
+        parallel_entries = verify_sweep(models=chosen_models, jobs=jobs)
+        sweep["parallel_s"] = time.perf_counter() - t0
+        sweep["jobs"] = float(jobs)
+        if [(e.model, e.soc, e.mechanism) for e in parallel_entries] != \
+                [(e.model, e.soc, e.mechanism) for e in serial_entries]:
+            raise AssertionError(
+                "parallel sweep order diverged from serial")
+
+    return {
+        "schema": 1,
+        "repeats": repeats,
+        "functional": functional,
+        "summary": {
+            "cold_total_ms": cold_total,
+            "warm_total_ms": warm_total,
+            "speedup": (cold_total / warm_total if warm_total > 0
+                        else float("inf")),
+        },
+        "sweep": sweep,
+    }
+
+
+def render_bench(results: Dict) -> str:
+    """The benchmark results as a printable table."""
+    from .report import format_table
+    rows: List[List] = []
+    for cell_name in sorted(results["functional"]):
+        cell = results["functional"][cell_name]
+        rows.append([cell_name, cell["cold_ms"], cell["warm_ms"],
+                     cell["speedup"], cell["im2col_hit_rate"],
+                     cell["packed_hit_rate"]])
+    text = format_table(
+        ["model/policy", "cold_ms", "warm_ms", "speedup",
+         "im2col_hits", "packed_hits"],
+        rows, title="functional inference, cold vs warm caches")
+    summary = results["summary"]
+    text += (f"\n\ntotal: cold {summary['cold_total_ms']:.1f} ms, "
+             f"warm {summary['warm_total_ms']:.1f} ms, "
+             f"speedup {summary['speedup']:.2f}x")
+    sweep = results.get("sweep", {})
+    if "serial_s" in sweep:
+        text += (f"\nverify sweep ({int(sweep.get('cells', 0))} cells): "
+                 f"serial {sweep['serial_s']:.2f} s")
+        if "parallel_s" in sweep:
+            text += (f", {int(sweep['jobs'])} jobs "
+                     f"{sweep['parallel_s']:.2f} s")
+    return text

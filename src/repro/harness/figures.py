@@ -25,6 +25,26 @@ from ..tensor import DType
 #: Both simulated SoCs, high-end first (the paper's presentation order).
 DEFAULT_SOCS = (EXYNOS_7420, EXYNOS_7880)
 
+#: MuLayer runtimes / ablation stages per SoC, so per-(soc, model)
+#: sweep units (serial or in a worker process) fit the latency
+#: predictor once per SoC instead of once per unit.
+_RUNTIMES: Dict[str, MuLayer] = {}
+_ABLATIONS: Dict[str, Dict[str, MuLayer]] = {}
+
+
+def _runtime_for(soc: SoCSpec) -> MuLayer:
+    runtime = _RUNTIMES.get(soc.name)
+    if runtime is None:
+        runtime = _RUNTIMES[soc.name] = MuLayer(soc)
+    return runtime
+
+
+def _ablation_for(soc: SoCSpec) -> Dict[str, MuLayer]:
+    stages = _ABLATIONS.get(soc.name)
+    if stages is None:
+        stages = _ABLATIONS[soc.name] = mulayer_ablation_stages(soc)
+    return stages
+
 
 @dataclasses.dataclass
 class ExperimentResult:
@@ -84,18 +104,27 @@ def fig05_perlayer_vgg(socs: Sequence[SoCSpec] = DEFAULT_SOCS
 # Figure 6: whole-NN latency on CPU vs GPU (F32)
 # ---------------------------------------------------------------------------
 
+def _fig06_unit(item: "tuple[SoCSpec, str]") -> List:
+    soc, model = item
+    graph = build_model(model, with_weights=False)
+    cpu = run_single_processor(soc, graph, "cpu", DType.F32)
+    gpu = run_single_processor(soc, graph, "gpu", DType.F32)
+    return [soc.name, model, cpu.latency_ms, gpu.latency_ms,
+            cpu.latency_s / gpu.latency_s]
+
+
 def fig06_nn_latency(models: Sequence[str] = PAPER_MODELS,
-                     socs: Sequence[SoCSpec] = DEFAULT_SOCS
-                     ) -> ExperimentResult:
-    """End-to-end CPU-only vs GPU-only latency at F32, five NNs."""
-    rows: List[List] = []
-    for soc in socs:
-        for model in models:
-            graph = build_model(model, with_weights=False)
-            cpu = run_single_processor(soc, graph, "cpu", DType.F32)
-            gpu = run_single_processor(soc, graph, "gpu", DType.F32)
-            rows.append([soc.name, model, cpu.latency_ms, gpu.latency_ms,
-                         cpu.latency_s / gpu.latency_s])
+                     socs: Sequence[SoCSpec] = DEFAULT_SOCS,
+                     jobs: Optional[int] = None) -> ExperimentResult:
+    """End-to-end CPU-only vs GPU-only latency at F32, five NNs.
+
+    ``jobs`` fans the (soc, model) grid across processes; row order is
+    deterministic regardless.
+    """
+    from .parallel import parallel_map
+    rows = parallel_map(_fig06_unit,
+                        [(soc, model) for soc in socs for model in models],
+                        jobs=jobs)
     return ExperimentResult(
         experiment="fig06",
         title="NN execution latency, CPU-only vs GPU-only, F32 (ms)",
@@ -109,27 +138,32 @@ def fig06_nn_latency(models: Sequence[str] = PAPER_MODELS,
 # Figure 8: impact of quantization on latency
 # ---------------------------------------------------------------------------
 
+def _fig08_unit(item: "tuple[SoCSpec, str]") -> List:
+    soc, model = item
+    graph = build_model(model, with_weights=False)
+    latency: Dict[str, float] = {}
+    for resource in ("cpu", "gpu"):
+        for dtype in (DType.F32, DType.F16, DType.QUINT8):
+            result = run_single_processor(soc, graph, resource, dtype)
+            latency[f"{resource}_{dtype}"] = result.latency_s
+    base = latency["cpu_f32"]
+    return [
+        soc.name, model,
+        latency["cpu_f32"] / base, latency["cpu_f16"] / base,
+        latency["cpu_quint8"] / base, latency["gpu_f32"] / base,
+        latency["gpu_f16"] / base, latency["gpu_quint8"] / base,
+    ]
+
+
 def fig08_quantization_latency(models: Sequence[str] = PAPER_MODELS,
-                               socs: Sequence[SoCSpec] = DEFAULT_SOCS
+                               socs: Sequence[SoCSpec] = DEFAULT_SOCS,
+                               jobs: Optional[int] = None
                                ) -> ExperimentResult:
     """Latency of F32/F16/QUInt8 per processor, normalized to CPU-F32."""
-    rows: List[List] = []
-    for soc in socs:
-        for model in models:
-            graph = build_model(model, with_weights=False)
-            latency: Dict[str, float] = {}
-            for resource in ("cpu", "gpu"):
-                for dtype in (DType.F32, DType.F16, DType.QUINT8):
-                    result = run_single_processor(soc, graph, resource,
-                                                  dtype)
-                    latency[f"{resource}_{dtype}"] = result.latency_s
-            base = latency["cpu_f32"]
-            rows.append([
-                soc.name, model,
-                latency["cpu_f32"] / base, latency["cpu_f16"] / base,
-                latency["cpu_quint8"] / base, latency["gpu_f32"] / base,
-                latency["gpu_f16"] / base, latency["gpu_quint8"] / base,
-            ])
+    from .parallel import parallel_map
+    rows = parallel_map(_fig08_unit,
+                        [(soc, model) for soc in socs for model in models],
+                        jobs=jobs)
     return ExperimentResult(
         experiment="fig08",
         title="Quantization impact on latency (normalized to CPU F32)",
@@ -293,29 +327,33 @@ def table1_applicability() -> ExperimentResult:
 # Figure 16: end-to-end latency of all mechanisms
 # ---------------------------------------------------------------------------
 
+def _fig16_unit(item: "tuple[SoCSpec, str]") -> List:
+    soc, model = item
+    runtime = _runtime_for(soc)
+    graph = build_model(model, with_weights=False)
+    best_cpu = run_single_processor(soc, graph, "cpu", DType.QUINT8)
+    best_gpu = run_single_processor(soc, graph, "gpu", DType.F16)
+    l2p = run_layer_to_processor(soc, graph)
+    mulayer = runtime.run(graph)
+    base = l2p.latency_s
+    return [
+        soc.name, model,
+        best_cpu.latency_s / base, best_gpu.latency_s / base,
+        1.0, mulayer.latency_s / base,
+        (base - mulayer.latency_s) / base * 100.0,
+        l2p.latency_ms, mulayer.latency_ms,
+    ]
+
+
 def fig16_e2e_latency(models: Sequence[str] = PAPER_MODELS,
-                      socs: Sequence[SoCSpec] = DEFAULT_SOCS
-                      ) -> ExperimentResult:
+                      socs: Sequence[SoCSpec] = DEFAULT_SOCS,
+                      jobs: Optional[int] = None) -> ExperimentResult:
     """Single-processor / layer-to-processor / uLayer latency,
     normalized to layer-to-processor (the paper's presentation)."""
-    rows: List[List] = []
-    for soc in socs:
-        runtime = MuLayer(soc)
-        for model in models:
-            graph = build_model(model, with_weights=False)
-            best_cpu = run_single_processor(soc, graph, "cpu",
-                                            DType.QUINT8)
-            best_gpu = run_single_processor(soc, graph, "gpu", DType.F16)
-            l2p = run_layer_to_processor(soc, graph)
-            mulayer = runtime.run(graph)
-            base = l2p.latency_s
-            rows.append([
-                soc.name, model,
-                best_cpu.latency_s / base, best_gpu.latency_s / base,
-                1.0, mulayer.latency_s / base,
-                (base - mulayer.latency_s) / base * 100.0,
-                l2p.latency_ms, mulayer.latency_ms,
-            ])
+    from .parallel import parallel_map
+    rows = parallel_map(_fig16_unit,
+                        [(soc, model) for soc in socs for model in models],
+                        jobs=jobs)
     speedups = [1.0 / row[5] for row in rows]
     return ExperimentResult(
         experiment="fig16",
@@ -334,23 +372,28 @@ def fig16_e2e_latency(models: Sequence[str] = PAPER_MODELS,
 # Figure 17: contribution of the three optimizations
 # ---------------------------------------------------------------------------
 
+def _fig17_unit(item: "tuple[SoCSpec, str]") -> List:
+    soc, model = item
+    stages = _ablation_for(soc)
+    graph = build_model(model, with_weights=False)
+    latencies = {name: runtime.run(graph).latency_s
+                 for name, runtime in stages.items()}
+    full = latencies["full"]
+    return [soc.name, model,
+            latencies["ch_dist"] / full,
+            latencies["ch_dist+pfq"] / full,
+            1.0]
+
+
 def fig17_ablation(models: Sequence[str] = PAPER_MODELS,
-                   socs: Sequence[SoCSpec] = DEFAULT_SOCS
-                   ) -> ExperimentResult:
+                   socs: Sequence[SoCSpec] = DEFAULT_SOCS,
+                   jobs: Optional[int] = None) -> ExperimentResult:
     """Latency as the optimizations are applied incrementally,
     normalized to the complete uLayer (the paper's Figure 17)."""
-    rows: List[List] = []
-    for soc in socs:
-        stages = mulayer_ablation_stages(soc)
-        for model in models:
-            graph = build_model(model, with_weights=False)
-            latencies = {name: runtime.run(graph).latency_s
-                         for name, runtime in stages.items()}
-            full = latencies["full"]
-            rows.append([soc.name, model,
-                         latencies["ch_dist"] / full,
-                         latencies["ch_dist+pfq"] / full,
-                         1.0])
+    from .parallel import parallel_map
+    rows = parallel_map(_fig17_unit,
+                        [(soc, model) for soc in socs for model in models],
+                        jobs=jobs)
     return ExperimentResult(
         experiment="fig17",
         title="Incremental optimization contributions (normalized to "
@@ -366,30 +409,35 @@ def fig17_ablation(models: Sequence[str] = PAPER_MODELS,
 # Figure 18: energy consumption of all mechanisms
 # ---------------------------------------------------------------------------
 
+def _fig18_unit(item: "tuple[SoCSpec, str]") -> "tuple[List, float]":
+    soc, model = item
+    runtime = _runtime_for(soc)
+    graph = build_model(model, with_weights=False)
+    best_cpu = run_single_processor(soc, graph, "cpu", DType.QUINT8)
+    best_gpu = run_single_processor(soc, graph, "gpu", DType.F16)
+    l2p = run_layer_to_processor(soc, graph)
+    mulayer = runtime.run(graph)
+    base = l2p.energy.total_j
+    row = [
+        soc.name, model,
+        best_cpu.energy.total_j / base,
+        best_gpu.energy.total_j / base,
+        1.0, mulayer.energy.total_j / base,
+        l2p.energy.total_mj, mulayer.energy.total_mj,
+    ]
+    return row, base / mulayer.energy.total_j
+
+
 def fig18_energy(models: Sequence[str] = PAPER_MODELS,
-                 socs: Sequence[SoCSpec] = DEFAULT_SOCS
-                 ) -> ExperimentResult:
+                 socs: Sequence[SoCSpec] = DEFAULT_SOCS,
+                 jobs: Optional[int] = None) -> ExperimentResult:
     """Energy of each mechanism, normalized to layer-to-processor."""
-    rows: List[List] = []
-    ratios: List[float] = []
-    for soc in socs:
-        runtime = MuLayer(soc)
-        for model in models:
-            graph = build_model(model, with_weights=False)
-            best_cpu = run_single_processor(soc, graph, "cpu",
-                                            DType.QUINT8)
-            best_gpu = run_single_processor(soc, graph, "gpu", DType.F16)
-            l2p = run_layer_to_processor(soc, graph)
-            mulayer = runtime.run(graph)
-            base = l2p.energy.total_j
-            ratios.append(base / mulayer.energy.total_j)
-            rows.append([
-                soc.name, model,
-                best_cpu.energy.total_j / base,
-                best_gpu.energy.total_j / base,
-                1.0, mulayer.energy.total_j / base,
-                l2p.energy.total_mj, mulayer.energy.total_mj,
-            ])
+    from .parallel import parallel_map
+    units = parallel_map(_fig18_unit,
+                         [(soc, model) for soc in socs for model in models],
+                         jobs=jobs)
+    rows = [row for row, _ in units]
+    ratios = [ratio for _, ratio in units]
     return ExperimentResult(
         experiment="fig18",
         title="Energy consumption normalized to layer-to-processor",

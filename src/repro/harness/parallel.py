@@ -1,0 +1,67 @@
+"""Process-pool fan-out for sweep harnesses.
+
+The verification sweep, the figure generators, and serving-fleet plan
+warm-up all evaluate many independent (model, SoC, mechanism)
+configurations; :func:`parallel_map` runs such work lists across a
+process pool while keeping results in input order, so parallel sweeps
+are drop-in replacements for serial ones (deterministic output, same
+list either way).
+
+Workers must be module-level functions and items picklable --
+the standard multiprocessing constraint.  ``jobs=None`` or ``jobs=1``
+runs serially in-process (no pool, no pickling), which is also the
+automatic fallback when the platform cannot spawn a pool (restricted
+sandboxes without ``/dev/shm`` or fork support).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+_In = TypeVar("_In")
+_Out = TypeVar("_Out")
+
+__all__ = ["default_jobs", "parallel_map"]
+
+
+def default_jobs() -> int:
+    """A sensible process count for sweep fan-out on this machine."""
+    return max(1, os.cpu_count() or 1)
+
+
+def parallel_map(worker: Callable[[_In], _Out], items: Sequence[_In],
+                 jobs: Optional[int] = None,
+                 chunksize: int = 1) -> List[_Out]:
+    """``[worker(item) for item in items]``, optionally across processes.
+
+    Args:
+        worker: a picklable (module-level) function of one item.
+        items: the work list; results keep this order.
+        jobs: process count.  None or 1 runs serially in-process; 0 or
+            negative selects :func:`default_jobs`.
+        chunksize: items per pickled batch (forwarded to
+            ``ProcessPoolExecutor.map``); raise for very long lists of
+            very cheap items.
+
+    Returns:
+        Worker results in input order.  A worker exception propagates
+        to the caller (remaining work is abandoned), matching the
+        serial behaviour.
+    """
+    items = list(items)
+    if jobs is not None and jobs <= 0:
+        jobs = default_jobs()
+    if jobs is None or jobs == 1 or len(items) <= 1:
+        return [worker(item) for item in items]
+    try:
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+    except (OSError, ValueError, NotImplementedError):
+        # Platform cannot create a pool (no /dev/shm, no fork, ...);
+        # degrade to the serial path rather than failing the sweep.
+        return [worker(item) for item in items]
+    with pool:
+        # Executor.map preserves input order regardless of completion
+        # order, which keeps parallel sweeps deterministic.
+        return list(pool.map(worker, items, chunksize=chunksize))

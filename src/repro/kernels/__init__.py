@@ -2,12 +2,14 @@
 
 from .gemm import gemm_f16, gemm_f32
 from .im2col import (col2im_shape, conv_output_hw, flatten_filters, im2col)
+from .op_cache import OperandCache
 from .pooling import avg_pool, global_avg_pool, max_pool
 from .qgemm import qgemm, qgemm_accumulate, quantize_bias
 
 __all__ = [
     "gemm_f16",
     "gemm_f32",
+    "OperandCache",
     "col2im_shape",
     "conv_output_hw",
     "flatten_filters",

@@ -1,0 +1,136 @@
+"""Identity-validated operand caches for the functional hot path.
+
+The functional executor repeats two kinds of redundant work on every
+inference: it re-packs *weight-side* operands (flattened/transposed
+filter matrices, quantized filter codes, the gemmlowp weight-side
+sums) even though weights rarely change, and it re-lowers the *same*
+input through ``im2col`` once per processor placement of a cooperative
+layer.  Real mobile stacks pre-pack weights at initialization time
+(TFLite's mobile-GPU engine dequantizes filters once at upload,
+Section 6 of the paper); :class:`OperandCache` brings the simulator's
+hot path in line with that.
+
+One cache class serves both uses because the correctness contract is
+identical: a cached artifact is valid only while the *source array it
+was derived from is the same object*.  Every lookup passes the source
+array; the entry stores a strong reference to it and is rebuilt
+whenever the caller presents a different array (weight surgery / QAT
+installing new tensors, a new inference producing new activations).
+Holding the strong reference also makes the identity test sound: the
+source object cannot be garbage collected and its ``id`` can never be
+recycled while the entry lives.
+
+What identity validation cannot see is *in-place mutation* of the same
+array object (``layer.weights *= 2``); callers that mutate arrays in
+place must call :meth:`OperandCache.invalidate` (surfaced as
+``LayerComputer.invalidate_weights``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = ["OperandCache"]
+
+
+class OperandCache:
+    """Maps hashable keys to derived arrays, validating their source.
+
+    Args:
+        name: label used in :meth:`stats`.
+        max_entries: optional LRU bound.  The activation-side (im2col)
+            cache is bounded because column matrices are large and only
+            the layers currently in flight can hit; the weight-side
+            cache is typically unbounded (packed operands are the same
+            order of size as the weights themselves).
+    """
+
+    def __init__(self, name: str = "operands",
+                 max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.name = name
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, Tuple[Any, Any]]" = (
+            OrderedDict())
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, source: Any,
+            builder: Callable[[], Any]) -> Any:
+        """The cached artifact for ``key``, rebuilt when stale.
+
+        Args:
+            key: hashable identity of the artifact (layer name, kind,
+                channel range, ...).
+            source: the array the artifact is derived from; the entry
+                is valid only while the caller passes the *same object*.
+            builder: zero-argument function producing the artifact.
+        """
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] is source:
+            self.hits += 1
+            if self.max_entries is not None:
+                self._entries.move_to_end(key)
+            return entry[1]
+        self.misses += 1
+        value = builder()
+        self._entries[key] = (source, value)
+        self._entries.move_to_end(key)
+        if (self.max_entries is not None
+                and len(self._entries) > self.max_entries):
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return value
+
+    def clear(self) -> None:
+        """Drop all entries without counting them as invalidations.
+
+        Used for routine lifecycle resets (e.g. releasing the previous
+        inference's column matrices) where "invalidations" would be a
+        misleading statistic; counters other than ``entries`` persist.
+        """
+        self._entries.clear()
+
+    def invalidate(self, prefix: Optional[Hashable] = None) -> int:
+        """Drop entries; returns how many were removed.
+
+        Args:
+            prefix: when given, drop only entries whose key is a tuple
+                starting with ``prefix`` (conventionally the layer
+                name); otherwise drop everything.
+        """
+        if prefix is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [key for key in self._entries
+                     if isinstance(key, tuple) and key[:1] == (prefix,)]
+            for key in stale:
+                del self._entries[key]
+            dropped = len(stale)
+        self.invalidations += dropped
+        return dropped
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when cold)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        """Counters as a JSON-friendly dict."""
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate,
+            "evictions": float(self.evictions),
+            "invalidations": float(self.invalidations),
+        }

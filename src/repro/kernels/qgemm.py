@@ -27,7 +27,9 @@ from ..tensor import QuantParams
 
 def qgemm_accumulate(lhs_q: np.ndarray, lhs_zero: int, rhs_q: np.ndarray,
                      rhs_zero: int,
-                     bias_i32: "np.ndarray | None" = None) -> np.ndarray:
+                     bias_i32: "np.ndarray | None" = None,
+                     rhs_i32: "np.ndarray | None" = None,
+                     rhs_sums: "np.ndarray | None" = None) -> np.ndarray:
     """Integer accumulator of a quantized GEMM.
 
     Args:
@@ -37,6 +39,13 @@ def qgemm_accumulate(lhs_q: np.ndarray, lhs_zero: int, rhs_q: np.ndarray,
         rhs_zero: weight zero point.
         bias_i32: optional (n,) int32 bias already scaled to
             ``lhs_scale * rhs_scale`` units.
+        rhs_i32: optional pre-widened ``rhs_q.astype(int32)`` -- weights
+            are static across inferences, so callers may pack them once
+            and skip the per-call widening.
+        rhs_sums: optional pre-computed (1, n) weight-side column sums
+            (``rhs_q.sum(axis=0)``), the ``zl * sum_k qr`` term of the
+            affine decomposition; like ``rhs_i32`` it depends only on
+            the weights.
 
     Returns:
         (m, n) int32 accumulators representing
@@ -52,9 +61,15 @@ def qgemm_accumulate(lhs_q: np.ndarray, lhs_zero: int, rhs_q: np.ndarray,
         raise ShapeError(
             f"qgemm inner dimensions differ: {lhs_q.shape} @ {rhs_q.shape}")
     depth = lhs_q.shape[-1]
-    raw = lhs_q.astype(np.int32) @ rhs_q.astype(np.int32)
+    if rhs_i32 is None:
+        rhs_i32 = rhs_q.astype(np.int32)
+    elif rhs_i32.shape != rhs_q.shape:
+        raise ShapeError(
+            f"rhs_i32 shape {rhs_i32.shape} != rhs shape {rhs_q.shape}")
+    raw = lhs_q.astype(np.int32) @ rhs_i32
     lhs_sums = lhs_q.astype(np.int32).sum(axis=-1, keepdims=True)  # (m, 1)
-    rhs_sums = rhs_q.astype(np.int32).sum(axis=0, keepdims=True)   # (1, n)
+    if rhs_sums is None:
+        rhs_sums = rhs_q.astype(np.int32).sum(axis=0, keepdims=True)
     acc = (raw
            - np.int32(lhs_zero) * rhs_sums
            - np.int32(rhs_zero) * lhs_sums
@@ -78,7 +93,10 @@ def quantize_bias(bias: np.ndarray, lhs_scale: float,
 def qgemm(lhs_q: np.ndarray, lhs_params: QuantParams, rhs_q: np.ndarray,
           rhs_params: QuantParams, output_params: QuantParams,
           bias: "np.ndarray | None" = None,
-          relu: bool = False) -> np.ndarray:
+          relu: bool = False,
+          rhs_i32: "np.ndarray | None" = None,
+          rhs_sums: "np.ndarray | None" = None,
+          bias_i32: "np.ndarray | None" = None) -> np.ndarray:
     """Full quantized GEMM: accumulate, add bias, requantize to uint8.
 
     Args:
@@ -88,15 +106,19 @@ def qgemm(lhs_q: np.ndarray, lhs_params: QuantParams, rhs_q: np.ndarray,
         bias: optional float bias (folded in integer domain).
         relu: fuse a ReLU by clamping the output at the code that
             represents real zero (gemmlowp's fused activation).
+        rhs_i32 / rhs_sums: optional pre-packed weight-side operands
+            (see :func:`qgemm_accumulate`).
+        bias_i32: optional pre-quantized bias in accumulator units;
+            takes precedence over ``bias``.
 
     Returns:
         (m, n) uint8 output codes.
     """
-    bias_i32 = None
-    if bias is not None:
+    if bias_i32 is None and bias is not None:
         bias_i32 = quantize_bias(bias, lhs_params.scale, rhs_params.scale)
     acc = qgemm_accumulate(lhs_q, lhs_params.zero_point, rhs_q,
-                           rhs_params.zero_point, bias_i32)
+                           rhs_params.zero_point, bias_i32,
+                           rhs_i32=rhs_i32, rhs_sums=rhs_sums)
     out = requantize(acc, lhs_params.scale, rhs_params.scale, output_params)
     if relu:
         out = np.maximum(out, np.uint8(output_params.zero_point))

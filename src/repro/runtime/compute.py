@@ -12,17 +12,58 @@ into the same calibrated output range, so a cooperative layer's output
 is the channel-wise concatenation of the two pipelines' results.
 Non-GEMM layers (pooling, ReLU, concat, ...) are computed identically
 on either processor, which keeps their cooperative split bit-exact.
+
+Performance engineering
+-----------------------
+
+Two operand caches (both :class:`~repro.kernels.op_cache.OperandCache`)
+remove the redundant numpy work that otherwise dominates functional
+wall clock; they are on by default and can be disabled with
+``enable_caches=False`` for the bit-exactness reference path:
+
+* an **im2col column cache**, keyed ``(layer, "cols", variant)`` and
+  validated against the input array's identity, so the placements of a
+  cooperative layer share one column matrix per numeric variant
+  instead of each re-gathering it.  Variants are the distinct arrays a
+  pipeline lowers (``"codes"`` for uint8 codes, ``"half"``/
+  ``"half_f32"`` for dequantized storage, ``"f16"``/``"f32"`` for
+  float storage): uniform policies and CPU+NPU integer splits share
+  directly, while PFQ's integer and F16 pipelines keep separate
+  columns -- deriving the F16 columns from the integer ones was
+  measured ~3x slower than re-gathering, because f16 arithmetic on the
+  k^2-times-larger column matrix costs more than the gather it saves.
+  Depthwise layers cache the *full-input* columns once and hand each
+  placement its channel slice.  The cache is bounded (LRU) and cleared
+  by :meth:`begin_inference`.
+
+* a persistent **packed-operand cache**, keyed
+  ``(layer, kind, channel_range, ...)`` and validated against the
+  weight/bias array identity, holding the flattened/transposed filter
+  matrices, the f16 filter casts, and -- for QUInt8 compute -- the
+  pre-quantized codes, the int32-widened GEMM operand, the weight-side
+  column sums ``sum_k qr`` of the gemmlowp identity, and the
+  accumulator-domain bias.  Entries invalidate automatically when a
+  layer's weight *array object* is replaced (``set_weights`` after
+  surgery/QAT); in-place mutation of the same array requires an
+  explicit :meth:`invalidate_weights`.
+
+Cached execution is byte-identical to the uncached path: every cached
+artifact is either built by exactly the same expression the uncached
+path evaluates, or differs only by operations that commute bit-exactly
+(elementwise casts/dequantization versus index gathers and slices).
+``tests/test_op_caches.py`` verifies this across the model zoo and all
+policies.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import PlanError, QuantizationError
-from ..kernels import (conv_output_hw, flatten_filters, gemm_f16, im2col,
-                       qgemm)
+from ..kernels import (OperandCache, conv_output_hw, flatten_filters,
+                       gemm_f16, im2col, qgemm)
 from ..nn import Graph, LayerKind
 from ..nn.layers import (Conv2D, DepthwiseConv2D, FullyConnected)
 from ..kernels.qgemm import quantize_bias
@@ -39,12 +80,40 @@ _PLACEMENT_INVARIANT_KINDS = frozenset({
     LayerKind.FLATTEN,
 })
 
+#: LRU bound of the activation-side column cache: large enough for all
+#: placements of the layers currently in flight, small enough that the
+#: column matrices of a deep network never accumulate.
+_COLUMN_CACHE_ENTRIES = 8
+
+#: LRU bound of the weight-side packed-operand cache (entries, not
+#: bytes; the int32-widened integer operands are the largest at 4x the
+#: weight footprint of their layer).
+_PACKED_CACHE_ENTRIES = 512
+
+
+def _int_rhs(rhs_codes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """The int32-widened GEMM operand and its column sums."""
+    rhs_i32 = rhs_codes.astype(np.int32)
+    return rhs_i32, rhs_i32.sum(axis=0, keepdims=True)
+
 
 class LayerComputer:
-    """Computes layer outputs under one quantization policy."""
+    """Computes layer outputs under one quantization policy.
+
+    Args:
+        graph: the network.
+        policy: data types per processor and storage.
+        calibration: per-layer activation ranges (required when the
+            policy stores activations as QUInt8).
+        enable_caches: use the im2col / packed-operand caches (True,
+            the default); False computes every operand from scratch on
+            every call -- the reference path the cache bit-exactness
+            tests compare against.
+    """
 
     def __init__(self, graph: Graph, policy: QuantizationPolicy,
-                 calibration: Optional[CalibrationTable] = None) -> None:
+                 calibration: Optional[CalibrationTable] = None,
+                 enable_caches: bool = True) -> None:
         if policy.is_quantized and calibration is None:
             raise QuantizationError(
                 "QUInt8 activation storage requires a calibration table "
@@ -52,9 +121,43 @@ class LayerComputer:
         self._graph = graph
         self._policy = policy
         self._calibration = calibration
-        self._weight_cache: Dict[str, Tuple[np.ndarray, QuantParams]] = {}
+        self._enable_caches = enable_caches
+        self._columns = OperandCache(
+            name="im2col", max_entries=_COLUMN_CACHE_ENTRIES)
+        self._packed = OperandCache(
+            name="packed", max_entries=_PACKED_CACHE_ENTRIES)
 
     # -- public API ---------------------------------------------------------
+
+    def begin_inference(self) -> None:
+        """Drop activation-derived cache state before a new inference.
+
+        Only the column cache is cleared -- its entries are keyed to
+        the previous inference's activation arrays and can never hit
+        again; releasing them bounds memory.  Packed weight operands
+        persist across inferences (that is their point).
+        """
+        self._columns.clear()
+
+    def invalidate_weights(self, name: Optional[str] = None) -> None:
+        """Drop packed operands derived from weights.
+
+        Needed only after *in-place* mutation of a layer's weight or
+        bias arrays (``layer.weights *= 2``); installing new arrays via
+        ``set_weights`` is detected automatically by array identity.
+
+        Args:
+            name: a single layer to invalidate, or None for all.
+        """
+        if name is None:
+            self._packed.invalidate()
+        else:
+            self._packed.invalidate(name)
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss counters of both operand caches."""
+        return {"im2col": self._columns.stats(),
+                "packed": self._packed.stats()}
 
     def input_tensor(self, layer_name: str, data: np.ndarray) -> Tensor:
         """Convert external input data into storage representation."""
@@ -133,15 +236,30 @@ class LayerComputer:
         assert self._calibration is not None
         return self._calibration.get(name)
 
+    def _cached_columns(self, name: str, variant: str, source: Any,
+                        builder: Callable[[], np.ndarray]) -> np.ndarray:
+        """im2col columns shared across placements of one layer."""
+        if not self._enable_caches:
+            return builder()
+        return self._columns.get((name, "cols", variant), source, builder)
+
+    def _packed_operand(self, key: Hashable, source: Any,
+                        builder: Callable[[], Any]) -> Any:
+        if not self._enable_caches:
+            return builder()
+        return self._packed.get(key, source, builder)
+
     def _quantized_weights(self, name: str, weights: np.ndarray
                            ) -> Tuple[np.ndarray, QuantParams]:
-        """Quantized filter codes (cached per layer)."""
-        cached = self._weight_cache.get(name)
-        if cached is None:
+        """Quantized filter codes, cached per layer and validated
+        against the weight array's identity so surgery/QAT weight
+        updates can never serve stale codes."""
+
+        def build() -> Tuple[np.ndarray, QuantParams]:
             qparams = QuantParams.from_array(weights)
-            cached = (qparams.quantize(weights), qparams)
-            self._weight_cache[name] = cached
-        return cached
+            return (qparams.quantize(weights), qparams)
+
+        return self._packed.get((name, "wcodes"), weights, build)
 
     def _store(self, name: str, values: np.ndarray) -> Tensor:
         """Pack float results into the storage representation."""
@@ -158,9 +276,7 @@ class LayerComputer:
                         channel_range: Optional[Tuple[int, int]]) -> Tensor:
         layer = self._graph.layer(name)
         (x,) = inputs
-        if isinstance(layer, Conv2D):
-            weights, bias = layer.weights, layer.bias
-        elif isinstance(layer, FullyConnected):
+        if isinstance(layer, (Conv2D, FullyConnected)):
             weights, bias = layer.weights, layer.bias
         else:
             raise PlanError(f"layer {name!r} is not GEMM-shaped")
@@ -178,25 +294,12 @@ class LayerComputer:
         return self._gemm_float(name, layer, x, weights, bias,
                                 channel_range, compute_dtype)
 
-    def _gemm_operands(self, layer, x_codes_or_vals: np.ndarray,
-                       weights: np.ndarray,
-                       pad_value: float) -> Tuple[np.ndarray, np.ndarray,
-                                                  Tuple[int, ...]]:
-        """im2col the input and flatten the filters; returns
-        (lhs rows, rhs matrix (k, n), output NCHW/NF shape)."""
-        if isinstance(layer, Conv2D):
-            batch = x_codes_or_vals.shape[0]
-            out_h, out_w = conv_output_hw(
-                x_codes_or_vals.shape[2], x_codes_or_vals.shape[3],
-                layer.kernel, layer.stride, layer.padding)
-            columns = im2col(x_codes_or_vals, layer.kernel, layer.stride,
-                             layer.padding, pad_value=pad_value)
-            lhs = columns.reshape(-1, columns.shape[-1])
-            rhs = flatten_filters(weights).T
-            return lhs, rhs, (batch, weights.shape[0], out_h, out_w)
-        lhs = x_codes_or_vals
-        rhs = weights.T
-        return lhs, rhs, (x_codes_or_vals.shape[0], weights.shape[0])
+    def _conv_out_shape(self, layer: Conv2D, x_arr: np.ndarray,
+                        out_channels: int) -> Tuple[int, ...]:
+        out_h, out_w = conv_output_hw(x_arr.shape[2], x_arr.shape[3],
+                                      layer.kernel, layer.stride,
+                                      layer.padding)
+        return (x_arr.shape[0], out_channels, out_h, out_w)
 
     @staticmethod
     def _fold_gemm_output(out_rows: np.ndarray,
@@ -212,17 +315,43 @@ class LayerComputer:
                       channel_range: Optional[Tuple[int, int]]) -> Tensor:
         """CPU path: gemmlowp-style integer GEMM (Figure 9a)."""
         weight_codes, w_qparams = self._quantized_weights(name, weights)
+        bias_slice = bias
         if channel_range is not None:
             lo, hi = channel_range
             weight_codes = weight_codes[lo:hi]
-            bias = bias[lo:hi]
+            bias_slice = bias[lo:hi]
         assert x.qparams is not None
-        lhs, rhs, shape = self._gemm_operands(
-            layer, x.data, weight_codes,
-            pad_value=float(x.qparams.zero_point))
+        x_qparams = x.qparams
+        pad = float(x_qparams.zero_point)
+        if isinstance(layer, Conv2D):
+            columns = self._cached_columns(
+                name, "codes", x.data,
+                lambda: im2col(x.data, layer.kernel, layer.stride,
+                               layer.padding, pad_value=pad))
+            lhs = columns.reshape(-1, columns.shape[-1])
+            rhs = flatten_filters(weight_codes).T
+            shape = self._conv_out_shape(layer, x.data,
+                                         weight_codes.shape[0])
+        else:
+            lhs = x.data
+            rhs = weight_codes.T
+            shape = (x.data.shape[0], weight_codes.shape[0])
+        if self._enable_caches:
+            rhs_i32, rhs_sums = self._packed_operand(
+                (name, "rhs_int", channel_range), weights,
+                lambda: _int_rhs(rhs))
+            bias_i32 = self._packed_operand(
+                (name, "bias_i32", channel_range, x_qparams.scale,
+                 w_qparams.scale), bias,
+                lambda: quantize_bias(bias_slice, x_qparams.scale,
+                                      w_qparams.scale))
+        else:
+            rhs_i32 = rhs_sums = bias_i32 = None
         out_qparams = self._out_qparams(name)
-        out_rows = qgemm(lhs, x.qparams, rhs, w_qparams, out_qparams,
-                         bias=bias, relu=layer.relu)
+        out_rows = qgemm(lhs, x_qparams, rhs, w_qparams, out_qparams,
+                         bias=bias_slice, relu=layer.relu,
+                         rhs_i32=rhs_i32, rhs_sums=rhs_sums,
+                         bias_i32=bias_i32)
         folded = self._fold_gemm_output(out_rows, shape)
         return Tensor(folded, DType.QUINT8, out_qparams)
 
@@ -232,21 +361,53 @@ class LayerComputer:
                                compute_dtype: DType) -> Tensor:
         """GPU path: load QUInt8, compute in F16, requantize
         (Figure 9b)."""
+        weights_slice, bias_slice = weights, bias
         if channel_range is not None:
             lo, hi = channel_range
-            weights = weights[lo:hi]
-            bias = bias[lo:hi]
+            weights_slice = weights[lo:hi]
+            bias_slice = bias[lo:hi]
         assert x.qparams is not None
-        x_half = dequantize_to_half(x.data, x.qparams)
+        x_qparams = x.qparams
         if compute_dtype is DType.F16:
-            lhs, rhs, shape = self._gemm_operands(layer, x_half, weights,
-                                                  pad_value=0.0)
-            out_rows = gemm_f16(lhs, rhs.astype(np.float16),
-                                bias).astype(np.float32)
+            if isinstance(layer, Conv2D):
+                columns = self._cached_columns(
+                    name, "half", x.data,
+                    lambda: im2col(dequantize_to_half(x.data, x_qparams),
+                                   layer.kernel, layer.stride,
+                                   layer.padding, pad_value=0.0))
+                lhs: np.ndarray = columns.reshape(-1, columns.shape[-1])
+                rhs16 = self._packed_operand(
+                    (name, "rhs_f16oq", channel_range), weights,
+                    lambda: flatten_filters(weights_slice).T.astype(
+                        np.float16))
+                shape = self._conv_out_shape(layer, x.data,
+                                             weights_slice.shape[0])
+            else:
+                lhs = dequantize_to_half(x.data, x_qparams)
+                rhs16 = self._packed_operand(
+                    (name, "rhs_f16oq", channel_range), weights,
+                    lambda: weights_slice.T.astype(np.float16))
+                shape = (x.data.shape[0], weights_slice.shape[0])
+            out_rows = gemm_f16(lhs, rhs16, bias_slice).astype(np.float32)
         else:  # F32 compute over quantized storage
-            lhs, rhs, shape = self._gemm_operands(
-                layer, x_half.astype(np.float32), weights, pad_value=0.0)
-            out_rows = lhs @ rhs + bias
+            if isinstance(layer, Conv2D):
+                columns = self._cached_columns(
+                    name, "half_f32", x.data,
+                    lambda: im2col(
+                        dequantize_to_half(x.data, x_qparams).astype(
+                            np.float32),
+                        layer.kernel, layer.stride, layer.padding,
+                        pad_value=0.0))
+                lhs = columns.reshape(-1, columns.shape[-1])
+                rhs = flatten_filters(weights_slice).T
+                shape = self._conv_out_shape(layer, x.data,
+                                             weights_slice.shape[0])
+            else:
+                lhs = dequantize_to_half(x.data, x_qparams).astype(
+                    np.float32)
+                rhs = weights_slice.T
+                shape = (x.data.shape[0], weights_slice.shape[0])
+            out_rows = lhs @ rhs + bias_slice
         if layer.relu:
             out_rows = np.maximum(out_rows, 0.0)
         folded = self._fold_gemm_output(out_rows, shape)
@@ -259,20 +420,48 @@ class LayerComputer:
                     channel_range: Optional[Tuple[int, int]],
                     compute_dtype: DType) -> Tensor:
         """Uniform float path (F32 or F16 end to end)."""
+        weights_slice, bias_slice = weights, bias
         if channel_range is not None:
             lo, hi = channel_range
-            weights = weights[lo:hi]
-            bias = bias[lo:hi]
-        values = x.to_float()
+            weights_slice = weights[lo:hi]
+            bias_slice = bias[lo:hi]
         if compute_dtype is DType.F16:
-            lhs, rhs, shape = self._gemm_operands(
-                layer, values.astype(np.float16), weights.astype(
-                    np.float16), pad_value=0.0)
-            out_rows = gemm_f16(lhs, rhs, bias).astype(np.float32)
+            if isinstance(layer, Conv2D):
+                columns = self._cached_columns(
+                    name, "f16", x.data,
+                    lambda: im2col(x.to_float().astype(np.float16),
+                                   layer.kernel, layer.stride,
+                                   layer.padding, pad_value=0.0))
+                lhs: np.ndarray = columns.reshape(-1, columns.shape[-1])
+                rhs = self._packed_operand(
+                    (name, "rhs_f16", channel_range), weights,
+                    lambda: flatten_filters(
+                        weights_slice.astype(np.float16)).T)
+                shape = self._conv_out_shape(layer, x.data,
+                                             weights_slice.shape[0])
+            else:
+                lhs = x.to_float().astype(np.float16)
+                rhs = self._packed_operand(
+                    (name, "rhs_f16", channel_range), weights,
+                    lambda: weights_slice.astype(np.float16).T)
+                shape = (x.data.shape[0], weights_slice.shape[0])
+            out_rows = gemm_f16(lhs, rhs, bias_slice).astype(np.float32)
         else:
-            lhs, rhs, shape = self._gemm_operands(layer, values, weights,
-                                                  pad_value=0.0)
-            out_rows = lhs @ rhs + bias
+            if isinstance(layer, Conv2D):
+                columns = self._cached_columns(
+                    name, "f32", x.data,
+                    lambda: im2col(x.to_float(), layer.kernel,
+                                   layer.stride, layer.padding,
+                                   pad_value=0.0))
+                lhs = columns.reshape(-1, columns.shape[-1])
+                rhs = flatten_filters(weights_slice).T
+                shape = self._conv_out_shape(layer, x.data,
+                                             weights_slice.shape[0])
+            else:
+                lhs = x.to_float()
+                rhs = weights_slice.T
+                shape = (x.data.shape[0], weights_slice.shape[0])
+            out_rows = lhs @ rhs + bias_slice
         if layer.relu:
             out_rows = np.maximum(out_rows, 0.0)
         folded = self._fold_gemm_output(out_rows, shape)
@@ -288,40 +477,79 @@ class LayerComputer:
         if layer.weights is None or layer.bias is None:
             raise PlanError(f"layer {name!r} has no weights")
         (x,) = inputs
-        weights, bias = layer.weights, layer.bias
-        offset = 0
-        if channel_range is not None:
-            lo, hi = channel_range
-            offset = lo
-            x = x.slice_channels(lo, hi)
-            weights = weights[lo:hi]
-            bias = bias[lo:hi]
+        total = layer.weights.shape[0]
+        lo, hi = (0, total) if channel_range is None else channel_range
+        weights = layer.weights[lo:hi]
+        bias = layer.bias[lo:hi]
+        x_slice = x if channel_range is None else x.slice_channels(lo, hi)
         compute_dtype = self._policy.compute_dtype(resource)
         storage = self._policy.activation_storage
         if storage is DType.QUINT8 and compute_dtype is DType.QUINT8:
-            return self._depthwise_integer(name, layer, x, weights, bias,
-                                           offset)
+            return self._depthwise_integer(name, layer, x, x_slice,
+                                           weights, bias, lo, hi)
         # Float compute (uniform float, or F16-over-quantized).
-        values = x.to_float()
-        out = self._depthwise_float(layer, values, weights, bias,
-                                    compute_dtype)
+        out = self._depthwise_float(name, layer, x, x_slice, weights,
+                                    bias, compute_dtype, lo, hi)
         if storage is DType.QUINT8:
             out_qparams = self._out_qparams(name)
             return Tensor(out_qparams.quantize(out), DType.QUINT8,
                           out_qparams)
         return self._store(name, out)
 
-    @staticmethod
-    def _depthwise_float(layer: DepthwiseConv2D, values: np.ndarray,
-                         weights: np.ndarray, bias: np.ndarray,
-                         compute_dtype: DType) -> np.ndarray:
-        batch, channels, in_h, in_w = values.shape
-        if compute_dtype is DType.F16:
-            values = values.astype(np.float16).astype(np.float32)
-            weights = weights.astype(np.float16).astype(np.float32)
-        columns = im2col(values.reshape(batch * channels, 1, in_h, in_w),
-                         layer.kernel, layer.stride, layer.padding)
-        filters = np.tile(weights.reshape(channels, -1), (batch, 1))
+    def _depthwise_columns(self, name: str, layer: DepthwiseConv2D,
+                           x: Tensor, variant: str,
+                           full_builder: Callable[[], np.ndarray],
+                           slice_builder: Callable[[], np.ndarray],
+                           lo: int, hi: int) -> np.ndarray:
+        """Per-channel patch columns of a depthwise conv placement.
+
+        With caching on, the columns of the *full* input are built once
+        and every placement takes its channel slice (each channel is an
+        independent single-channel image, so slicing the full column
+        matrix is bit-exact against lowering the sliced input); with
+        caching off, each placement lowers its own input slice exactly
+        as before.
+        """
+        if not self._enable_caches:
+            return slice_builder()
+        columns_full = self._columns.get((name, "cols", variant),
+                                         x.data, full_builder)
+        batch, channels = x.shape[0], x.shape[1]
+        if (lo, hi) == (0, channels):
+            return columns_full
+        patches, kk = columns_full.shape[1], columns_full.shape[2]
+        view = columns_full.reshape(batch, channels, patches, kk)[:, lo:hi]
+        return np.ascontiguousarray(view).reshape(
+            batch * (hi - lo), patches, kk)
+
+    def _depthwise_float(self, name: str, layer: DepthwiseConv2D,
+                         x: Tensor, x_slice: Tensor, weights: np.ndarray,
+                         bias: np.ndarray, compute_dtype: DType,
+                         lo: int, hi: int) -> np.ndarray:
+        batch, channels, in_h, in_w = x_slice.shape
+        variant = "f16f" if compute_dtype is DType.F16 else "f32f"
+
+        def lower(tensor: Tensor) -> np.ndarray:
+            values = tensor.to_float()
+            if compute_dtype is DType.F16:
+                values = values.astype(np.float16).astype(np.float32)
+            n, c = tensor.shape[0], tensor.shape[1]
+            return im2col(values.reshape(n * c, 1, in_h, in_w),
+                          layer.kernel, layer.stride, layer.padding)
+
+        columns = self._depthwise_columns(
+            name, layer, x, variant,
+            lambda: lower(x), lambda: lower(x_slice), lo, hi)
+
+        def pack_filters() -> np.ndarray:
+            w = weights
+            if compute_dtype is DType.F16:
+                w = w.astype(np.float16).astype(np.float32)
+            return np.tile(w.reshape(channels, -1), (batch, 1))
+
+        filters = self._packed_operand(
+            (name, "dw_filters", variant, (lo, hi), batch),
+            layer.weights, pack_filters)
         out = np.einsum("npk,nk->np", columns, filters)
         out_h, out_w = conv_output_hw(in_h, in_w, layer.kernel,
                                       layer.stride, layer.padding)
@@ -334,32 +562,47 @@ class LayerComputer:
         return out.astype(np.float32)
 
     def _depthwise_integer(self, name: str, layer: DepthwiseConv2D,
-                           x: Tensor, weights: np.ndarray,
-                           bias: np.ndarray, offset: int) -> Tensor:
+                           x: Tensor, x_slice: Tensor,
+                           weights: np.ndarray, bias: np.ndarray,
+                           lo: int, hi: int) -> Tensor:
         """Integer depthwise conv with i32 accumulation + requantize."""
         weight_codes_full, w_qparams = self._quantized_weights(
             name, layer.weights)
         channels = weights.shape[0]
-        weight_codes = weight_codes_full[offset:offset + channels]
-        assert x.qparams is not None
-        batch = x.shape[0]
-        in_h, in_w = x.shape[2], x.shape[3]
-        columns = im2col(
-            x.data.reshape(batch * channels, 1, in_h, in_w),
-            layer.kernel, layer.stride, layer.padding,
-            pad_value=float(x.qparams.zero_point))
-        lhs = columns.astype(np.int32) - np.int32(x.qparams.zero_point)
-        rhs = (np.tile(weight_codes.reshape(channels, -1), (batch, 1))
-               .astype(np.int32) - np.int32(w_qparams.zero_point))
+        weight_codes = weight_codes_full[lo:lo + channels]
+        assert x_slice.qparams is not None
+        x_qparams = x_slice.qparams
+        batch = x_slice.shape[0]
+        in_h, in_w = x_slice.shape[2], x_slice.shape[3]
+        pad = float(x_qparams.zero_point)
+
+        def lower(tensor: Tensor) -> np.ndarray:
+            n, c = tensor.shape[0], tensor.shape[1]
+            return im2col(tensor.data.reshape(n * c, 1, in_h, in_w),
+                          layer.kernel, layer.stride, layer.padding,
+                          pad_value=pad)
+
+        columns = self._depthwise_columns(
+            name, layer, x, "codes",
+            lambda: lower(x), lambda: lower(x_slice), lo, hi)
+        lhs = columns.astype(np.int32) - np.int32(x_qparams.zero_point)
+        rhs = self._packed_operand(
+            (name, "dw_rhs_i32", (lo, hi), batch), layer.weights,
+            lambda: (np.tile(weight_codes.reshape(channels, -1),
+                             (batch, 1)).astype(np.int32)
+                     - np.int32(w_qparams.zero_point)))
         acc = np.einsum("npk,nk->np", lhs, rhs, dtype=np.int64)
         acc = acc.astype(np.int32)
-        bias_i32 = quantize_bias(bias, x.qparams.scale, w_qparams.scale)
+        bias_i32 = self._packed_operand(
+            (name, "dw_bias_i32", (lo, hi), x_qparams.scale,
+             w_qparams.scale), layer.bias,
+            lambda: quantize_bias(bias, x_qparams.scale, w_qparams.scale))
         acc = acc + np.repeat(
             np.tile(bias_i32, batch), acc.shape[1]).reshape(acc.shape)
         out_h, out_w = conv_output_hw(in_h, in_w, layer.kernel,
                                       layer.stride, layer.padding)
         out_qparams = self._out_qparams(name)
-        codes = requantize(acc, x.qparams.scale, w_qparams.scale,
+        codes = requantize(acc, x_qparams.scale, w_qparams.scale,
                            out_qparams)
         codes = codes.reshape(batch, channels, out_h, out_w)
         if layer.relu:

@@ -21,6 +21,7 @@ Timing is modelled for batch-1 inference (the paper's latency metric).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -57,14 +58,48 @@ class Executor:
             :class:`~repro.errors.VerificationError`; the full report
             (including warnings) is attached to the result's
             ``diagnostics`` field.
+        op_caches: reuse one :class:`LayerComputer` (and therefore its
+            packed-operand caches) across runs of the same
+            (graph, policy, calibration) -- True, the default.  False
+            restores the pre-cache behaviour of building a fresh
+            computer per run; outputs are byte-identical either way.
     """
 
+    #: How many distinct (graph, policy, calibration) computers an
+    #: executor keeps warm; oldest is dropped beyond that.
+    _COMPUTER_MEMO_ENTRIES = 8
+
     def __init__(self, soc: SoCSpec, zero_copy: bool = True,
-                 async_issue: bool = True, verify: bool = False) -> None:
+                 async_issue: bool = True, verify: bool = False,
+                 op_caches: bool = True) -> None:
         self.soc = soc
         self.zero_copy = zero_copy
         self.async_issue = async_issue
         self.verify = verify
+        self.op_caches = op_caches
+        self._computers: "OrderedDict[Tuple[int, QuantizationPolicy, int], LayerComputer]" = OrderedDict()
+
+    def _computer_for(self, graph: Graph, policy,
+                      calibration: Optional[CalibrationTable]
+                      ) -> LayerComputer:
+        """A LayerComputer for this run, memoized by object identity of
+        graph and calibration (policies compare by value) so packed
+        weight operands persist across inferences."""
+        if not self.op_caches:
+            return LayerComputer(graph, policy, calibration,
+                                 enable_caches=False)
+        key = (id(graph), policy, id(calibration))
+        computer = self._computers.get(key)
+        # Identity check via the stored references guards against id()
+        # recycling of dead objects.
+        if (computer is None or computer._graph is not graph
+                or computer._calibration is not calibration):
+            computer = LayerComputer(graph, policy, calibration)
+            self._computers[key] = computer
+        self._computers.move_to_end(key)
+        while len(self._computers) > self._COMPUTER_MEMO_ENTRIES:
+            self._computers.popitem(last=False)
+        return computer
 
     def run(self, graph: Graph, plan: ExecutionPlan,
             x: Optional[np.ndarray] = None,
@@ -141,7 +176,9 @@ class _RunState:
         self.computer: Optional[LayerComputer] = None
         self.values: Dict[str, Tensor] = {}
         if x is not None:
-            self.computer = LayerComputer(graph, plan.policy, calibration)
+            self.computer = executor._computer_for(graph, plan.policy,
+                                                   calibration)
+            self.computer.begin_inference()
         self.input_data = x
         self.ready: Dict[str, float] = {}
         self.producers: Dict[str, Set[str]] = {}

@@ -8,11 +8,19 @@ The serving layer therefore shares one :class:`PlanCache` across all
 devices of a fleet so the partitioner runs once per configuration
 instead of once per request; :class:`~repro.runtime.mulayer.MuLayer`
 uses the same cache type for its per-graph memoization.
+
+The cache is thread-safe (the serving simulator's fleet shares it
+across device contexts, and warm-up may populate it concurrently) and
+optionally bounded: with ``max_entries`` set it evicts the least
+recently used plan, which keeps a long-lived serving process from
+accumulating plans for configurations it no longer sees.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import threading
+from collections import OrderedDict
 from typing import Callable, Dict, Optional
 
 from .plan import ExecutionPlan
@@ -38,36 +46,62 @@ class PlanKey:
 
 
 class PlanCache:
-    """Maps :class:`PlanKey` to built plans, counting hits and misses."""
+    """Maps :class:`PlanKey` to built plans, counting hits and misses.
 
-    def __init__(self) -> None:
-        self._plans: Dict[PlanKey, ExecutionPlan] = {}
+    Args:
+        max_entries: optional LRU bound; None (the default) never
+            evicts, preserving the original unbounded behaviour.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 or None")
+        self.max_entries = max_entries
+        self._plans: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, key: PlanKey) -> bool:
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
 
     def get(self, key: PlanKey) -> Optional[ExecutionPlan]:
         """The cached plan for ``key`` (counts a hit or a miss)."""
-        plan = self._plans.get(key)
-        if plan is None:
-            self.misses += 1
-        else:
-            self.hits += 1
-        return plan
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+                self._plans.move_to_end(key)
+            return plan
 
     def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
-        """Store ``plan`` under ``key`` (no eviction; plans are tiny)."""
-        self._plans[key] = plan
+        """Store ``plan`` under ``key``, evicting the least recently
+        used entry beyond ``max_entries``."""
+        with self._lock:
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            if (self.max_entries is not None
+                    and len(self._plans) > self.max_entries):
+                self._plans.popitem(last=False)
+                self.evictions += 1
 
     def get_or_build(self, key: PlanKey,
                      builder: Callable[[], ExecutionPlan]
                      ) -> ExecutionPlan:
-        """The cached plan, building and storing it on a miss."""
+        """The cached plan, building and storing it on a miss.
+
+        The builder runs outside the lock (partitioning is slow);
+        concurrent misses on the same key may build twice, and the
+        last write wins -- plans for one key are interchangeable.
+        """
         plan = self.get(key)
         if plan is None:
             plan = builder()
@@ -82,9 +116,12 @@ class PlanCache:
 
     def stats(self) -> Dict[str, float]:
         """Counters as a JSON-friendly dict."""
+        with self._lock:
+            entries = float(len(self._plans))
         return {
-            "entries": float(len(self._plans)),
+            "entries": entries,
             "hits": float(self.hits),
             "misses": float(self.misses),
             "hit_rate": self.hit_rate,
+            "evictions": float(self.evictions),
         }

@@ -46,6 +46,27 @@ SINGLE_PROCESSOR_DTYPES: Dict[str, DType] = {
 #: Small slack for floating-point clock comparisons.
 _EPS = 1e-12
 
+#: Per worker process: shared machinery of one (SoC, policy), so a
+#: warm-up worker fits each SoC's latency predictor once instead of
+#: once per plan.
+_WARM_CONTEXTS: Dict[Tuple[str, QuantizationPolicy], "_SoCContext"] = {}
+
+
+def _warm_plan_unit(item: Tuple[str, QuantizationPolicy, str, str]
+                    ) -> Tuple["PlanKey", ExecutionPlan]:
+    """Build one (model, SoC, mechanism) plan; module-level so
+    :func:`~repro.harness.parallel.parallel_map` can run warm-up in
+    worker processes."""
+    soc_name, policy, model, mechanism = item
+    context = _WARM_CONTEXTS.get((soc_name, policy))
+    if context is None:
+        context = _SoCContext(soc_by_name(soc_name), policy)
+        _WARM_CONTEXTS[(soc_name, policy)] = context
+    graph = build_model(model, with_weights=False)
+    key = PlanKey(model=model, soc=soc_name, mechanism=mechanism,
+                  policy=context.policy_name(mechanism))
+    return key, context.build_plan(graph, mechanism)
+
 
 def plan_resources(plan: ExecutionPlan, graph: Graph) -> Tuple[str, ...]:
     """The processors a plan actually touches, sorted.
@@ -326,6 +347,57 @@ class Fleet:
         graph = self.graph(model)
         return self.plan_cache.get_or_build(
             key, lambda: context.build_plan(graph, mechanism))
+
+    def warm_plans(self, models: Sequence[str],
+                   mechanisms: Optional[Sequence[str]] = None,
+                   jobs: Optional[int] = None) -> int:
+        """Pre-build plans for every (model, SoC type, mechanism).
+
+        Serving then never partitions on the request path.  Already
+        cached configurations are skipped.
+
+        Args:
+            models: models to warm.
+            mechanisms: mechanisms to warm (default: everything each
+                SoC supports).
+            jobs: fan plan building across processes (None/1 = serial,
+                in-process; <=0 = one per CPU).
+
+        Returns:
+            How many plans were built (and inserted) by this call.
+        """
+        from ..harness.parallel import parallel_map
+
+        work: List[Tuple[str, QuantizationPolicy, str, str]] = []
+        for soc_name in sorted(self._contexts):
+            context = self._contexts[soc_name]
+            supported = context.mechanisms()
+            chosen = (supported if mechanisms is None
+                      else tuple(m for m in mechanisms
+                                 if m in supported))
+            for model in models:
+                for mechanism in chosen:
+                    key = PlanKey(model=model, soc=soc_name,
+                                  mechanism=mechanism,
+                                  policy=context.policy_name(mechanism))
+                    if key not in self.plan_cache:
+                        work.append((soc_name, self.policy, model,
+                                     mechanism))
+        if jobs is None or jobs == 1:
+            # Serial warm-up reuses the fleet's own contexts (and their
+            # already fitted predictors).
+            for soc_name, _, model, mechanism in work:
+                context = self._contexts[soc_name]
+                key = PlanKey(model=model, soc=soc_name,
+                              mechanism=mechanism,
+                              policy=context.policy_name(mechanism))
+                self.plan_cache.put(
+                    key, context.build_plan(self.graph(model), mechanism))
+        else:
+            for key, plan in parallel_map(_warm_plan_unit, work,
+                                          jobs=jobs):
+                self.plan_cache.put(key, plan)
+        return len(work)
 
     def resources_for(self, model: str, device: Device,
                       mechanism: str) -> Tuple[str, ...]:

@@ -1,0 +1,67 @@
+"""Tests for the process-pool sweep harness (`repro.harness.parallel`).
+
+The contract: `parallel_map` returns results in input order regardless
+of worker scheduling, degrades to serial execution when a pool is
+unavailable, and parallel sweeps are entry-for-entry identical to
+serial ones.
+"""
+
+import pytest
+
+from repro.analysis.verify import verify_sweep
+from repro.harness.parallel import default_jobs, parallel_map
+
+
+def _square(x):
+    return x * x
+
+
+def _explode(x):
+    raise RuntimeError(f"boom {x}")
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        assert parallel_map(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+        assert parallel_map(_square, [1, 2, 3], jobs=None) == [1, 4, 9]
+
+    def test_single_item_stays_serial(self):
+        # One item never pays pool startup, whatever jobs says.
+        assert parallel_map(_square, [7], jobs=8) == [49]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_parallel_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=2) == \
+            [x * x for x in items]
+
+    def test_jobs_zero_means_cpu_count(self):
+        items = [1, 2, 3, 4]
+        assert parallel_map(_square, items, jobs=0) == \
+            [x * x for x in items]
+
+    def test_worker_exception_propagates_serial(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_explode, [1], jobs=1)
+
+    def test_worker_exception_propagates_parallel(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_explode, [1, 2], jobs=2)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestSweepEquivalence:
+    def test_parallel_sweep_matches_serial(self):
+        serial = verify_sweep(models=("vgg_mini", "mobilenet_mini"))
+        parallel = verify_sweep(models=("vgg_mini", "mobilenet_mini"),
+                                jobs=2)
+        assert len(serial) == len(parallel) > 0
+        for a, b in zip(serial, parallel):
+            assert (a.model, a.soc, a.mechanism) == \
+                (b.model, b.soc, b.mechanism)
+            assert a.report.ok == b.report.ok
+            assert len(a.report) == len(b.report)

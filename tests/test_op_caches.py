@@ -1,0 +1,278 @@
+"""Bit-exactness and lifecycle of the operand caches.
+
+The performance layer's correctness bar: execution with the im2col /
+packed-operand caches enabled must be *byte-identical* to the uncached
+reference path, for every layer shape (conv, FC, depthwise), placement
+style (full-layer, cooperative), and policy (F32, F16, QUInt8, PFQ) --
+and the caches must never serve operands derived from replaced
+weights (the historical ``_quantized_weights`` staleness bug).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import OperandCache
+from repro.runtime import (LayerComputer, PROCESSOR_FRIENDLY,
+                           UNIFORM_F16, UNIFORM_F32, UNIFORM_QUINT8)
+from repro.runtime.executor import Executor
+
+POLICIES = {
+    "f32": UNIFORM_F32,
+    "f16": UNIFORM_F16,
+    "quint8": UNIFORM_QUINT8,
+    "pfq": PROCESSOR_FRIENDLY,
+}
+
+
+def run_graph(graph, computer, x, cooperative=False, split=0.5):
+    """One functional inference; returns the output tensor."""
+    computer.begin_inference()
+    input_name = graph.input_layers()[0]
+    values = {input_name: computer.input_tensor(input_name, x)}
+    for name in graph.compute_layers():
+        inputs = [values[p] for p in graph.inputs_of(name)]
+        if cooperative and graph.layer(name).supports_channel_split:
+            values[name] = computer.run_cooperative(name, inputs, split)
+        else:
+            values[name] = computer.run_full(name, inputs, "cpu")
+    return values[graph.output_layers()[0]]
+
+
+def assert_identical(a, b):
+    assert a.dtype == b.dtype
+    assert a.data.dtype == b.data.dtype
+    assert a.data.shape == b.data.shape
+    assert a.data.tobytes() == b.data.tobytes()
+
+
+def _calibration_for(policy, name, request):
+    if not policy.is_quantized:
+        return None
+    return request.getfixturevalue(name)
+
+
+class TestByteIdentity:
+    """Cached == uncached, byte for byte, cold and warm."""
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    @pytest.mark.parametrize("cooperative", [False, True],
+                             ids=["full", "coop"])
+    def test_conv_fc_model(self, request, policy_name, cooperative,
+                           squeezenet_mini, single_input):
+        """squeezenet_mini covers conv + FC + concat layers."""
+        policy = POLICIES[policy_name]
+        calibration = _calibration_for(
+            policy, "squeezenet_calibration", request)
+        ref = LayerComputer(squeezenet_mini, policy, calibration,
+                            enable_caches=False)
+        fast = LayerComputer(squeezenet_mini, policy, calibration)
+        for _ in range(2):  # second pass hits the warm packed cache
+            expected = run_graph(squeezenet_mini, ref, single_input,
+                                 cooperative)
+            actual = run_graph(squeezenet_mini, fast, single_input,
+                               cooperative)
+            assert_identical(expected, actual)
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    @pytest.mark.parametrize("cooperative", [False, True],
+                             ids=["full", "coop"])
+    def test_depthwise_model(self, request, policy_name, cooperative,
+                             mobilenet_mini, single_input):
+        """mobilenet_mini covers depthwise convolutions."""
+        policy = POLICIES[policy_name]
+        calibration = _calibration_for(
+            policy, "mobilenet_mini_calibration", request)
+        ref = LayerComputer(mobilenet_mini, policy, calibration,
+                            enable_caches=False)
+        fast = LayerComputer(mobilenet_mini, policy, calibration)
+        for _ in range(2):
+            expected = run_graph(mobilenet_mini, ref, single_input,
+                                 cooperative)
+            actual = run_graph(mobilenet_mini, fast, single_input,
+                               cooperative)
+            assert_identical(expected, actual)
+
+    @pytest.mark.parametrize("split", [0.25, 0.5, 0.75])
+    def test_uneven_splits(self, squeezenet_mini, squeezenet_calibration,
+                           single_input, split):
+        ref = LayerComputer(squeezenet_mini, PROCESSOR_FRIENDLY,
+                            squeezenet_calibration, enable_caches=False)
+        fast = LayerComputer(squeezenet_mini, PROCESSOR_FRIENDLY,
+                             squeezenet_calibration)
+        expected = run_graph(squeezenet_mini, ref, single_input,
+                             cooperative=True, split=split)
+        actual = run_graph(squeezenet_mini, fast, single_input,
+                           cooperative=True, split=split)
+        assert_identical(expected, actual)
+
+    def test_cache_hits_actually_happen(self, squeezenet_mini,
+                                        squeezenet_calibration,
+                                        single_input):
+        """The identity test must not pass because caching silently
+        never engages."""
+        fast = LayerComputer(squeezenet_mini, UNIFORM_QUINT8,
+                             squeezenet_calibration)
+        run_graph(squeezenet_mini, fast, single_input, cooperative=True)
+        run_graph(squeezenet_mini, fast, single_input, cooperative=True)
+        stats = fast.cache_stats()
+        assert stats["im2col"]["hits"] > 0       # placements share cols
+        assert stats["packed"]["hits"] > 0       # 2nd inference reuses
+
+
+class TestWeightInvalidation:
+    """Regression: packed operands must not survive weight updates."""
+
+    def _single_conv(self, graph, computer, x, name):
+        computer.begin_inference()
+        input_name = graph.input_layers()[0]
+        t = computer.input_tensor(input_name, x)
+        return computer.run_full(name, [t], "cpu")
+
+    def test_replaced_weights_requantize(self, squeezenet_mini,
+                                         squeezenet_calibration,
+                                         single_input):
+        """Installing new arrays via set_weights is detected by array
+        identity -- the historical name-only cache served stale codes
+        here."""
+        name = squeezenet_mini.compute_layers()[0]
+        layer = squeezenet_mini.layer(name)
+        old_weights, old_bias = layer.weights, layer.bias
+        computer = LayerComputer(squeezenet_mini, UNIFORM_QUINT8,
+                                 squeezenet_calibration)
+        before = self._single_conv(squeezenet_mini, computer,
+                                   single_input, name)
+        try:
+            layer.set_weights(old_weights * 2.0, old_bias * 2.0)
+            after = self._single_conv(squeezenet_mini, computer,
+                                      single_input, name)
+            fresh = LayerComputer(squeezenet_mini, UNIFORM_QUINT8,
+                                  squeezenet_calibration,
+                                  enable_caches=False)
+            expected = self._single_conv(squeezenet_mini, fresh,
+                                         single_input, name)
+            assert_identical(after, expected)
+            assert before.data.tobytes() != after.data.tobytes()
+        finally:
+            layer.set_weights(old_weights, old_bias)
+
+    def test_inplace_mutation_needs_invalidate(self, squeezenet_mini,
+                                               squeezenet_calibration,
+                                               single_input):
+        """In-place mutation is invisible to identity validation; the
+        documented contract is an explicit invalidate_weights()."""
+        name = squeezenet_mini.compute_layers()[0]
+        layer = squeezenet_mini.layer(name)
+        computer = LayerComputer(squeezenet_mini, UNIFORM_QUINT8,
+                                 squeezenet_calibration)
+        self._single_conv(squeezenet_mini, computer, single_input, name)
+        saved = layer.weights.copy()
+        try:
+            layer.weights *= 2.0
+            computer.invalidate_weights(name)
+            after = self._single_conv(squeezenet_mini, computer,
+                                      single_input, name)
+            fresh = LayerComputer(squeezenet_mini, UNIFORM_QUINT8,
+                                  squeezenet_calibration,
+                                  enable_caches=False)
+            expected = self._single_conv(squeezenet_mini, fresh,
+                                         single_input, name)
+            assert_identical(after, expected)
+        finally:
+            layer.weights[...] = saved
+            computer.invalidate_weights()
+
+    def test_invalidate_all(self, squeezenet_mini,
+                            squeezenet_calibration, single_input):
+        computer = LayerComputer(squeezenet_mini, UNIFORM_QUINT8,
+                                 squeezenet_calibration)
+        run_graph(squeezenet_mini, computer, single_input)
+        assert computer.cache_stats()["packed"]["entries"] > 0
+        computer.invalidate_weights()
+        assert computer.cache_stats()["packed"]["entries"] == 0
+
+
+class TestExecutorMemo:
+    """The executor reuses computers (and their caches) across runs."""
+
+    def test_functional_outputs_identical(self, squeezenet_mini,
+                                          squeezenet_calibration,
+                                          single_input, soc):
+        from repro.runtime.baselines import single_processor_plan
+        plan = single_processor_plan(squeezenet_mini, "cpu",
+                                     UNIFORM_QUINT8)
+        cached = Executor(soc)
+        uncached = Executor(soc, op_caches=False)
+        for _ in range(2):
+            a = cached.run(squeezenet_mini, plan, x=single_input,
+                           calibration=squeezenet_calibration)
+            b = uncached.run(squeezenet_mini, plan, x=single_input,
+                             calibration=squeezenet_calibration)
+            out_name = squeezenet_mini.output_layers()[0]
+            assert (a.outputs[out_name].data.tobytes()
+                    == b.outputs[out_name].data.tobytes())
+
+    def test_computer_reused(self, squeezenet_mini,
+                             squeezenet_calibration, single_input, soc):
+        from repro.runtime.baselines import single_processor_plan
+        plan = single_processor_plan(squeezenet_mini, "cpu",
+                                     UNIFORM_QUINT8)
+        executor = Executor(soc)
+        executor.run(squeezenet_mini, plan, x=single_input,
+                     calibration=squeezenet_calibration)
+        executor.run(squeezenet_mini, plan, x=single_input,
+                     calibration=squeezenet_calibration)
+        assert len(executor._computers) == 1
+        (computer,) = executor._computers.values()
+        assert computer.cache_stats()["packed"]["hits"] > 0
+
+
+class TestOperandCacheUnit:
+    """The cache primitive itself."""
+
+    def test_identity_validation(self):
+        cache = OperandCache()
+        a = np.arange(4)
+        assert cache.get("k", a, lambda: "derived-a") == "derived-a"
+        assert cache.get("k", a, lambda: "never") == "derived-a"
+        b = np.arange(4)
+        assert cache.get("k", b, lambda: "derived-b") == "derived-b"
+        assert cache.hits == 1 and cache.misses == 2
+
+    def test_lru_eviction(self):
+        cache = OperandCache(max_entries=2)
+        src = np.zeros(1)
+        cache.get("a", src, lambda: 1)
+        cache.get("b", src, lambda: 2)
+        cache.get("a", src, lambda: 0)      # refresh a
+        cache.get("c", src, lambda: 3)      # evicts b
+        assert cache.evictions == 1
+        assert cache.get("b", src, lambda: 9) == 9   # b was evicted
+        assert len(cache) == 2
+
+    def test_invalidate_prefix(self):
+        cache = OperandCache()
+        src = np.zeros(1)
+        cache.get(("conv1", "rhs"), src, lambda: 1)
+        cache.get(("conv1", "bias"), src, lambda: 2)
+        cache.get(("conv2", "rhs"), src, lambda: 3)
+        assert cache.invalidate("conv1") == 2
+        assert len(cache) == 1
+        assert cache.invalidations == 2
+
+    def test_clear_keeps_counters(self):
+        cache = OperandCache()
+        src = np.zeros(1)
+        cache.get("a", src, lambda: 1)
+        cache.get("a", src, lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1 and cache.invalidations == 0
+
+    def test_stats_shape(self):
+        stats = OperandCache().stats()
+        assert set(stats) == {"entries", "hits", "misses", "hit_rate",
+                              "evictions", "invalidations"}
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            OperandCache(max_entries=0)

@@ -62,10 +62,57 @@ class TestPlanCache:
         cache.get(PlanKey("m", "s", "cpu", "p"))
         stats = cache.stats()
         assert stats == {"entries": 0.0, "hits": 0.0, "misses": 1.0,
-                         "hit_rate": 0.0}
+                         "hit_rate": 0.0, "evictions": 0.0}
 
     def test_cold_cache_hit_rate_zero(self):
         assert PlanCache().hit_rate == 0.0
+
+    def test_bounded_lru_eviction(self):
+        cache = PlanCache(max_entries=2)
+        keys = [PlanKey("m", "s", "cpu", f"p{i}") for i in range(3)]
+        cache.put(keys[0], "plan0")
+        cache.put(keys[1], "plan1")
+        assert cache.get(keys[0]) == "plan0"  # refresh key 0
+        cache.put(keys[2], "plan2")           # evicts key 1 (LRU)
+        assert cache.evictions == 1 and len(cache) == 2
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) == "plan0"
+        assert cache.get(keys[2]) == "plan2"
+
+    def test_unbounded_by_default(self):
+        cache = PlanCache()
+        for i in range(100):
+            cache.put(PlanKey("m", "s", "cpu", f"p{i}"), i)
+        assert len(cache) == 100 and cache.evictions == 0
+
+    def test_max_entries_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_entries=0)
+
+    def test_thread_safety(self):
+        import threading
+        cache = PlanCache(max_entries=16)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(200):
+                    key = PlanKey("m", "s", "cpu", f"p{(seed + i) % 32}")
+                    if cache.get(key) is None:
+                        cache.put(key, f"plan-{key.policy}")
+                    cache.stats()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 16
+        assert cache.hits + cache.misses == 4 * 200
 
 
 class TestMuLayerCacheIntegration:
@@ -114,6 +161,37 @@ class TestDevice:
         device.occupy(("cpu",), 0.0, 2.0)
         device.occupy(("gpu",), 0.0, 5.0)
         assert device.backlog_s(1.0) == pytest.approx(4.0)
+
+
+class TestWarmPlans:
+    def test_serial_warm_fills_cache(self):
+        fresh = Fleet.build(("exynos7420",), 1)
+        built = fresh.warm_plans(("vgg_mini",))
+        assert built == len(fresh.plan_cache) > 0
+        # Second call finds everything cached and builds nothing.
+        assert fresh.warm_plans(("vgg_mini",)) == 0
+
+    def test_parallel_matches_serial(self):
+        serial = Fleet.build(("exynos7420",), 1)
+        parallel = Fleet.build(("exynos7420",), 1)
+        mechanisms = ("cpu", "mulayer")
+        assert serial.warm_plans(("vgg_mini",),
+                                 mechanisms=mechanisms) == 2
+        assert parallel.warm_plans(("vgg_mini",),
+                                   mechanisms=mechanisms, jobs=2) == 2
+        assert len(parallel.plan_cache) == len(serial.plan_cache) == 2
+        context = serial._contexts["exynos7420"]
+        for mechanism in mechanisms:
+            key = PlanKey(model="vgg_mini", soc="exynos7420",
+                          mechanism=mechanism,
+                          policy=context.policy_name(mechanism))
+            a = serial.plan_cache.get(key)
+            b = parallel.plan_cache.get(key)
+            assert a is not None and b is not None
+            assert ({n: (m.placement, m.split)
+                     for n, m in a.assignments.items()}
+                    == {n: (m.placement, m.split)
+                        for n, m in b.assignments.items()})
 
 
 class TestFleet:
