@@ -1,12 +1,13 @@
-"""Fail CI when a fresh BENCH_e2e.json regresses against the baseline.
+"""Fail CI when a fresh benchmark run regresses against its baseline.
 
 Usage::
 
     python benchmarks/check_bench_regression.py BASELINE FRESH \
-        [--threshold 1.25]
+        [--threshold 1.25] \
+        [--serve-batch-baseline B --serve-batch-fresh F]
 
-Compares the committed baseline against a freshly generated run and
-exits non-zero when:
+Compares the committed wall-clock baseline (``BENCH_e2e.json``)
+against a freshly generated run and exits non-zero when:
 
 * warm functional time (``summary.warm_total_ms``) grew by more than
   the threshold factor -- the caches stopped paying;
@@ -18,6 +19,20 @@ exits non-zero when:
 Cold absolute time is reported but not gated: it measures the uncached
 reference path, whose wall clock mostly tracks runner speed, and the
 speedup ratio already normalizes runner differences out.
+
+With ``--serve-batch-baseline/--serve-batch-fresh`` it additionally
+gates the serving-throughput benchmark (``BENCH_serve_batch.json``):
+
+* at the peak (overload) arrival rate, fresh throughput must rise
+  strictly monotonically with the batch-size cap -- the point of
+  dynamic batching;
+* fresh peak-load throughput per batch size must not fall below the
+  baseline by more than the threshold factor.
+
+Serving numbers come from simulated time, so they are bit-stable
+across runners -- the threshold there only absorbs intentional
+timing-model changes, not machine noise.  Either gate may run alone:
+the e2e positionals are optional when the serve-batch pair is given.
 """
 
 from __future__ import annotations
@@ -46,21 +61,16 @@ def _check(name: str, baseline: float, fresh: float, threshold: float,
     return regressed
 
 
-def main(argv: "list[str] | None" = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed BENCH_e2e.json")
-    parser.add_argument("fresh", help="freshly generated BENCH_e2e.json")
-    parser.add_argument("--threshold", type=float, default=1.25,
-                        help="allowed regression factor (default 1.25 "
-                             "= 25%%)")
-    args = parser.parse_args(argv)
+def _peak_cells(results: dict) -> "dict[int, dict]":
+    """The peak-load sweep cells keyed by batch-size cap."""
+    peak = results["peak_load"]
+    return {int(cell["max_batch"]): cell
+            for cell in results["sweep"] if cell["load"] == peak}
 
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
-    with open(args.fresh) as handle:
-        fresh = json.load(handle)
 
-    print(f"bench regression check (threshold {args.threshold:.2f}x):")
+def _check_e2e(baseline: dict, fresh: dict, threshold: float) -> bool:
+    """The wall-clock gates; returns True when anything regressed."""
+    print(f"bench regression check (threshold {threshold:.2f}x):")
     print(f"  cold_total_ms (informational): baseline "
           f"{baseline['summary']['cold_total_ms']:.1f}, fresh "
           f"{fresh['summary']['cold_total_ms']:.1f}")
@@ -68,15 +78,92 @@ def main(argv: "list[str] | None" = None) -> int:
     regressed |= _check("warm_total_ms",
                         baseline["summary"]["warm_total_ms"],
                         fresh["summary"]["warm_total_ms"],
-                        args.threshold, lower_is_better=True)
+                        threshold, lower_is_better=True)
     regressed |= _check("speedup",
                         baseline["summary"]["speedup"],
                         fresh["summary"]["speedup"],
-                        args.threshold, lower_is_better=False)
+                        threshold, lower_is_better=False)
     regressed |= _check("sweep.serial_s",
                         baseline["sweep"]["serial_s"],
                         fresh["sweep"]["serial_s"],
-                        args.threshold, lower_is_better=True)
+                        threshold, lower_is_better=True)
+    return regressed
+
+
+def _check_serve_batch(baseline: dict, fresh: dict,
+                       threshold: float) -> bool:
+    """The serving-throughput gates; True when anything regressed."""
+    print(f"serve-batch regression check (threshold {threshold:.2f}x, "
+          f"model {fresh['model']}, peak load {fresh['peak_load']:g}x "
+          "capacity):")
+    fresh_cells = _peak_cells(fresh)
+    baseline_cells = _peak_cells(baseline)
+    regressed = False
+    ordered = sorted(fresh_cells)
+    rates = [fresh_cells[b]["throughput_rps"] for b in ordered]
+    for smaller, larger, low, high in zip(ordered, ordered[1:], rates,
+                                          rates[1:]):
+        if high <= low:
+            print(f"  throughput(max_batch={larger}) {high:.1f} <= "
+                  f"throughput(max_batch={smaller}) {low:.1f} "
+                  "-- NOT MONOTONE")
+            regressed = True
+    if not regressed:
+        summary = ", ".join(f"{b}: {fresh_cells[b]['throughput_rps']:.1f}"
+                            for b in ordered)
+        print(f"  peak-load throughput monotone in batch cap ({summary})")
+    for batch in ordered:
+        if batch not in baseline_cells:
+            print(f"  max_batch={batch}: no baseline cell, skipped")
+            continue
+        regressed |= _check(
+            f"throughput_rps[max_batch={batch}]",
+            baseline_cells[batch]["throughput_rps"],
+            fresh_cells[batch]["throughput_rps"],
+            threshold, lower_is_better=False)
+    return regressed
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", default=None,
+                        help="committed BENCH_e2e.json")
+    parser.add_argument("fresh", nargs="?", default=None,
+                        help="freshly generated BENCH_e2e.json")
+    parser.add_argument("--threshold", type=float, default=1.25,
+                        help="allowed regression factor (default 1.25 "
+                             "= 25%%)")
+    parser.add_argument("--serve-batch-baseline", default=None,
+                        metavar="PATH",
+                        help="committed BENCH_serve_batch.json")
+    parser.add_argument("--serve-batch-fresh", default=None,
+                        metavar="PATH",
+                        help="freshly generated BENCH_serve_batch.json")
+    args = parser.parse_args(argv)
+    if (args.baseline is None) != (args.fresh is None):
+        parser.error("baseline and fresh must be given together")
+    if (args.serve_batch_baseline is None) != (args.serve_batch_fresh
+                                               is None):
+        parser.error("--serve-batch-baseline and --serve-batch-fresh "
+                     "must be given together")
+    if args.baseline is None and args.serve_batch_baseline is None:
+        parser.error("nothing to check: give the e2e positionals, the "
+                     "--serve-batch-* pair, or both")
+
+    regressed = False
+    if args.baseline is not None:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        with open(args.fresh) as handle:
+            fresh = json.load(handle)
+        regressed |= _check_e2e(baseline, fresh, args.threshold)
+    if args.serve_batch_baseline is not None:
+        with open(args.serve_batch_baseline) as handle:
+            serve_baseline = json.load(handle)
+        with open(args.serve_batch_fresh) as handle:
+            serve_fresh = json.load(handle)
+        regressed |= _check_serve_batch(serve_baseline, serve_fresh,
+                                        args.threshold)
     if regressed:
         print("bench regression detected", file=sys.stderr)
         return 1

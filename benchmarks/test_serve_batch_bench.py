@@ -1,0 +1,66 @@
+"""Serving throughput vs. batch size (seeds BENCH_serve_batch.json).
+
+Sweeps the dynamic-batching scheduler's batch-size cap against a
+sub-capacity and an overload arrival rate on a two-device fleet, then
+writes the numbers to ``BENCH_serve_batch.json`` at the repo root so
+the batching win is tracked across PRs
+(``benchmarks/check_bench_regression.py --serve-batch-*`` compares a
+fresh run against the committed baseline in CI).
+
+Unlike the wall-clock benchmark next door, every number here is
+*simulated* time from the deterministic roofline executor, so the
+assertions can be exact: throughput must rise strictly monotonically
+with the batch cap at the overload rate, where completion is bound by
+service time rather than arrivals.
+"""
+
+import json
+import pathlib
+
+from repro.harness.bench import (render_serve_batch_bench,
+                                 run_serve_batch_bench)
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_serve_batch_bench():
+    results = run_serve_batch_bench()
+    print()
+    print(render_serve_batch_bench(results))
+    (_REPO_ROOT / "BENCH_serve_batch.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    peak = results["peak_load"]
+    by_load = {}
+    for cell in results["sweep"]:
+        by_load.setdefault(cell["load"], []).append(cell)
+    assert len(by_load) >= 2, "need a sub-capacity and an overload rate"
+
+    for load, cells in by_load.items():
+        cells.sort(key=lambda c: c["max_batch"])
+        assert [int(c["max_batch"]) for c in cells] == [1, 2, 4, 8]
+        for cell in cells:
+            # The tail-latency cost of batching is always reported.
+            assert cell["latency_p99_ms"] > 0.0
+            assert cell["latency_p99_ms"] >= cell["latency_p50_ms"]
+            assert cell["num_batches"] > 0.0
+            # Dispatch-level batch sizes respect the cap.
+            assert cell["batch_size_mean"] <= cell["max_batch"] + 1e-9
+
+    # The headline: at overload, throughput rises strictly with the
+    # batch cap -- weight traffic and launch overhead amortize.
+    overload = [c["throughput_rps"] for c in by_load[peak]]
+    assert all(b > a for a, b in zip(overload, overload[1:])), overload
+    # Batching must pay meaningfully, not just within float noise.
+    assert overload[-1] > 1.5 * overload[0]
+
+    # Under overload the queue is deep, so dispatches fill the cap.
+    deep = by_load[peak][-1]
+    assert deep["batch_size_mean"] > deep["max_batch"] / 2
+
+    # At sub-capacity load, throughput is arrival-bound: every config
+    # completes all requests, so rates stay within 15% of each other
+    # (makespan edge effects account for the slack).
+    low = min(load for load in by_load if load != peak)
+    sub = [c["throughput_rps"] for c in by_load[low]]
+    assert max(sub) < 1.15 * min(sub), sub

@@ -4,7 +4,7 @@ Three analyzers, one diagnostic vocabulary:
 
 * :class:`PlanVerifier` -- proves an
   :class:`~repro.runtime.plan.ExecutionPlan`'s invariants against its
-  graph and SoC before anything runs (rules ``PV001``-``PV010``);
+  graph and SoC before anything runs (rules ``PV001``-``PV011``);
 * :class:`TimelineRaceDetector` -- checks a post-run
   :class:`~repro.soc.Timeline` against the graph's happens-before
   relation and the CPU-accelerator handoff protocol

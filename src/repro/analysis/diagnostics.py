@@ -61,6 +61,8 @@ RULES: Dict[str, str] = {
              "GPU-unfriendly data type (paper Fig. 8)",
     "PV010": "NPU share under a policy that stores float activations "
              "(NPUs consume quantized tensors)",
+    "PV011": "plan batch size is not a positive integer (batch-keyed "
+             "plan-cache entries must never be mixed)",
     # -- TimelineRaceDetector ----------------------------------------------
     "RC001": "two busy intervals overlap on one resource",
     "RC002": "compute segment starts before a producer layer's compute "

@@ -1,4 +1,4 @@
-"""Static verification of execution plans (rules PV001-PV010).
+"""Static verification of execution plans (rules PV001-PV011).
 
 The partitioner validates the plans it builds, but plans also arrive
 from other sources -- hand-written baselines, future serialized plans,
@@ -19,7 +19,11 @@ reports *every* violation as a structured diagnostic:
   self-contained, fork before join (PV008);
 * quantization compatibility: cooperative GPU shares computed in
   QUInt8 (the GPU-unfriendly type, paper Fig. 8) and NPU shares under
-  float-activation policies are flagged (PV009/PV010, warnings).
+  float-activation policies are flagged (PV009/PV010, warnings);
+* batch consistency: the plan's batch size is a positive integer --
+  every placement in a plan was chosen for that one batch size, and
+  the executor refuses mixed-batch runs, so a malformed batch field
+  would silently corrupt batch-keyed plan-cache lookups (PV011).
 """
 
 from __future__ import annotations
@@ -57,6 +61,7 @@ class PlanVerifier:
                 "PV001", "plan",
                 f"plan built for graph {plan.graph_name!r} applied to "
                 f"graph {graph.name!r}")
+        self._check_batch(plan, report)
         branch_layers = self._check_branch_regions(graph, plan, report)
         self._check_coverage(graph, plan, branch_layers, report)
         for name, assignment in plan.assignments.items():
@@ -64,6 +69,24 @@ class PlanVerifier:
                 continue    # already reported by coverage (PV001)
             self._check_assignment(graph, plan.policy, assignment, report)
         return report
+
+    # -- batch consistency ---------------------------------------------------
+
+    @staticmethod
+    def _check_batch(plan: ExecutionPlan, report: Report) -> None:
+        """PV011: the plan-wide batch size must be a positive integer.
+
+        The batch is a plan-wide property: all placements share it, and
+        the plan cache keys entries by it, so a bogus value here means
+        every downstream timing and every cache lookup is wrong.
+        """
+        if (not isinstance(plan.batch, int)
+                or isinstance(plan.batch, bool) or plan.batch < 1):
+            report.error(
+                "PV011", "plan",
+                f"plan batch must be a positive integer, got "
+                f"{plan.batch!r}; batch-keyed plan-cache entries must "
+                "never be mixed")
 
     # -- coverage ----------------------------------------------------------
 

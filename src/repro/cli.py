@@ -25,7 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .models import build_model, list_models, model_info
 from .runtime import (MuLayer, run_layer_to_processor,
@@ -89,8 +89,18 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0,
                        help="workload seed (same seed, same trace)")
     serve.add_argument("--scheduler", default="edf",
-                       choices=["fifo", "least-loaded", "edf"],
+                       choices=["fifo", "least-loaded", "edf", "batch"],
                        help="scheduling policy")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       metavar="N",
+                       help="batch up to N same-model requests per "
+                            "dispatch (batch/edf schedulers; "
+                            "default: 4 for batch, 1 for edf)")
+    serve.add_argument("--batch-timeout-ms", type=float, default=None,
+                       metavar="MS",
+                       help="batch scheduler: flush a partial batch "
+                            "once its oldest request has waited MS "
+                            "milliseconds (default 50)")
     serve.add_argument("--workload", default="poisson",
                        choices=["poisson", "bursty"],
                        help="arrival process")
@@ -160,6 +170,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(e.g. BENCH_e2e.json)")
     bench.add_argument("--json", action="store_true",
                        help="print the results as JSON")
+    bench.add_argument("--serve-batch", action="store_true",
+                       help="run the serving-throughput benchmark "
+                            "instead: batch size x arrival rate sweep "
+                            "under the dynamic batching scheduler "
+                            "(simulated time; e.g. --output "
+                            "BENCH_serve_batch.json)")
+    bench.add_argument("--serve-requests", type=int, default=None,
+                       metavar="N",
+                       help="with --serve-batch: requests per sweep "
+                            "cell (default 128)")
     return parser
 
 
@@ -310,8 +330,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     plan_cache = (PlanCache(max_entries=args.plan_cache_size)
                   if args.plan_cache_size is not None else None)
     fleet = Fleet.build(soc_names, args.devices, plan_cache=plan_cache)
+    batch_timeout_s = (args.batch_timeout_ms / 1e3
+                       if args.batch_timeout_ms is not None else None)
+    scheduler = make_scheduler(args.scheduler, max_batch=args.max_batch,
+                               batch_timeout_s=batch_timeout_s)
+    max_batch = getattr(scheduler, "max_batch", 1)
     if args.jobs is not None:
-        fleet.warm_plans(models, jobs=args.jobs)
+        fleet.warm_plans(models, jobs=args.jobs,
+                         batches=tuple(range(1, max_batch + 1)))
     slos = default_slos(fleet, models, slo_factor=args.slo_factor)
     capacity = fleet.capacity_rps(models)
     if args.load is not None:
@@ -325,7 +351,6 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     else:
         workload = bursty_for_rate(rate, models, slos, seed=args.seed)
     requests = workload.generate(args.requests)
-    scheduler = make_scheduler(args.scheduler)
     result = ServingSimulator(fleet, scheduler).run(requests)
     metrics = ServingMetrics.from_result(result)
     if args.json:
@@ -340,6 +365,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "slo_factor": args.slo_factor,
             "seed": args.seed,
             "plan_cache_size": args.plan_cache_size,
+            "scheduler": scheduler.name,
+            "max_batch": max_batch,
+            "batch_timeout_s": getattr(scheduler, "batch_timeout_s",
+                                       None),
         }
         payload["plan_cache"] = fleet.plan_cache.stats()
         print(json.dumps(payload, indent=2))
@@ -380,6 +409,24 @@ def _cmd_figure(name: str, jobs: Optional[int] = None) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .harness.bench import render_bench, run_bench
     models = args.models.split(",") if args.models else None
+    if args.serve_batch:
+        from .harness.bench import (render_serve_batch_bench,
+                                    run_serve_batch_bench)
+        serve_kwargs: Dict[str, object] = {}
+        if models:
+            serve_kwargs["model"] = models[0]
+        if args.serve_requests is not None:
+            serve_kwargs["num_requests"] = args.serve_requests
+        results = run_serve_batch_bench(**serve_kwargs)
+        if args.output:
+            with open(args.output, "w") as handle:
+                json.dump(results, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if args.json:
+            print(json.dumps(results, indent=2, sort_keys=True))
+        else:
+            print(render_serve_batch_bench(results))
+        return 0
     results = run_bench(models=models, repeats=args.repeats,
                         jobs=args.jobs)
     if args.output:

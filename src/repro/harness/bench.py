@@ -184,6 +184,113 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
     }
 
 
+#: Batch-size axis of the serving-throughput benchmark.
+SERVE_BATCH_SIZES = (1, 2, 4, 8)
+
+#: Arrival rates of the serving-throughput benchmark, as multiples of
+#: the fleet's batch-1 μLayer capacity.  The sub-capacity point shows
+#: batching's latency cost at modest load; the overload point must
+#: exceed even the largest batch configuration's capacity so every
+#: cell stays service-bound -- that is where batching's amortization
+#: shows up as completed requests per second rather than being capped
+#: by the arrival rate.
+SERVE_LOAD_FACTORS = (0.8, 4.0)
+
+
+def run_serve_batch_bench(model: str = "vgg_mini",
+                          batch_sizes: Sequence[int] = SERVE_BATCH_SIZES,
+                          load_factors: Sequence[float]
+                          = SERVE_LOAD_FACTORS,
+                          num_requests: int = 128,
+                          num_devices: int = 2,
+                          soc_names: Sequence[str] = ("exynos7420",),
+                          batch_timeout_s: float = 0.01,
+                          slo_factor: float = 16.0,
+                          seed: int = 2019) -> Dict:
+    """Serving throughput vs. batch size x arrival rate
+    (``BENCH_serve_batch.json``).
+
+    For each (max_batch, load) cell a fresh fleet serves one seeded
+    Poisson trace under the :class:`~repro.serve.DynamicBatchScheduler`
+    capped at ``max_batch``; ``max_batch=1`` is the unbatched baseline.
+    All times are *simulated* (the executor's deterministic timing
+    model), so the numbers are bit-stable across machines and CI can
+    gate on them: at the overload factor, throughput must rise
+    monotonically with the batch cap while the reported p99 latency
+    shows what that throughput costs.  One plan cache is shared across
+    cells so each (mechanism, batch) configuration partitions once.
+    """
+    from ..runtime.plan_cache import PlanCache
+    from ..serve import (DynamicBatchScheduler, Fleet, PoissonWorkload,
+                         ServingMetrics, ServingSimulator, default_slos)
+
+    if num_requests < 1:
+        raise ValueError("num_requests must be >= 1")
+    plan_cache = PlanCache()
+    reference = Fleet.build(soc_names, num_devices,
+                            plan_cache=plan_cache)
+    capacity = reference.capacity_rps([model])
+    slos = default_slos(reference, [model], slo_factor=slo_factor)
+    cells: List[Dict[str, float]] = []
+    for load in load_factors:
+        rate = capacity * load
+        trace = PoissonWorkload(rate_rps=rate, models=[model],
+                                slo_s=slos, seed=seed
+                                ).generate(num_requests)
+        for max_batch in batch_sizes:
+            fleet = Fleet.build(soc_names, num_devices,
+                                plan_cache=plan_cache)
+            scheduler = DynamicBatchScheduler(
+                max_batch=max_batch, batch_timeout_s=batch_timeout_s)
+            result = ServingSimulator(fleet, scheduler).run(trace)
+            metrics = ServingMetrics.from_result(result)
+            cells.append({
+                "max_batch": float(max_batch),
+                "load": load,
+                "rate_rps": rate,
+                "throughput_rps": metrics.throughput_rps,
+                "latency_p50_ms": metrics.latency_p50_ms,
+                "latency_p99_ms": metrics.latency_p99_ms,
+                "queue_wait_p99_ms": metrics.queue_wait_p99_ms,
+                "slo_attainment": metrics.slo_attainment,
+                "batch_size_mean": metrics.batch_size_mean,
+                "num_batches": float(metrics.num_batches),
+            })
+    return {
+        "schema": 1,
+        "model": model,
+        "socs": list(soc_names),
+        "num_devices": num_devices,
+        "num_requests": num_requests,
+        "batch_timeout_s": batch_timeout_s,
+        "slo_factor": slo_factor,
+        "seed": seed,
+        "capacity_rps": capacity,
+        "peak_load": max(load_factors),
+        "sweep": cells,
+    }
+
+
+def render_serve_batch_bench(results: Dict) -> str:
+    """The serving-batch benchmark as a printable table."""
+    from .report import format_table
+    rows: List[List] = [
+        [int(cell["max_batch"]), cell["load"], cell["throughput_rps"],
+         cell["latency_p50_ms"], cell["latency_p99_ms"],
+         cell["queue_wait_p99_ms"], cell["batch_size_mean"]]
+        for cell in results["sweep"]]
+    text = format_table(
+        ["max_batch", "load", "req/s", "p50_ms", "p99_ms",
+         "wait_p99_ms", "mean_batch"],
+        rows,
+        title=(f"serving throughput, {results['model']} on "
+               f"{'+'.join(results['socs'])} x{results['num_devices']}"))
+    text += (f"\n\nbatch-1 capacity {results['capacity_rps']:.1f} req/s;"
+             f" {results['num_requests']} requests per cell "
+             f"(simulated time)")
+    return text
+
+
 def render_bench(results: Dict) -> str:
     """The benchmark results as a printable table."""
     from .report import format_table

@@ -102,6 +102,31 @@ class LayerWork:
                 1, int(round(self.parallel_channels * fraction))),
         )
 
+    def batched(self, batch: int) -> "LayerWork":
+        """Work of the same layer over a batch of ``batch`` inputs.
+
+        Arithmetic and activation traffic scale with the batch, while
+        the parameters are read once per kernel regardless of batch
+        size -- that amortization is what makes batched GEMM pay.  The
+        parallel channel width is unchanged: batching adds GEMM *rows*,
+        not output channels, so a narrow kernel stays narrow.
+
+        ``batched(1)`` returns ``self`` unchanged, keeping the batch-1
+        timing path bit-identical to the unbatched one.
+        """
+        if batch == 1:
+            return self
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        return LayerWork(
+            macs=self.macs * batch,
+            simple_ops=self.simple_ops * batch,
+            param_elements=self.param_elements,
+            input_elements=self.input_elements * batch,
+            output_elements=self.output_elements * batch,
+            parallel_channels=self.parallel_channels,
+        )
+
 
 class Layer:
     """Base class of all graph nodes.

@@ -30,13 +30,16 @@ from .plan import ExecutionPlan, LayerAssignment
 
 
 def single_processor_plan(graph: Graph, resource: str,
-                          policy: QuantizationPolicy) -> ExecutionPlan:
+                          policy: QuantizationPolicy,
+                          batch: int = 1) -> ExecutionPlan:
     """A plan placing every layer on one processor.
 
     ``resource`` is ``"cpu"``, ``"gpu"``, or ``"npu"``.  Because a
     fixed-function NPU only executes conv/FC kernels, NPU plans place
     everything else (pooling, concat, softmax, ...) on the CPU -- the
-    way real NPU delegates fall back to the host.
+    way real NPU delegates fall back to the host.  Single-processor
+    placement does not depend on the batch, but the plan still records
+    it so batched executions are timed at the right size.
     """
     if resource == "npu":
         from .branch_dist import NPU_KINDS
@@ -47,12 +50,12 @@ def single_processor_plan(graph: Graph, resource: str,
             else:
                 assignments[name] = LayerAssignment.on_cpu(name)
         return ExecutionPlan(graph_name=graph.name, policy=policy,
-                             assignments=assignments)
+                             assignments=assignments, batch=batch)
     make = (LayerAssignment.on_cpu if resource == "cpu"
             else LayerAssignment.on_gpu)
     assignments = {name: make(name) for name in graph.compute_layers()}
     return ExecutionPlan(graph_name=graph.name, policy=policy,
-                         assignments=assignments)
+                         assignments=assignments, batch=batch)
 
 
 def run_single_processor(soc: SoCSpec, graph: Graph, resource: str,

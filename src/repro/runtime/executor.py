@@ -16,7 +16,15 @@ The GPU is always present; on NPU-equipped SoCs (the paper's Section
 8.3 extension) a second in-order command queue drives the NPU, and
 cooperative layers may split channels three ways.
 
-Timing is modelled for batch-1 inference (the paper's latency metric).
+Timing covers any batch size: batch-1 is the paper's
+mobile-interactive latency metric and reproduces the original numbers
+bit-for-bit, while batch-N runs amortize weight traffic and kernel
+launches across the batch (the serving layer's throughput lever).
+Batched functional execution feeds each sample through the same
+batch-1 kernels and stacks the outputs, mirroring row-independent GEMM
+hardware -- so a request's numbers never depend on what it was batched
+with (numpy's BLAS would otherwise leak the batch shape into float
+results through its blocking heuristics).
 """
 
 from __future__ import annotations
@@ -104,7 +112,8 @@ class Executor:
     def run(self, graph: Graph, plan: ExecutionPlan,
             x: Optional[np.ndarray] = None,
             calibration: Optional[CalibrationTable] = None,
-            mechanism: str = "custom") -> InferenceResult:
+            mechanism: str = "custom",
+            batch: Optional[int] = None) -> InferenceResult:
         """Execute ``graph`` according to ``plan``.
 
         Args:
@@ -114,20 +123,45 @@ class Executor:
             calibration: per-layer activation ranges, required for
                 functional execution under a quantized policy.
             mechanism: label recorded in the result.
+            batch: batch size to time.  Defaults to the leading
+                dimension of ``x`` when input data is given, else to
+                the plan's batch.  A plan built for batch B > 1 only
+                runs at batch B; a batch-1 plan runs at any batch (its
+                splits are then reused, only the timing scales).
 
         Returns:
             The inference result with latency, energy, traces, and
             (for functional runs) all layer outputs.
         """
         plan.validate(graph)
+        batch = self._resolve_batch(plan, x, batch)
         report = (self._verify_static(graph, plan, calibration)
                   if self.verify else None)
-        run_state = _RunState(self, graph, plan, x, calibration)
+        run_state = _RunState(self, graph, plan, x, calibration, batch)
         run_state.execute()
         result = run_state.result(mechanism)
         if report is not None:
             self._verify_timeline(graph, plan, result, report)
         return result
+
+    @staticmethod
+    def _resolve_batch(plan: ExecutionPlan, x: Optional[np.ndarray],
+                       batch: Optional[int]) -> int:
+        """The effective batch size of one run (validated)."""
+        if batch is None:
+            batch = int(x.shape[0]) if x is not None else plan.batch
+        if batch < 1:
+            raise PlanError(f"batch must be >= 1, got {batch}")
+        if x is not None and x.shape[0] != batch:
+            raise PlanError(
+                f"input has batch {x.shape[0]} but the run was asked "
+                f"for batch {batch}")
+        if plan.batch not in (1, batch):
+            raise PlanError(
+                f"plan was partitioned for batch {plan.batch} but the "
+                f"run uses batch {batch}; rebuild the plan (batch-keyed "
+                "plan-cache entries must never be mixed)")
+        return batch
 
     def _verify_static(self, graph: Graph, plan: ExecutionPlan,
                        calibration: Optional[CalibrationTable]):
@@ -158,11 +192,13 @@ class _RunState:
 
     def __init__(self, executor: Executor, graph: Graph,
                  plan: ExecutionPlan, x: Optional[np.ndarray],
-                 calibration: Optional[CalibrationTable]) -> None:
+                 calibration: Optional[CalibrationTable],
+                 batch: int = 1) -> None:
         self.executor = executor
         self.soc = executor.soc
         self.graph = graph
         self.plan = plan
+        self.batch = batch
         self.timeline = Timeline()
         self.queues: Dict[str, CommandQueue] = {
             GPU: CommandQueue(self.timeline, self.soc.gpu,
@@ -174,11 +210,22 @@ class _RunState:
                 resource=NPU)
         self.policy = plan.policy
         self.computer: Optional[LayerComputer] = None
-        self.values: Dict[str, Tensor] = {}
+        # One value dict per sample: the batched functional path runs
+        # every sample through the same batch-1 kernels (hardware GEMM
+        # is row-independent; numpy's BLAS blocking is not, so a fused
+        # batch matmul would make float results depend on the batch).
+        # Batch-1 keeps the single dict it always had.
+        self.sample_values: List[Dict[str, Tensor]] = []
+        self.sample_inputs: List[np.ndarray] = []
         if x is not None:
             self.computer = executor._computer_for(graph, plan.policy,
                                                    calibration)
             self.computer.begin_inference()
+            if batch == 1:
+                self.sample_inputs = [x]
+            else:
+                self.sample_inputs = [x[i:i + 1] for i in range(batch)]
+            self.sample_values = [{} for _ in self.sample_inputs]
         self.input_data = x
         self.ready: Dict[str, float] = {}
         self.producers: Dict[str, Set[str]] = {}
@@ -222,8 +269,21 @@ class _RunState:
             timeline=self.timeline,
             traces=self.traces,
             traffic_bytes=self.traffic,
-            outputs=dict(self.values) if self.computer else None,
+            outputs=self._outputs(),
+            batch=self.batch,
         )
+
+    def _outputs(self) -> Optional[Dict[str, Tensor]]:
+        """Layer outputs, stacked back along the batch axis."""
+        if self.computer is None:
+            return None
+        if self.batch == 1:
+            return dict(self.sample_values[0])
+        from ..tensor import concat_channels
+        return {name: concat_channels(
+                    [values[name] for values in self.sample_values],
+                    axis=0)
+                for name in self.sample_values[0]}
 
     # -- building blocks ------------------------------------------------------
 
@@ -231,17 +291,18 @@ class _RunState:
         self.ready[name] = 0.0
         self.producers[name] = {CPU}   # host data arrives CPU-side
         if self.computer is not None:
-            assert self.input_data is not None
-            self.values[name] = self.computer.input_tensor(
-                name, self.input_data)
+            for values, sample in zip(self.sample_values,
+                                      self.sample_inputs):
+                values[name] = self.computer.input_tensor(name, sample)
 
     def _layer_work(self, name: str) -> LayerWork:
         return self.graph.layer_work(name)
 
     def _activation_bytes(self, name: str) -> float:
-        """Storage bytes of one layer's output (batch 1)."""
+        """Storage bytes of one layer's output at the run's batch size
+        (the graph's declared leading dimension is replaced by it)."""
         shape = self.shapes[name]
-        elements = int(np.prod(shape[1:]))
+        elements = int(np.prod(shape[1:])) * self.batch
         return float(elements * self.policy.activation_storage.itemsize)
 
     def _deps_ready(self, name: str) -> Tuple[float, Set[str]]:
@@ -308,7 +369,8 @@ class _RunState:
         return kernel_cost(self.soc.processor(resource), self.soc.memory,
                            work, self.policy.compute_dtype(resource),
                            self.policy.activation_storage,
-                           self.policy.param_storage(resource))
+                           self.policy.param_storage(resource),
+                           batch=self.batch)
 
     def _run_on_cpu(self, name: str, data_ready: float,
                     input_resources: Set[str]) -> float:
@@ -320,7 +382,7 @@ class _RunState:
             dtype=self.policy.cpu_compute, earliest=data_ready)
         self.traffic += kernel_traffic_bytes(
             work, self.policy.activation_storage,
-            self.policy.cpu_param_storage)
+            self.policy.cpu_param_storage, batch=self.batch)
         self.ready[name] = segment.end
         self.producers[name] = {CPU}
         self._compute_value(name, "cpu")
@@ -342,7 +404,7 @@ class _RunState:
             ready=data_ready)
         self.traffic += kernel_traffic_bytes(
             work, self.policy.activation_storage,
-            self.policy.param_storage(resource))
+            self.policy.param_storage(resource), batch=self.batch)
         self.ready[name] = event.completed_at
         self.producers[name] = {resource}
         self._compute_value(name, resource)
@@ -388,13 +450,14 @@ class _RunState:
         for resource, work in works.items():
             self.traffic += kernel_traffic_bytes(
                 work, self.policy.activation_storage,
-                self.policy.param_storage(resource))
+                self.policy.param_storage(resource), batch=self.batch)
         self.ready[name] = end
         self.producers[name] = set(works)
         if self.computer is not None:
-            inputs = [self.values[p] for p in self.graph.inputs_of(name)]
-            self.values[name] = self.computer.run_cooperative_shares(
-                name, inputs, shares)
+            for values in self.sample_values:
+                inputs = [values[p] for p in self.graph.inputs_of(name)]
+                values[name] = self.computer.run_cooperative_shares(
+                    name, inputs, shares)
         self._record(name, "cooperative", assignment.split, data_ready,
                      end, cpu_busy=cpu_busy,
                      gpu_busy=costs[GPU].total_s if GPU in costs else 0.0)
@@ -402,8 +465,9 @@ class _RunState:
     def _compute_value(self, name: str, resource: str) -> None:
         if self.computer is None:
             return
-        inputs = [self.values[p] for p in self.graph.inputs_of(name)]
-        self.values[name] = self.computer.run_full(name, inputs, resource)
+        for values in self.sample_values:
+            inputs = [values[p] for p in self.graph.inputs_of(name)]
+            values[name] = self.computer.run_full(name, inputs, resource)
 
     def _record(self, name: str, placement: str, split: float,
                 start: float, end: float, cpu_busy: float,
@@ -414,7 +478,7 @@ class _RunState:
             end_s=end, cpu_busy_s=cpu_busy, gpu_busy_s=gpu_busy,
             traffic_bytes=kernel_traffic_bytes(
                 work, self.policy.activation_storage,
-                self.policy.activation_storage)))
+                self.policy.activation_storage, batch=self.batch)))
 
     # -- branch-distributed regions -------------------------------------------
 
@@ -464,7 +528,7 @@ class _RunState:
             ready=prev)
         self.traffic += kernel_traffic_bytes(
             work, self.policy.activation_storage,
-            self.policy.param_storage(resource))
+            self.policy.param_storage(resource), batch=self.batch)
         self.ready[name] = event.completed_at
         self.producers[name] = {resource}
         self._compute_value(name, resource)
@@ -481,7 +545,7 @@ class _RunState:
             dtype=self.policy.cpu_compute, earliest=prev)
         self.traffic += kernel_traffic_bytes(
             work, self.policy.activation_storage,
-            self.policy.cpu_param_storage)
+            self.policy.cpu_param_storage, batch=self.batch)
         self.ready[name] = segment.end
         self.producers[name] = {CPU}
         self._compute_value(name, "cpu")

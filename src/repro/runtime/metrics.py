@@ -72,6 +72,9 @@ class InferenceResult:
         diagnostics: the verification report (present only when the
             executor ran with ``verify=True``; contains at most
             warnings/infos, since errors raise instead).
+        batch: the batch size of the inference; ``latency_s`` is the
+            makespan of the whole batch, so the per-sample latency is
+            ``latency_s / batch``.
     """
 
     graph_name: str
@@ -85,11 +88,17 @@ class InferenceResult:
     traffic_bytes: float
     outputs: Optional[Dict[str, Tensor]] = None
     diagnostics: Optional["Report"] = None
+    batch: int = 1
 
     @property
     def latency_ms(self) -> float:
         """End-to-end latency in milliseconds."""
         return self.latency_s * 1e3
+
+    @property
+    def per_sample_latency_s(self) -> float:
+        """Batch makespan divided by the batch size."""
+        return self.latency_s / self.batch
 
     @property
     def energy_mj(self) -> float:
@@ -121,6 +130,7 @@ class InferenceResult:
             "soc": self.soc_name,
             "policy": self.policy_name,
             "mechanism": self.mechanism,
+            "batch": self.batch,
             "latency_s": self.latency_s,
             "latency_ms": self.latency_ms,
             "energy_mj": self.energy_mj,

@@ -74,19 +74,25 @@ class MuLayer:
         self.plan_cache = plan_cache if plan_cache is not None else (
             PlanCache())
 
-    def _plan_key(self, graph: Graph) -> PlanKey:
+    def _plan_key(self, graph: Graph, batch: int = 1) -> PlanKey:
         """The cache identity of this runtime's plan for ``graph``."""
         return PlanKey(model=graph.name, soc=self.soc.name,
-                       mechanism="mulayer", policy=self.policy.name)
+                       mechanism="mulayer", policy=self.policy.name,
+                       batch=batch)
 
-    def plan(self, graph: Graph) -> ExecutionPlan:
-        """The execution plan for ``graph`` (cached per configuration)."""
+    def plan(self, graph: Graph, batch: int = 1) -> ExecutionPlan:
+        """The execution plan for ``graph`` (cached per configuration).
+
+        Plans are cached per batch size: a batch-4 plan has its own
+        split ratios and must never be served for a batch-1 request.
+        """
         return self.plan_cache.get_or_build(
-            self._plan_key(graph), lambda: self.partitioner.plan(graph))
+            self._plan_key(graph, batch),
+            lambda: self.partitioner.plan(graph, batch=batch))
 
     def run(self, graph: Graph, x: Optional[np.ndarray] = None,
-            calibration: Optional[CalibrationTable] = None
-            ) -> InferenceResult:
+            calibration: Optional[CalibrationTable] = None,
+            batch: Optional[int] = None) -> InferenceResult:
         """Plan (if needed) and execute one inference.
 
         Args:
@@ -95,11 +101,15 @@ class MuLayer:
                 timing-only runs.
             calibration: activation ranges, required for functional
                 runs under a quantized policy.
+            batch: batch size to plan and time for; defaults to the
+                leading dimension of ``x`` when data is given, else 1.
         """
-        plan = self.plan(graph)
+        if batch is None:
+            batch = int(x.shape[0]) if x is not None else 1
+        plan = self.plan(graph, batch=batch)
         return self.executor.run(graph, plan, x=x,
                                  calibration=calibration,
-                                 mechanism="mulayer")
+                                 mechanism="mulayer", batch=batch)
 
 
 def mulayer_ablation_stages(soc: SoCSpec,

@@ -64,7 +64,8 @@ class Partitioner:
 
     # -- cost estimation ------------------------------------------------------
 
-    def _busy(self, resource: str, work: LayerWork) -> float:
+    def _busy(self, resource: str, work: LayerWork,
+              batch: int = 1) -> float:
         """Estimated busy seconds of ``work`` on ``resource``."""
         if self.config.use_oracle_costs:
             processor = self.soc.processor(resource)
@@ -72,32 +73,36 @@ class Partitioner:
                 processor, self.soc.memory, work,
                 self.policy.compute_dtype(resource),
                 self.policy.activation_storage,
-                self.policy.param_storage(resource)).busy_s
+                self.policy.param_storage(resource),
+                batch=batch).busy_s
         assert self.predictor is not None
-        return self.predictor.predict(resource, work, self.policy)
+        return self.predictor.predict(resource, work, self.policy,
+                                      batch=batch)
 
     def estimate_shares_latency(self, graph: Graph, name: str,
-                                shares: "Dict[str, float]") -> float:
+                                shares: "Dict[str, float]",
+                                batch: int = 1) -> float:
         """Estimated wall latency of one layer split by ``shares``."""
         issue = ISSUE_US * 1e-6
         work = graph.layer_work(name)
         active = {resource: share for resource, share in shares.items()
                   if share > 0.0}
         if list(active) == ["cpu"]:
-            return self._busy("cpu", work) + self.soc.cpu.launch_seconds()
+            return (self._busy("cpu", work, batch)
+                    + self.soc.cpu.launch_seconds())
         if len(active) == 1:
             (resource,) = active
             return (issue
                     + self.soc.processor(resource).launch_seconds()
-                    + self._busy(resource, work))
+                    + self._busy(resource, work, batch))
         if self.config.use_oracle_costs:
             works = split_layer_work_shares(graph, name, active)
-            busy = {resource: self._busy(resource, part)
+            busy = {resource: self._busy(resource, part, batch)
                     for resource, part in works.items()}
         else:
             # The paper's predictor scales whole-layer latency by the
             # share ratio.
-            busy = {resource: self._busy(resource, work) * share
+            busy = {resource: self._busy(resource, work, batch) * share
                     for resource, share in active.items()}
         sides = []
         for resource, busy_s in busy.items():
@@ -107,18 +112,18 @@ class Partitioner:
         # used (the event waits serialize on the CPU) plus a zero-copy
         # map of the merged output when the next consumer touches it.
         accelerators = sum(1 for resource in active if resource != "cpu")
-        merge_bytes = (work.output_elements
+        merge_bytes = (work.output_elements * batch
                        * self.policy.activation_storage.itemsize)
         merge = self.soc.memory.map_seconds(merge_bytes)
         return (max(sides) + accelerators * self.soc.sync_seconds()
                 + merge)
 
     def estimate_split_latency(self, graph: Graph, name: str,
-                               split: float) -> float:
+                               split: float, batch: int = 1) -> float:
         """Estimated wall latency of one layer at CPU share ``split``
         (two-way CPU/GPU form)."""
         return self.estimate_shares_latency(
-            graph, name, {"cpu": split, "gpu": 1.0 - split})
+            graph, name, {"cpu": split, "gpu": 1.0 - split}, batch=batch)
 
     def _candidate_shares(self, graph: Graph,
                           name: str) -> "List[Dict[str, float]]":
@@ -151,12 +156,14 @@ class Partitioner:
                                        "npu": 1.0 - cpu_share})
         return candidates
 
-    def choose_split(self, graph: Graph, name: str) -> LayerAssignment:
+    def choose_split(self, graph: Graph, name: str,
+                     batch: int = 1) -> LayerAssignment:
         """Best assignment of one layer among the candidate splits."""
         best_shares: "Dict[str, float]" = {"cpu": 1.0}
         best_latency = float("inf")
         for shares in self._candidate_shares(graph, name):
-            latency = self.estimate_shares_latency(graph, name, shares)
+            latency = self.estimate_shares_latency(graph, name, shares,
+                                                   batch=batch)
             if latency < best_latency:
                 best_latency = latency
                 best_shares = shares
@@ -180,15 +187,22 @@ class Partitioner:
 
     # -- planning -------------------------------------------------------------
 
-    def plan(self, graph: Graph) -> ExecutionPlan:
-        """Build a validated execution plan for ``graph``."""
+    def plan(self, graph: Graph, batch: int = 1) -> ExecutionPlan:
+        """Build a validated execution plan for ``graph``.
+
+        With ``batch > 1`` every placement decision is costed at that
+        batch size (weight traffic amortized, compute scaled), and the
+        returned plan carries the batch so the executor times it
+        consistently.  ``batch=1`` reproduces the original plans
+        bit-for-bit.
+        """
         branch_assignments: List[BranchAssignment] = []
         branch_layers: set = set()
         if self.config.enable_branch_distribution:
             for region in find_branch_regions(graph):
                 if set(region.layer_names) & branch_layers:
                     continue    # overlaps an already-chosen region
-                decision = self._decide_region(graph, region)
+                decision = self._decide_region(graph, region, batch)
                 if decision is not None:
                     branch_assignments.append(decision)
                     branch_layers |= set(region.layer_names)
@@ -196,15 +210,17 @@ class Partitioner:
         for name in graph.compute_layers():
             if name in branch_layers:
                 continue
-            assignments[name] = self.choose_split(graph, name)
+            assignments[name] = self.choose_split(graph, name,
+                                                  batch=batch)
         plan = ExecutionPlan(graph_name=graph.name, policy=self.policy,
                              assignments=assignments,
-                             branch_assignments=branch_assignments)
+                             branch_assignments=branch_assignments,
+                             batch=batch)
         plan.validate(graph)
         return plan
 
-    def _decide_region(self, graph: Graph,
-                       region: BranchRegion) -> Optional[BranchAssignment]:
+    def _decide_region(self, graph: Graph, region: BranchRegion,
+                       batch: int = 1) -> Optional[BranchAssignment]:
         """Branch-distribute ``region`` if it beats per-layer execution.
 
         Following the paper (Section 5), candidate mappings are judged
@@ -225,15 +241,19 @@ class Partitioner:
         executor = Executor(self.soc)
         per_layer = ExecutionPlan(
             graph_name=sub.name, policy=self.policy,
-            assignments={name: self.choose_split(sub, name)
-                         for name in sub.compute_layers()})
+            assignments={name: self.choose_split(sub, name, batch=batch)
+                         for name in sub.compute_layers()},
+            batch=batch)
         per_layer_latency = executor.run(sub, per_layer).latency_s
-        join_assignment = self.choose_split(sub, region.join)
+        join_assignment = self.choose_split(sub, region.join,
+                                            batch=batch)
         best_mapping: Optional[Tuple[str, ...]] = None
         best_latency = float("inf")
         # Prune with the analytic estimate, then measure the top
         # candidates exactly.
-        profiles = profile_branches(sub, region, self.soc, self._busy)
+        profiles = profile_branches(
+            sub, region, self.soc,
+            lambda resource, work: self._busy(resource, work, batch))
         resources = tuple(self.soc.resources())
         candidates = sorted(
             (mapping for mapping in itertools.product(
@@ -247,7 +267,8 @@ class Partitioner:
             plan = ExecutionPlan(
                 graph_name=sub.name, policy=self.policy,
                 assignments={region.join: join_assignment},
-                branch_assignments=[BranchAssignment(region, mapping)])
+                branch_assignments=[BranchAssignment(region, mapping)],
+                batch=batch)
             latency = executor.run(sub, plan).latency_s
             if latency < best_latency:
                 best_latency = latency

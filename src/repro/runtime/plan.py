@@ -197,6 +197,12 @@ class ExecutionPlan:
         branch_assignments: branch-distributed regions, in topological
             fork order; their internal layers must not appear in
             ``assignments``.
+        batch: the batch size the plan was partitioned for.  One batch
+            size per plan -- every placement in the plan was chosen for
+            (and is timed at) this batch; the executor refuses to run a
+            batch-B plan at a different batch unless B == 1 (a batch-1
+            plan may be reused at any batch, its split ratios are then
+            merely suboptimal, not wrong).
     """
 
     graph_name: str
@@ -204,18 +210,24 @@ class ExecutionPlan:
     assignments: Dict[str, LayerAssignment]
     branch_assignments: List[BranchAssignment] = dataclasses.field(
         default_factory=list)
+    batch: int = 1
 
     def validate(self, graph: Graph) -> None:
         """Check the plan covers the graph exactly once.
 
         Raises:
             PlanError: if a compute layer is unassigned, doubly
-                assigned, or unknown.
+                assigned, or unknown, or the batch size is invalid.
         """
         if graph.name != self.graph_name:
             raise PlanError(
                 f"plan for {self.graph_name!r} applied to graph "
                 f"{graph.name!r}")
+        if not isinstance(self.batch, int) or isinstance(self.batch, bool) \
+                or self.batch < 1:
+            raise PlanError(
+                f"plan batch must be a positive integer, got "
+                f"{self.batch!r}")
         branch_layers = set()
         for branch_assignment in self.branch_assignments:
             for name in branch_assignment.region.layer_names:

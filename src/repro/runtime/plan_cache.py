@@ -37,12 +37,17 @@ class PlanKey:
             ``"l2p"``.
         policy: name of the quantization policy in force (distinct
             dtype policies must never share a plan).
+        batch: the batch size the plan was partitioned for.  Plans for
+            different batch sizes have different split ratios and
+            timings, so they never share a cache entry; the default
+            keeps all pre-batching keys unchanged.
     """
 
     model: str
     soc: str
     mechanism: str
     policy: str
+    batch: int = 1
 
 
 class PlanCache:

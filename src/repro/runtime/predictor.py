@@ -32,6 +32,11 @@ from .pfq import QuantizationPolicy
 #: parameter storage).
 ModelKey = Tuple[str, DType, DType, DType]
 
+#: Batch sizes profiled when fitting the batch-aware model.  The grid
+#: brackets the serving layer's dynamic-batching range; predictions
+#: interpolate (and mildly extrapolate) in log-batch space.
+BATCH_PROFILE_GRID = (1, 2, 4, 8, 16)
+
 
 def _features(work: LayerWork) -> np.ndarray:
     """Log-space feature vector of one layer configuration.
@@ -57,6 +62,25 @@ def _features(work: LayerWork) -> np.ndarray:
     ])
 
 
+def _batch_features(work: LayerWork, batch: int) -> np.ndarray:
+    """Feature vector of one (layer configuration, batch size) pair.
+
+    Extends :func:`_features` with log-batch terms: ``log(batch)`` is 0
+    at batch 1, so the batch model degrades gracefully toward the
+    batch-1 behaviour, and the ``log_macs * log_batch`` interaction
+    captures how weight-traffic amortization matters more for
+    parameter-heavy layers.
+    """
+    base = _features(work)
+    log_batch = np.log(float(batch))
+    log_macs = base[1]
+    return np.concatenate([base, [
+        log_batch,
+        log_batch * log_batch,
+        log_macs * log_batch,
+    ]])
+
+
 @dataclasses.dataclass
 class _Regression:
     """One fitted log-space linear model."""
@@ -66,6 +90,18 @@ class _Regression:
 
     def predict(self, work: LayerWork) -> float:
         log_latency = float(_features(work) @ self.weights)
+        return float(np.exp(log_latency))
+
+
+@dataclasses.dataclass
+class _BatchRegression:
+    """One fitted log-space linear model over (work, batch) pairs."""
+
+    weights: np.ndarray
+    training_error: float
+
+    def predict(self, work: LayerWork, batch: int) -> float:
+        log_latency = float(_batch_features(work, batch) @ self.weights)
         return float(np.exp(log_latency))
 
 
@@ -87,6 +123,7 @@ class LatencyPredictor:
         self._soc = soc
         self._seed = seed
         self._models: Dict[ModelKey, _Regression] = {}
+        self._batch_models: Dict[ModelKey, _BatchRegression] = {}
 
     # -- training ----------------------------------------------------------
 
@@ -98,10 +135,17 @@ class LatencyPredictor:
 
         When ``samples`` is omitted a default sweep of conv-, FC-, and
         pool-shaped configurations is profiled.
+
+        Fits two models per key: the paper's batch-1 regression
+        (untouched by the batching work, so batch-1 plans stay
+        bit-identical) and a batch-aware regression profiled over
+        :data:`BATCH_PROFILE_GRID`, which the partitioner consults when
+        choosing split ratios for batched serving.
         """
         if samples is None:
             samples = default_profiling_samples(seed=self._seed)
         processor = self._soc.processor(resource)
+        key = (resource, compute_dtype, activation_storage, param_storage)
         rows = []
         targets = []
         for work in samples:
@@ -116,9 +160,27 @@ class LatencyPredictor:
         predicted = np.exp(design @ weights)
         actual = np.exp(observed)
         error = float(np.mean(np.abs(predicted - actual) / actual))
-        key = (resource, compute_dtype, activation_storage, param_storage)
         self._models[key] = _Regression(weights=weights,
                                         training_error=error)
+        batch_rows = []
+        batch_targets = []
+        for work in samples:
+            for batch in BATCH_PROFILE_GRID:
+                cost = kernel_cost(processor, self._soc.memory, work,
+                                   compute_dtype, activation_storage,
+                                   param_storage, batch=batch)
+                batch_rows.append(_batch_features(work, batch))
+                batch_targets.append(np.log(max(cost.busy_s, 1e-9)))
+        batch_design = np.asarray(batch_rows)
+        batch_observed = np.asarray(batch_targets)
+        batch_weights, *_ = np.linalg.lstsq(batch_design, batch_observed,
+                                            rcond=None)
+        batch_predicted = np.exp(batch_design @ batch_weights)
+        batch_actual = np.exp(batch_observed)
+        batch_error = float(np.mean(
+            np.abs(batch_predicted - batch_actual) / batch_actual))
+        self._batch_models[key] = _BatchRegression(
+            weights=batch_weights, training_error=batch_error)
         return error
 
     def calibrate_policy(self, policy: QuantizationPolicy) -> None:
@@ -136,40 +198,63 @@ class LatencyPredictor:
     # -- prediction ----------------------------------------------------------
 
     def predict(self, resource: str, work: LayerWork,
-                policy: QuantizationPolicy) -> float:
+                policy: QuantizationPolicy, batch: int = 1) -> float:
         """Predicted busy time of ``work`` on ``resource``.
+
+        Batch 1 always uses the paper's batch-1 regression, so adding
+        batch awareness changed no batch-1 prediction; larger batches
+        consult the batch-aware model fitted over the profiling grid.
 
         Raises:
             CalibrationError: if the matching model was never fitted.
         """
         key = (resource, policy.compute_dtype(resource),
                policy.activation_storage, policy.param_storage(resource))
-        model = self._models.get(key)
-        if model is None:
+        if batch == 1:
+            model = self._models.get(key)
+            if model is None:
+                raise CalibrationError(
+                    f"latency predictor has no model for {key}; call "
+                    "calibrate_policy() first")
+            return model.predict(work)
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        batch_model = self._batch_models.get(key)
+        if batch_model is None:
             raise CalibrationError(
-                f"latency predictor has no model for {key}; call "
+                f"latency predictor has no batch model for {key}; call "
                 "calibrate_policy() first")
-        return model.predict(work)
+        return batch_model.predict(work, batch)
 
     def predict_split(self, resource: str, work: LayerWork,
-                      fraction: float,
-                      policy: QuantizationPolicy) -> float:
+                      fraction: float, policy: QuantizationPolicy,
+                      batch: int = 1) -> float:
         """Predicted latency of a channel fraction of a layer.
 
         As in the paper, the whole-layer prediction is scaled by the
         split ratio rather than re-predicted from the scaled
         configuration.
         """
-        return self.predict(resource, work, policy) * fraction
+        return self.predict(resource, work, policy, batch=batch) * fraction
 
     def training_error(self, resource: str,
                        policy: QuantizationPolicy) -> float:
-        """Mean relative training error of the fitted model."""
+        """Mean relative training error of the fitted batch-1 model."""
         key = (resource, policy.compute_dtype(resource),
                policy.activation_storage, policy.param_storage(resource))
         model = self._models.get(key)
         if model is None:
             raise CalibrationError(f"no model fitted for {key}")
+        return model.training_error
+
+    def batch_training_error(self, resource: str,
+                             policy: QuantizationPolicy) -> float:
+        """Mean relative training error of the batch-aware model."""
+        key = (resource, policy.compute_dtype(resource),
+               policy.activation_storage, policy.param_storage(resource))
+        model = self._batch_models.get(key)
+        if model is None:
+            raise CalibrationError(f"no batch model fitted for {key}")
         return model.training_error
 
 

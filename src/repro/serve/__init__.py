@@ -12,9 +12,9 @@ the execution mechanism per request using the latency predictor.
 from .fleet import (Completion, Device, Fleet, SINGLE_PROCESSOR_DTYPES,
                     default_slos, plan_resources)
 from .metrics import ServingMetrics, percentile
-from .scheduler import (Action, EDFScheduler, FIFOScheduler,
-                        LeastLoadedScheduler, Scheduler, Shed, Start,
-                        make_scheduler)
+from .scheduler import (Action, DynamicBatchScheduler, EDFScheduler,
+                        FIFOScheduler, LeastLoadedScheduler, Scheduler,
+                        Shed, Start, StartBatch, make_scheduler)
 from .simulator import ServingResult, ServingSimulator, ShedRecord
 from .workload import (BurstyWorkload, PoissonWorkload, Request,
                        WorkloadGenerator, bursty_for_rate)
@@ -29,12 +29,14 @@ __all__ = [
     "ServingMetrics",
     "percentile",
     "Action",
+    "DynamicBatchScheduler",
     "EDFScheduler",
     "FIFOScheduler",
     "LeastLoadedScheduler",
     "Scheduler",
     "Shed",
     "Start",
+    "StartBatch",
     "make_scheduler",
     "ServingResult",
     "ServingSimulator",

@@ -52,20 +52,20 @@ _EPS = 1e-12
 _WARM_CONTEXTS: Dict[Tuple[str, QuantizationPolicy], "_SoCContext"] = {}
 
 
-def _warm_plan_unit(item: Tuple[str, QuantizationPolicy, str, str]
+def _warm_plan_unit(item: Tuple[str, QuantizationPolicy, str, str, int]
                     ) -> Tuple["PlanKey", ExecutionPlan]:
-    """Build one (model, SoC, mechanism) plan; module-level so
+    """Build one (model, SoC, mechanism, batch) plan; module-level so
     :func:`~repro.harness.parallel.parallel_map` can run warm-up in
     worker processes."""
-    soc_name, policy, model, mechanism = item
+    soc_name, policy, model, mechanism, batch = item
     context = _WARM_CONTEXTS.get((soc_name, policy))
     if context is None:
         context = _SoCContext(soc_by_name(soc_name), policy)
         _WARM_CONTEXTS[(soc_name, policy)] = context
     graph = build_model(model, with_weights=False)
     key = PlanKey(model=model, soc=soc_name, mechanism=mechanism,
-                  policy=context.policy_name(mechanism))
-    return key, context.build_plan(graph, mechanism)
+                  policy=context.policy_name(mechanism), batch=batch)
+    return key, context.build_plan(graph, mechanism, batch=batch)
 
 
 def plan_resources(plan: ExecutionPlan, graph: Graph) -> Tuple[str, ...]:
@@ -125,22 +125,26 @@ class _SoCContext:
             return self.policy.name
         return uniform_policy(SINGLE_PROCESSOR_DTYPES[mechanism]).name
 
-    def build_plan(self, graph: Graph, mechanism: str) -> ExecutionPlan:
+    def build_plan(self, graph: Graph, mechanism: str,
+                   batch: int = 1) -> ExecutionPlan:
         """Partition ``graph`` for ``mechanism`` (uncached)."""
         if mechanism == "mulayer":
-            return self.partitioner.plan(graph)
+            return self.partitioner.plan(graph, batch=batch)
         return single_processor_plan(
             graph, mechanism,
-            uniform_policy(SINGLE_PROCESSOR_DTYPES[mechanism]))
+            uniform_policy(SINGLE_PROCESSOR_DTYPES[mechanism]),
+            batch=batch)
 
     def estimate_service_s(self, graph: Graph, mechanism: str,
-                           plan: ExecutionPlan) -> float:
+                           plan: ExecutionPlan,
+                           batch: int = 1) -> float:
         """Predictor-based service-time estimate of one request.
 
         Sums the per-layer latency estimates of the plan's placements
         (the same estimates the partitioner optimizes), ignoring
         cross-layer pipelining -- a slightly conservative figure, which
-        is the right bias for admission control.
+        is the right bias for admission control.  With ``batch > 1``
+        the estimate is for the whole batch executing as one inference.
         """
         estimator = self._estimators[mechanism]
         total = 0.0
@@ -151,7 +155,8 @@ class _SoCContext:
             else:
                 shares = {placement: 1.0}
             total += estimator.estimate_shares_latency(graph, name,
-                                                       shares)
+                                                       shares,
+                                                       batch=batch)
         return total
 
 
@@ -198,12 +203,13 @@ class Device:
         return sum(self.busy_s.values())
 
     def occupy(self, resources: Sequence[str], start_s: float,
-               end_s: float) -> None:
-        """Reserve a resource set for [start, end)."""
+               end_s: float, count: int = 1) -> None:
+        """Reserve a resource set for [start, end) serving ``count``
+        requests (one batched dispatch completes the whole batch)."""
         for resource in resources:
             self.free_s[resource] = end_s
             self.busy_s[resource] += end_s - start_s
-        self.completed += 1
+        self.completed += count
 
     def utilization(self, horizon_s: float) -> Dict[str, float]:
         """Per-resource busy fraction over a horizon."""
@@ -221,7 +227,13 @@ class Completion:
         request: the request served.
         device_id / mechanism: where and how it ran.
         start_s / finish_s: dispatch and completion times.
-        result: the executor's full inference result.
+        result: the executor's full inference result (shared by all
+            requests of one batched dispatch).
+        batch_size: how many requests executed together; the batch's
+            whole makespan is attributed to every member, so a
+            request's latency never improves just because it was
+            batched -- only its queue wait and the fleet's throughput
+            do.
     """
 
     request: Request
@@ -230,11 +242,18 @@ class Completion:
     start_s: float
     finish_s: float
     result: InferenceResult
+    batch_size: int = 1
 
     @property
     def service_s(self) -> float:
         """Pure execution time on the device."""
         return self.finish_s - self.start_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Arrival-to-dispatch wait (batching's latency cost shows up
+        here: a request may wait for the batch window to fill)."""
+        return self.start_s - self.request.arrival_s
 
     @property
     def sojourn_s(self) -> float:
@@ -255,9 +274,11 @@ class Completion:
             "slo_s": self.request.slo_s,
             "device": self.device_id,
             "mechanism": self.mechanism,
+            "batch_size": self.batch_size,
             "start_s": self.start_s,
             "finish_s": self.finish_s,
             "service_s": self.service_s,
+            "queue_wait_s": self.queue_wait_s,
             "sojourn_s": self.sojourn_s,
             "met_slo": self.met_slo,
             "result": self.result.to_dict(include_traces=False),
@@ -289,8 +310,9 @@ class Fleet:
             self.devices.append(
                 Device.make(f"dev{index}:{soc.name}", soc))
         self._graphs: Dict[str, Graph] = {}
-        self._estimates: Dict[Tuple[str, str, str], float] = {}
-        self._resources: Dict[Tuple[str, str, str], Tuple[str, ...]] = {}
+        self._estimates: Dict[Tuple[str, str, str, int], float] = {}
+        self._resources: Dict[Tuple[str, str, str, int],
+                              Tuple[str, ...]] = {}
         self._isolated: Dict[Tuple[str, str], float] = {}
 
     @classmethod
@@ -337,21 +359,30 @@ class Fleet:
 
     # -- planning and execution ----------------------------------------------
 
-    def plan_for(self, model: str, device: Device,
-                 mechanism: str) -> ExecutionPlan:
-        """The (cached) plan of a configuration."""
+    def plan_for(self, model: str, device: Device, mechanism: str,
+                 batch: int = 1) -> ExecutionPlan:
+        """The (cached) plan of a configuration.
+
+        Plans are cached per batch size; a batch-B dispatch always
+        looks up (and builds) the batch-B entry, never reuses another
+        batch's splits.
+        """
         context = self._contexts[device.soc.name]
         key = PlanKey(model=model, soc=device.soc.name,
                       mechanism=mechanism,
-                      policy=context.policy_name(mechanism))
+                      policy=context.policy_name(mechanism),
+                      batch=batch)
         graph = self.graph(model)
         return self.plan_cache.get_or_build(
-            key, lambda: context.build_plan(graph, mechanism))
+            key, lambda: context.build_plan(graph, mechanism,
+                                            batch=batch))
 
     def warm_plans(self, models: Sequence[str],
                    mechanisms: Optional[Sequence[str]] = None,
-                   jobs: Optional[int] = None) -> int:
-        """Pre-build plans for every (model, SoC type, mechanism).
+                   jobs: Optional[int] = None,
+                   batches: Sequence[int] = (1,)) -> int:
+        """Pre-build plans for every (model, SoC type, mechanism,
+        batch).
 
         Serving then never partitions on the request path.  Already
         cached configurations are skipped.
@@ -362,13 +393,16 @@ class Fleet:
                 SoC supports).
             jobs: fan plan building across processes (None/1 = serial,
                 in-process; <=0 = one per CPU).
+            batches: batch sizes to warm; a batching scheduler with
+                ``max_batch=B`` dispatches at sizes 1..B, so warm
+                ``range(1, B + 1)``.
 
         Returns:
             How many plans were built (and inserted) by this call.
         """
         from ..harness.parallel import parallel_map
 
-        work: List[Tuple[str, QuantizationPolicy, str, str]] = []
+        work: List[Tuple[str, QuantizationPolicy, str, str, int]] = []
         for soc_name in sorted(self._contexts):
             context = self._contexts[soc_name]
             supported = context.mechanisms()
@@ -377,54 +411,63 @@ class Fleet:
                                  if m in supported))
             for model in models:
                 for mechanism in chosen:
-                    key = PlanKey(model=model, soc=soc_name,
-                                  mechanism=mechanism,
-                                  policy=context.policy_name(mechanism))
-                    if key not in self.plan_cache:
-                        work.append((soc_name, self.policy, model,
-                                     mechanism))
+                    for batch in batches:
+                        key = PlanKey(
+                            model=model, soc=soc_name,
+                            mechanism=mechanism,
+                            policy=context.policy_name(mechanism),
+                            batch=batch)
+                        if key not in self.plan_cache:
+                            work.append((soc_name, self.policy, model,
+                                         mechanism, batch))
         if jobs is None or jobs == 1:
             # Serial warm-up reuses the fleet's own contexts (and their
             # already fitted predictors).
-            for soc_name, _, model, mechanism in work:
+            for soc_name, _, model, mechanism, batch in work:
                 context = self._contexts[soc_name]
                 key = PlanKey(model=model, soc=soc_name,
                               mechanism=mechanism,
-                              policy=context.policy_name(mechanism))
+                              policy=context.policy_name(mechanism),
+                              batch=batch)
                 self.plan_cache.put(
-                    key, context.build_plan(self.graph(model), mechanism))
+                    key, context.build_plan(self.graph(model), mechanism,
+                                            batch=batch))
         else:
             for key, plan in parallel_map(_warm_plan_unit, work,
                                           jobs=jobs):
                 self.plan_cache.put(key, plan)
         return len(work)
 
-    def resources_for(self, model: str, device: Device,
-                      mechanism: str) -> Tuple[str, ...]:
+    def resources_for(self, model: str, device: Device, mechanism: str,
+                      batch: int = 1) -> Tuple[str, ...]:
         """The processors a configuration occupies (plan-derived,
-        memoized per model/SoC type/mechanism)."""
-        key = (model, device.soc.name, mechanism)
+        memoized per model/SoC type/mechanism/batch)."""
+        key = (model, device.soc.name, mechanism, batch)
         cached = self._resources.get(key)
         if cached is None:
-            plan = self.plan_for(model, device, mechanism)
+            plan = self.plan_for(model, device, mechanism, batch=batch)
             cached = plan_resources(plan, self.graph(model))
             self._resources[key] = cached
         return cached
 
     def estimate_service_s(self, model: str, device: Device,
-                           mechanism: str) -> float:
+                           mechanism: str, batch: int = 1) -> float:
         """Predicted service time of ``model`` via ``mechanism``.
 
-        Memoized per (model, SoC type, mechanism); the first call warms
-        the plan cache for the configuration.
+        With ``batch > 1``, the predicted makespan of the whole batch
+        as one inference (what a batching scheduler compares against
+        its members' deadlines).  Memoized per (model, SoC type,
+        mechanism, batch); the first call warms the plan cache for the
+        configuration.
         """
-        key = (model, device.soc.name, mechanism)
+        key = (model, device.soc.name, mechanism, batch)
         cached = self._estimates.get(key)
         if cached is None:
             context = self._contexts[device.soc.name]
-            plan = self.plan_for(model, device, mechanism)
+            plan = self.plan_for(model, device, mechanism, batch=batch)
             cached = context.estimate_service_s(self.graph(model),
-                                                mechanism, plan)
+                                                mechanism, plan,
+                                                batch=batch)
             self._estimates[key] = cached
         return cached
 
@@ -489,6 +532,46 @@ class Fleet:
         return Completion(request=request, device_id=device.device_id,
                           mechanism=mechanism, start_s=start_s,
                           finish_s=finish, result=result)
+
+    def execute_batch(self, requests: Sequence[Request], device: Device,
+                      mechanism: str,
+                      start_s: float) -> List[Completion]:
+        """Run same-model requests as one batched inference.
+
+        The batch executes as a single batch-N plan (weight traffic
+        amortized), occupies the plan's resources for the batched
+        makespan, and every member request completes at the batch's
+        finish time -- per-request latency is its queue wait plus the
+        whole batched run, never a fraction of it.
+
+        Raises:
+            ValueError: for an empty batch or mixed models.
+        """
+        if not requests:
+            raise ValueError("execute_batch needs at least one request")
+        models = {request.model for request in requests}
+        if len(models) > 1:
+            raise ValueError(
+                f"one batch must serve one model, got {sorted(models)}")
+        if len(requests) == 1:
+            return [self.execute(requests[0], device, mechanism,
+                                 start_s)]
+        (model,) = models
+        batch = len(requests)
+        context = self._contexts[device.soc.name]
+        plan = self.plan_for(model, device, mechanism, batch=batch)
+        result = context.executor.run(
+            self.graph(model), plan,
+            mechanism=f"serve-{mechanism}", batch=batch)
+        finish = start_s + result.latency_s
+        device.occupy(self.resources_for(model, device, mechanism,
+                                         batch=batch),
+                      start_s, finish, count=batch)
+        return [Completion(request=request, device_id=device.device_id,
+                           mechanism=mechanism, start_s=start_s,
+                           finish_s=finish, result=result,
+                           batch_size=batch)
+                for request in requests]
 
 
 def default_slos(fleet: Fleet, models: Sequence[str],

@@ -2,10 +2,12 @@
 
 Aggregates a :class:`~repro.serve.simulator.ServingResult` into the
 numbers a serving operator watches: offered vs. completed counts,
-p50/p95/p99 end-to-end latency, SLO attainment (shed and unserved
-requests count against it -- a dropped request is a broken promise),
-per-device per-processor utilization, the execution-mechanism mix, and
-the plan cache's hit rate.
+p50/p95/p99 end-to-end latency, queue-wait percentiles (where dynamic
+batching's latency cost surfaces), batch-size statistics of the
+dispatches, SLO attainment (shed and unserved requests count against
+it -- a dropped request is a broken promise), per-device per-processor
+utilization, the execution-mechanism mix, and the plan cache's full
+counters (entries, hits, misses, hit rate, evictions).
 """
 
 from __future__ import annotations
@@ -51,12 +53,20 @@ class ServingMetrics:
         throughput_rps: completed requests per second of makespan.
         latency percentiles/mean: end-to-end (queueing included)
             latency of completed requests, milliseconds.
+        queue wait percentiles/mean: arrival-to-dispatch wait of
+            completed requests, milliseconds -- the component of
+            latency a batching scheduler trades for throughput.
+        num_batches: batched-or-not dispatches issued (a batch of 4
+            counts once; equals num_completed without batching).
+        batch_size_mean / batch_size_max: dispatch-level batch-size
+            statistics.
         slo_attainment: fraction of *offered* requests that finished
             within their SLO.
         slo_violations: completed requests that finished late.
         mechanism_counts: completions per execution mechanism.
         device_utilization: per device, per processor busy fraction.
-        plan_cache: the shared plan cache's counters.
+        plan_cache: the shared plan cache's counters (entries, hits,
+            misses, hit_rate, evictions).
     """
 
     scheduler: str
@@ -70,6 +80,12 @@ class ServingMetrics:
     latency_p95_ms: float
     latency_p99_ms: float
     latency_mean_ms: float
+    queue_wait_p50_ms: float
+    queue_wait_p99_ms: float
+    queue_wait_mean_ms: float
+    num_batches: int
+    batch_size_mean: float
+    batch_size_max: int
     slo_attainment: float
     slo_violations: int
     mechanism_counts: Dict[str, int]
@@ -81,6 +97,7 @@ class ServingMetrics:
         """Aggregate one finished simulation."""
         completions = result.completions
         sojourns_ms = [c.sojourn_s * 1e3 for c in completions]
+        waits_ms = [c.queue_wait_s * 1e3 for c in completions]
         met = sum(1 for c in completions if c.met_slo)
         offered = result.num_offered
         makespan = result.makespan_s
@@ -93,8 +110,22 @@ class ServingMetrics:
             p95 = percentile(sojourns_ms, 95.0)
             p99 = percentile(sojourns_ms, 99.0)
             mean = sum(sojourns_ms) / len(sojourns_ms)
+            wait_p50 = percentile(waits_ms, 50.0)
+            wait_p99 = percentile(waits_ms, 99.0)
+            wait_mean = sum(waits_ms) / len(waits_ms)
         else:
             p50 = p95 = p99 = mean = 0.0
+            wait_p50 = wait_p99 = wait_mean = 0.0
+        # One batched dispatch produced one Completion per member, all
+        # sharing (device, mechanism, start, finish); group to count
+        # dispatches rather than requests.
+        dispatches: Dict[object, int] = {}
+        for completion in completions:
+            dispatch = (completion.device_id, completion.mechanism,
+                        completion.start_s, completion.finish_s)
+            dispatches[dispatch] = completion.batch_size
+        num_batches = len(dispatches)
+        batch_sizes = list(dispatches.values())
         return cls(
             scheduler=result.scheduler,
             num_offered=offered,
@@ -108,6 +139,13 @@ class ServingMetrics:
             latency_p95_ms=p95,
             latency_p99_ms=p99,
             latency_mean_ms=mean,
+            queue_wait_p50_ms=wait_p50,
+            queue_wait_p99_ms=wait_p99,
+            queue_wait_mean_ms=wait_mean,
+            num_batches=num_batches,
+            batch_size_mean=(sum(batch_sizes) / len(batch_sizes)
+                             if batch_sizes else 0.0),
+            batch_size_max=max(batch_sizes, default=0),
             slo_attainment=met / offered if offered else 1.0,
             slo_violations=len(completions) - met,
             mechanism_counts=mechanism_counts,
@@ -131,6 +169,12 @@ class ServingMetrics:
             "latency_p95_ms": self.latency_p95_ms,
             "latency_p99_ms": self.latency_p99_ms,
             "latency_mean_ms": self.latency_mean_ms,
+            "queue_wait_p50_ms": self.queue_wait_p50_ms,
+            "queue_wait_p99_ms": self.queue_wait_p99_ms,
+            "queue_wait_mean_ms": self.queue_wait_mean_ms,
+            "num_batches": self.num_batches,
+            "batch_size_mean": self.batch_size_mean,
+            "batch_size_max": self.batch_size_max,
             "slo_attainment": self.slo_attainment,
             "slo_violations": self.slo_violations,
             "mechanism_counts": dict(self.mechanism_counts),
@@ -155,9 +199,18 @@ class ServingMetrics:
             ["latency_p95_ms", self.latency_p95_ms],
             ["latency_p99_ms", self.latency_p99_ms],
             ["latency_mean_ms", self.latency_mean_ms],
+            ["queue_wait_p50_ms", self.queue_wait_p50_ms],
+            ["queue_wait_p99_ms", self.queue_wait_p99_ms],
+            ["num_batches", float(self.num_batches)],
+            ["batch_size_mean", self.batch_size_mean],
+            ["batch_size_max", float(self.batch_size_max)],
             ["slo_attainment", self.slo_attainment],
             ["slo_violations", float(self.slo_violations)],
+            ["plan_cache_entries", self.plan_cache["entries"]],
+            ["plan_cache_hits", self.plan_cache["hits"]],
+            ["plan_cache_misses", self.plan_cache["misses"]],
             ["plan_cache_hit_rate", self.plan_cache["hit_rate"]],
+            ["plan_cache_evictions", self.plan_cache["evictions"]],
         ]
         text = format_table(
             ["metric", "value"], rows,

@@ -1,14 +1,16 @@
-"""Serving schedulers: FIFO, least-loaded, and SLO-aware EDF.
+"""Serving schedulers: FIFO, least-loaded, SLO-aware EDF, and dynamic
+batching.
 
-A scheduler is consulted by the simulator at every event (arrival or
-completion).  It inspects the pending queue and the fleet and returns
-*one* action at a time -- start a request on a device via a mechanism,
-or shed a request -- until it has nothing more to do at the current
-simulated time.  Returning single actions keeps the protocol simple and
-race-free: the fleet's clocks advance between calls, so the scheduler
-always sees the true residual capacity.
+A scheduler is consulted by the simulator at every event (arrival,
+completion, or timer wakeup).  It inspects the pending queue and the
+fleet and returns *one* action at a time -- start a request (or a batch
+of same-model requests) on a device via a mechanism, or shed a request
+-- until it has nothing more to do at the current simulated time.
+Returning single actions keeps the protocol simple and race-free: the
+fleet's clocks advance between calls, so the scheduler always sees the
+true residual capacity.
 
-Three policies are provided:
+Four policies are provided:
 
 * :class:`FIFOScheduler` -- strict arrival order with head-of-line
   blocking; every request runs μLayer co-executed on the first fully
@@ -24,14 +26,24 @@ Three policies are provided:
   time oracle.  Admission control sheds a request as soon as no
   (device, mechanism) pair is predicted to meet its deadline --
   predicted queue delay included -- so a saturated fleet spends no
-  cycles on requests that are already lost.
+  cycles on requests that are already lost.  With ``max_batch > 1``
+  it additionally coalesces same-model requests into one dispatch,
+  but only when the predictor says the *batched* completion time
+  still meets every member's deadline.
+* :class:`DynamicBatchScheduler` -- coalesces queued same-model
+  requests into batched dispatches of up to ``max_batch``, flushing a
+  partial batch once its oldest request has waited
+  ``batch_timeout_s``.  The throughput-oriented policy: batched GEMMs
+  amortize weight traffic, so a loaded fleet completes more requests
+  per second at the price of per-request latency (queue wait plus the
+  whole batched run).
 """
 
 from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .fleet import Device, Fleet
 from .workload import Request
@@ -48,6 +60,25 @@ class Start:
 
 
 @dataclasses.dataclass(frozen=True)
+class StartBatch:
+    """Dispatch same-model ``requests`` as one batched inference on
+    ``device_id`` via ``mechanism`` now."""
+
+    requests: Tuple[Request, ...]
+    device_id: str
+    mechanism: str
+    predicted_service_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise ValueError("StartBatch needs at least one request")
+        models = {request.model for request in self.requests}
+        if len(models) > 1:
+            raise ValueError(
+                f"one batch must serve one model, got {sorted(models)}")
+
+
+@dataclasses.dataclass(frozen=True)
 class Shed:
     """Drop ``request`` (admission control)."""
 
@@ -55,7 +86,7 @@ class Shed:
     reason: str
 
 
-Action = Union[Start, Shed]
+Action = Union[Start, StartBatch, Shed]
 
 
 class Scheduler(abc.ABC):
@@ -69,10 +100,17 @@ class Scheduler(abc.ABC):
         """The next action at simulated time ``now``, or None.
 
         ``pending`` is in arrival order.  A returned
-        :class:`Start` must be startable immediately (its resources
-        idle at ``now``); the simulator executes it, advances the
-        device clocks, and asks again.
+        :class:`Start`/:class:`StartBatch` must be startable
+        immediately (its resources idle at ``now``); the simulator
+        executes it, advances the device clocks, and asks again.
         """
+
+    def next_wakeup_s(self, pending: Sequence[Request], fleet: Fleet,
+                      now: float) -> Optional[float]:
+        """Earliest future time this scheduler wants to be polled even
+        without a new arrival or completion (batch-timeout flushes).
+        None -- the default -- means events alone suffice."""
+        return None
 
 
 class FIFOScheduler(Scheduler):
@@ -153,9 +191,13 @@ class EDFScheduler(Scheduler):
     name = "edf"
 
     def __init__(self, mechanisms: Optional[Sequence[str]] = None,
-                 admission_control: bool = True) -> None:
+                 admission_control: bool = True,
+                 max_batch: int = 1) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
         self.mechanisms = tuple(mechanisms) if mechanisms else None
         self.admission_control = admission_control
+        self.max_batch = max_batch
 
     def _mechanisms_for(self, fleet: Fleet,
                         device: Device) -> Tuple[str, ...]:
@@ -189,8 +231,15 @@ class EDFScheduler(Scheduler):
                         best = candidate
             if best is not None:
                 _, index, mechanism, service = best
+                device = fleet.devices[index]
+                if self.max_batch > 1:
+                    batched = self._widen_batch(request, device,
+                                                mechanism, ordered,
+                                                fleet, now)
+                    if batched is not None:
+                        return batched
                 return Start(request=request,
-                             device_id=fleet.devices[index].device_id,
+                             device_id=device.device_id,
                              mechanism=mechanism,
                              predicted_service_s=service)
             if not feasible_later and self.admission_control:
@@ -199,9 +248,126 @@ class EDFScheduler(Scheduler):
             # Feasible on a busy device (or shedding disabled): wait.
         return None
 
+    def _widen_batch(self, request: Request, device: Device,
+                     mechanism: str, ordered: Sequence[Request],
+                     fleet: Fleet, now: float) -> Optional[StartBatch]:
+        """Greedily grow a same-model batch around ``request``.
 
-def make_scheduler(name: str) -> Scheduler:
+        Candidates join in deadline order; each is admitted only while
+        the predictor says the *batched* run still finishes before
+        every member's deadline -- batching must never turn a met SLO
+        into a miss the scheduler could foresee.  Returns None when no
+        candidate survives (plain Start is cheaper than a batch of 1).
+        """
+        members = [request]
+        deadline = request.deadline_s
+        service = None
+        for candidate in ordered:
+            if candidate is request or len(members) >= self.max_batch:
+                continue
+            if candidate.model != request.model:
+                continue
+            trial_deadline = min(deadline, candidate.deadline_s)
+            trial_service = fleet.estimate_service_s(
+                request.model, device, mechanism,
+                batch=len(members) + 1)
+            if now + trial_service > trial_deadline + 1e-12:
+                continue
+            members.append(candidate)
+            deadline = trial_deadline
+            service = trial_service
+        if len(members) == 1:
+            return None
+        return StartBatch(requests=tuple(members),
+                          device_id=device.device_id,
+                          mechanism=mechanism,
+                          predicted_service_s=service)
+
+
+class DynamicBatchScheduler(Scheduler):
+    """Dynamic request batching: coalesce, then dispatch together.
+
+    Pending requests are grouped by model (the fleet serves one
+    quantization policy, so same model means same plan configuration).
+    A group dispatches as one batched inference when it has
+    ``max_batch`` requests waiting, or -- partial batch -- once its
+    oldest request has waited ``batch_timeout_s``; the simulator's
+    timer wakeups (:meth:`next_wakeup_s`) guarantee the flush happens
+    at exactly that instant even with no arrival or completion nearby.
+
+    Groups are scanned in arrival order of their oldest request, so a
+    stalling group does not block a ready one behind it, but no group
+    starves either.
+    """
+
+    name = "batch"
+
+    def __init__(self, mechanism: str = "mulayer", max_batch: int = 4,
+                 batch_timeout_s: float = 0.05) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if batch_timeout_s < 0.0:
+            raise ValueError("batch_timeout_s must be >= 0")
+        self.mechanism = mechanism
+        self.max_batch = max_batch
+        self.batch_timeout_s = batch_timeout_s
+
+    def _groups(self, pending: Sequence[Request]
+                ) -> "List[List[Request]]":
+        """Same-model groups, in arrival order of their oldest member
+        (``pending`` is already in arrival order)."""
+        by_model: Dict[str, List[Request]] = {}
+        for request in pending:
+            by_model.setdefault(request.model, []).append(request)
+        return list(by_model.values())
+
+    def _ready(self, group: Sequence[Request], now: float) -> bool:
+        """A group dispatches when full or past its timeout window."""
+        if len(group) >= self.max_batch:
+            return True
+        return now - group[0].arrival_s >= self.batch_timeout_s - 1e-12
+
+    def next_action(self, pending: Sequence[Request], fleet: Fleet,
+                    now: float) -> Optional[Action]:
+        for group in self._groups(pending):
+            if not self._ready(group, now):
+                continue
+            members = group[:self.max_batch]
+            batch = len(members)
+            for device in fleet.devices:
+                resources = fleet.resources_for(
+                    members[0].model, device, self.mechanism,
+                    batch=batch)
+                if not device.idle_now(resources, now):
+                    continue
+                if batch == 1:
+                    return Start(request=members[0],
+                                 device_id=device.device_id,
+                                 mechanism=self.mechanism)
+                return StartBatch(requests=tuple(members),
+                                  device_id=device.device_id,
+                                  mechanism=self.mechanism)
+            # Ready but no idle device: a completion will re-poll.
+        return None
+
+    def next_wakeup_s(self, pending: Sequence[Request], fleet: Fleet,
+                      now: float) -> Optional[float]:
+        """The earliest pending timeout flush among partial groups."""
+        deadlines = [group[0].arrival_s + self.batch_timeout_s
+                     for group in self._groups(pending)
+                     if len(group) < self.max_batch]
+        if not deadlines:
+            return None
+        return min(deadlines)
+
+
+def make_scheduler(name: str, max_batch: Optional[int] = None,
+                   batch_timeout_s: Optional[float] = None) -> Scheduler:
     """Scheduler factory used by the CLI and the harness.
+
+    ``max_batch``/``batch_timeout_s`` configure the batching policies
+    ("batch" always batches; "edf" batches when ``max_batch > 1``) and
+    are ignored by the non-batching ones.
 
     Raises:
         ValueError: for unknown scheduler names.
@@ -211,6 +377,13 @@ def make_scheduler(name: str) -> Scheduler:
     if name == "least-loaded":
         return LeastLoadedScheduler()
     if name == "edf":
-        return EDFScheduler()
+        return EDFScheduler(max_batch=max_batch or 1)
+    if name == "batch":
+        kwargs: Dict[str, object] = {}
+        if max_batch is not None:
+            kwargs["max_batch"] = max_batch
+        if batch_timeout_s is not None:
+            kwargs["batch_timeout_s"] = batch_timeout_s
+        return DynamicBatchScheduler(**kwargs)   # type: ignore[arg-type]
     raise ValueError(f"unknown scheduler {name!r}; "
-                     "choose fifo, least-loaded, or edf")
+                     "choose fifo, least-loaded, edf, or batch")

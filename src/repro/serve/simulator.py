@@ -2,12 +2,16 @@
 
 Drives a request trace through a :class:`~repro.serve.fleet.Fleet`
 under a :class:`~repro.serve.scheduler.Scheduler`.  The event loop is a
-classic two-event design -- request arrivals and request completions --
-with a central pending queue.  After every event the scheduler is
-polled for actions until it has none; each started request advances the
-target device's clocks immediately (service times are deterministic,
-so the completion instant is known at dispatch), and the completion
-event exists only to create the next scheduling opportunity.
+classic design of three event kinds -- request arrivals, request
+completions, and scheduler timer wakeups -- with a central pending
+queue.  After every event the scheduler is polled for actions until it
+has none; each started request (or request batch) advances the target
+device's clocks immediately (service times are deterministic, so the
+completion instant is known at dispatch), and the completion event
+exists only to create the next scheduling opportunity.  Wakeup events
+come from :meth:`~repro.serve.scheduler.Scheduler.next_wakeup_s`: a
+batching scheduler holding a partial batch names the instant its
+timeout window expires, and the simulator polls it again exactly then.
 
 Determinism: events are ordered by ``(time, insertion sequence)``, the
 fleet's executor is deterministic, and workloads are seeded -- so one
@@ -18,10 +22,10 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .fleet import Completion, Fleet
-from .scheduler import Scheduler, Shed, Start
+from .scheduler import Scheduler, Shed, Start, StartBatch
 from .workload import Request
 
 
@@ -92,6 +96,7 @@ class ServingSimulator:
         pending: List[Request] = []
         completions: List[Completion] = []
         sheds: List[ShedRecord] = []
+        scheduled_wakeups: Set[float] = set()
         last_arrival = max((r.arrival_s for r in requests), default=0.0)
         while events:
             now, _, arrived = heapq.heappop(events)
@@ -108,6 +113,18 @@ class ServingSimulator:
                                             shed_s=now,
                                             reason=action.reason))
                     continue
+                if isinstance(action, StartBatch):
+                    for request in action.requests:
+                        pending.remove(request)
+                    device = self.fleet.device(action.device_id)
+                    batch = self.fleet.execute_batch(
+                        list(action.requests), device, action.mechanism,
+                        now)
+                    completions.extend(batch)
+                    heapq.heappush(events,
+                                   (batch[0].finish_s, sequence, None))
+                    sequence += 1
+                    continue
                 assert isinstance(action, Start)
                 pending.remove(action.request)
                 device = self.fleet.device(action.device_id)
@@ -116,6 +133,16 @@ class ServingSimulator:
                 completions.append(completion)
                 heapq.heappush(events,
                                (completion.finish_s, sequence, None))
+                sequence += 1
+            # A batching scheduler may be holding a partial batch for
+            # its timeout window; schedule a timer poll at the flush
+            # instant (deduplicated -- one poll per instant suffices).
+            wakeup = self.scheduler.next_wakeup_s(pending, self.fleet,
+                                                  now)
+            if (wakeup is not None and wakeup > now
+                    and wakeup not in scheduled_wakeups):
+                scheduled_wakeups.add(wakeup)
+                heapq.heappush(events, (wakeup, sequence, None))
                 sequence += 1
         makespan = max([last_arrival]
                        + [c.finish_s for c in completions])

@@ -55,10 +55,15 @@ class KernelCost:
 
 
 def kernel_traffic_bytes(work: LayerWork, activation_storage: DType,
-                         param_storage: DType) -> float:
-    """DRAM bytes moved by one kernel execution."""
+                         param_storage: DType, batch: int = 1) -> float:
+    """DRAM bytes moved by one kernel execution.
+
+    Activation traffic scales with the batch; the filters are streamed
+    once per kernel regardless of batch size -- a batch-N GEMM
+    amortizes its weight traffic across the batch.
+    """
     activation_bytes = ((work.input_elements + work.output_elements)
-                        * activation_storage.itemsize)
+                        * batch * activation_storage.itemsize)
     param_bytes = work.param_elements * param_storage.itemsize
     return float(activation_bytes + param_bytes)
 
@@ -66,25 +71,34 @@ def kernel_traffic_bytes(work: LayerWork, activation_storage: DType,
 def kernel_cost(processor: ProcessorSpec, memory: MemorySpec,
                 work: LayerWork, compute_dtype: DType,
                 activation_storage: "DType | None" = None,
-                param_storage: "DType | None" = None) -> KernelCost:
+                param_storage: "DType | None" = None,
+                batch: int = 1) -> KernelCost:
     """Cost of executing ``work`` on ``processor``.
 
     Args:
         processor: the executing processor.
         memory: the SoC DRAM.
-        work: the kernel's arithmetic work (possibly a split fraction
-            of a layer, see :meth:`LayerWork.scaled`).
+        work: the kernel's batch-1 arithmetic work (possibly a split
+            fraction of a layer, see :meth:`LayerWork.scaled`).
         compute_dtype: the data type the ALUs operate in.
         activation_storage: storage type of input/output activations
             (defaults to the compute type; the processor-friendly
             quantization passes QUInt8 here even for F16 GPU compute).
         param_storage: storage type of the filters (defaults to the
             activation storage type).
+        batch: batch size of the kernel.  Compute and activation
+            traffic scale with the batch (larger kernels also fill the
+            utilization ramp better), parameter traffic and the launch
+            overhead are paid once -- so per-sample cost falls as the
+            batch grows.  ``batch=1`` reproduces the unbatched cost
+            bit-for-bit.
     """
     activation_storage = activation_storage or compute_dtype
     param_storage = param_storage or activation_storage
-    compute_s = processor.compute_seconds(work, compute_dtype)
-    traffic = kernel_traffic_bytes(work, activation_storage, param_storage)
+    batched_work = work.batched(batch)
+    compute_s = processor.compute_seconds(batched_work, compute_dtype)
+    traffic = kernel_traffic_bytes(work, activation_storage,
+                                   param_storage, batch)
     memory_s = memory.stream_seconds(traffic)
     return KernelCost(compute_s=compute_s, memory_s=memory_s,
                       launch_s=processor.launch_seconds())

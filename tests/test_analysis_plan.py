@@ -157,6 +157,21 @@ class TestPlacementLegality:
         assert report.ok
 
 
+class TestBatchConsistency:
+    @pytest.mark.parametrize("batch", [0, -7, True, 2.5, "4"])
+    def test_bad_batch_pv011(self, chain, batch):
+        plan = plan_for(chain, full_assignments(chain))
+        plan.batch = batch
+        report = PlanVerifier(EXYNOS_7420).verify(chain, plan)
+        assert "PV011" in report.rules_fired()
+        assert not report.ok
+
+    def test_batched_plan_is_clean(self, chain):
+        plan = plan_for(chain, full_assignments(chain))
+        plan.batch = 8
+        assert PlanVerifier(EXYNOS_7420).verify(chain, plan).clean
+
+
 class TestBranchRegions:
     @pytest.fixture
     def squeezenet(self):

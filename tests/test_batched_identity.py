@@ -1,0 +1,174 @@
+"""Byte-identity of batched functional execution.
+
+The batching layer's correctness bar, mirroring the operand-cache
+suite: executing N inputs as one batched inference must be
+*byte-identical* to N independent per-sample runs -- for conv, FC, and
+depthwise layer shapes, all four quantization policies, and both
+full-layer and cooperative placement.  The batched functional path
+runs each sample through the same batch-1 kernels and stacks the
+outputs, honestly modelling row-independent GEMM hardware, so there is
+no float tolerance to hide behind.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runtime import (MuLayer, PROCESSOR_FRIENDLY, UNIFORM_F16,
+                           UNIFORM_F32, UNIFORM_QUINT8)
+from repro.runtime.baselines import single_processor_plan
+from repro.runtime.executor import Executor
+from repro.soc import EXYNOS_7420
+
+POLICIES = {
+    "f32": UNIFORM_F32,
+    "f16": UNIFORM_F16,
+    "quint8": UNIFORM_QUINT8,
+    "pfq": PROCESSOR_FRIENDLY,
+}
+
+BATCH = 3
+
+
+def _calibration_for(policy, name, request):
+    if not policy.is_quantized:
+        return None
+    return request.getfixturevalue(name)
+
+
+@pytest.fixture(scope="module")
+def batch_input():
+    rng = np.random.default_rng(20190325)
+    return rng.standard_normal((BATCH, 3, 32, 32)).astype(np.float32)
+
+
+def assert_batched_matches_per_sample(graph, plan, x, calibration):
+    """Batched run == per-sample runs, byte for byte, on every output
+    (and the same executor instance, so operand caches are shared the
+    way a serving fleet shares them)."""
+    executor = Executor(EXYNOS_7420)
+    batched = executor.run(graph, plan, x=x, calibration=calibration)
+    assert batched.batch == x.shape[0]
+    for i in range(x.shape[0]):
+        single = executor.run(graph, plan, x=x[i:i + 1],
+                              calibration=calibration)
+        assert single.batch == 1
+        for name, expected in single.outputs.items():
+            actual = batched.outputs[name]
+            assert actual.dtype == expected.dtype
+            assert actual.data.dtype == expected.data.dtype
+            assert actual.data.shape[0] == x.shape[0]
+            assert (actual.data[i:i + 1].tobytes()
+                    == expected.data.tobytes())
+
+
+class TestFullPlacement:
+    """Whole layers on one processor (single-processor baselines)."""
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_conv_fc_model(self, request, policy_name, squeezenet_mini,
+                           batch_input):
+        """squeezenet_mini covers conv + FC + concat layers."""
+        policy = POLICIES[policy_name]
+        calibration = _calibration_for(
+            policy, "squeezenet_calibration", request)
+        plan = single_processor_plan(squeezenet_mini, "cpu", policy)
+        assert_batched_matches_per_sample(squeezenet_mini, plan,
+                                          batch_input, calibration)
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_depthwise_model(self, request, policy_name,
+                             mobilenet_mini, batch_input):
+        """mobilenet_mini covers depthwise convolutions."""
+        policy = POLICIES[policy_name]
+        calibration = _calibration_for(
+            policy, "mobilenet_mini_calibration", request)
+        plan = single_processor_plan(mobilenet_mini, "cpu", policy)
+        assert_batched_matches_per_sample(mobilenet_mini, plan,
+                                          batch_input, calibration)
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_fc_heavy_model(self, request, policy_name, vgg_mini,
+                            batch_input):
+        """vgg_mini is the FC-dominated sequential shape."""
+        policy = POLICIES[policy_name]
+        calibration = _calibration_for(
+            policy, "vgg_mini_calibration", request)
+        plan = single_processor_plan(vgg_mini, "cpu", policy)
+        assert_batched_matches_per_sample(vgg_mini, plan, batch_input,
+                                          calibration)
+
+
+class TestCooperativePlacement:
+    """μLayer co-execution: CPU/GPU channel splits and branch regions.
+
+    The same partitioned plan serves both the batched and the
+    per-sample runs, so every sample sees identical splits (under PFQ a
+    different split changes which processor -- and therefore which
+    dtype pipeline -- computes a channel)."""
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_conv_fc_model(self, request, policy_name, squeezenet_mini,
+                           batch_input):
+        policy = POLICIES[policy_name]
+        calibration = _calibration_for(
+            policy, "squeezenet_calibration", request)
+        plan = MuLayer(EXYNOS_7420, policy).plan(squeezenet_mini)
+        assert_batched_matches_per_sample(squeezenet_mini, plan,
+                                          batch_input, calibration)
+
+    @pytest.mark.parametrize("policy_name", sorted(POLICIES))
+    def test_depthwise_model(self, request, policy_name,
+                             mobilenet_mini, batch_input):
+        policy = POLICIES[policy_name]
+        calibration = _calibration_for(
+            policy, "mobilenet_mini_calibration", request)
+        plan = MuLayer(EXYNOS_7420, policy).plan(mobilenet_mini)
+        assert_batched_matches_per_sample(mobilenet_mini, plan,
+                                          batch_input, calibration)
+
+    def test_batch_partitioned_plan(self, squeezenet_mini,
+                                    squeezenet_calibration,
+                                    batch_input):
+        """A plan partitioned *for* batch N runs batched and, with its
+        batch pinned back to 1, per-sample -- same splits, same bytes."""
+        runtime = MuLayer(EXYNOS_7420)
+        plan = runtime.plan(squeezenet_mini, batch=BATCH)
+        assert plan.batch == BATCH
+        executor = Executor(EXYNOS_7420)
+        batched = executor.run(squeezenet_mini, plan, x=batch_input,
+                               calibration=squeezenet_calibration)
+        reference = dataclasses.replace(plan, batch=1)
+        out = squeezenet_mini.output_layers()[0]
+        for i in range(BATCH):
+            single = executor.run(squeezenet_mini, reference,
+                                  x=batch_input[i:i + 1],
+                                  calibration=squeezenet_calibration)
+            assert (batched.outputs[out].data[i:i + 1].tobytes()
+                    == single.outputs[out].data.tobytes())
+
+
+class TestBatchedResultShape:
+    def test_outputs_stack_on_batch_axis(self, squeezenet_mini,
+                                         squeezenet_calibration,
+                                         batch_input):
+        plan = single_processor_plan(squeezenet_mini, "cpu",
+                                     UNIFORM_QUINT8)
+        result = Executor(EXYNOS_7420).run(
+            squeezenet_mini, plan, x=batch_input,
+            calibration=squeezenet_calibration)
+        for tensor in result.outputs.values():
+            assert tensor.data.shape[0] == BATCH
+
+    def test_batch_one_shape_unchanged(self, squeezenet_mini,
+                                       squeezenet_calibration,
+                                       single_input):
+        """The batch-1 functional path is exactly the old one."""
+        plan = single_processor_plan(squeezenet_mini, "cpu",
+                                     UNIFORM_QUINT8)
+        result = Executor(EXYNOS_7420).run(
+            squeezenet_mini, plan, x=single_input,
+            calibration=squeezenet_calibration)
+        for tensor in result.outputs.values():
+            assert tensor.data.shape[0] == 1

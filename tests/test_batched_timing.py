@@ -1,0 +1,236 @@
+"""Batched execution in the timing model, predictor, and plan layer.
+
+The amortization contract of batch-N GEMMs: compute and activation
+traffic scale with the batch, parameter traffic and launch overhead
+are paid once -- so per-sample cost is non-increasing in the batch --
+while ``batch=1`` reproduces every unbatched number bit-for-bit (the
+paper's single-inference results must not move).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.nn import LayerWork
+from repro.runtime import (ExecutionPlan, LayerAssignment, MuLayer,
+                           PROCESSOR_FRIENDLY)
+from repro.runtime.executor import Executor
+from repro.runtime.plan_cache import PlanKey
+from repro.runtime.predictor import (BATCH_PROFILE_GRID,
+                                     LatencyPredictor)
+from repro.soc import EXYNOS_7420
+from repro.soc.timing import kernel_cost, kernel_traffic_bytes
+from repro.tensor import DType
+
+
+def fc_work(macs=10 ** 7):
+    """An FC-shaped kernel: every MAC reads its own weight, so weight
+    traffic dominates and batching has the most to amortize."""
+    return LayerWork(macs=macs, simple_ops=0, param_elements=macs,
+                     input_elements=1024, output_elements=1024,
+                     parallel_channels=1024)
+
+
+def conv_work():
+    """A conv-shaped kernel: weights are reused across positions."""
+    return LayerWork(macs=10 ** 7, simple_ops=0, param_elements=9 * 64,
+                     input_elements=64 * 32 * 32,
+                     output_elements=64 * 32 * 32,
+                     parallel_channels=64)
+
+
+class TestLayerWorkBatched:
+    def test_batch_one_is_self(self):
+        work = conv_work()
+        assert work.batched(1) is work
+
+    def test_scaling(self):
+        work = conv_work()
+        batched = work.batched(4)
+        assert batched.macs == 4 * work.macs
+        assert batched.simple_ops == 4 * work.simple_ops
+        assert batched.input_elements == 4 * work.input_elements
+        assert batched.output_elements == 4 * work.output_elements
+        # Weights are shared across the batch, and batching adds GEMM
+        # rows, not output channels.
+        assert batched.param_elements == work.param_elements
+        assert batched.parallel_channels == work.parallel_channels
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            conv_work().batched(0)
+
+
+class TestTrafficAmortization:
+    def test_activations_scale_params_do_not(self):
+        work = fc_work()
+        base = kernel_traffic_bytes(work, DType.QUINT8, DType.QUINT8)
+        batched = kernel_traffic_bytes(work, DType.QUINT8,
+                                       DType.QUINT8, batch=4)
+        act = (work.input_elements + work.output_elements
+               ) * DType.QUINT8.itemsize
+        params = work.param_elements * DType.QUINT8.itemsize
+        assert base == act + params
+        assert batched == 4 * act + params
+        assert batched < 4 * base
+
+    def test_batch_one_identity(self):
+        work = conv_work()
+        assert (kernel_traffic_bytes(work, DType.F16, DType.F16)
+                == kernel_traffic_bytes(work, DType.F16, DType.F16,
+                                        batch=1))
+
+
+class TestKernelCostBatched:
+    @pytest.fixture
+    def cpu(self):
+        return EXYNOS_7420.processor("cpu")
+
+    def test_batch_one_bit_identical(self, cpu):
+        for work in (fc_work(), conv_work()):
+            base = kernel_cost(cpu, EXYNOS_7420.memory, work,
+                               DType.QUINT8)
+            batched = kernel_cost(cpu, EXYNOS_7420.memory, work,
+                                  DType.QUINT8, batch=1)
+            assert base == batched
+
+    def test_compute_scales_launch_does_not(self, cpu):
+        work = conv_work()
+        base = kernel_cost(cpu, EXYNOS_7420.memory, work, DType.QUINT8)
+        batched = kernel_cost(cpu, EXYNOS_7420.memory, work,
+                              DType.QUINT8, batch=8)
+        assert batched.launch_s == base.launch_s
+        assert batched.compute_s > base.compute_s
+        # Utilization ramps can make large kernels *cheaper* per MAC,
+        # so compute grows at most linearly with the batch.
+        assert batched.compute_s <= 8 * base.compute_s + 1e-12
+
+    def test_per_sample_total_non_increasing(self, cpu):
+        for work in (fc_work(), conv_work()):
+            previous = None
+            for batch in (1, 2, 4, 8, 16):
+                cost = kernel_cost(cpu, EXYNOS_7420.memory, work,
+                                   DType.QUINT8, batch=batch)
+                per_sample = cost.total_s / batch
+                if previous is not None:
+                    assert per_sample <= previous + 1e-15
+                previous = per_sample
+
+    def test_fc_memory_amortizes(self, cpu):
+        """Weight-dominated memory time must grow sublinearly."""
+        work = fc_work()
+        base = kernel_cost(cpu, EXYNOS_7420.memory, work, DType.QUINT8)
+        batched = kernel_cost(cpu, EXYNOS_7420.memory, work,
+                              DType.QUINT8, batch=8)
+        assert batched.memory_s < 2 * base.memory_s
+
+
+class TestPredictorBatch:
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        predictor = LatencyPredictor(EXYNOS_7420)
+        predictor.calibrate_policy(PROCESSOR_FRIENDLY)
+        return predictor
+
+    def test_batch_one_uses_legacy_model(self, predictor):
+        """Adding the batch model must not move batch-1 predictions."""
+        fresh = LatencyPredictor(EXYNOS_7420)
+        fresh.calibrate_policy(PROCESSOR_FRIENDLY)
+        work = conv_work()
+        assert (predictor.predict("cpu", work, PROCESSOR_FRIENDLY)
+                == predictor.predict("cpu", work, PROCESSOR_FRIENDLY,
+                                     batch=1)
+                == fresh.predict("cpu", work, PROCESSOR_FRIENDLY))
+
+    def test_batched_prediction_orders(self, predictor):
+        work = fc_work()
+        single = predictor.predict("cpu", work, PROCESSOR_FRIENDLY)
+        batched = predictor.predict("cpu", work, PROCESSOR_FRIENDLY,
+                                    batch=8)
+        assert batched > single          # more work than one sample
+        assert batched < 8 * single      # but amortized
+
+    def test_invalid_batch(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.predict("cpu", conv_work(), PROCESSOR_FRIENDLY,
+                              batch=0)
+
+    def test_batch_training_error_bounded(self, predictor):
+        for resource in ("cpu", "gpu"):
+            error = predictor.batch_training_error(
+                resource, PROCESSOR_FRIENDLY)
+            assert 0.0 <= error < 1.0
+
+    def test_profile_grid_starts_at_one(self):
+        assert BATCH_PROFILE_GRID[0] == 1
+        assert list(BATCH_PROFILE_GRID) == sorted(set(BATCH_PROFILE_GRID))
+
+
+class TestPlanBatch:
+    def test_plan_key_distinct_per_batch(self):
+        base = PlanKey(model="m", soc="s", mechanism="mulayer",
+                       policy="pfq")
+        batched = PlanKey(model="m", soc="s", mechanism="mulayer",
+                          policy="pfq", batch=4)
+        assert base.batch == 1
+        assert base != batched
+
+    @pytest.mark.parametrize("batch", [0, -1, True, 2.0])
+    def test_plan_validate_rejects_bad_batch(self, squeezenet_mini,
+                                             batch):
+        from repro.runtime.plan import PlanError
+        good = MuLayer(EXYNOS_7420).plan(squeezenet_mini)
+        bad = dataclasses.replace(good, batch=batch)
+        with pytest.raises(PlanError, match="batch"):
+            bad.validate(squeezenet_mini)
+
+    def test_resolve_batch(self):
+        resolve = Executor._resolve_batch
+        x = np.zeros((4, 3, 8, 8), dtype=np.float32)
+        plan1 = ExecutionPlan(graph_name="g", policy=PROCESSOR_FRIENDLY,
+                              assignments={})
+        plan4 = dataclasses.replace(plan1, batch=4)
+        assert resolve(plan1, None, None) == 1
+        assert resolve(plan4, None, None) == 4
+        assert resolve(plan1, x, None) == 4       # from the data
+        assert resolve(plan4, x, None) == 4
+        assert resolve(plan1, None, 2) == 2       # explicit wins
+        from repro.errors import PlanError
+        with pytest.raises(PlanError):
+            resolve(plan4, None, 2)               # batch-4 plan, batch 2
+        with pytest.raises(PlanError):
+            resolve(plan1, x, 2)                  # data says 4
+
+    def test_mulayer_caches_per_batch(self, squeezenet_mini):
+        runtime = MuLayer(EXYNOS_7420)
+        plan1 = runtime.plan(squeezenet_mini)
+        plan4 = runtime.plan(squeezenet_mini, batch=4)
+        assert plan1.batch == 1 and plan4.batch == 4
+        assert runtime.plan(squeezenet_mini) is plan1
+        assert runtime.plan(squeezenet_mini, batch=4) is plan4
+        assert runtime._plan_key(squeezenet_mini, 1) in runtime.plan_cache
+        assert runtime._plan_key(squeezenet_mini, 4) in runtime.plan_cache
+        assert len(runtime.plan_cache) == 2
+
+    def test_batched_run_reports_per_sample(self, squeezenet_mini):
+        runtime = MuLayer(EXYNOS_7420)
+        single = runtime.run(squeezenet_mini)
+        batched = runtime.run(squeezenet_mini, batch=8)
+        assert single.batch == 1 and batched.batch == 8
+        assert (single.per_sample_latency_s
+                == pytest.approx(single.latency_s))
+        assert (batched.per_sample_latency_s
+                == pytest.approx(batched.latency_s / 8))
+        # The amortization the serving layer banks on.
+        assert batched.per_sample_latency_s < single.latency_s
+        assert batched.latency_s > single.latency_s
+        assert batched.to_dict()["batch"] == 8
+
+    def test_batch_one_run_unchanged(self, squeezenet_mini):
+        """`batch=1` must be the exact pre-batching code path."""
+        runtime = MuLayer(EXYNOS_7420)
+        default = runtime.run(squeezenet_mini)
+        explicit = runtime.run(squeezenet_mini, batch=1)
+        assert default.latency_s == explicit.latency_s
+        assert default.to_dict() == explicit.to_dict()
