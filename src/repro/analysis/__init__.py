@@ -1,6 +1,6 @@
-"""Static analysis and verification of plans, timelines, and dtype flow.
+"""Static analysis and verification: plans, timelines, memory, serving.
 
-Three analyzers, one diagnostic vocabulary:
+Six analyzers, one diagnostic vocabulary:
 
 * :class:`PlanVerifier` -- proves an
   :class:`~repro.runtime.plan.ExecutionPlan`'s invariants against its
@@ -11,34 +11,70 @@ Three analyzers, one diagnostic vocabulary:
   (rules ``RC001``-``RC006``);
 * :class:`DtypeFlowLinter` -- abstract interpretation of the
   quantization dtype/scale facts flowing along graph edges
-  (rules ``DT001``-``DT004``).
+  (rules ``DT001``-``DT004``);
+* :class:`MemoryFootprintAnalyzer` -- per-step liveness and peak
+  footprint against the SoC's shared DRAM, plus a pre-planned
+  activation :class:`ArenaLayout` (rules ``MF001``-``MF006``);
+* :class:`SchedulabilityAnalyzer` -- static feasibility of a
+  :class:`~repro.serve.ServeConfig` from the fleet's predictor
+  estimates, before any simulation (rules ``SC001``-``SC005``);
+* :class:`ConcurrencyLinter` -- AST lint of the repo's own sources for
+  unguarded shared state and nondeterminism hazards
+  (rules ``CL001``-``CL004``).
 
-All three emit :class:`Diagnostic` records into a :class:`Report`; the
+All six emit :class:`Diagnostic` records into a :class:`Report`, which
+renders as text, JSON, or SARIF (:mod:`~repro.analysis.sarif` adds the
+fingerprint/baseline machinery CI uses); the
 :mod:`~repro.analysis.verify` harness (and the ``python -m repro
-verify`` CLI) sweeps them across mechanisms, models, and SoCs.
+verify`` CLI) sweeps the plan-level analyzers across mechanisms,
+models, and SoCs.
 """
 
 from .diagnostics import Diagnostic, Report, RULES, Severity
 from .dtypeflow import DtypeFact, DtypeFlowLinter
+from .memory import (ArenaLayout, ArenaSlot, BufferInterval,
+                     FootprintSummary, MemoryFootprintAnalyzer,
+                     build_arena)
 from .plan_verifier import PlanVerifier
 from .races import TimelineRaceDetector
+from .sarif import (apply_baseline, baseline_document, fingerprint,
+                    load_baseline, report_to_sarif, split_locus)
+from .schedulability import (SchedulabilityAnalyzer, lint_serve_config,
+                             utilization)
+from .srclint import ConcurrencyLinter
 from .verify import (MECHANISMS, SweepEntry, applicable_mechanisms,
                      build_plan, verify_mechanism, verify_run,
                      verify_static, verify_sweep)
 
 __all__ = [
+    "ArenaLayout",
+    "ArenaSlot",
+    "BufferInterval",
+    "ConcurrencyLinter",
     "Diagnostic",
     "DtypeFact",
     "DtypeFlowLinter",
+    "FootprintSummary",
     "MECHANISMS",
+    "MemoryFootprintAnalyzer",
     "PlanVerifier",
     "Report",
     "RULES",
+    "SchedulabilityAnalyzer",
     "Severity",
     "SweepEntry",
     "TimelineRaceDetector",
     "applicable_mechanisms",
+    "apply_baseline",
+    "baseline_document",
+    "build_arena",
     "build_plan",
+    "fingerprint",
+    "lint_serve_config",
+    "load_baseline",
+    "report_to_sarif",
+    "split_locus",
+    "utilization",
     "verify_mechanism",
     "verify_run",
     "verify_static",

@@ -39,7 +39,9 @@ class Severity(enum.Enum):
 
 #: The rule catalogue: every rule id an analyzer may emit, with a short
 #: description.  Rule ids are stable identifiers: PV* = plan verifier,
-#: RC* = timeline race detector, DT* = dtype-flow linter.
+#: RC* = timeline race detector, DT* = dtype-flow linter, MF* = memory
+#: footprint analyzer, SC* = schedulability analyzer, CL* = concurrency
+#: source linter.
 RULES: Dict[str, str] = {
     # -- PlanVerifier ------------------------------------------------------
     "PV001": "plan references a layer or graph that does not exist",
@@ -83,6 +85,46 @@ RULES: Dict[str, str] = {
              "layer lacks the output range its requantization needs",
     "DT004": "saturation risk: a concat input's representable range "
              "exceeds the join's output range",
+    # -- MemoryFootprintAnalyzer -------------------------------------------
+    "MF001": "peak memory footprint exceeds the SoC's shared DRAM "
+             "capacity",
+    "MF002": "a single buffer (weight set, activation, or im2col "
+             "columns) exceeds the SoC's DRAM capacity on its own",
+    "MF003": "peak memory footprint above the high watermark of DRAM "
+             "capacity (shared-memory contention risk)",
+    "MF004": "im2col lowering dominates the footprint: one layer's "
+             "transient column matrix exceeds the configured fraction "
+             "of DRAM capacity",
+    "MF005": "persistent packed-operand cache occupies more than the "
+             "configured fraction of DRAM capacity",
+    "MF006": "arena layout inconsistent (overlapping live slots, or an "
+             "arena smaller than the live-set peak)",
+    # -- SchedulabilityAnalyzer --------------------------------------------
+    "SC001": "offered load is unschedulable: utilization rho >= 1 "
+             "across the fleet",
+    "SC002": "SLO below the best-case predicted service time (the "
+             "deadline is unmeetable even on an idle fleet)",
+    "SC003": "offered load near saturation (rho above the warning "
+             "threshold); queueing will erode deadline slack",
+    "SC004": "batch timeout consumes a model's entire deadline slack",
+    "SC005": "configured max batch is unreachable within a model's SLO "
+             "(deadline-safe widening will cap below it)",
+    # -- ConcurrencyLinter --------------------------------------------------
+    "CL001": "unguarded mutation of module-level shared state (no "
+             "enclosing lock)",
+    "CL002": "lock-free write to state of a class documented "
+             "thread-safe",
+    "CL003": "nondeterminism hazard: unseeded or process-global random "
+             "source",
+    "CL004": "wall-clock dependence (time.time/perf_counter/"
+             "datetime.now) in library code",
+}
+
+#: Severity rank used for deterministic ordering (errors first).
+_SEVERITY_RANK: Dict[Severity, int] = {
+    Severity.ERROR: 0,
+    Severity.WARNING: 1,
+    Severity.INFO: 2,
 }
 
 
@@ -116,6 +158,35 @@ class Diagnostic:
         """JSON-serializable form."""
         return {"severity": self.severity.value, "rule": self.rule,
                 "locus": self.locus, "message": self.message}
+
+    @staticmethod
+    def from_dict(payload: Dict[str, str]) -> "Diagnostic":
+        """Parse the :meth:`to_dict` form back into a diagnostic.
+
+        Raises:
+            ValueError: on a missing key, an unknown severity, or an
+                unknown rule id.
+        """
+        try:
+            severity = Severity(payload["severity"])
+        except KeyError:
+            raise ValueError("diagnostic dict lacks a severity") from None
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {payload['severity']!r}") from None
+        try:
+            return Diagnostic(severity=severity, rule=payload["rule"],
+                              locus=payload["locus"],
+                              message=payload["message"])
+        except KeyError as exc:
+            raise ValueError(f"diagnostic dict lacks {exc}") from None
+
+    @property
+    def sort_key(self) -> "tuple[str, str, int, str]":
+        """Deterministic ordering key: (rule, locus, severity,
+        message) -- the order SARIF baselines are diffed in."""
+        return (self.rule, self.locus, _SEVERITY_RANK[self.severity],
+                self.message)
 
 
 class Report:
@@ -175,6 +246,16 @@ class Report:
         """Sorted unique rule ids present in the report."""
         return sorted({d.rule for d in self._diagnostics})
 
+    def sorted(self) -> "Report":
+        """A new report with diagnostics in deterministic order.
+
+        Ordered by (rule, locus, severity, message) so that reports
+        merged from parallel ``--jobs`` sweep workers always serialize
+        identically and SARIF baselines diff cleanly.
+        """
+        return Report(sorted(self._diagnostics,
+                             key=lambda d: d.sort_key))
+
     @property
     def clean(self) -> bool:
         """True when no diagnostics of any severity were emitted."""
@@ -211,10 +292,44 @@ class Report:
         lines.append(self.summary())
         return "\n".join(lines)
 
+    def to_dict(self) -> List[Dict[str, str]]:
+        """JSON-serializable list of the diagnostics, in order."""
+        return [d.to_dict() for d in self._diagnostics]
+
     def to_json(self, indent: "int | None" = 2) -> str:
         """JSON array of the diagnostics."""
-        return json.dumps([d.to_dict() for d in self._diagnostics],
-                          indent=indent)
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, entries: Iterable[Dict[str, str]]) -> "Report":
+        """Rebuild a report from its :meth:`to_dict` form."""
+        return cls(Diagnostic.from_dict(entry) for entry in entries)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Report":
+        """Rebuild a report from its :meth:`to_json` form.
+
+        Raises:
+            ValueError: when the JSON is not a list of diagnostic
+                dicts, or an entry fails :meth:`Diagnostic.from_dict`.
+        """
+        payload = json.loads(text)
+        if not isinstance(payload, list):
+            raise ValueError("report JSON must be a list of diagnostics")
+        return cls.from_dict(payload)
+
+    def to_sarif(self, tool_name: str = "repro-analysis",
+                 indent: "int | None" = 2) -> str:
+        """The report as a SARIF 2.1.0 log (JSON string).
+
+        File-shaped loci (``path.py:line``) become physical locations;
+        everything else (layer names, plan regions) becomes a logical
+        location.  See :mod:`repro.analysis.sarif` for the fingerprint
+        and baseline-suppression machinery built on top of this.
+        """
+        from .sarif import report_to_sarif
+        return json.dumps(report_to_sarif(self, tool_name=tool_name),
+                          indent=indent, sort_keys=True)
 
     def raise_if_errors(self, context: str = "") -> None:
         """Escalate to :class:`VerificationError` when errors exist."""

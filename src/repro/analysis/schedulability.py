@@ -1,0 +1,151 @@
+"""Static schedulability lint of serving configurations (SC001-SC005).
+
+A serving simulation over 10^5 requests takes minutes; deciding that
+its configuration can never meet its SLOs takes milliseconds.  This
+analyzer reuses the fleet's predictor-based service-time estimates
+(the same numbers its schedulers act on) as static inputs:
+
+* **Utilization.**  Modelling each device as a server with mean
+  service time E[S] (the workload-weighted mulayer estimate), the
+  fleet's service rate is ``mu = sum_d 1 / E[S_d]`` and the offered
+  utilization is ``rho = rate / mu``.  ``rho >= 1`` means the queue
+  grows without bound -- no scheduler can save it (SC001); ``rho``
+  above a high watermark predicts deep queues and SLO misses (SC003).
+* **Deadline feasibility.**  A model's SLO below the *best-case*
+  predicted service time (minimum over the fleet's SoC types and
+  mechanisms) cannot be met even by an idle fleet (SC002).
+* **Batching.**  A batch timeout that consumes a model's entire
+  deadline slack leaves no time to execute (SC004), and a full batch
+  whose predicted makespan exceeds the SLO misses for every member
+  (SC005).
+
+Estimates, not measurements: everything here comes from the fitted
+latency predictor, so the lint runs without a single simulated
+request.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..serve.config import ServeConfig
+from ..serve.fleet import Fleet
+from .diagnostics import Report
+
+
+def _best_case_service_s(fleet: Fleet, model: str) -> float:
+    """Smallest predicted service time over SoC types x mechanisms."""
+    best = float("inf")
+    for device in fleet.devices:
+        for mechanism in fleet.mechanisms(device):
+            best = min(best, fleet.estimate_service_s(model, device,
+                                                      mechanism))
+    return best
+
+
+def _mean_mulayer_service_s(fleet: Fleet, config: ServeConfig
+                            ) -> Dict[str, float]:
+    """Per-device mean mulayer service time over the model mix."""
+    means: Dict[str, float] = {}
+    share = 1.0 / len(config.models)
+    for device in fleet.devices:
+        means[device.device_id] = sum(
+            share * fleet.estimate_service_s(model, device, "mulayer")
+            for model in config.models)
+    return means
+
+
+def utilization(fleet: Fleet, config: ServeConfig) -> float:
+    """Offered utilization rho of a configuration on a fleet.
+
+    ``rho = rate / mu`` with ``mu = sum_d 1 / E[S_d]``, each device's
+    mean service time taken as the equally-weighted mulayer estimate
+    over the configured models.
+    """
+    mu = sum(1.0 / mean
+             for mean in _mean_mulayer_service_s(fleet, config).values())
+    return config.rate_rps / mu
+
+
+class SchedulabilityAnalyzer:
+    """Statically lints a :class:`ServeConfig` against a fleet.
+
+    Args:
+        fleet: the fleet the configuration would run on; built from
+            the configuration itself when omitted (one predictor fit
+            per SoC type -- still far cheaper than simulating).
+        high_watermark: utilization above which SC003 warns.
+    """
+
+    def __init__(self, fleet: Optional[Fleet] = None,
+                 high_watermark: float = 0.85) -> None:
+        if not 0.0 < high_watermark <= 1.0:
+            raise ValueError("high_watermark must be in (0, 1]")
+        self._fleet = fleet
+        self.high_watermark = high_watermark
+
+    def fleet_for(self, config: ServeConfig) -> Fleet:
+        """The fleet to lint against (building one if needed)."""
+        if self._fleet is not None:
+            return self._fleet
+        self._fleet = Fleet.build(config.soc_names, config.num_devices)
+        return self._fleet
+
+    def analyze(self, config: ServeConfig) -> Report:
+        """Run all SC rules; returns every finding."""
+        fleet = self.fleet_for(config)
+        report = Report()
+        rho = utilization(fleet, config)
+        if rho >= 1.0:
+            report.error(
+                "SC001", "fleet",
+                f"offered load of {config.rate_rps:.1f} req/s is "
+                f"rho = {rho:.2f} of the fleet's mulayer service "
+                "rate; the queue grows without bound and no "
+                "scheduler can meet any SLO")
+        elif rho >= self.high_watermark:
+            report.warning(
+                "SC003", "fleet",
+                f"offered load is rho = {rho:.2f} of fleet capacity "
+                f"(watermark {self.high_watermark:.2f}); expect deep "
+                "queues and SLO misses under arrival bursts")
+        for model in config.models:
+            slo = config.slo_of(model)
+            best = _best_case_service_s(fleet, model)
+            slack = slo - best
+            if slo < best:
+                report.error(
+                    "SC002", model,
+                    f"SLO of {slo * 1e3:.1f} ms is below the "
+                    f"best-case predicted service time of "
+                    f"{best * 1e3:.1f} ms; unmeetable even on an "
+                    "idle fleet")
+                continue
+            if config.max_batch > 1:
+                if config.batch_timeout_s >= slack > 0.0:
+                    report.warning(
+                        "SC004", model,
+                        f"batch timeout of "
+                        f"{config.batch_timeout_s * 1e3:.1f} ms "
+                        f"consumes the whole deadline slack of "
+                        f"{slack * 1e3:.1f} ms; the first request "
+                        "of every batch window misses its SLO")
+                worst_batched = min(
+                    fleet.estimate_service_s(model, device, "mulayer",
+                                             batch=config.max_batch)
+                    for device in fleet.devices)
+                if worst_batched > slo:
+                    report.warning(
+                        "SC005", model,
+                        f"a full batch of {config.max_batch} has a "
+                        f"predicted makespan of "
+                        f"{worst_batched * 1e3:.1f} ms, above the "
+                        f"{slo * 1e3:.1f} ms SLO; every member of a "
+                        "full batch misses")
+        return report
+
+
+def lint_serve_config(config: ServeConfig,
+                      fleet: Optional[Fleet] = None) -> Report:
+    """One-shot lint of a serving configuration (the CLI entry)."""
+    return SchedulabilityAnalyzer(fleet=fleet).analyze(config)

@@ -12,8 +12,10 @@ functions over the whole model zoo.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Tuple
+import threading
+from typing import Iterable, List, Optional, Tuple
 
 from ..models import build_model, list_models
 from ..nn import Graph
@@ -43,8 +45,38 @@ _SINGLE_PROCESSOR_DTYPE = {
 }
 
 #: MuLayer runtimes by SoC name, so repeated sweeps reuse the fitted
-#: latency predictor and the per-graph plan cache.
-_MULAYER_CACHE: Dict[str, MuLayer] = {}
+#: latency predictor and the per-graph plan cache.  Bounded LRU (there
+#: are only a handful of SoCs, but ad-hoc SoC specs in tests would
+#: otherwise accumulate fitted predictors forever) and lock-guarded
+#: (sweeps may run from threads as well as worker processes).
+_MULAYER_CACHE_CAPACITY = 8
+_MULAYER_CACHE: "collections.OrderedDict[str, MuLayer]" = (
+    collections.OrderedDict())
+_MULAYER_CACHE_LOCK = threading.Lock()
+
+
+def _cached_runtime(soc: SoCSpec) -> MuLayer:
+    """The (bounded, shared) MuLayer runtime of one SoC.
+
+    The runtime is built outside the lock -- predictor fitting is the
+    expensive part and must not serialize unrelated SoCs -- so two
+    racing builders may both construct one; the second insert wins and
+    both are valid.
+    """
+    with _MULAYER_CACHE_LOCK:
+        runtime = _MULAYER_CACHE.get(soc.name)
+        if runtime is not None:
+            _MULAYER_CACHE.move_to_end(soc.name)
+            return runtime
+    # The fitted latency predictor only covers CPU and GPU; three-way
+    # planning uses oracle costs (Section 8.3).
+    built = MuLayer(soc, use_oracle_costs=soc.has_npu)
+    with _MULAYER_CACHE_LOCK:
+        _MULAYER_CACHE[soc.name] = built
+        _MULAYER_CACHE.move_to_end(soc.name)
+        while len(_MULAYER_CACHE) > _MULAYER_CACHE_CAPACITY:
+            _MULAYER_CACHE.popitem(last=False)
+    return built
 
 
 def applicable_mechanisms(soc: SoCSpec) -> Tuple[str, ...]:
@@ -58,13 +90,7 @@ def build_plan(soc: SoCSpec, graph: Graph,
                mechanism: str) -> ExecutionPlan:
     """The plan a mechanism would execute, built the runtime's way."""
     if mechanism == "mulayer":
-        runtime = _MULAYER_CACHE.get(soc.name)
-        if runtime is None:
-            # The fitted latency predictor only covers CPU and GPU;
-            # three-way planning uses oracle costs (Section 8.3).
-            runtime = _MULAYER_CACHE[soc.name] = MuLayer(
-                soc, use_oracle_costs=soc.has_npu)
-        return runtime.plan(graph)
+        return _cached_runtime(soc).plan(graph)
     if mechanism == "l2p":
         return layer_to_processor_plan(soc, graph, UNIFORM_QUINT8)
     if mechanism in _SINGLE_PROCESSOR_DTYPE:
@@ -91,17 +117,30 @@ def verify_run(soc: SoCSpec, graph: Graph, plan: ExecutionPlan,
 
 
 def verify_mechanism(soc: SoCSpec, graph: Graph, mechanism: str,
-                     calibration: Optional[CalibrationTable] = None
-                     ) -> Report:
+                     calibration: Optional[CalibrationTable] = None,
+                     memory: bool = False,
+                     batch: Optional[int] = None) -> Report:
     """Full verification of one mechanism on one model and SoC.
 
     Builds the mechanism's plan, verifies it statically, performs one
     timing-only execution, and race-checks the resulting timeline.
     Static errors do not abort the run (all diagnostics are wanted),
     but a plan the executor itself rejects is reported, not raised.
+
+    Args:
+        memory: also run the
+            :class:`~repro.analysis.memory.MemoryFootprintAnalyzer`
+            (MF rules) on the plan.
+        batch: batch size for the memory analysis (default: the
+            plan's own batch).
     """
+    from .memory import MemoryFootprintAnalyzer
+
     plan = build_plan(soc, graph, mechanism)
     report = verify_static(soc, graph, plan, calibration)
+    if memory:
+        report.extend(MemoryFootprintAnalyzer(soc).analyze(
+            graph, plan, batch=batch))
     if not report.ok:
         return report    # executing a provably broken plan adds noise
     result = Executor(soc).run(graph, plan, mechanism=mechanism)
@@ -118,25 +157,29 @@ class SweepEntry:
     report: Report
 
 
-def _sweep_unit(item: Tuple[str, str, Tuple[str, ...]]
-                ) -> List[SweepEntry]:
+def _sweep_unit(item: Tuple[str, str, Tuple[str, ...], bool,
+                            Optional[int]]) -> List[SweepEntry]:
     """All entries of one (soc, model) sweep cell.
 
     Module-level so :func:`~repro.harness.parallel.parallel_map` can
     ship it to worker processes; the graph is built once per cell.
     """
-    soc_name, model, chosen = item
+    soc_name, model, chosen, memory, batch = item
     soc = SOCS[soc_name]
     graph = build_model(model, with_weights=False)
     return [SweepEntry(model=model, soc=soc_name, mechanism=mechanism,
-                       report=verify_mechanism(soc, graph, mechanism))
+                       report=verify_mechanism(soc, graph, mechanism,
+                                               memory=memory,
+                                               batch=batch))
             for mechanism in chosen]
 
 
 def verify_sweep(models: Optional[Iterable[str]] = None,
                  socs: Optional[Iterable[str]] = None,
                  mechanisms: Optional[Iterable[str]] = None,
-                 jobs: Optional[int] = None) -> List[SweepEntry]:
+                 jobs: Optional[int] = None,
+                 memory: bool = False,
+                 batch: Optional[int] = None) -> List[SweepEntry]:
     """Verify mechanisms across the zoo.
 
     Args:
@@ -146,12 +189,18 @@ def verify_sweep(models: Optional[Iterable[str]] = None,
             SoC supports; an explicit ``npu`` request on an NPU-less
             SoC is skipped rather than reported).
         jobs: fan (soc, model) cells across this many processes
-            (None/1 = serial; <=0 = one per CPU).  Results are in the
-            same deterministic order either way.
+            (None/1 = serial; <=0 = one per CPU).
+        memory: also run the memory-footprint analysis on every plan.
+        batch: batch size for the memory analysis.
+
+    Entries come back sorted by (model, soc, mechanism) with each
+    report in its deterministic order, regardless of ``jobs`` -- the
+    property SARIF baselines and output diffs rely on.
     """
     from ..harness.parallel import parallel_map
 
-    work: List[Tuple[str, str, Tuple[str, ...]]] = []
+    work: List[Tuple[str, str, Tuple[str, ...], bool,
+                     Optional[int]]] = []
     requested = tuple(mechanisms) if mechanisms is not None else None
     for soc_name in (tuple(socs) if socs is not None else sorted(SOCS)):
         supported = applicable_mechanisms(SOCS[soc_name])
@@ -159,8 +208,10 @@ def verify_sweep(models: Optional[Iterable[str]] = None,
                   else tuple(m for m in requested if m in supported))
         for model in (tuple(models) if models is not None
                       else list_models()):
-            work.append((soc_name, model, chosen))
+            work.append((soc_name, model, chosen, memory, batch))
     entries: List[SweepEntry] = []
     for cell in parallel_map(_sweep_unit, work, jobs=jobs):
         entries.extend(cell)
-    return entries
+    entries.sort(key=lambda e: (e.model, e.soc, e.mechanism))
+    return [dataclasses.replace(entry, report=entry.report.sorted())
+            for entry in entries]

@@ -123,6 +123,11 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="warm the plan cache with N processes "
                             "before simulating (default: serial)")
+    serve.add_argument("--force", action="store_true",
+                       help="simulate even when the schedulability "
+                            "lint finds the configuration infeasible "
+                            "(SC errors normally abort before any "
+                            "request is simulated)")
     serve.add_argument("--json", action="store_true",
                        help="emit serving metrics as JSON")
 
@@ -143,6 +148,49 @@ def _build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="verify (soc, model) cells with N "
                              "processes (default: serial)")
+    verify.add_argument("--memory", action="store_true",
+                        help="also check each plan's peak memory "
+                             "footprint and arena layout against the "
+                             "SoC's shared DRAM (MF rules)")
+    verify.add_argument("--batch", type=int, default=None, metavar="B",
+                        help="batch size for the --memory analysis "
+                             "(default: each plan's own batch)")
+    verify.add_argument("--lint-src", nargs="?", const="src/repro",
+                        default=None, metavar="PATH",
+                        help="run the concurrency/determinism source "
+                             "lint over PATH (default src/repro; CL "
+                             "rules); usable without a model")
+    verify.add_argument("--schedulability", action="store_true",
+                        help="statically lint the serve configuration "
+                             "implied by --devices/--load/--rate/"
+                             "--slo-factor for the given models (SC "
+                             "rules); usable without a model (lints "
+                             "the mini zoo)")
+    verify.add_argument("--devices", type=int, default=2,
+                        help="--schedulability: fleet size")
+    verify.add_argument("--rate", type=float, default=None,
+                        help="--schedulability: offered load in "
+                             "requests/s")
+    verify.add_argument("--load", type=float, default=0.7,
+                        help="--schedulability: offered load as a "
+                             "fraction of fleet capacity (ignored "
+                             "when --rate is given)")
+    verify.add_argument("--slo-factor", type=float, default=4.0,
+                        help="--schedulability: per-model SLO as a "
+                             "multiple of unloaded uLayer latency")
+    verify.add_argument("--max-batch", type=int, default=1,
+                        metavar="N",
+                        help="--schedulability: scheduler batch bound")
+    verify.add_argument("--batch-timeout-ms", type=float, default=0.0,
+                        metavar="MS",
+                        help="--schedulability: batching flush "
+                             "timeout")
+    verify.add_argument("--sarif", default=None, metavar="PATH",
+                        help="write all diagnostics as a SARIF 2.1.0 "
+                             "log to PATH")
+    verify.add_argument("--baseline", default=None, metavar="PATH",
+                        help="suppress findings fingerprinted in this "
+                             "baseline file (see lint-baseline.json)")
     verify.add_argument("--json", action="store_true",
                         help="emit diagnostics as JSON")
 
@@ -285,31 +333,110 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _schedulability_report(args: argparse.Namespace,
+                           models: Optional[List[str]]):
+    """SC-rule lint of the serve configuration the flags imply."""
+    from .analysis import lint_serve_config
+    from .models import MINI_MODELS
+    from .serve import Fleet, ServeConfig, default_slos
+
+    soc_names = [args.soc] if args.soc is not None else ["exynos7420"]
+    chosen = list(models) if models else list(MINI_MODELS)
+    fleet = Fleet.build(soc_names, args.devices)
+    slos = default_slos(fleet, chosen, slo_factor=args.slo_factor)
+    rate = (args.rate if args.rate is not None
+            else args.load * fleet.capacity_rps(chosen))
+    config = ServeConfig(
+        models=tuple(chosen), soc_names=tuple(soc_names),
+        num_devices=args.devices, rate_rps=rate, slos=slos,
+        max_batch=args.max_batch,
+        batch_timeout_s=args.batch_timeout_ms / 1e3)
+    return lint_serve_config(config, fleet=fleet).sorted()
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from .analysis import verify_sweep
+    import dataclasses
+    import pathlib
+
+    from .analysis import (ConcurrencyLinter, Report, apply_baseline,
+                           load_baseline, verify_sweep)
+
+    standalone = args.lint_src is not None or args.schedulability
     if args.all_models:
-        models = None
+        models: Optional[List[str]] = None
     elif args.model is not None:
         models = [args.model]
+    elif standalone:
+        models = []
     else:
         print("verify: give a model name or --all", file=sys.stderr)
         return 2
     socs = [args.soc] if args.soc is not None else None
-    entries = verify_sweep(models=models, socs=socs,
-                           mechanisms=args.mechanisms, jobs=args.jobs)
+    entries = []
+    if models is None or models:
+        entries = verify_sweep(models=models, socs=socs,
+                               mechanisms=args.mechanisms,
+                               jobs=args.jobs, memory=args.memory,
+                               batch=args.batch)
+    lint_report = None
+    if args.lint_src is not None:
+        lint_report = ConcurrencyLinter().lint_paths(
+            [args.lint_src]).sorted()
+    sched_report = None
+    if args.schedulability:
+        sched_report = _schedulability_report(args, models)
+    if args.baseline is not None:
+        baseline = load_baseline(args.baseline)
+        entries = [dataclasses.replace(
+            entry, report=apply_baseline(entry.report, baseline))
+            for entry in entries]
+        if lint_report is not None:
+            lint_report = apply_baseline(lint_report, baseline)
+        if sched_report is not None:
+            sched_report = apply_baseline(sched_report, baseline)
+    if args.sarif is not None:
+        merged = Report()
+        for entry in entries:
+            merged.extend(dataclasses.replace(
+                diagnostic,
+                locus=(f"{entry.model}/{entry.soc}/"
+                       f"{entry.mechanism}:{diagnostic.locus}"))
+                for diagnostic in entry.report)
+        for extra in (lint_report, sched_report):
+            if extra is not None:
+                merged.extend(extra)
+        pathlib.Path(args.sarif).write_text(
+            merged.sorted().to_sarif() + "\n", encoding="utf-8")
+    sweep_payload = [{"model": e.model, "soc": e.soc,
+                      "mechanism": e.mechanism,
+                      "diagnostics": [d.to_dict() for d in e.report]}
+                     for e in entries]
     if args.json:
-        print(json.dumps(
-            [{"model": e.model, "soc": e.soc,
-              "mechanism": e.mechanism,
-              "diagnostics": [d.to_dict() for d in e.report]}
-             for e in entries], indent=2))
+        if lint_report is None and sched_report is None:
+            print(json.dumps(sweep_payload, indent=2))
+        else:
+            payload: Dict[str, object] = {"sweep": sweep_payload}
+            if lint_report is not None:
+                payload["lint"] = lint_report.to_dict()
+            if sched_report is not None:
+                payload["schedulability"] = sched_report.to_dict()
+            print(json.dumps(payload, indent=2))
     else:
         for entry in entries:
             print(f"{entry.model:18s} {entry.soc:14s} "
                   f"{entry.mechanism:8s} {entry.report.summary()}")
             for diagnostic in entry.report:
                 print(f"    {diagnostic.render()}")
+        for title, extra in (("source lint", lint_report),
+                             ("schedulability", sched_report)):
+            if extra is None:
+                continue
+            print(f"{title}: {extra.summary()}")
+            for diagnostic in extra:
+                print(f"    {diagnostic.render()}")
     dirty = sum(1 for e in entries if not e.report.clean)
+    dirty += sum(1 for extra in (lint_report, sched_report)
+                 if extra is not None and not extra.clean)
     if not args.json:
         print(f"{len(entries)} mechanism runs verified, "
               f"{dirty} with diagnostics")
@@ -346,6 +473,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rate = args.rate
     else:
         rate = 0.7 * capacity
+    # Static feasibility gate: an unschedulable configuration fails in
+    # milliseconds here instead of after a full simulation.
+    from .analysis import lint_serve_config
+    from .serve import ServeConfig
+    config = ServeConfig(
+        models=tuple(models), soc_names=tuple(soc_names),
+        num_devices=args.devices, rate_rps=rate, slos=slos,
+        scheduler=args.scheduler, max_batch=max_batch,
+        batch_timeout_s=getattr(scheduler, "batch_timeout_s", 0.0)
+        or 0.0)
+    feasibility = lint_serve_config(config, fleet=fleet).sorted()
+    if not feasibility.clean and not args.json:
+        print(f"schedulability: {feasibility.summary()}")
+        for diagnostic in feasibility:
+            print(f"    {diagnostic.render()}")
+    if not feasibility.ok and not args.force:
+        if args.json:
+            print(json.dumps({
+                "error": "configuration is not schedulable",
+                "schedulability": feasibility.to_dict()}, indent=2))
+        else:
+            print("serve: configuration rejected before simulation "
+                  "(rerun with --force to simulate anyway)",
+                  file=sys.stderr)
+        return 2
     if args.workload == "poisson":
         workload = PoissonWorkload(rate, models, slos, seed=args.seed)
     else:

@@ -10,6 +10,7 @@ tables, and assert the paper's qualitative shapes.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -30,20 +31,23 @@ DEFAULT_SOCS = (EXYNOS_7420, EXYNOS_7880)
 #: predictor once per SoC instead of once per unit.
 _RUNTIMES: Dict[str, MuLayer] = {}
 _ABLATIONS: Dict[str, Dict[str, MuLayer]] = {}
+_CACHE_LOCK = threading.Lock()
 
 
 def _runtime_for(soc: SoCSpec) -> MuLayer:
-    runtime = _RUNTIMES.get(soc.name)
-    if runtime is None:
-        runtime = _RUNTIMES[soc.name] = MuLayer(soc)
-    return runtime
+    with _CACHE_LOCK:
+        runtime = _RUNTIMES.get(soc.name)
+        if runtime is None:
+            runtime = _RUNTIMES[soc.name] = MuLayer(soc)
+        return runtime
 
 
 def _ablation_for(soc: SoCSpec) -> Dict[str, MuLayer]:
-    stages = _ABLATIONS.get(soc.name)
-    if stages is None:
-        stages = _ABLATIONS[soc.name] = mulayer_ablation_stages(soc)
-    return stages
+    with _CACHE_LOCK:
+        stages = _ABLATIONS.get(soc.name)
+        if stages is None:
+            stages = _ABLATIONS[soc.name] = mulayer_ablation_stages(soc)
+        return stages
 
 
 @dataclasses.dataclass

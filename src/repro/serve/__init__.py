@@ -9,6 +9,7 @@ schedulers decide who runs where -- including an EDF policy that picks
 the execution mechanism per request using the latency predictor.
 """
 
+from .config import ServeConfig
 from .fleet import (Completion, Device, Fleet, SINGLE_PROCESSOR_DTYPES,
                     default_slos, plan_resources)
 from .metrics import ServingMetrics, percentile
@@ -20,6 +21,7 @@ from .workload import (BurstyWorkload, PoissonWorkload, Request,
                        WorkloadGenerator, bursty_for_rate)
 
 __all__ = [
+    "ServeConfig",
     "Completion",
     "Device",
     "Fleet",

@@ -1,0 +1,79 @@
+"""Declarative serving configuration.
+
+Everything ``repro serve`` needs to set up a simulation, gathered into
+one frozen value so configurations can be linted statically
+(:mod:`repro.analysis.schedulability`) before the simulator ever runs,
+serialized alongside results, and constructed in tests without touching
+the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeConfig:
+    """One serving scenario, fully specified.
+
+    Attributes:
+        models: models the workload draws from.
+        soc_names: SoC types the fleet cycles through.
+        num_devices: fleet size.
+        rate_rps: offered arrival rate (requests per second).
+        slos: per-model SLO deadlines in seconds.
+        scheduler: scheduler policy name (``fifo`` / ``least_loaded``
+            / ``edf`` / ``dynamic_batch``).
+        max_batch: largest batched dispatch a batching scheduler may
+            form (1 = no batching).
+        batch_timeout_s: how long a batching scheduler holds the first
+            request of a forming batch before dispatching it anyway.
+    """
+
+    models: Tuple[str, ...]
+    soc_names: Tuple[str, ...]
+    num_devices: int
+    rate_rps: float
+    slos: Mapping[str, float]
+    scheduler: str = "edf"
+    max_batch: int = 1
+    batch_timeout_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError("ServeConfig needs at least one model")
+        if not self.soc_names:
+            raise ValueError("ServeConfig needs at least one SoC type")
+        if self.num_devices < 1:
+            raise ValueError("num_devices must be >= 1")
+        if self.rate_rps <= 0.0:
+            raise ValueError("rate_rps must be positive")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_timeout_s < 0.0:
+            raise ValueError("batch_timeout_s must be >= 0")
+        missing = [m for m in self.models if m not in self.slos]
+        if missing:
+            raise ValueError(f"models without an SLO: {missing}")
+
+    def slo_of(self, model: str) -> float:
+        """The SLO deadline of one model.
+
+        Raises:
+            KeyError: when the model has no SLO entry.
+        """
+        return self.slos[model]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (stored next to serving results)."""
+        return {
+            "models": list(self.models),
+            "soc_names": list(self.soc_names),
+            "num_devices": self.num_devices,
+            "rate_rps": self.rate_rps,
+            "slos": dict(self.slos),
+            "scheduler": self.scheduler,
+            "max_batch": self.max_batch,
+            "batch_timeout_s": self.batch_timeout_s,
+        }

@@ -30,6 +30,10 @@ class MemorySpec:
         map_per_mb_us: per-MB cache maintenance cost of mapping.
         copy_per_mb_us: per-MB cost of an explicit CPU<->GPU copy (the
             non-zero-copy ablation; roughly 2x a memcpy at bandwidth).
+        capacity_mb: physical LPDDR capacity in MB (1 MB = 10^6 bytes).
+            CPU, GPU, and NPU all allocate from this one pool, so a
+            plan whose peak footprint exceeds it cannot run -- the
+            static property :mod:`repro.analysis.memory` checks.
     """
 
     name: str
@@ -38,11 +42,20 @@ class MemorySpec:
     map_fixed_us: float
     map_per_mb_us: float
     copy_per_mb_us: float
+    capacity_mb: float = 4096.0
 
     def __post_init__(self) -> None:
         if self.bandwidth_gb_s <= 0:
             raise SimulationError(
                 f"{self.name}: bandwidth must be positive")
+        if self.capacity_mb <= 0:
+            raise SimulationError(
+                f"{self.name}: capacity must be positive")
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Shared DRAM capacity in bytes."""
+        return self.capacity_mb * 1e6
 
     def stream_seconds(self, nbytes: float) -> float:
         """Time to stream ``nbytes`` through DRAM."""

@@ -137,6 +137,7 @@ EXYNOS_7420 = SoCSpec(
         map_fixed_us=18.0,
         map_per_mb_us=1.5,
         copy_per_mb_us=150.0,
+        capacity_mb=4096.0,      # Galaxy Note 5 ships 4 GB LPDDR4
     ),
     static_power_w=0.55,
     sync_us=70.0,
@@ -190,6 +191,7 @@ EXYNOS_7880 = SoCSpec(
         map_fixed_us=22.0,
         map_per_mb_us=2.0,
         copy_per_mb_us=250.0,
+        capacity_mb=3072.0,      # Galaxy A5 (2017) ships 3 GB LPDDR3
     ),
     static_power_w=0.40,
     sync_us=85.0,

@@ -1,0 +1,125 @@
+"""Static schedulability lint: ServeConfig validation and SC rules."""
+
+import pytest
+
+from repro.analysis import (SchedulabilityAnalyzer, lint_serve_config,
+                            utilization)
+from repro.serve import Fleet, ServeConfig, default_slos
+
+MODELS = ("vgg_mini", "alexnet_mini")
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return Fleet.build(["exynos7420"], 2)
+
+
+@pytest.fixture(scope="module")
+def slos(fleet):
+    return dict(default_slos(fleet, MODELS, slo_factor=4.0))
+
+
+@pytest.fixture(scope="module")
+def capacity(fleet):
+    return fleet.capacity_rps(list(MODELS))
+
+
+def _config(rate, slos, **overrides):
+    base = dict(models=MODELS, soc_names=("exynos7420",),
+                num_devices=2, rate_rps=rate, slos=slos)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+class TestServeConfig:
+    def test_valid_config_builds(self, slos, capacity):
+        config = _config(0.5 * capacity, slos)
+        assert config.slo_of("vgg_mini") == slos["vgg_mini"]
+
+    def test_round_trips_to_dict(self, slos, capacity):
+        payload = _config(100.0, slos).to_dict()
+        assert payload["rate_rps"] == 100.0
+        assert payload["models"] == list(MODELS)
+
+    @pytest.mark.parametrize("overrides", [
+        {"models": ()},
+        {"soc_names": ()},
+        {"num_devices": 0},
+        {"rate_rps": 0.0},
+        {"max_batch": 0},
+        {"batch_timeout_s": -1.0},
+        {"slos": {"vgg_mini": 1.0}},    # alexnet_mini missing
+    ])
+    def test_invalid_configs_rejected(self, slos, overrides):
+        base = dict(models=MODELS, soc_names=("exynos7420",),
+                    num_devices=2, rate_rps=10.0, slos=slos)
+        base.update(overrides)
+        with pytest.raises(ValueError):
+            ServeConfig(**base)
+
+
+class TestSchedulabilityRules:
+    def test_feasible_config_is_clean(self, fleet, slos, capacity):
+        report = lint_serve_config(_config(0.5 * capacity, slos),
+                                   fleet=fleet)
+        assert report.clean, report.render()
+
+    def test_sc001_overload_is_an_error(self, fleet, slos, capacity):
+        report = lint_serve_config(_config(3.0 * capacity, slos),
+                                   fleet=fleet)
+        assert "SC001" in report.rules_fired()
+        assert not report.ok
+
+    def test_sc002_unmeetable_slo(self, fleet, capacity):
+        tight = {model: 1e-9 for model in MODELS}
+        report = lint_serve_config(_config(0.3 * capacity, tight),
+                                   fleet=fleet)
+        assert report.rules_fired() == ["SC002"]
+        assert {d.locus for d in report} == set(MODELS)
+
+    def test_sc003_near_saturation_warns(self, fleet, slos, capacity):
+        rho = utilization(fleet, _config(capacity, slos))
+        near = _config(0.95 * capacity / rho * 1.0, slos)
+        analyzer = SchedulabilityAnalyzer(fleet=fleet,
+                                          high_watermark=0.85)
+        report = analyzer.analyze(near)
+        assert "SC003" in report.rules_fired()
+        assert report.ok    # a warning, not an error
+
+    def test_sc004_timeout_eats_all_slack(self, fleet, slos, capacity):
+        config = _config(0.3 * capacity, slos, max_batch=4,
+                         batch_timeout_s=max(slos.values()) * 2)
+        report = lint_serve_config(config, fleet=fleet)
+        assert "SC004" in report.rules_fired()
+
+    def test_sc005_full_batch_blows_the_slo(self, fleet, capacity):
+        snug = {model: 1.2 * fleet.isolated_latency_s(model)
+                for model in MODELS}
+        config = _config(0.3 * capacity, snug, max_batch=32,
+                         batch_timeout_s=1e-6)
+        report = lint_serve_config(config, fleet=fleet)
+        assert "SC005" in report.rules_fired()
+
+    def test_no_batch_rules_without_batching(self, fleet, slos,
+                                             capacity):
+        config = _config(0.3 * capacity, slos, max_batch=1,
+                         batch_timeout_s=0.0)
+        report = lint_serve_config(config, fleet=fleet)
+        fired = set(report.rules_fired())
+        assert not fired & {"SC004", "SC005"}
+
+    def test_utilization_scales_linearly_with_rate(self, fleet, slos,
+                                                   capacity):
+        low = utilization(fleet, _config(0.2 * capacity, slos))
+        high = utilization(fleet, _config(0.4 * capacity, slos))
+        assert high == pytest.approx(2.0 * low)
+
+    def test_analyzer_builds_its_own_fleet(self, slos, capacity):
+        analyzer = SchedulabilityAnalyzer()
+        report = analyzer.analyze(_config(3.0 * capacity, slos,
+                                          num_devices=1))
+        assert "SC001" in report.rules_fired()
+
+    def test_rejects_bad_watermark(self):
+        with pytest.raises(ValueError):
+            SchedulabilityAnalyzer(high_watermark=0.0)
