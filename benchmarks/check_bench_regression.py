@@ -29,10 +29,20 @@ gates the serving-throughput benchmark (``BENCH_serve_batch.json``):
 * fresh peak-load throughput per batch size must not fall below the
   baseline by more than the threshold factor.
 
-Serving numbers come from simulated time, so they are bit-stable
-across runners -- the threshold there only absorbs intentional
-timing-model changes, not machine noise.  Either gate may run alone:
-the e2e positionals are optional when the serve-batch pair is given.
+With ``--fleet-baseline/--fleet-fresh`` it gates the cluster-tier
+benchmark (``BENCH_fleet_scale.json``) the same way:
+
+* per router, fresh SLO attainment must be monotone non-decreasing in
+  fleet size -- adding replicas under a fixed trace can only help;
+* fresh attainment per (router, fleet size) cell must not fall below
+  the baseline by more than the threshold factor;
+* fresh p99 latency per cell must not grow past the threshold factor.
+
+Serving and cluster numbers come from simulated time, so they are
+bit-stable across runners -- the threshold there only absorbs
+intentional timing-model changes, not machine noise.  Any gate may run
+alone: the e2e positionals are optional when either named pair is
+given.
 """
 
 from __future__ import annotations
@@ -124,6 +134,54 @@ def _check_serve_batch(baseline: dict, fresh: dict,
     return regressed
 
 
+def _fleet_cells(results: dict) -> "dict[tuple[str, float], dict]":
+    """Sweep cells keyed by (router, fleet size)."""
+    return {(cell["router"], float(cell["fleet_size"])): cell
+            for cell in results["sweep"]}
+
+
+def _check_fleet(baseline: dict, fresh: dict, threshold: float) -> bool:
+    """The cluster-tier gates; True when anything regressed."""
+    print(f"fleet-scale regression check (threshold {threshold:.2f}x, "
+          f"models {'+'.join(fresh['models'])}, "
+          f"load {fresh['load_factor']:g}x smallest-fleet capacity):")
+    fresh_cells = _fleet_cells(fresh)
+    baseline_cells = _fleet_cells(baseline)
+    regressed = False
+    for router in fresh["routers"]:
+        sizes = sorted(float(s) for s in fresh["fleet_sizes"])
+        attainment = [fresh_cells[(router, s)]["slo_attainment"]
+                      for s in sizes]
+        for smaller, larger, low, high in zip(sizes, sizes[1:],
+                                              attainment,
+                                              attainment[1:]):
+            if high < low:
+                print(f"  {router}: attainment(fleet={larger:g}) "
+                      f"{high:.3f} < attainment(fleet={smaller:g}) "
+                      f"{low:.3f} -- NOT MONOTONE")
+                regressed = True
+        summary = ", ".join(f"{s:g}: {a:.3f}"
+                            for s, a in zip(sizes, attainment))
+        print(f"  {router}: attainment by fleet size ({summary})")
+    for key in sorted(fresh_cells):
+        if key not in baseline_cells:
+            print(f"  {key}: no baseline cell, skipped")
+            continue
+        router, size = key
+        label = f"[{router}, fleet={size:g}]"
+        regressed |= _check(
+            f"slo_attainment{label}",
+            baseline_cells[key]["slo_attainment"],
+            fresh_cells[key]["slo_attainment"],
+            threshold, lower_is_better=False)
+        regressed |= _check(
+            f"latency_p99_ms{label}",
+            baseline_cells[key]["latency_p99_ms"],
+            fresh_cells[key]["latency_p99_ms"],
+            threshold, lower_is_better=True)
+    return regressed
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", nargs="?", default=None,
@@ -139,6 +197,12 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--serve-batch-fresh", default=None,
                         metavar="PATH",
                         help="freshly generated BENCH_serve_batch.json")
+    parser.add_argument("--fleet-baseline", default=None,
+                        metavar="PATH",
+                        help="committed BENCH_fleet_scale.json")
+    parser.add_argument("--fleet-fresh", default=None,
+                        metavar="PATH",
+                        help="freshly generated BENCH_fleet_scale.json")
     args = parser.parse_args(argv)
     if (args.baseline is None) != (args.fresh is None):
         parser.error("baseline and fresh must be given together")
@@ -146,9 +210,14 @@ def main(argv: "list[str] | None" = None) -> int:
                                                is None):
         parser.error("--serve-batch-baseline and --serve-batch-fresh "
                      "must be given together")
-    if args.baseline is None and args.serve_batch_baseline is None:
+    if (args.fleet_baseline is None) != (args.fleet_fresh is None):
+        parser.error("--fleet-baseline and --fleet-fresh must be "
+                     "given together")
+    if (args.baseline is None and args.serve_batch_baseline is None
+            and args.fleet_baseline is None):
         parser.error("nothing to check: give the e2e positionals, the "
-                     "--serve-batch-* pair, or both")
+                     "--serve-batch-* pair, the --fleet-* pair, or "
+                     "any combination")
 
     regressed = False
     if args.baseline is not None:
@@ -164,6 +233,13 @@ def main(argv: "list[str] | None" = None) -> int:
             serve_fresh = json.load(handle)
         regressed |= _check_serve_batch(serve_baseline, serve_fresh,
                                         args.threshold)
+    if args.fleet_baseline is not None:
+        with open(args.fleet_baseline) as handle:
+            fleet_baseline = json.load(handle)
+        with open(args.fleet_fresh) as handle:
+            fleet_fresh = json.load(handle)
+        regressed |= _check_fleet(fleet_baseline, fleet_fresh,
+                                  args.threshold)
     if regressed:
         print("bench regression detected", file=sys.stderr)
         return 1

@@ -1,0 +1,57 @@
+"""Fleet scaling benchmark (seeds BENCH_fleet_scale.json).
+
+Replays one fixed diurnal trace -- 10^5 requests at 1.3x the smallest
+fleet's capacity, two priority classes -- against clusters of growing
+total replica count, once per router policy, and writes the sweep to
+``BENCH_fleet_scale.json`` at the repo root so cluster-tier performance
+is tracked across PRs (``benchmarks/check_bench_regression.py
+--fleet-*`` compares a fresh run against the committed baseline in CI).
+
+All numbers are simulated time from the deterministic executor, so the
+assertions are exact: with the workload held fixed, adding replicas can
+only help -- SLO attainment must be monotone non-decreasing in fleet
+size for every router, and the smallest (overloaded) fleet must do
+strictly worse than the largest.
+"""
+
+import json
+import pathlib
+
+from repro.harness.bench import render_fleet_bench, run_fleet_bench
+
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_fleet_scale_bench():
+    results = run_fleet_bench()
+    print()
+    print(render_fleet_bench(results))
+    (_REPO_ROOT / "BENCH_fleet_scale.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+    assert results["num_requests"] == 100_000
+    by_router = {}
+    for cell in results["sweep"]:
+        by_router.setdefault(cell["router"], []).append(cell)
+    assert set(by_router) == set(results["routers"])
+    assert len(results["routers"]) >= 3
+
+    for router, cells in by_router.items():
+        cells.sort(key=lambda c: c["fleet_size"])
+        sizes = [c["fleet_size"] for c in cells]
+        assert sizes == sorted(results["fleet_sizes"])
+        attainment = [c["slo_attainment"] for c in cells]
+        # The headline: more replicas under an unchanged trace never
+        # hurt -- attainment is monotone non-decreasing in fleet size.
+        assert all(b >= a for a, b in
+                   zip(attainment, attainment[1:])), (router,
+                                                      attainment)
+        # The sweep is informative: the overloaded small fleet really
+        # is overloaded, and scaling out really does fix it.
+        assert attainment[-1] > attainment[0]
+        assert attainment[-1] > 0.95
+        for cell in cells:
+            assert cell["latency_p99_ms"] >= cell["latency_p50_ms"]
+            assert cell["throughput_rps"] > 0.0
+        # Tail latency at the largest fleet beats the smallest.
+        assert cells[-1]["latency_p99_ms"] < cells[0]["latency_p99_ms"]

@@ -17,7 +17,10 @@ Six analyzers, one diagnostic vocabulary:
   activation :class:`ArenaLayout` (rules ``MF001``-``MF006``);
 * :class:`SchedulabilityAnalyzer` -- static feasibility of a
   :class:`~repro.serve.ServeConfig` from the fleet's predictor
-  estimates, before any simulation (rules ``SC001``-``SC005``);
+  estimates, before any simulation (rules ``SC001``-``SC005``); its
+  cluster sibling :class:`ClusterSchedulabilityAnalyzer` lints a
+  :class:`~repro.cluster.ClusterConfig`'s pools, placement, and
+  autoscaler ceiling the same way (rules ``SC006``-``SC008``);
 * :class:`ConcurrencyLinter` -- AST lint of the repo's own sources for
   unguarded shared state and nondeterminism hazards
   (rules ``CL001``-``CL004``).
@@ -39,7 +42,9 @@ from .plan_verifier import PlanVerifier
 from .races import TimelineRaceDetector
 from .sarif import (apply_baseline, baseline_document, fingerprint,
                     load_baseline, report_to_sarif, split_locus)
-from .schedulability import (SchedulabilityAnalyzer, lint_serve_config,
+from .schedulability import (ClusterSchedulabilityAnalyzer,
+                             SchedulabilityAnalyzer,
+                             lint_cluster_config, lint_serve_config,
                              utilization)
 from .srclint import ConcurrencyLinter
 from .verify import (MECHANISMS, SweepEntry, applicable_mechanisms,
@@ -50,6 +55,7 @@ __all__ = [
     "ArenaLayout",
     "ArenaSlot",
     "BufferInterval",
+    "ClusterSchedulabilityAnalyzer",
     "ConcurrencyLinter",
     "Diagnostic",
     "DtypeFact",
@@ -70,6 +76,7 @@ __all__ = [
     "build_arena",
     "build_plan",
     "fingerprint",
+    "lint_cluster_config",
     "lint_serve_config",
     "load_baseline",
     "report_to_sarif",

@@ -109,6 +109,13 @@ RULES: Dict[str, str] = {
     "SC004": "batch timeout consumes a model's entire deadline slack",
     "SC005": "configured max batch is unreachable within a model's SLO "
              "(deadline-safe widening will cap below it)",
+    "SC006": "a pool is saturated: the demand share routed to it "
+             "exceeds its service rate at max replicas (aggregate "
+             "rho >= 1)",
+    "SC007": "placement is infeasible: a model's plan overflows the "
+             "DRAM of a pinned host pool, or no pool can host it",
+    "SC008": "autoscaler ceiling too low: cluster-wide demand exceeds "
+             "the aggregate service rate at every pool's max replicas",
     # -- ConcurrencyLinter --------------------------------------------------
     "CL001": "unguarded mutation of module-level shared state (no "
              "enclosing lock)",

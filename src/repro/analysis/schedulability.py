@@ -19,6 +19,22 @@ analyzer reuses the fleet's predictor-based service-time estimates
   whose predicted makespan exceeds the SLO misses for every member
   (SC005).
 
+The cluster rules (SC006-SC008) lift the same reasoning one tier up,
+over a :class:`~repro.cluster.config.ClusterConfig`'s pools:
+
+* **Pool saturation (SC006).**  Each model's traffic splits evenly
+  over its host pools; a pool whose routed demand reaches its service
+  rate at the replica ceiling has aggregate ``rho >= 1`` -- it drowns
+  no matter how the router or autoscaler behaves.
+* **Placement feasibility (SC007).**  A pinned host pool whose DRAM a
+  model's plan (at the pool's max batch) statically overflows, or a
+  model no pool can host at all, is rejected before a single request
+  is simulated.
+* **Autoscaler ceiling (SC008).**  Cluster-wide demand above the sum
+  of every pool's service rate at max replicas means the autoscaler's
+  ceiling is below feasible demand -- scaling all the way out still
+  ends in an unbounded queue.
+
 Estimates, not measurements: everything here comes from the fitted
 latency predictor, so the lint runs without a single simulated
 request.
@@ -26,11 +42,15 @@ request.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..serve.config import ServeConfig
 from ..serve.fleet import Fleet
 from .diagnostics import Report
+
+if TYPE_CHECKING:  # imported lazily at runtime: cluster builds on us
+    from ..cluster.config import ClusterConfig
+    from ..cluster.pool import Pool
 
 
 def _best_case_service_s(fleet: Fleet, model: str) -> float:
@@ -149,3 +169,135 @@ def lint_serve_config(config: ServeConfig,
                       fleet: Optional[Fleet] = None) -> Report:
     """One-shot lint of a serving configuration (the CLI entry)."""
     return SchedulabilityAnalyzer(fleet=fleet).analyze(config)
+
+
+class ClusterSchedulabilityAnalyzer:
+    """Statically lints a :class:`ClusterConfig` (rules SC006-SC008,
+    plus SC002 per model against its host pools).
+
+    Args:
+        pools: already-built pools to lint against (the simulator's
+            own, typically); built from the configuration when
+            omitted.
+        high_watermark: per-pool utilization above which SC003 warns.
+    """
+
+    def __init__(self, pools: "Optional[Sequence[Pool]]" = None,
+                 high_watermark: float = 0.85) -> None:
+        if not 0.0 < high_watermark <= 1.0:
+            raise ValueError("high_watermark must be in (0, 1]")
+        self._pools = list(pools) if pools is not None else None
+        self.high_watermark = high_watermark
+
+    def pools_for(self, config: "ClusterConfig") -> "List[Pool]":
+        """The pools to lint against (building them if needed)."""
+        if self._pools is None:
+            from ..cluster.pool import Pool
+            from ..runtime.plan_cache import PlanCache
+            cache = PlanCache()
+            self._pools = [Pool(spec, plan_cache=cache)
+                           for spec in config.pools]
+        return self._pools
+
+    def _ceiling(self, config: "ClusterConfig", pool: "Pool") -> int:
+        """The replica count capacity arguments may assume: the
+        autoscaler's ceiling when scaling is on, the fixed initial
+        count when it is off."""
+        if config.autoscaler.enabled:
+            return pool.spec.max_replicas
+        return pool.spec.start_replicas
+
+    def analyze(self, config: "ClusterConfig") -> Report:
+        """Run the cluster rules; returns every finding."""
+        from ..cluster.placement import (PlacementError,
+                                         PlacementOptimizer)
+        pools = self.pools_for(config)
+        report = Report()
+        optimizer = PlacementOptimizer(pools, config)
+        try:
+            placement = optimizer.resolve()
+        except PlacementError as error:
+            report.error("SC007", "placement", str(error))
+            return report
+
+        by_name = {pool.name: pool for pool in pools}
+        share = config.rate_rps / len(config.models)
+        demand: Dict[str, float] = {pool.name: 0.0 for pool in pools}
+        for model, hosts in placement.items():
+            for name in hosts:
+                demand[name] += share / len(hosts)
+
+        # SC006: per-pool saturation at the pool's replica ceiling,
+        # each replica's mean service time taken over the models the
+        # placement actually routes to the pool.
+        for pool in pools:
+            hosted = [model for model in config.models
+                      if pool.name in placement[model]]
+            if not hosted or demand[pool.name] <= 0.0:
+                continue
+            mean_service = sum(
+                pool.service_estimate_s(model)
+                for model in hosted) / len(hosted)
+            mu = self._ceiling(config, pool) / mean_service
+            rho = demand[pool.name] / mu
+            if rho >= 1.0:
+                report.error(
+                    "SC006", pool.name,
+                    f"routed demand of {demand[pool.name]:.1f} req/s "
+                    f"is rho = {rho:.2f} of the pool's service rate "
+                    f"at {self._ceiling(config, pool)} replicas; the "
+                    "pool saturates regardless of router or "
+                    "autoscaler")
+            elif rho >= self.high_watermark:
+                report.warning(
+                    "SC003", pool.name,
+                    f"routed demand is rho = {rho:.2f} of the pool's "
+                    f"ceiling capacity (watermark "
+                    f"{self.high_watermark:.2f}); expect deep queues "
+                    "under bursts")
+
+        # SC002: an SLO below the best predicted service time across
+        # the model's host pools is unmeetable even on an idle
+        # cluster.
+        for model in config.models:
+            slo = config.slo_of(model)
+            best = min(by_name[name].service_estimate_s(model)
+                       for name in placement[model])
+            if slo < best:
+                report.error(
+                    "SC002", model,
+                    f"SLO of {slo * 1e3:.1f} ms is below the "
+                    f"best-case predicted service time of "
+                    f"{best * 1e3:.1f} ms across its host pools; "
+                    "unmeetable even on an idle cluster")
+
+        # SC008: cluster-wide demand against the sum of every pool's
+        # ceiling service rate (only meaningful with scaling on --
+        # otherwise SC006 already told the whole story).
+        if config.autoscaler.enabled:
+            aggregate_mu = 0.0
+            for pool in pools:
+                hosted = [model for model in config.models
+                          if pool.name in placement[model]]
+                if not hosted:
+                    continue
+                mean_service = sum(
+                    pool.service_estimate_s(model)
+                    for model in hosted) / len(hosted)
+                aggregate_mu += pool.spec.max_replicas / mean_service
+            if aggregate_mu > 0.0 and config.rate_rps >= aggregate_mu:
+                report.error(
+                    "SC008", "cluster",
+                    f"offered load of {config.rate_rps:.1f} req/s "
+                    f"meets or exceeds the {aggregate_mu:.1f} req/s "
+                    "the cluster serves with every pool scaled to "
+                    "max_replicas; the autoscaler ceiling is below "
+                    "feasible demand")
+        return report
+
+
+def lint_cluster_config(config: "ClusterConfig",
+                        pools: "Optional[Sequence[Pool]]" = None
+                        ) -> Report:
+    """One-shot lint of a cluster configuration (the CLI entry)."""
+    return ClusterSchedulabilityAnalyzer(pools=pools).analyze(config)

@@ -10,14 +10,18 @@ Commands:
   one model (or, with ``--all``, the whole zoo) on one or all SoCs.
 * ``serve`` -- simulate a multi-request stream against a device fleet
   under a chosen scheduler and report serving metrics.
+* ``cluster`` -- simulate a cluster of device pools behind a router,
+  with replica placement, autoscaling, and trace-driven workloads.
 * ``figure`` -- regenerate one of the paper's figures.
 * ``bench`` -- wall-clock benchmark of functional execution and the
   sweep harness; writes ``BENCH_e2e.json``.
 
-``run``, ``compare``, ``verify``, ``serve``, and ``bench`` all accept
-``--json`` for machine-readable output.  ``verify``, ``figure``,
-``serve``, and ``bench`` accept ``--jobs N`` to fan independent sweep
-units across a process pool (results are deterministic either way).
+``run``, ``compare``, ``verify``, ``serve``, ``cluster``, and
+``bench`` all accept ``--json`` for machine-readable output.
+``verify``, ``figure``, ``serve``, ``cluster``, and ``bench`` accept
+``--jobs N`` to fan independent sweep units across a process pool
+(results are deterministic either way); the default is the CPU count
+capped at 8.
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ import json
 import sys
 from typing import Dict, List, Optional
 
+from .harness.parallel import default_cli_jobs
 from .models import build_model, list_models, model_info
 from .runtime import (MuLayer, run_layer_to_processor,
                       run_single_processor)
@@ -102,8 +107,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "once its oldest request has waited MS "
                             "milliseconds (default 50)")
     serve.add_argument("--workload", default="poisson",
-                       choices=["poisson", "bursty"],
+                       choices=["poisson", "bursty", "diurnal",
+                                "flash-crowd"],
                        help="arrival process")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="load the workload from a JSON trace file "
+                            "(overrides --workload; see "
+                            "repro.serve.workload.TraceWorkload)")
     serve.add_argument("--models", default=None,
                        help="comma-separated model names "
                             "(default: the mini zoo)")
@@ -120,9 +130,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="bound the shared plan cache to N entries "
                             "(LRU; default unbounded)")
-    serve.add_argument("--jobs", type=int, default=None, metavar="N",
+    serve.add_argument("--jobs", type=int, default=default_cli_jobs(),
+                       metavar="N",
                        help="warm the plan cache with N processes "
-                            "before simulating (default: serial)")
+                            "before simulating (default: CPU count "
+                            "capped at 8; 1 = serial)")
     serve.add_argument("--force", action="store_true",
                        help="simulate even when the schedulability "
                             "lint finds the configuration infeasible "
@@ -130,6 +142,89 @@ def _build_parser() -> argparse.ArgumentParser:
                             "request is simulated)")
     serve.add_argument("--json", action="store_true",
                        help="emit serving metrics as JSON")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="simulate a cluster of device pools behind a router, "
+             "with replica placement and autoscaling")
+    cluster.add_argument("--pool", action="append", dest="pools",
+                         metavar="NAME:SOC:MAX[:MIN]",
+                         help="one device pool (repeatable); MAX is "
+                              "the replica ceiling, MIN the floor "
+                              "(default pools: flagship:exynos7420:4 "
+                              "and midrange:exynos7880:3)")
+    cluster.add_argument("--scheduler", default="fifo",
+                         choices=["fifo", "least-loaded", "edf",
+                                  "batch"],
+                         help="per-pool scheduling policy")
+    cluster.add_argument("--router", default="round-robin",
+                         choices=["round-robin", "p2c",
+                                  "least-latency"],
+                         help="routing policy in front of the pools")
+    cluster.add_argument("--compare", action="store_true",
+                         help="run every router policy on the same "
+                              "trace and compare")
+    cluster.add_argument("--models", default=None,
+                         help="comma-separated model names "
+                              "(default: the mini zoo)")
+    cluster.add_argument("--requests", type=int, default=2000,
+                         help="number of requests to simulate")
+    cluster.add_argument("--seed", type=int, default=0,
+                         help="workload/router seed")
+    cluster.add_argument("--workload", default="diurnal",
+                         choices=["poisson", "bursty", "diurnal",
+                                  "flash-crowd"],
+                         help="arrival process")
+    cluster.add_argument("--trace", default=None, metavar="PATH",
+                         help="load the workload from a JSON trace "
+                              "file (overrides --workload)")
+    cluster.add_argument("--rate", type=float, default=None,
+                         help="offered load in requests/s (default: "
+                              "70%% of the cluster's ceiling "
+                              "capacity)")
+    cluster.add_argument("--load", type=float, default=None,
+                         help="offered load as a fraction of ceiling "
+                              "capacity (overrides --rate)")
+    cluster.add_argument("--slo-factor", type=float, default=8.0,
+                         help="per-model SLO as a multiple of its "
+                              "unloaded uLayer latency")
+    cluster.add_argument("--max-batch", type=int, default=1,
+                         metavar="N",
+                         help="per-pool batch cap (batch/edf "
+                              "schedulers)")
+    cluster.add_argument("--batch-timeout-ms", type=float, default=10.0,
+                         metavar="MS",
+                         help="batch scheduler: partial-batch flush "
+                              "window")
+    cluster.add_argument("--autoscaler", default="off",
+                         choices=["off", "reactive", "predictive"],
+                         help="autoscaling mode")
+    cluster.add_argument("--cold-start-ms", type=float, default=200.0,
+                         metavar="MS",
+                         help="delay before a scaled-up replica "
+                              "serves its first request")
+    cluster.add_argument("--replicas-per-model", type=int, default=None,
+                         metavar="N",
+                         help="spread each model over at most N pools "
+                              "(default: every feasible pool)")
+    cluster.add_argument("--tenants", default=None,
+                         metavar="NAME:WEIGHT:PRIORITY,...",
+                         help="tenant classes for trace workloads, "
+                              "e.g. premium:1:0,standard:2:1 "
+                              "(lower priority = more urgent)")
+    cluster.add_argument("--jobs", type=int,
+                         default=default_cli_jobs(), metavar="N",
+                         help="warm placement plans with N processes "
+                              "(default: CPU count capped at 8; "
+                              "1 = serial)")
+    cluster.add_argument("--force", action="store_true",
+                         help="simulate even when the cluster "
+                              "schedulability lint finds the "
+                              "configuration infeasible (SC errors "
+                              "normally abort with exit code 2 "
+                              "before any request is simulated)")
+    cluster.add_argument("--json", action="store_true",
+                         help="emit cluster metrics as JSON")
 
     verify = sub.add_parser(
         "verify",
@@ -145,9 +240,11 @@ def _build_parser() -> argparse.ArgumentParser:
                              "default: all the SoC supports)")
     verify.add_argument("--all", action="store_true", dest="all_models",
                         help="verify every model in the zoo")
-    verify.add_argument("--jobs", type=int, default=None, metavar="N",
+    verify.add_argument("--jobs", type=int,
+                        default=default_cli_jobs(), metavar="N",
                         help="verify (soc, model) cells with N "
-                             "processes (default: serial)")
+                             "processes (default: CPU count capped "
+                             "at 8; 1 = serial)")
     verify.add_argument("--memory", action="store_true",
                         help="also check each plan's peak memory "
                              "footprint and arena layout against the "
@@ -197,9 +294,11 @@ def _build_parser() -> argparse.ArgumentParser:
     figure = sub.add_parser("figure",
                             help="regenerate one paper figure")
     figure.add_argument("name", choices=_FIGURES)
-    figure.add_argument("--jobs", type=int, default=None, metavar="N",
+    figure.add_argument("--jobs", type=int,
+                        default=default_cli_jobs(), metavar="N",
                         help="generate (soc, model) cells with N "
-                             "processes where the figure supports it")
+                             "processes where the figure supports it "
+                             "(default: CPU count capped at 8)")
 
     bench = sub.add_parser(
         "bench",
@@ -210,9 +309,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3,
                        help="warm inferences measured per model "
                             "(default 3)")
-    bench.add_argument("--jobs", type=int, default=None, metavar="N",
+    bench.add_argument("--jobs", type=int,
+                       default=default_cli_jobs(), metavar="N",
                        help="process count for the verify-sweep "
-                            "timing (default: serial)")
+                            "timing (default: CPU count capped at 8; "
+                            "1 = serial)")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="write the results as JSON to PATH "
                             "(e.g. BENCH_e2e.json)")
@@ -228,6 +329,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="N",
                        help="with --serve-batch: requests per sweep "
                             "cell (default 128)")
+    bench.add_argument("--fleet", action="store_true",
+                       help="run the fleet-scaling benchmark instead: "
+                            "SLO attainment and p99 vs fleet size per "
+                            "router policy on one fixed trace "
+                            "(simulated time; e.g. --output "
+                            "BENCH_fleet_scale.json)")
+    bench.add_argument("--fleet-requests", type=int, default=None,
+                       metavar="N",
+                       help="with --fleet: requests in the reference "
+                            "trace (default 100000)")
     return parser
 
 
@@ -498,10 +609,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   "(rerun with --force to simulate anyway)",
                   file=sys.stderr)
         return 2
-    if args.workload == "poisson":
+    from .serve import (WorkloadGenerator, diurnal_trace,
+                        flash_crowd_trace, load_trace)
+    workload: WorkloadGenerator
+    if args.trace is not None:
+        workload = load_trace(args.trace, slos, seed=args.seed)
+    elif args.workload == "poisson":
         workload = PoissonWorkload(rate, models, slos, seed=args.seed)
-    else:
+    elif args.workload == "bursty":
         workload = bursty_for_rate(rate, models, slos, seed=args.seed)
+    elif args.workload == "diurnal":
+        workload = diurnal_trace(rate, models, slos, seed=args.seed)
+    else:
+        workload = flash_crowd_trace(rate, models, slos,
+                                     seed=args.seed)
     requests = workload.generate(args.requests)
     result = ServingSimulator(fleet, scheduler).run(requests)
     metrics = ServingMetrics.from_result(result)
@@ -511,7 +632,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "socs": soc_names,
             "devices": args.devices,
             "models": models,
-            "workload": args.workload,
+            "workload": (f"trace:{args.trace}" if args.trace
+                         else args.workload),
             "rate_rps": rate,
             "capacity_rps": capacity,
             "slo_factor": args.slo_factor,
@@ -532,6 +654,203 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"{args.seed}")
     print(f"slo: {args.slo_factor:.1f}x unloaded ulayer latency "
           "per model")
+    print()
+    print(metrics.render())
+    return 0
+
+
+#: Default cluster pools: a flagship pool next to a mid-range pool.
+_DEFAULT_POOLS = ("flagship:exynos7420:4", "midrange:exynos7880:3")
+
+
+def _parse_pool_specs(args: argparse.Namespace):
+    """``NAME:SOC:MAX[:MIN]`` strings into :class:`PoolSpec` values."""
+    from .cluster import PoolSpec
+    specs = []
+    for text in (args.pools or list(_DEFAULT_POOLS)):
+        parts = text.split(":")
+        if len(parts) < 2:
+            raise SystemExit(
+                f"cluster: bad --pool {text!r}; expected "
+                "NAME:SOC:MAX[:MIN]")
+        name, soc = parts[0], parts[1]
+        max_replicas = int(parts[2]) if len(parts) > 2 else 2
+        min_replicas = int(parts[3]) if len(parts) > 3 else 1
+        specs.append(PoolSpec(
+            name=name, soc=soc, max_replicas=max_replicas,
+            min_replicas=min_replicas, scheduler=args.scheduler,
+            max_batch=args.max_batch,
+            batch_timeout_s=args.batch_timeout_ms / 1e3))
+    return tuple(specs)
+
+
+def _parse_tenants(text: Optional[str]):
+    """``NAME:WEIGHT:PRIORITY,...`` into :class:`TenantClass` values."""
+    if text is None:
+        return None
+    from .serve import TenantClass
+    tenants = []
+    for part in text.split(","):
+        fields = part.split(":")
+        if len(fields) != 3:
+            raise SystemExit(
+                f"cluster: bad --tenants entry {part!r}; expected "
+                "NAME:WEIGHT:PRIORITY")
+        tenants.append(TenantClass(name=fields[0],
+                                   weight=float(fields[1]),
+                                   priority=int(fields[2])))
+    return tuple(tenants)
+
+
+def _cluster_workload(args: argparse.Namespace, models: List[str],
+                      slos, rate: float):
+    """The workload generator the cluster flags select."""
+    from .serve import (PoissonWorkload, bursty_for_rate,
+                        diurnal_trace, flash_crowd_trace, load_trace)
+    tenants = _parse_tenants(args.tenants)
+    if args.trace is not None:
+        return load_trace(args.trace, slos, seed=args.seed)
+    if args.workload == "poisson":
+        return PoissonWorkload(rate, models, slos, seed=args.seed)
+    if args.workload == "bursty":
+        return bursty_for_rate(rate, models, slos, seed=args.seed)
+    if args.workload == "diurnal":
+        return diurnal_trace(rate, models, slos, seed=args.seed,
+                             tenants=tenants)
+    return flash_crowd_trace(rate, models, slos, seed=args.seed,
+                             tenants=tenants)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .analysis import Report, lint_cluster_config
+    from .cluster import (AutoscalerConfig, ClusterConfig,
+                          ClusterMetrics, ClusterSimulator,
+                          PlacementError, ROUTER_NAMES)
+    from .models import MINI_MODELS
+    from .serve import Fleet, default_slos
+
+    pool_specs = _parse_pool_specs(args)
+    models = (args.models.split(",") if args.models
+              else list(MINI_MODELS))
+
+    # SLOs and the capacity reference come from one probe fleet with a
+    # device per pool SoC type (same predictor fits the pools reuse).
+    probe = Fleet.build([spec.soc for spec in pool_specs],
+                        len(pool_specs))
+    slos = dict(default_slos(probe, models,
+                             slo_factor=args.slo_factor))
+    # Capacity reference: all-μLayer service at the replica count the
+    # cluster can actually reach -- the autoscaler ceiling when
+    # scaling is on, the fixed starting replicas when it is off.
+    per_soc = {spec.soc: Fleet.build([spec.soc], 1).capacity_rps(models)
+               for spec in pool_specs}
+    capacity = sum(
+        (spec.max_replicas if args.autoscaler != "off"
+         else spec.start_replicas) * per_soc[spec.soc]
+        for spec in pool_specs)
+    if args.load is not None:
+        rate = args.load * capacity
+    elif args.rate is not None:
+        rate = args.rate
+    else:
+        rate = 0.7 * capacity
+
+    autoscaler = AutoscalerConfig(mode=args.autoscaler,
+                                  cold_start_s=args.cold_start_ms / 1e3)
+    config = ClusterConfig(
+        pools=pool_specs, models=tuple(models), slos=slos,
+        rate_rps=rate, router=args.router,
+        replicas_per_model=args.replicas_per_model,
+        autoscaler=autoscaler, seed=args.seed)
+
+    # Static feasibility gate (SC006-SC008): an infeasible placement
+    # or saturated cluster exits 2 before any request is simulated.
+    try:
+        simulator = ClusterSimulator(config, jobs=args.jobs)
+    except PlacementError as error:
+        feasibility = Report()
+        feasibility.error("SC007", "placement", str(error))
+        simulator = None
+    else:
+        feasibility = lint_cluster_config(config,
+                                          pools=simulator.pools)
+    feasibility = feasibility.sorted()
+    if not feasibility.clean and not args.json:
+        print(f"schedulability: {feasibility.summary()}")
+        for diagnostic in feasibility:
+            print(f"    {diagnostic.render()}")
+    if simulator is None or (not feasibility.ok and not args.force):
+        if args.json:
+            print(json.dumps({
+                "error": "cluster configuration is not schedulable",
+                "schedulability": feasibility.to_dict()}, indent=2))
+        else:
+            print("cluster: configuration rejected before simulation "
+                  "(rerun with --force to simulate anyway)",
+                  file=sys.stderr)
+        return 2
+
+    requests = _cluster_workload(args, models, slos,
+                                 rate).generate(args.requests)
+
+    def run_one(router_name: str) -> ClusterMetrics:
+        if router_name == config.router:
+            sim = simulator
+        else:
+            import dataclasses
+            sim = ClusterSimulator(
+                dataclasses.replace(config, router=router_name),
+                jobs=args.jobs)
+        return ClusterMetrics.from_result(sim.run(requests))
+
+    config_payload = config.to_dict()
+    config_payload["capacity_rps"] = capacity
+    config_payload["requests"] = args.requests
+    config_payload["workload"] = (f"trace:{args.trace}" if args.trace
+                                  else args.workload)
+
+    if args.compare:
+        by_router = {name: run_one(name) for name in ROUTER_NAMES}
+        if args.json:
+            print(json.dumps({
+                "config": config_payload,
+                "routers": {name: metrics.to_dict()
+                            for name, metrics in by_router.items()},
+            }, indent=2, sort_keys=True))
+            return 0
+        from .harness import format_table
+        rows = [[name, metrics.throughput_rps, metrics.slo_attainment,
+                 metrics.latency_p50_ms, metrics.latency_p99_ms,
+                 float(metrics.num_shed),
+                 float(metrics.scale_ups + metrics.scale_downs)]
+                for name, metrics in by_router.items()]
+        print(format_table(
+            ["router", "req/s", "attainment", "p50_ms", "p99_ms",
+             "shed", "scale_events"], rows,
+            title=(f"router comparison, {args.requests} requests at "
+                   f"{rate:.1f} rps")))
+        return 0
+
+    metrics = run_one(config.router)
+    if args.json:
+        payload = metrics.to_dict()
+        payload["config"] = config_payload
+        payload["placement"] = {
+            model: list(hosts)
+            for model, hosts in sorted(simulator.placement.items())}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    pool_names = ", ".join(
+        f"{pool.name}({pool.spec.soc} x{pool.spec.max_replicas})"
+        for pool in simulator.pools)
+    print(f"pools: {pool_names}")
+    print("placement: " + "; ".join(
+        f"{model} -> {', '.join(hosts)}"
+        for model, hosts in sorted(simulator.placement.items())))
+    print(f"workload: {config_payload['workload']}, {args.requests} "
+          f"requests at {rate:.1f} rps (ceiling capacity "
+          f"~{capacity:.1f} rps), seed {args.seed}")
+    print(f"autoscaler: {args.autoscaler}")
     print()
     print(metrics.render())
     return 0
@@ -561,6 +880,23 @@ def _cmd_figure(name: str, jobs: Optional[int] = None) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .harness.bench import render_bench, run_bench
     models = args.models.split(",") if args.models else None
+    if args.fleet:
+        from .harness.bench import render_fleet_bench, run_fleet_bench
+        fleet_kwargs: Dict[str, object] = {}
+        if models:
+            fleet_kwargs["models"] = tuple(models)
+        if args.fleet_requests is not None:
+            fleet_kwargs["num_requests"] = args.fleet_requests
+        results = run_fleet_bench(**fleet_kwargs)
+        if args.output:
+            with open(args.output, "w") as handle:
+                json.dump(results, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        if args.json:
+            print(json.dumps(results, indent=2, sort_keys=True))
+        else:
+            print(render_fleet_bench(results))
+        return 0
     if args.serve_batch:
         from .harness.bench import (render_serve_batch_bench,
                                     run_serve_batch_bench)
@@ -607,6 +943,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_verify(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "figure":
         return _cmd_figure(args.name, jobs=args.jobs)
     if args.command == "bench":

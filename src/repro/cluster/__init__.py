@@ -1,0 +1,50 @@
+"""The cluster tier: router, replica placement, autoscaling.
+
+Scales the serving subsystem from one fleet to a cluster of named
+device **pools** behind a **router**: per-model replica sets are placed
+on heterogeneous pools (memory-feasibility proven statically, speed
+ranked by the latency predictor, plans warmed through the shared plan
+cache), arrivals are routed by pluggable policies (round-robin,
+power-of-two-choices, predictor-informed least-expected-latency), and
+an **autoscaler** -- reactive queue watermarks or predictive burst
+detection -- grows and shrinks each pool's active replicas under a
+configurable cold-start delay.  Multi-tenant priority classes are
+honored end-to-end: queue-overflow eviction, routing, and the pool
+schedulers all order work by class first.
+
+Everything is deterministic under one seed, like the serve layer it
+builds on: the same :class:`ClusterConfig` always produces the same
+:class:`ClusterResult`, byte for byte.
+"""
+
+from .autoscale import Autoscaler, BurstDetector, ScaleEvent
+from .config import (AutoscalerConfig, ClusterConfig, POOL_SCHEDULERS,
+                     PoolSpec, ROUTER_NAMES)
+from .metrics import ClusterMetrics
+from .placement import PlacementError, PlacementOptimizer
+from .pool import Pool
+from .router import (LeastExpectedLatencyRouter, PowerOfTwoRouter,
+                     RoundRobinRouter, Router, make_router)
+from .simulator import ClusterResult, ClusterSimulator
+
+__all__ = [
+    "Autoscaler",
+    "BurstDetector",
+    "ScaleEvent",
+    "AutoscalerConfig",
+    "ClusterConfig",
+    "POOL_SCHEDULERS",
+    "PoolSpec",
+    "ROUTER_NAMES",
+    "ClusterMetrics",
+    "PlacementError",
+    "PlacementOptimizer",
+    "Pool",
+    "LeastExpectedLatencyRouter",
+    "PowerOfTwoRouter",
+    "RoundRobinRouter",
+    "Router",
+    "make_router",
+    "ClusterResult",
+    "ClusterSimulator",
+]

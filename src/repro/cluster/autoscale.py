@@ -1,0 +1,199 @@
+"""Autoscaling: reactive queue watermarks and predictive burst scaling.
+
+Two signals drive replica counts:
+
+* **Reactive** -- queue depth per active replica crossing the high
+  watermark scales a pool up; sinking below the low watermark scales it
+  down.  The watermarks leave a hysteresis band so the pool does not
+  flap, and a per-pool cooldown bounds the decision rate.
+* **Predictive** -- the workload generators modulate a Poisson process
+  (diurnal curves, MMPP-style flash crowds), so a burst announces
+  itself in the *arrival stream* before it shows up in the queue.  The
+  :class:`BurstDetector` maintains two exponentially-decayed arrival-
+  rate estimates -- a fast one and a slow one -- and flags a burst when
+  the fast estimate exceeds ``burst_factor`` times the slow one.
+  Predictive mode scales up on that flag alone (scale-ahead), hiding
+  part of the cold-start delay that a purely reactive policy eats in
+  queueing.
+
+Scaling acts on the :class:`~repro.cluster.pool.Pool` prefix; every
+decision is recorded as a :class:`ScaleEvent` so a run's scaling
+history is part of its (deterministic) output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional
+
+from .config import AutoscalerConfig
+from .pool import Pool
+
+
+@dataclasses.dataclass(frozen=True)
+class ScaleEvent:
+    """One autoscaling decision.
+
+    Attributes:
+        time_s: when the decision fired.
+        pool: the pool scaled.
+        direction: ``up`` or ``down``.
+        replicas: active replicas *after* the decision.
+        reason: which signal fired (``high-watermark``,
+            ``low-watermark``, or ``burst-detected``).
+    """
+
+    time_s: float
+    pool: str
+    direction: str
+    replicas: int
+    reason: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly record."""
+        return {"time_s": self.time_s, "pool": self.pool,
+                "direction": self.direction, "replicas": self.replicas,
+                "reason": self.reason}
+
+
+class BurstDetector:
+    """Two-timescale decayed arrival-rate estimator.
+
+    Each arrival adds one to a pair of exponentially-decayed counters
+    with time constants ``fast_tau_s`` and ``slow_tau_s``; counter over
+    time constant estimates the instantaneous arrival rate at that
+    timescale.  A burst -- in MMPP terms, the modulating chain sitting
+    in its high-rate state -- shows as the fast estimate running ahead
+    of the slow one.
+
+    Args:
+        fast_tau_s: time constant of the fast estimate (reacts within
+            a few fast arrivals).
+        slow_tau_s: time constant of the slow, baseline estimate.
+        min_arrivals: arrivals observed before the detector may trip
+            (both estimates start at zero and the ratio is meaningless
+            until the baseline has mass).
+    """
+
+    def __init__(self, fast_tau_s: float = 0.5,
+                 slow_tau_s: float = 10.0,
+                 min_arrivals: int = 20) -> None:
+        if not 0.0 < fast_tau_s < slow_tau_s:
+            raise ValueError("need 0 < fast_tau_s < slow_tau_s")
+        self.fast_tau_s = fast_tau_s
+        self.slow_tau_s = slow_tau_s
+        self.min_arrivals = min_arrivals
+        self._fast = 0.0
+        self._slow = 0.0
+        self._last_s = 0.0
+        self._first_s: Optional[float] = None
+        self._arrivals = 0
+
+    def observe(self, now: float) -> None:
+        """Record one arrival at ``now`` (non-decreasing times)."""
+        if self._first_s is None:
+            self._first_s = now
+        gap = max(0.0, now - self._last_s)
+        self._fast = self._fast * math.exp(-gap / self.fast_tau_s) + 1.0
+        self._slow = self._slow * math.exp(-gap / self.slow_tau_s) + 1.0
+        self._last_s = now
+        self._arrivals += 1
+
+    def _rate(self, counter: float, tau_s: float, now: float) -> float:
+        """One counter's rate estimate, corrected for stream age.
+
+        A decayed counter observing a constant rate ``r`` for time
+        ``T`` holds ``r * tau * (1 - exp(-T / tau))`` in expectation,
+        not ``r * tau`` -- a young stream's slow counter understates
+        its baseline by the missing-mass factor, which would make
+        *every* startup look like a burst.  Dividing by the factor
+        gives an estimate unbiased at every age.
+        """
+        assert self._first_s is not None
+        decayed = counter * math.exp(-max(0.0, now - self._last_s)
+                                     / tau_s)
+        age = max(now, self._last_s) - self._first_s
+        if age <= 0.0:
+            return decayed / tau_s
+        mass = tau_s * -math.expm1(-age / tau_s)
+        return decayed / mass
+
+    def rates(self, now: float) -> "tuple":
+        """(fast, slow) arrival-rate estimates at ``now``, in rps."""
+        if self._first_s is None:
+            return 0.0, 0.0
+        return (self._rate(self._fast, self.fast_tau_s, now),
+                self._rate(self._slow, self.slow_tau_s, now))
+
+    def bursting(self, now: float, burst_factor: float) -> bool:
+        """True when the fast rate exceeds ``burst_factor`` times the
+        slow rate (after ``min_arrivals`` observations)."""
+        if self._arrivals < self.min_arrivals:
+            return False
+        fast, slow = self.rates(now)
+        return slow > 0.0 and fast > burst_factor * slow
+
+
+class Autoscaler:
+    """Per-pool scaling decisions under one shared configuration.
+
+    Args:
+        config: watermarks, cooldown, cold start, mode.
+    """
+
+    def __init__(self, config: AutoscalerConfig) -> None:
+        self.config = config
+        self.events: List[ScaleEvent] = []
+        self._detectors: Dict[str, BurstDetector] = {}
+
+    def observe_arrival(self, pool: Pool, now: float) -> None:
+        """Feed one routed arrival to the pool's burst detector."""
+        if self.config.mode != "predictive":
+            return
+        detector = self._detectors.get(pool.name)
+        if detector is None:
+            detector = BurstDetector(
+                fast_tau_s=self.config.fast_tau_s,
+                slow_tau_s=self.config.slow_tau_s)
+            self._detectors[pool.name] = detector
+        detector.observe(now)
+
+    def _record(self, pool: Pool, now: float, direction: str,
+                reason: str) -> ScaleEvent:
+        event = ScaleEvent(time_s=now, pool=pool.name,
+                           direction=direction, replicas=pool.active,
+                           reason=reason)
+        self.events.append(event)
+        return event
+
+    def evaluate(self, pool: Pool, now: float) -> Optional[ScaleEvent]:
+        """One scaling decision for one pool at ``now``, if any.
+
+        Honors the per-pool cooldown and the pool's replica floor and
+        ceiling.  Predictive mode checks the burst detector first --
+        scale-ahead beats waiting for the queue to cross the watermark
+        -- and never scales down while a burst is flagged.
+        """
+        if not self.config.enabled:
+            return None
+        if now - pool.last_scale_s < self.config.cooldown_s:
+            return None
+        bursting = False
+        if self.config.mode == "predictive":
+            detector = self._detectors.get(pool.name)
+            bursting = (detector is not None and detector.bursting(
+                now, self.config.burst_factor))
+            if bursting and pool.active < pool.spec.max_replicas:
+                pool.scale_up(now, self.config.cold_start_s)
+                return self._record(pool, now, "up", "burst-detected")
+        depth = pool.depth_per_replica()
+        if (depth >= self.config.high_watermark
+                and pool.active < pool.spec.max_replicas):
+            pool.scale_up(now, self.config.cold_start_s)
+            return self._record(pool, now, "up", "high-watermark")
+        if (depth <= self.config.low_watermark and not bursting
+                and pool.active > pool.spec.min_replicas):
+            pool.scale_down(now)
+            return self._record(pool, now, "down", "low-watermark")
+        return None

@@ -1,0 +1,260 @@
+"""Declarative cluster configuration.
+
+Everything ``repro cluster`` needs to stand up a simulation -- pools,
+router policy, replica placement, autoscaling knobs -- gathered into
+frozen values so configurations can be linted statically
+(:func:`repro.analysis.lint_cluster_config`) before the simulator ever
+runs, serialized alongside results, and constructed in tests without
+touching the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Mapping, Optional, Tuple
+
+#: Router policy names :func:`repro.cluster.router.make_router` knows.
+ROUTER_NAMES = ("round-robin", "p2c", "least-latency")
+
+#: Per-pool scheduler names (the serve-layer policies).
+POOL_SCHEDULERS = ("fifo", "least-loaded", "edf", "batch")
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolSpec:
+    """One named pool of identical devices.
+
+    Attributes:
+        name: pool identifier (device ids are prefixed with it).
+        soc: SoC type of every replica in the pool.
+        max_replicas: devices provisioned (the autoscaler's ceiling).
+        min_replicas: floor the autoscaler may not go below.
+        initial_replicas: replicas active at time zero (defaults to
+            ``min_replicas``).
+        scheduler: serve-layer scheduling policy inside the pool.
+        max_batch: batch cap for the batching schedulers.
+        batch_timeout_s: partial-batch flush window.
+        queue_cap_per_replica: pending-queue bound per active replica;
+            arrivals beyond it are shed (lowest priority first).
+    """
+
+    name: str
+    soc: str
+    max_replicas: int
+    min_replicas: int = 1
+    initial_replicas: Optional[int] = None
+    scheduler: str = "fifo"
+    max_batch: int = 1
+    batch_timeout_s: float = 0.0
+    queue_cap_per_replica: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name or ":" in self.name:
+            raise ValueError(
+                f"pool name {self.name!r} must be non-empty and free "
+                "of '/' and ':' (they delimit device ids)")
+        if self.max_replicas < 1:
+            raise ValueError("max_replicas must be >= 1")
+        if not 1 <= self.min_replicas <= self.max_replicas:
+            raise ValueError("min_replicas must be in "
+                             "[1, max_replicas]")
+        chosen = self.start_replicas
+        if not self.min_replicas <= chosen <= self.max_replicas:
+            raise ValueError("initial_replicas must be in "
+                             "[min_replicas, max_replicas]")
+        if self.scheduler not in POOL_SCHEDULERS:
+            raise ValueError(f"unknown pool scheduler "
+                             f"{self.scheduler!r}; choose one of "
+                             f"{', '.join(POOL_SCHEDULERS)}")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_timeout_s < 0.0:
+            raise ValueError("batch_timeout_s must be >= 0")
+        if self.queue_cap_per_replica < 1:
+            raise ValueError("queue_cap_per_replica must be >= 1")
+
+    @property
+    def start_replicas(self) -> int:
+        """Replicas active at time zero."""
+        return (self.min_replicas if self.initial_replicas is None
+                else self.initial_replicas)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form."""
+        return {
+            "name": self.name,
+            "soc": self.soc,
+            "max_replicas": self.max_replicas,
+            "min_replicas": self.min_replicas,
+            "initial_replicas": self.start_replicas,
+            "scheduler": self.scheduler,
+            "max_batch": self.max_batch,
+            "batch_timeout_s": self.batch_timeout_s,
+            "queue_cap_per_replica": self.queue_cap_per_replica,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class AutoscalerConfig:
+    """Autoscaling knobs shared by every pool.
+
+    Attributes:
+        mode: ``off`` (fixed replicas), ``reactive`` (queue-depth
+            watermarks), or ``predictive`` (reactive plus the MMPP
+            burst detector's scale-ahead signal).
+        high_watermark: queued requests per active replica above which
+            a pool scales up.
+        low_watermark: queued requests per active replica below which
+            a pool scales down (must leave hysteresis room under the
+            high watermark).
+        cooldown_s: minimum time between scale decisions per pool.
+        cold_start_s: delay before a newly activated replica serves
+            its first request (plan loading, process spawn).
+        burst_factor: short-term arrival rate over the long-term rate
+            above which the burst detector trips (predictive mode).
+        fast_tau_s: time constant of the burst detector's short-term
+            rate estimate; a burst must sustain for roughly this long
+            to register.
+        slow_tau_s: time constant of its long-term baseline estimate.
+    """
+
+    mode: str = "off"
+    high_watermark: float = 4.0
+    low_watermark: float = 1.0
+    cooldown_s: float = 0.5
+    cold_start_s: float = 0.2
+    burst_factor: float = 2.0
+    fast_tau_s: float = 0.5
+    slow_tau_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("off", "reactive", "predictive"):
+            raise ValueError(f"unknown autoscaler mode {self.mode!r}; "
+                             "choose off, reactive, or predictive")
+        if self.high_watermark <= 0.0:
+            raise ValueError("high_watermark must be positive")
+        if not 0.0 <= self.low_watermark < self.high_watermark:
+            raise ValueError("low_watermark must be in "
+                             "[0, high_watermark)")
+        if self.cooldown_s < 0.0:
+            raise ValueError("cooldown_s must be >= 0")
+        if self.cold_start_s < 0.0:
+            raise ValueError("cold_start_s must be >= 0")
+        if self.burst_factor <= 1.0:
+            raise ValueError("burst_factor must exceed 1.0")
+        if not 0.0 < self.fast_tau_s < self.slow_tau_s:
+            raise ValueError("need 0 < fast_tau_s < slow_tau_s")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any autoscaling runs."""
+        return self.mode != "off"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form."""
+        return {
+            "mode": self.mode,
+            "high_watermark": self.high_watermark,
+            "low_watermark": self.low_watermark,
+            "cooldown_s": self.cooldown_s,
+            "cold_start_s": self.cold_start_s,
+            "burst_factor": self.burst_factor,
+            "fast_tau_s": self.fast_tau_s,
+            "slow_tau_s": self.slow_tau_s,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterConfig:
+    """One cluster scenario, fully specified.
+
+    Attributes:
+        pools: the device pools, in deterministic order.
+        models: models the workload draws from.
+        slos: per-model SLO deadlines in seconds.
+        rate_rps: mean offered arrival rate (for static lint; the
+            actual workload may modulate around it).
+        router: router policy fronting the pools.
+        placement: per-model host pools; models absent from the
+            mapping are placed by the optimizer.
+        replicas_per_model: pools the optimizer spreads each model
+            over (``None`` = every feasible pool).
+        autoscaler: autoscaling configuration.
+        seed: seed shared by workload and router randomness.
+    """
+
+    pools: Tuple[PoolSpec, ...]
+    models: Tuple[str, ...]
+    slos: Mapping[str, float]
+    rate_rps: float
+    router: str = "round-robin"
+    placement: Mapping[str, Tuple[str, ...]] = dataclasses.field(
+        default_factory=dict)
+    replicas_per_model: Optional[int] = None
+    autoscaler: AutoscalerConfig = AutoscalerConfig()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.pools:
+            raise ValueError("ClusterConfig needs at least one pool")
+        names = [pool.name for pool in self.pools]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pool names in {names}")
+        if not self.models:
+            raise ValueError("ClusterConfig needs at least one model")
+        if self.rate_rps <= 0.0:
+            raise ValueError("rate_rps must be positive")
+        if self.router not in ROUTER_NAMES:
+            raise ValueError(f"unknown router {self.router!r}; choose "
+                             f"one of {', '.join(ROUTER_NAMES)}")
+        missing = [m for m in self.models if m not in self.slos]
+        if missing:
+            raise ValueError(f"models without an SLO: {missing}")
+        known = set(names)
+        for model, hosts in self.placement.items():
+            if model not in self.models:
+                raise ValueError(f"placement names unknown model "
+                                 f"{model!r}")
+            if not hosts:
+                raise ValueError(f"placement of {model!r} is empty")
+            unknown = [h for h in hosts if h not in known]
+            if unknown:
+                raise ValueError(f"placement of {model!r} names "
+                                 f"unknown pools {unknown}")
+        if (self.replicas_per_model is not None
+                and self.replicas_per_model < 1):
+            raise ValueError("replicas_per_model must be >= 1")
+
+    def pool(self, name: str) -> PoolSpec:
+        """The pool spec with a given name.
+
+        Raises:
+            KeyError: for unknown pool names.
+        """
+        for pool in self.pools:
+            if pool.name == name:
+                return pool
+        raise KeyError(f"no pool {name!r} in the cluster")
+
+    def slo_of(self, model: str) -> float:
+        """The SLO deadline of one model."""
+        return self.slos[model]
+
+    def max_total_replicas(self) -> int:
+        """Replica ceiling summed over pools."""
+        return sum(pool.max_replicas for pool in self.pools)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (stored next to cluster results)."""
+        return {
+            "pools": [pool.to_dict() for pool in self.pools],
+            "models": list(self.models),
+            "slos": {model: self.slos[model] for model in self.models},
+            "rate_rps": self.rate_rps,
+            "router": self.router,
+            "placement": {model: list(hosts) for model, hosts
+                          in sorted(self.placement.items())},
+            "replicas_per_model": self.replicas_per_model,
+            "autoscaler": self.autoscaler.to_dict(),
+            "seed": self.seed,
+        }

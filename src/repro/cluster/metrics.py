@@ -1,0 +1,228 @@
+"""Cluster metrics: fleet-wide SLO attainment, per-pool and per-class
+breakdowns, scaling history.
+
+Aggregates a :class:`~repro.cluster.simulator.ClusterResult` the way
+:class:`~repro.serve.metrics.ServingMetrics` aggregates a single-fleet
+run, plus the dimensions that only exist at cluster scale: per-pool
+completion counts, mean active replicas (the replica-seconds integral
+over the makespan -- what the fleet *paid*), per-priority-class
+attainment (does the premium tier actually get premium service?), and
+the autoscaler's event counts.  Everything serializes deterministically
+(sorted keys, no wall-clock anywhere), so ``repro cluster --json`` is
+byte-identical across runs of one seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from ..serve.metrics import percentile
+from .simulator import ClusterResult
+
+
+@dataclasses.dataclass
+class ClusterMetrics:
+    """One cluster simulation summarized.
+
+    Attributes:
+        router: router policy that ran.
+        num_offered / num_completed / num_shed / num_unserved: request
+            accounting (offered = completed + shed + unserved).
+        makespan_s: span of the simulation.
+        throughput_rps: completed requests per second of makespan.
+        latency percentiles/mean: end-to-end latency of completed
+            requests, milliseconds.
+        slo_attainment: fraction of *offered* requests finishing
+            within SLO (sheds and unserved count against it).
+        slo_violations: completed requests that finished late.
+        scale_ups / scale_downs: autoscaler decision counts.
+        per_pool: per-pool breakdown (completed, shed, replicas,
+            latency percentiles, utilization).
+        per_priority: per-priority-class breakdown (offered,
+            completed, attainment, p99).
+        plan_cache: the shared plan cache's counters.
+    """
+
+    router: str
+    num_offered: int
+    num_completed: int
+    num_shed: int
+    num_unserved: int
+    makespan_s: float
+    throughput_rps: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    slo_attainment: float
+    slo_violations: int
+    scale_ups: int
+    scale_downs: int
+    per_pool: Dict[str, Dict[str, object]]
+    per_priority: Dict[str, Dict[str, object]]
+    plan_cache: Dict[str, float]
+
+    @classmethod
+    def from_result(cls, result: ClusterResult) -> "ClusterMetrics":
+        """Aggregate one finished cluster simulation."""
+        completions = result.completions
+        sojourns_ms = [c.sojourn_s * 1e3 for c in completions]
+        met = sum(1 for c in completions if c.met_slo)
+        offered = result.num_offered
+        makespan = result.makespan_s
+        if sojourns_ms:
+            p50 = percentile(sojourns_ms, 50.0)
+            p95 = percentile(sojourns_ms, 95.0)
+            p99 = percentile(sojourns_ms, 99.0)
+            mean = sum(sojourns_ms) / len(sojourns_ms)
+        else:
+            p50 = p95 = p99 = mean = 0.0
+
+        per_pool: Dict[str, Dict[str, object]] = {}
+        for pool in result.pools:
+            mine_ms = [c.sojourn_s * 1e3 for c in completions
+                       if result.pool_of_completion(c) == pool.name]
+            shed_here = sum(
+                1 for shed in result.sheds
+                if pool.name in result.placement.get(
+                    shed.request.model, ()))
+            per_pool[pool.name] = {
+                "soc": pool.spec.soc,
+                "completed": len(mine_ms),
+                "shed_eligible": shed_here,
+                "final_replicas": pool.active,
+                "mean_replicas": (pool.replica_seconds / makespan
+                                  if makespan > 0.0 else
+                                  float(pool.active)),
+                "latency_p50_ms": (percentile(mine_ms, 50.0)
+                                   if mine_ms else 0.0),
+                "latency_p99_ms": (percentile(mine_ms, 99.0)
+                                   if mine_ms else 0.0),
+                "utilization": pool.utilization(makespan),
+            }
+
+        per_priority: Dict[str, Dict[str, object]] = {}
+        classes = sorted(
+            {c.request.priority for c in completions}
+            | {s.request.priority for s in result.sheds}
+            | {r.priority for r in result.unserved})
+        for priority in classes:
+            mine = [c for c in completions
+                    if c.request.priority == priority]
+            mine_offered = (
+                len(mine)
+                + sum(1 for s in result.sheds
+                      if s.request.priority == priority)
+                + sum(1 for r in result.unserved
+                      if r.priority == priority))
+            mine_met = sum(1 for c in mine if c.met_slo)
+            mine_ms = [c.sojourn_s * 1e3 for c in mine]
+            per_priority[str(priority)] = {
+                "offered": mine_offered,
+                "completed": len(mine),
+                "slo_attainment": (mine_met / mine_offered
+                                   if mine_offered else 1.0),
+                "latency_p99_ms": (percentile(mine_ms, 99.0)
+                                   if mine_ms else 0.0),
+            }
+
+        return cls(
+            router=result.config.router,
+            num_offered=offered,
+            num_completed=len(completions),
+            num_shed=len(result.sheds),
+            num_unserved=len(result.unserved),
+            makespan_s=makespan,
+            throughput_rps=(len(completions) / makespan
+                            if makespan > 0.0 else 0.0),
+            latency_p50_ms=p50,
+            latency_p95_ms=p95,
+            latency_p99_ms=p99,
+            latency_mean_ms=mean,
+            slo_attainment=met / offered if offered else 1.0,
+            slo_violations=len(completions) - met,
+            scale_ups=sum(1 for e in result.scale_events
+                          if e.direction == "up"),
+            scale_downs=sum(1 for e in result.scale_events
+                            if e.direction == "down"),
+            per_pool=per_pool,
+            per_priority=per_priority,
+            plan_cache=result.plan_cache.stats(),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (deterministic ordering)."""
+        return {
+            "router": self.router,
+            "num_offered": self.num_offered,
+            "num_completed": self.num_completed,
+            "num_shed": self.num_shed,
+            "num_unserved": self.num_unserved,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "slo_attainment": self.slo_attainment,
+            "slo_violations": self.slo_violations,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "per_pool": {name: dict(stats) for name, stats
+                         in sorted(self.per_pool.items())},
+            "per_priority": {name: dict(stats) for name, stats
+                             in sorted(self.per_priority.items())},
+            "plan_cache": dict(self.plan_cache),
+        }
+
+    def render(self) -> str:
+        """Printable summary tables."""
+        from ..harness.report import format_table
+        rows = [
+            ["offered", float(self.num_offered)],
+            ["completed", float(self.num_completed)],
+            ["shed", float(self.num_shed)],
+            ["unserved", float(self.num_unserved)],
+            ["makespan_s", self.makespan_s],
+            ["throughput_rps", self.throughput_rps],
+            ["latency_p50_ms", self.latency_p50_ms],
+            ["latency_p95_ms", self.latency_p95_ms],
+            ["latency_p99_ms", self.latency_p99_ms],
+            ["latency_mean_ms", self.latency_mean_ms],
+            ["slo_attainment", self.slo_attainment],
+            ["slo_violations", float(self.slo_violations)],
+            ["scale_ups", float(self.scale_ups)],
+            ["scale_downs", float(self.scale_downs)],
+            ["plan_cache_hit_rate", self.plan_cache["hit_rate"]],
+        ]
+        text = format_table(
+            ["metric", "value"], rows,
+            title=f"cluster summary ({self.router} router)")
+        pool_rows: List[List[object]] = []
+        for name, stats in sorted(self.per_pool.items()):
+            pool_rows.append([
+                name, str(stats["soc"]), float(stats["completed"]),  # type: ignore[arg-type]
+                float(stats["mean_replicas"]),  # type: ignore[arg-type]
+                float(stats["final_replicas"]),  # type: ignore[arg-type]
+                float(stats["latency_p99_ms"]),  # type: ignore[arg-type]
+            ])
+        if pool_rows:
+            text += "\n\n" + format_table(
+                ["pool", "soc", "completed", "mean_replicas",
+                 "final_replicas", "p99_ms"], pool_rows,
+                title="pools")
+        priority_rows: List[List[object]] = []
+        for name, stats in sorted(self.per_priority.items()):
+            priority_rows.append([
+                name, float(stats["offered"]),  # type: ignore[arg-type]
+                float(stats["completed"]),  # type: ignore[arg-type]
+                float(stats["slo_attainment"]),  # type: ignore[arg-type]
+                float(stats["latency_p99_ms"]),  # type: ignore[arg-type]
+            ])
+        if priority_rows:
+            text += "\n\n" + format_table(
+                ["class", "offered", "completed", "attainment",
+                 "p99_ms"], priority_rows,
+                title="priority classes")
+        return text

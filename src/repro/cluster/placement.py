@@ -1,0 +1,146 @@
+"""Replica placement: which pools host which models.
+
+A placement maps every model to its replica set -- the pools whose
+devices hold the model's plans and accept its traffic.  The optimizer
+fills in any models the operator left unplaced, using two static
+signals the rest of the repo already provides:
+
+* **memory feasibility** -- the
+  :class:`~repro.analysis.memory.MemoryFootprintAnalyzer` proves, from
+  shapes alone, whether the model's μLayer plan at the pool's maximum
+  batch fits the SoC's shared DRAM.  Pools it would overflow are never
+  selected (and an operator-pinned placement on such a pool is a lint
+  error, rule SC007).
+* **predicted speed** -- the batch-grid latency predictor's
+  service-time estimate ranks the feasible pools fastest-first, so a
+  bounded replica spread (``replicas_per_model``) lands on the SoCs
+  that serve the model best.
+
+Once resolved, :meth:`PlacementOptimizer.apply` performs the **warm-plan
+migration**: every hosting pool's fleet pre-builds the model's plans
+(via the cluster-shared plan cache) for the mechanisms and batch sizes
+its scheduler can dispatch, so no pool partitions on the request path
+-- a replica "migrates in" by warming plans, not by moving state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.memory import MemoryFootprintAnalyzer
+from .config import ClusterConfig
+from .pool import Pool
+
+
+class PlacementError(ValueError):
+    """A model has no feasible host (or a pinned host cannot fit it)."""
+
+
+class PlacementOptimizer:
+    """Resolves and applies per-model replica sets over pools.
+
+    Args:
+        pools: the cluster's pools, in configuration order.
+        config: the cluster configuration (placement pins,
+            ``replicas_per_model``).
+    """
+
+    def __init__(self, pools: Sequence[Pool],
+                 config: ClusterConfig) -> None:
+        self.pools = list(pools)
+        self.config = config
+        self._by_name = {pool.name: pool for pool in self.pools}
+        self._analyzers = {
+            pool.name: MemoryFootprintAnalyzer(
+                pool.fleet.context(pool.spec.soc).soc)
+            for pool in self.pools}
+        self._feasible: Dict[Tuple[str, str], bool] = {}
+
+    def fits(self, model: str, pool: Pool) -> bool:
+        """True when the model's μLayer plan at the pool's maximum
+        batch fits the pool's SoC DRAM (statically proven)."""
+        key = (model, pool.name)
+        cached = self._feasible.get(key)
+        if cached is None:
+            device = pool.fleet.devices[0]
+            plan = pool.fleet.plan_for(model, device, "mulayer",
+                                       batch=pool.spec.max_batch)
+            summary = self._analyzers[pool.name].footprint(
+                pool.fleet.graph(model), plan,
+                batch=pool.spec.max_batch)
+            cached = summary.peak_bytes <= summary.capacity_bytes
+            self._feasible[key] = cached
+        return cached
+
+    def ranked_hosts(self, model: str) -> List[Pool]:
+        """Feasible pools, fastest predicted service first (ties in
+        configuration order)."""
+        feasible = [pool for pool in self.pools
+                    if self.fits(model, pool)]
+        return sorted(
+            feasible,
+            key=lambda pool: (pool.service_estimate_s(model),
+                              self.pools.index(pool)))
+
+    def resolve(self) -> Dict[str, Tuple[str, ...]]:
+        """The full placement: operator pins as given, the rest
+        optimized.
+
+        Raises:
+            PlacementError: when a pinned host would overflow DRAM, or
+                an unpinned model has no feasible pool at all.
+        """
+        placement: Dict[str, Tuple[str, ...]] = {}
+        for model in self.config.models:
+            pinned = self.config.placement.get(model)
+            if pinned is not None:
+                overflowing = [
+                    name for name in pinned
+                    if not self.fits(model, self._by_name[name])]
+                if overflowing:
+                    raise PlacementError(
+                        f"placement pins {model!r} on "
+                        f"{overflowing}, whose DRAM its plan "
+                        f"(at the pool's max batch) overflows")
+                placement[model] = tuple(pinned)
+                continue
+            hosts = self.ranked_hosts(model)
+            if not hosts:
+                raise PlacementError(
+                    f"no pool can host {model!r}: its plan overflows "
+                    "every pool's DRAM at the pool's max batch")
+            spread = (len(hosts) if self.config.replicas_per_model
+                      is None else min(self.config.replicas_per_model,
+                                       len(hosts)))
+            placement[model] = tuple(pool.name
+                                     for pool in hosts[:spread])
+        return placement
+
+    def apply(self, placement: Mapping[str, Tuple[str, ...]],
+              jobs: Optional[int] = None) -> int:
+        """Warm-plan migration: pre-build every hosting pool's plans.
+
+        Each pool warms the models placed on it for the mechanisms its
+        scheduler can dispatch (everything for EDF, μLayer only for
+        the fixed-mechanism policies) at batch sizes 1..max_batch.
+        Plans land in the cluster-shared cache, so two pools of the
+        same SoC type warm each configuration once.
+
+        Returns:
+            Total plans built by this call.
+        """
+        built = 0
+        for pool in self.pools:
+            models = [model for model in self.config.models
+                      if pool.name in placement.get(model, ())]
+            if not models:
+                continue
+            mechanisms = (None if pool.spec.scheduler == "edf"
+                          else ["mulayer"])
+            batches = range(1, pool.spec.max_batch + 1)
+            built += pool.fleet.warm_plans(models,
+                                           mechanisms=mechanisms,
+                                           jobs=jobs,
+                                           batches=tuple(batches))
+            pool.models = tuple(models)
+        return built

@@ -1,0 +1,135 @@
+"""The router tier: which pool serves an arriving request.
+
+Routers sit in front of the pools and see only cheap signals -- queue
+depths, replica counts, and (for the predictor-informed policy) the
+batch-grid latency predictor's service-time estimates.  They never
+inspect device clocks directly; that keeps the routing decision O(pools)
+per request and honest about what a real front-end load balancer could
+know.
+
+Three policies, in increasing order of information used:
+
+* :class:`RoundRobinRouter` -- per-model rotation over the model's
+  eligible pools.  The information-free baseline.
+* :class:`PowerOfTwoRouter` -- the classic "power of two choices":
+  sample two eligible pools (seeded), send to the one with the
+  shallower queue per active replica.  Nearly the benefit of
+  join-shortest-queue at a fraction of the state.
+* :class:`LeastExpectedLatencyRouter` -- score every eligible pool by
+  the predicted completion latency of the arrival (earliest replica
+  availability plus queued work plus the predictor's service-time
+  estimate on that pool's SoC type) and send to the minimum.  The
+  predictor-informed policy; it alone accounts for heterogeneous SoC
+  speeds.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..serve.workload import Request
+from .config import ROUTER_NAMES
+from .pool import Pool
+
+
+class Router(abc.ABC):
+    """Routing policy interface.
+
+    Args:
+        seed: seed for any sampling the policy does (deterministic
+            policies ignore it).
+    """
+
+    name: str = "router"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    @abc.abstractmethod
+    def route(self, request: Request, pools: Sequence[Pool],
+              now: float) -> Pool:
+        """The pool that should serve ``request``.
+
+        ``pools`` is the request's model's eligible-host list (the
+        placement), in placement order; it is never empty.
+        """
+
+
+class RoundRobinRouter(Router):
+    """Per-model rotation over the eligible pools."""
+
+    name = "round-robin"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        self._next: dict = {}
+
+    def route(self, request: Request, pools: Sequence[Pool],
+              now: float) -> Pool:
+        index = self._next.get(request.model, 0)
+        self._next[request.model] = (index + 1) % len(pools)
+        return pools[index % len(pools)]
+
+
+class PowerOfTwoRouter(Router):
+    """Sample two eligible pools, pick the shallower queue.
+
+    Depth is normalized per active replica, so a big pool is not
+    penalized for having (proportionally loaded) more queue; ties break
+    to the first-sampled pool, and a single eligible pool short-circuits
+    the sampling entirely (keeps the random stream aligned across
+    configurations that differ only in single-host models).
+    """
+
+    name = "p2c"
+
+    def route(self, request: Request, pools: Sequence[Pool],
+              now: float) -> Pool:
+        if len(pools) == 1:
+            return pools[0]
+        first, second = self._rng.choice(len(pools), size=2,
+                                         replace=False)
+        a, b = pools[int(first)], pools[int(second)]
+        return a if a.depth_per_replica() <= b.depth_per_replica() else b
+
+
+class LeastExpectedLatencyRouter(Router):
+    """Send to the pool with the lowest predicted completion latency.
+
+    The only policy that knows a fast SoC from a slow one: the score
+    comes from :meth:`Pool.expected_latency_s`, which combines earliest
+    replica availability, queued work, and the latency predictor's
+    per-SoC service-time estimate.  Ties break in placement order.
+    """
+
+    name = "least-latency"
+
+    def route(self, request: Request, pools: Sequence[Pool],
+              now: float) -> Pool:
+        best: Optional[Pool] = None
+        best_score = float("inf")
+        for pool in pools:
+            score = pool.expected_latency_s(request.model, now)
+            if score < best_score:
+                best, best_score = pool, score
+        assert best is not None
+        return best
+
+
+def make_router(name: str, seed: int = 0) -> Router:
+    """Router factory used by the CLI and the simulator.
+
+    Raises:
+        ValueError: for unknown router names.
+    """
+    if name == "round-robin":
+        return RoundRobinRouter(seed)
+    if name == "p2c":
+        return PowerOfTwoRouter(seed)
+    if name == "least-latency":
+        return LeastExpectedLatencyRouter(seed)
+    raise ValueError(f"unknown router {name!r}; choose one of "
+                     f"{', '.join(ROUTER_NAMES)}")

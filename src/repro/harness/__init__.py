@@ -7,7 +7,8 @@ from .figures import (DEFAULT_SOCS, ExperimentResult,
                       fig16_e2e_latency, fig17_ablation, fig18_energy,
                       table1_applicability)
 from .gantt import render_gantt
-from .parallel import default_jobs, parallel_map
+from .parallel import (default_cli_jobs, default_jobs,
+                       parallel_map)
 from .profiles import (LayerProfile, hotspots, memory_bound_layers,
                        profile_layers, render_profile)
 from .report import format_bars, format_table, normalized
@@ -15,6 +16,7 @@ from .serving import serving_load_sweep
 
 __all__ = [
     "serving_load_sweep",
+    "default_cli_jobs",
     "default_jobs",
     "parallel_map",
     "DEFAULT_SOCS",

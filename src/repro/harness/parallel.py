@@ -23,12 +23,22 @@ from typing import Callable, List, Optional, Sequence, TypeVar
 _In = TypeVar("_In")
 _Out = TypeVar("_Out")
 
-__all__ = ["default_jobs", "parallel_map"]
+__all__ = ["default_cli_jobs", "default_jobs", "parallel_map"]
 
 
 def default_jobs() -> int:
     """A sensible process count for sweep fan-out on this machine."""
     return max(1, os.cpu_count() or 1)
+
+
+def default_cli_jobs() -> int:
+    """The CLI's default ``--jobs``: the CPU count, capped at 8.
+
+    Sweeps parallelize well past 8 workers, but the CLI's default
+    should not commandeer a big shared box -- users who want more say
+    so explicitly.
+    """
+    return min(8, os.cpu_count() or 1)
 
 
 def parallel_map(worker: Callable[[_In], _Out], items: Sequence[_In],

@@ -18,7 +18,9 @@ from .scheduler import (Action, DynamicBatchScheduler, EDFScheduler,
                         Shed, Start, StartBatch, make_scheduler)
 from .simulator import ServingResult, ServingSimulator, ShedRecord
 from .workload import (BurstyWorkload, PoissonWorkload, Request,
-                       WorkloadGenerator, bursty_for_rate)
+                       TenantClass, TraceSegment, TraceWorkload,
+                       WorkloadGenerator, bursty_for_rate,
+                       diurnal_trace, flash_crowd_trace, load_trace)
 
 __all__ = [
     "ServeConfig",
@@ -46,6 +48,12 @@ __all__ = [
     "BurstyWorkload",
     "PoissonWorkload",
     "Request",
+    "TenantClass",
+    "TraceSegment",
+    "TraceWorkload",
     "WorkloadGenerator",
     "bursty_for_rate",
+    "diurnal_trace",
+    "flash_crowd_trace",
+    "load_trace",
 ]

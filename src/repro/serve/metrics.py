@@ -13,6 +13,7 @@ counters (entries, hits, misses, hit rate, evictions).
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, List, Sequence
 
 from .simulator import ServingResult
@@ -24,6 +25,14 @@ def percentile(values: Sequence[float], q: float) -> float:
     Deterministic, dependency-light equivalent of numpy's default
     method; ``q`` in [0, 100].
 
+    Small-sample behaviour: when the sample is smaller than the
+    percentile's granularity -- fewer than ``ceil(100 / (100 - q))``
+    values, e.g. a p99 over fewer than 100 samples -- the tail
+    percentile is simply the worst observation, and interpolating
+    between the last two order statistics would *understate* it.  In
+    that regime this function returns the maximum observed value
+    instead of interpolating past the last sample.
+
     Raises:
         ValueError: for an empty sequence or ``q`` outside [0, 100].
     """
@@ -34,6 +43,11 @@ def percentile(values: Sequence[float], q: float) -> float:
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
+    if q > 0.0:
+        granularity = (math.ceil(100.0 / (100.0 - q))
+                       if q < 100.0 else len(ordered))
+        if len(ordered) < granularity:
+            return ordered[-1]
     position = (len(ordered) - 1) * q / 100.0
     low = int(position)
     high = min(low + 1, len(ordered) - 1)

@@ -139,7 +139,10 @@ class FIFOScheduler(Scheduler):
                     now: float) -> Optional[Action]:
         if not pending:
             return None
-        head = pending[0]
+        # Priority classes are strict: the head of the queue is the
+        # oldest request of the most urgent class present.  With one
+        # class this is plain arrival order.
+        head = min(pending, key=lambda r: (r.priority, r.request_id))
         device = self._pick_device(head, fleet, now)
         if device is None:
             return None
@@ -208,8 +211,12 @@ class EDFScheduler(Scheduler):
 
     def next_action(self, pending: Sequence[Request], fleet: Fleet,
                     now: float) -> Optional[Action]:
+        # EDF within each priority class; classes are strict (a class-1
+        # request never jumps ahead of any class-0 request, however
+        # tight its deadline).
         ordered = sorted(pending,
-                         key=lambda r: (r.deadline_s, r.request_id))
+                         key=lambda r: (r.priority, r.deadline_s,
+                                        r.request_id))
         for request in ordered:
             feasible_later = False
             best: Optional[Tuple[float, int, str, float]] = None
@@ -314,18 +321,24 @@ class DynamicBatchScheduler(Scheduler):
 
     def _groups(self, pending: Sequence[Request]
                 ) -> "List[List[Request]]":
-        """Same-model groups, in arrival order of their oldest member
-        (``pending`` is already in arrival order)."""
+        """Same-model groups, ordered by (priority, arrival) of their
+        most urgent member, members most-urgent-first.  With one
+        priority class this is arrival order of the oldest member."""
+        ordered = sorted(pending,
+                         key=lambda r: (r.priority, r.request_id))
         by_model: Dict[str, List[Request]] = {}
-        for request in pending:
+        for request in ordered:
             by_model.setdefault(request.model, []).append(request)
         return list(by_model.values())
 
     def _ready(self, group: Sequence[Request], now: float) -> bool:
-        """A group dispatches when full or past its timeout window."""
+        """A group dispatches when full or past its timeout window
+        (measured from its *oldest* member, which under priority
+        ordering is not necessarily the first)."""
         if len(group) >= self.max_batch:
             return True
-        return now - group[0].arrival_s >= self.batch_timeout_s - 1e-12
+        oldest = min(request.arrival_s for request in group)
+        return now - oldest >= self.batch_timeout_s - 1e-12
 
     def next_action(self, pending: Sequence[Request], fleet: Fleet,
                     now: float) -> Optional[Action]:
@@ -353,7 +366,8 @@ class DynamicBatchScheduler(Scheduler):
     def next_wakeup_s(self, pending: Sequence[Request], fleet: Fleet,
                       now: float) -> Optional[float]:
         """The earliest pending timeout flush among partial groups."""
-        deadlines = [group[0].arrival_s + self.batch_timeout_s
+        deadlines = [min(r.arrival_s for r in group)
+                     + self.batch_timeout_s
                      for group in self._groups(pending)
                      if len(group) < self.max_batch]
         if not deadlines:

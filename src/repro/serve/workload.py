@@ -2,31 +2,54 @@
 
 A workload generator turns a seed into a deterministic trace of
 :class:`Request` objects -- each with an arrival time, a model to run,
-and a latency SLO.  Two arrival processes are provided:
+a latency SLO, and a tenant/priority class.  Three arrival processes
+are provided:
 
 * :class:`PoissonWorkload` -- memoryless arrivals at a constant rate,
   the standard open-loop serving assumption;
 * :class:`BurstyWorkload` -- a two-state Markov-modulated Poisson
   process (MMPP) alternating between a quiet base state and a burst
   state, producing the overdispersed arrivals real request streams
-  show.
+  show;
+* :class:`TraceWorkload` -- trace-driven arrivals from a small JSON
+  schema of piecewise-constant rate segments repeating with a period
+  (diurnal curves, flash crowds, shifting model mixes), generated as
+  an inhomogeneous Poisson process by thinning.
+  :func:`diurnal_trace` and :func:`flash_crowd_trace` build the two
+  canonical shapes without hand-writing segments.
 
-All randomness flows through one ``numpy`` generator seeded in
-``generate``, so the same seed always yields the same trace and the
-simulator stays reproducible end-to-end.  No wall-clock time is ever
-consulted.
+All rate and dwell parameters are validated eagerly (positive *and*
+finite) so a NaN or zero rate raises a clear :class:`ValueError` at
+construction instead of producing empty or NaN arrival streams deep in
+the simulator.  All randomness flows through one ``numpy`` generator
+seeded in ``generate``, so the same seed always yields the same trace
+and the simulator stays reproducible end-to-end.  No wall-clock time is
+ever consulted.
 """
 
 from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import List, Mapping, Optional, Sequence, Tuple, Union
+import json
+import math
+from typing import (Dict, List, Mapping, Optional, Sequence, Tuple,
+                    Union)
 
 import numpy as np
 
 #: Per-model SLOs, or one budget applied to every model.
 SLOSpec = Union[float, Mapping[str, float]]
+
+
+def _require_positive_finite(label: str, value: float) -> float:
+    """Validate a rate/dwell parameter; NaN and inf are as fatal as
+    zero -- both silently corrupt the arrival stream otherwise."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{label} must be positive and finite, "
+                         f"got {value!r}")
+    return value
 
 
 @dataclasses.dataclass(frozen=True)
@@ -39,18 +62,28 @@ class Request:
         arrival_s: simulated arrival time.
         slo_s: latency budget; the request must finish by
             ``arrival_s + slo_s`` to meet its SLO.
+        tenant: name of the tenant that issued the request.
+        priority: priority class; **lower is more urgent** (class 0 is
+            the premium tier).  Routers and schedulers order work by
+            priority before anything else.
     """
 
     request_id: int
     model: str
     arrival_s: float
     slo_s: float
+    tenant: str = "default"
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.slo_s <= 0.0:
             raise ValueError(
                 f"request {self.request_id}: SLO must be positive, "
                 f"got {self.slo_s}")
+        if self.priority < 0:
+            raise ValueError(
+                f"request {self.request_id}: priority must be >= 0, "
+                f"got {self.priority}")
 
     @property
     def deadline_s(self) -> float:
@@ -143,11 +176,9 @@ class PoissonWorkload(WorkloadGenerator):
     def __init__(self, rate_rps: float, models: Sequence[str],
                  slo_s: SLOSpec, seed: int = 0,
                  model_weights: Optional[Sequence[float]] = None) -> None:
-        if rate_rps <= 0.0:
-            raise ValueError("rate_rps must be positive")
         super().__init__(models, slo_s, seed=seed,
                          model_weights=model_weights)
-        self.rate_rps = rate_rps
+        self.rate_rps = _require_positive_finite("rate_rps", rate_rps)
 
     def _initial_state(self) -> object:
         return None
@@ -173,18 +204,16 @@ class BurstyWorkload(WorkloadGenerator):
                  mean_base_s: float, mean_burst_s: float,
                  models: Sequence[str], slo_s: SLOSpec, seed: int = 0,
                  model_weights: Optional[Sequence[float]] = None) -> None:
-        for label, value in (("base_rate_rps", base_rate_rps),
-                             ("burst_rate_rps", burst_rate_rps),
-                             ("mean_base_s", mean_base_s),
-                             ("mean_burst_s", mean_burst_s)):
-            if value <= 0.0:
-                raise ValueError(f"{label} must be positive")
         super().__init__(models, slo_s, seed=seed,
                          model_weights=model_weights)
-        self.base_rate_rps = base_rate_rps
-        self.burst_rate_rps = burst_rate_rps
-        self.mean_base_s = mean_base_s
-        self.mean_burst_s = mean_burst_s
+        self.base_rate_rps = _require_positive_finite(
+            "base_rate_rps", base_rate_rps)
+        self.burst_rate_rps = _require_positive_finite(
+            "burst_rate_rps", burst_rate_rps)
+        self.mean_base_s = _require_positive_finite(
+            "mean_base_s", mean_base_s)
+        self.mean_burst_s = _require_positive_finite(
+            "mean_burst_s", mean_burst_s)
 
     @property
     def mean_rate_rps(self) -> float:
@@ -223,8 +252,9 @@ def bursty_for_rate(rate_rps: float, models: Sequence[str],
     state; dwell times are chosen so the time-average rate equals the
     requested one and each state typically spans tens of requests.
     """
-    if burstiness <= 1.0:
-        raise ValueError("burstiness must exceed 1.0")
+    _require_positive_finite("rate_rps", rate_rps)
+    if not math.isfinite(burstiness) or burstiness <= 1.0:
+        raise ValueError("burstiness must be finite and exceed 1.0")
     # Three quarters of the *time* in the base state, one quarter
     # bursting: base * 0.75 + burst * 0.25 == rate with burst == b *
     # base, so the dwell times must keep a 3:1 ratio.
@@ -235,3 +265,345 @@ def bursty_for_rate(rate_rps: float, models: Sequence[str],
         mean_base_s=30.0 / base, mean_burst_s=10.0 / base,
         models=models, slo_s=slo_s, seed=seed,
         model_weights=model_weights)
+
+
+# -- trace-driven workloads ---------------------------------------------------
+
+#: Version of the JSON trace schema :class:`TraceWorkload` understands.
+TRACE_SCHEMA = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceSegment:
+    """One piecewise-constant span of a workload trace.
+
+    Attributes:
+        start_s: offset of the segment inside the trace period;
+            segments must start at strictly increasing offsets.
+        rate_rps: arrival rate during the segment; zero is legal (a
+            dead-of-night span) as long as some segment is positive.
+        model_weights: per-segment model mix overriding the trace-wide
+            one (populations may shift across the day).
+    """
+
+    start_s: float
+    rate_rps: float
+    model_weights: Optional[Mapping[str, float]] = None
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.start_s) or self.start_s < 0.0:
+            raise ValueError(f"segment start_s must be finite and "
+                             f">= 0, got {self.start_s!r}")
+        if not math.isfinite(self.rate_rps) or self.rate_rps < 0.0:
+            raise ValueError(f"segment rate_rps must be finite and "
+                             f">= 0, got {self.rate_rps!r}")
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantClass:
+    """One tenant of a multi-tenant trace.
+
+    Attributes:
+        name: tenant identifier stamped onto its requests.
+        weight: relative share of the request stream.
+        priority: priority class of the tenant's requests (lower is
+            more urgent).
+    """
+
+    name: str
+    weight: float
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        _require_positive_finite(f"tenant {self.name!r} weight",
+                                 self.weight)
+        if self.priority < 0:
+            raise ValueError(f"tenant {self.name!r} priority must be "
+                             f">= 0, got {self.priority}")
+
+
+class TraceWorkload(WorkloadGenerator):
+    """Trace-driven arrivals: piecewise-constant rates over a period.
+
+    The trace is a list of :class:`TraceSegment` spans inside a
+    repeating ``period_s`` window (a synthetic "day"); arrivals are an
+    inhomogeneous Poisson process generated by thinning against the
+    trace's peak rate, which is exact for piecewise-constant rate
+    functions and stays fully seeded.  Each request draws its model
+    from the active segment's mix (or the trace-wide one) and its
+    tenant -- and therefore priority class -- from the trace's tenant
+    weights.
+
+    Args:
+        segments: the rate curve; start offsets must be strictly
+            increasing, the first at 0.0, all inside the period.
+        period_s: length of the repeating window.
+        tenants: multi-tenant mix (one best-effort ``default`` tenant
+            when omitted).
+        name: label carried into serialized form.
+    """
+
+    def __init__(self, segments: Sequence[TraceSegment],
+                 period_s: float, models: Sequence[str],
+                 slo_s: SLOSpec, seed: int = 0,
+                 model_weights: Optional[Sequence[float]] = None,
+                 tenants: Optional[Sequence[TenantClass]] = None,
+                 name: str = "trace") -> None:
+        super().__init__(models, slo_s, seed=seed,
+                         model_weights=model_weights)
+        self.period_s = _require_positive_finite("period_s", period_s)
+        if not segments:
+            raise ValueError("a trace needs at least one segment")
+        starts = [segment.start_s for segment in segments]
+        if starts[0] != 0.0:
+            raise ValueError("the first trace segment must start at "
+                             f"0.0, got {starts[0]}")
+        for earlier, later in zip(starts, starts[1:]):
+            if later <= earlier:
+                raise ValueError(
+                    "trace segment boundaries must be strictly "
+                    f"increasing, got {earlier} followed by {later}")
+        if starts[-1] >= self.period_s:
+            raise ValueError(
+                f"segment at {starts[-1]} starts at or after the "
+                f"period of {self.period_s}")
+        if all(segment.rate_rps == 0.0 for segment in segments):
+            raise ValueError("at least one trace segment needs a "
+                             "positive rate")
+        self.segments = tuple(segments)
+        self.name = name
+        self.tenants = tuple(tenants) if tenants else (
+            TenantClass(name="default", weight=1.0, priority=0),)
+        total = sum(tenant.weight for tenant in self.tenants)
+        self._tenant_weights = np.asarray(
+            [tenant.weight / total for tenant in self.tenants])
+        self._segment_weights: List[np.ndarray] = []
+        for segment in self.segments:
+            if segment.model_weights is None:
+                self._segment_weights.append(self._weights)
+                continue
+            missing = [m for m in segment.model_weights
+                       if m not in self.models]
+            if missing:
+                raise ValueError(f"segment model weights name unknown "
+                                 f"models: {missing}")
+            weights = np.asarray([
+                float(segment.model_weights.get(model, 0.0))
+                for model in self.models])
+            if np.any(weights < 0.0) or weights.sum() <= 0.0:
+                raise ValueError("segment model weights must be "
+                                 "non-negative and sum to a positive "
+                                 "value")
+            self._segment_weights.append(weights / weights.sum())
+
+    # -- rate curve ----------------------------------------------------------
+
+    def _segment_at(self, time_s: float) -> int:
+        """Index of the segment active at an absolute time."""
+        offset = math.fmod(time_s, self.period_s)
+        active = 0
+        for index, segment in enumerate(self.segments):
+            if segment.start_s <= offset:
+                active = index
+            else:
+                break
+        return active
+
+    def rate_at(self, time_s: float) -> float:
+        """The instantaneous arrival rate at an absolute time."""
+        return self.segments[self._segment_at(time_s)].rate_rps
+
+    @property
+    def peak_rate_rps(self) -> float:
+        """The largest segment rate (the thinning envelope)."""
+        return max(segment.rate_rps for segment in self.segments)
+
+    @property
+    def mean_rate_rps(self) -> float:
+        """Time-average arrival rate over one period."""
+        total = 0.0
+        for index, segment in enumerate(self.segments):
+            end = (self.segments[index + 1].start_s
+                   if index + 1 < len(self.segments) else self.period_s)
+            total += segment.rate_rps * (end - segment.start_s)
+        return total / self.period_s
+
+    # -- the arrival process -------------------------------------------------
+
+    def _initial_state(self) -> object:
+        return 0.0
+
+    def _next_gap(self, rng: np.random.Generator,
+                  state: object) -> Tuple[float, object]:
+        """Thinning: candidate arrivals at the peak rate, each kept
+        with probability rate(t)/peak."""
+        now = float(state)  # type: ignore[arg-type]
+        peak = self.peak_rate_rps
+        gap = 0.0
+        while True:
+            step = float(rng.exponential(1.0 / peak))
+            gap += step
+            now += step
+            if rng.uniform() * peak <= self.rate_at(now):
+                return gap, now
+
+    def generate(self, num_requests: int) -> List[Request]:
+        """A deterministic trace of ``num_requests`` requests, each
+        stamped with its segment's model mix and a tenant class."""
+        if num_requests < 0:
+            raise ValueError("num_requests must be >= 0")
+        rng = np.random.default_rng(self.seed)
+        now = 0.0
+        requests: List[Request] = []
+        for request_id in range(num_requests):
+            gap, state = self._next_gap(rng, now)
+            now = float(state)  # type: ignore[arg-type]
+            weights = self._segment_weights[self._segment_at(now)]
+            index = int(rng.choice(len(self.models), p=weights))
+            model = self.models[index]
+            tenant = self.tenants[int(rng.choice(
+                len(self.tenants), p=self._tenant_weights))]
+            requests.append(Request(
+                request_id=request_id, model=model, arrival_s=now,
+                slo_s=self.slo_of(model), tenant=tenant.name,
+                priority=tenant.priority))
+        return requests
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """The trace as its JSON schema (without SLOs and seed, which
+        belong to the run, not the trace)."""
+        segments: List[Dict[str, object]] = []
+        for segment in self.segments:
+            entry: Dict[str, object] = {"start_s": segment.start_s,
+                                        "rate_rps": segment.rate_rps}
+            if segment.model_weights is not None:
+                entry["models"] = dict(segment.model_weights)
+            segments.append(entry)
+        return {
+            "schema": TRACE_SCHEMA,
+            "name": self.name,
+            "period_s": self.period_s,
+            "models": {model: float(weight) for model, weight
+                       in zip(self.models, self._weights)},
+            "tenants": {tenant.name: {"weight": tenant.weight,
+                                      "priority": tenant.priority}
+                        for tenant in self.tenants},
+            "segments": segments,
+        }
+
+    @classmethod
+    def from_json(cls, spec: Mapping[str, object], slo_s: SLOSpec,
+                  seed: int = 0) -> "TraceWorkload":
+        """Build a trace workload from its JSON schema.
+
+        Raises:
+            ValueError: on unknown schema versions or missing keys.
+        """
+        schema = spec.get("schema")
+        if schema != TRACE_SCHEMA:
+            raise ValueError(f"unsupported trace schema {schema!r} "
+                             f"(expected {TRACE_SCHEMA})")
+        for key in ("period_s", "models", "segments"):
+            if key not in spec:
+                raise ValueError(f"trace is missing the {key!r} key")
+        model_map = spec["models"]
+        if not isinstance(model_map, Mapping) or not model_map:
+            raise ValueError("trace 'models' must be a non-empty "
+                             "mapping of model name to weight")
+        # Keep the file's own ordering: the generators draw models and
+        # tenants by seeded *index*, so reordering would change the
+        # trace a round-tripped file produces.
+        models = list(model_map)
+        weights = [float(model_map[m]) for m in models]
+        tenants: Optional[List[TenantClass]] = None
+        if "tenants" in spec:
+            tenant_map = spec["tenants"]
+            if not isinstance(tenant_map, Mapping) or not tenant_map:
+                raise ValueError("trace 'tenants' must be a non-empty "
+                                 "mapping when present")
+            tenants = [
+                TenantClass(name=name,
+                            weight=float(entry["weight"]),
+                            priority=int(entry.get("priority", 0)))
+                for name, entry in tenant_map.items()]
+        segments = [
+            TraceSegment(start_s=float(entry["start_s"]),
+                         rate_rps=float(entry["rate_rps"]),
+                         model_weights=entry.get("models"))
+            for entry in spec["segments"]]  # type: ignore[union-attr]
+        return cls(segments=segments,
+                   period_s=float(spec["period_s"]),  # type: ignore[arg-type]
+                   models=models, slo_s=slo_s, seed=seed,
+                   model_weights=weights, tenants=tenants,
+                   name=str(spec.get("name", "trace")))
+
+
+def load_trace(path: str, slo_s: SLOSpec, seed: int = 0
+               ) -> TraceWorkload:
+    """Load a :class:`TraceWorkload` from a JSON file."""
+    with open(path) as handle:
+        return TraceWorkload.from_json(json.load(handle), slo_s,
+                                       seed=seed)
+
+
+def diurnal_trace(mean_rate_rps: float, models: Sequence[str],
+                  slo_s: SLOSpec, seed: int = 0,
+                  period_s: float = 240.0, num_segments: int = 12,
+                  peak_to_trough: float = 4.0,
+                  tenants: Optional[Sequence[TenantClass]] = None
+                  ) -> TraceWorkload:
+    """A sinusoidal day: quiet night, busy evening.
+
+    The rate curve is a sampled sinusoid whose time average equals
+    ``mean_rate_rps`` and whose peak-to-trough ratio is
+    ``peak_to_trough``; the period defaults to a compressed "day" so
+    simulations of a few hundred requests still see the full cycle.
+    """
+    _require_positive_finite("mean_rate_rps", mean_rate_rps)
+    if not math.isfinite(peak_to_trough) or peak_to_trough < 1.0:
+        raise ValueError("peak_to_trough must be finite and >= 1.0")
+    if num_segments < 2:
+        raise ValueError("num_segments must be >= 2")
+    swing = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    segments = []
+    for index in range(num_segments):
+        phase = 2.0 * math.pi * (index + 0.5) / num_segments
+        rate = mean_rate_rps * (1.0 + swing * math.sin(phase - math.pi
+                                                       / 2.0))
+        segments.append(TraceSegment(
+            start_s=period_s * index / num_segments, rate_rps=rate))
+    return TraceWorkload(segments=segments, period_s=period_s,
+                         models=models, slo_s=slo_s, seed=seed,
+                         tenants=tenants, name="diurnal")
+
+
+def flash_crowd_trace(base_rate_rps: float, models: Sequence[str],
+                      slo_s: SLOSpec, seed: int = 0,
+                      spike_factor: float = 8.0,
+                      period_s: float = 120.0,
+                      spike_start_s: float = 60.0,
+                      spike_duration_s: float = 20.0,
+                      tenants: Optional[Sequence[TenantClass]] = None
+                      ) -> TraceWorkload:
+    """A flash crowd: steady base traffic with one hot window per
+    period in which arrivals run ``spike_factor`` times hotter."""
+    _require_positive_finite("base_rate_rps", base_rate_rps)
+    _require_positive_finite("spike_duration_s", spike_duration_s)
+    if not math.isfinite(spike_factor) or spike_factor <= 1.0:
+        raise ValueError("spike_factor must be finite and exceed 1.0")
+    if not 0.0 < spike_start_s < period_s:
+        raise ValueError("spike_start_s must fall inside the period")
+    if spike_start_s + spike_duration_s >= period_s:
+        raise ValueError("the spike must end before the period does")
+    segments = [
+        TraceSegment(start_s=0.0, rate_rps=base_rate_rps),
+        TraceSegment(start_s=spike_start_s,
+                     rate_rps=base_rate_rps * spike_factor),
+        TraceSegment(start_s=spike_start_s + spike_duration_s,
+                     rate_rps=base_rate_rps),
+    ]
+    return TraceWorkload(segments=segments, period_s=period_s,
+                         models=models, slo_s=slo_s, seed=seed,
+                         tenants=tenants, name="flash-crowd")

@@ -1,9 +1,16 @@
 """Static schedulability lint: ServeConfig validation and SC rules."""
 
+import dataclasses
+
 import pytest
 
-from repro.analysis import (SchedulabilityAnalyzer, lint_serve_config,
+from repro.analysis import (ClusterSchedulabilityAnalyzer,
+                            SchedulabilityAnalyzer,
+                            lint_cluster_config, lint_serve_config,
                             utilization)
+from repro.cluster import (AutoscalerConfig, ClusterConfig, Pool,
+                           PoolSpec)
+from repro.runtime.plan_cache import PlanCache
 from repro.serve import Fleet, ServeConfig, default_slos
 
 MODELS = ("vgg_mini", "alexnet_mini")
@@ -123,3 +130,93 @@ class TestSchedulabilityRules:
     def test_rejects_bad_watermark(self):
         with pytest.raises(ValueError):
             SchedulabilityAnalyzer(high_watermark=0.0)
+
+
+CLUSTER_MODELS = ("mobilenet_mini", "squeezenet_mini")
+CLUSTER_SPECS = (
+    PoolSpec(name="a", soc="exynos7420", max_replicas=2),
+    PoolSpec(name="b", soc="exynos7880", max_replicas=2))
+
+
+@pytest.fixture(scope="module")
+def cluster_pools():
+    cache = PlanCache()
+    return [Pool(spec, plan_cache=cache) for spec in CLUSTER_SPECS]
+
+
+@pytest.fixture(scope="module")
+def cluster_slos():
+    probe = Fleet.build([spec.soc for spec in CLUSTER_SPECS], 2)
+    return dict(default_slos(probe, list(CLUSTER_MODELS),
+                             slo_factor=8.0))
+
+
+def _cluster_config(rate, slos, specs=CLUSTER_SPECS,
+                    models=CLUSTER_MODELS, **overrides):
+    base = dict(pools=tuple(specs), models=tuple(models), slos=slos,
+                rate_rps=rate)
+    base.update(overrides)
+    return ClusterConfig(**base)
+
+
+class TestClusterRules:
+    def test_feasible_cluster_is_clean(self, cluster_pools,
+                                       cluster_slos):
+        report = lint_cluster_config(
+            _cluster_config(100.0, cluster_slos), pools=cluster_pools)
+        assert report.clean, report.render()
+
+    def test_sc006_pool_saturation(self, cluster_pools, cluster_slos):
+        report = lint_cluster_config(
+            _cluster_config(1e6, cluster_slos), pools=cluster_pools)
+        assert "SC006" in report.rules_fired()
+        assert not report.ok
+
+    def test_sc007_no_feasible_host(self, cluster_slos):
+        big = tuple(dataclasses.replace(spec, max_batch=64)
+                    for spec in CLUSTER_SPECS)
+        slos = dict(cluster_slos)
+        slos["vgg16"] = 1.0
+        config = _cluster_config(10.0, slos, specs=big,
+                                 models=("vgg16",))
+        report = lint_cluster_config(config)
+        assert report.rules_fired() == ["SC007"]
+        assert not report.ok
+
+    def test_sc007_pinned_overflowing_host(self, cluster_slos):
+        big = tuple(dataclasses.replace(spec, max_batch=64)
+                    for spec in CLUSTER_SPECS)
+        slos = dict(cluster_slos)
+        slos["vgg16"] = 1.0
+        config = _cluster_config(10.0, slos, specs=big,
+                                 models=("vgg16",),
+                                 placement={"vgg16": ("a",)})
+        report = lint_cluster_config(config)
+        assert report.rules_fired() == ["SC007"]
+
+    def test_sc008_autoscaler_ceiling_too_low(self, cluster_pools,
+                                              cluster_slos):
+        config = _cluster_config(
+            1e6, cluster_slos,
+            autoscaler=AutoscalerConfig(mode="reactive"))
+        report = ClusterSchedulabilityAnalyzer(
+            pools=cluster_pools).analyze(config)
+        assert "SC008" in report.rules_fired()
+
+    def test_sc008_needs_autoscaling(self, cluster_pools,
+                                     cluster_slos):
+        report = lint_cluster_config(
+            _cluster_config(1e6, cluster_slos), pools=cluster_pools)
+        assert "SC008" not in report.rules_fired()
+
+    def test_sc002_per_model_against_host_pools(self, cluster_pools,
+                                                cluster_slos):
+        tight = {model: 1e-9 for model in CLUSTER_MODELS}
+        report = lint_cluster_config(
+            _cluster_config(10.0, tight), pools=cluster_pools)
+        assert set(report.rules_fired()) == {"SC002"}
+
+    def test_analyzer_builds_its_own_pools(self, cluster_slos):
+        report = ClusterSchedulabilityAnalyzer().analyze(
+            _cluster_config(1e6, cluster_slos))
+        assert "SC006" in report.rules_fired()

@@ -1,0 +1,68 @@
+"""CLI tests for ``repro cluster``: JSON output and the exit-2 gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+BASE = ["cluster", "--models", "squeezenet_mini", "--requests", "60",
+        "--workload", "poisson", "--rate", "500", "--seed", "3",
+        "--jobs", "1"]
+
+
+class TestClusterCLI:
+    def test_json_run_is_deterministic(self, capsys):
+        assert main(BASE + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(BASE + ["--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        payload = json.loads(first)
+        assert payload["num_offered"] == 60
+        assert payload["num_completed"] + payload["num_shed"] \
+            + payload["num_unserved"] == 60
+        assert payload["placement"]["squeezenet_mini"]
+        assert payload["config"]["router"] == "round-robin"
+        assert set(payload["per_pool"]) == {"flagship", "midrange"}
+
+    def test_text_run_mentions_pools(self, capsys):
+        assert main(BASE) == 0
+        out = capsys.readouterr().out
+        assert "cluster summary" in out
+        assert "placement:" in out
+
+    def test_compare_runs_every_router(self, capsys):
+        assert main(BASE + ["--compare", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["routers"]) == {"round-robin", "p2c",
+                                           "least-latency"}
+
+    def test_infeasible_placement_exits_2_before_simulation(
+            self, capsys):
+        code = main(["cluster", "--models", "vgg16", "--max-batch",
+                     "64", "--requests", "5", "--jobs", "1"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "SC007" in out
+
+    def test_infeasible_json_reports_diagnostics(self, capsys):
+        code = main(["cluster", "--models", "vgg16", "--max-batch",
+                     "64", "--requests", "5", "--jobs", "1",
+                     "--json"])
+        out = capsys.readouterr().out
+        assert code == 2
+        payload = json.loads(out)
+        rules = {d["rule"] for d in payload["schedulability"]}
+        assert "SC007" in rules
+
+    def test_unschedulable_rate_exits_2_without_force(self, capsys):
+        overload = ["cluster", "--models", "squeezenet_mini",
+                    "--requests", "20", "--workload", "poisson",
+                    "--rate", "1e9", "--jobs", "1"]
+        assert main(overload) == 2
+        capsys.readouterr()
+        # --force overrides the gate and actually simulates.
+        assert main(overload + ["--force", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_offered"] == 20

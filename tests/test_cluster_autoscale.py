@@ -1,0 +1,190 @@
+"""Tests for the burst detector, autoscaler, and pool scaling."""
+
+import pytest
+
+from repro.cluster import (Autoscaler, AutoscalerConfig, BurstDetector,
+                           Pool, PoolSpec)
+from repro.serve import Request
+
+
+def make_pool(max_replicas=3, min_replicas=1, queue_cap=32):
+    return Pool(PoolSpec(name="p", soc="exynos7420",
+                         max_replicas=max_replicas,
+                         min_replicas=min_replicas,
+                         queue_cap_per_replica=queue_cap))
+
+
+def request(request_id=0, arrival_s=0.0, slo_s=1.0, priority=0):
+    return Request(request_id=request_id, model="squeezenet_mini",
+                   arrival_s=arrival_s, slo_s=slo_s, priority=priority)
+
+
+class TestBurstDetector:
+    def test_steady_stream_never_trips(self):
+        detector = BurstDetector()
+        for i in range(200):
+            detector.observe(i * 0.01)  # constant 100 rps
+        assert not detector.bursting(2.0, burst_factor=2.0)
+
+    def test_young_stream_is_not_a_burst(self):
+        """The slow baseline starts empty; without age correction the
+        first seconds of *any* stream would read as a burst."""
+        detector = BurstDetector(fast_tau_s=0.5, slow_tau_s=10.0,
+                                 min_arrivals=20)
+        for i in range(1, 201):
+            detector.observe(i * 0.01)  # 2 s of a 10 s baseline
+        fast, slow = detector.rates(2.0)
+        assert fast == pytest.approx(slow, rel=0.05)
+        assert not detector.bursting(2.0, burst_factor=2.0)
+
+    def test_rate_spike_trips(self):
+        detector = BurstDetector(fast_tau_s=0.05, slow_tau_s=2.0)
+        now = 0.0
+        for _ in range(100):       # baseline at 50 rps
+            now += 0.02
+            detector.observe(now)
+        assert not detector.bursting(now, burst_factor=2.0)
+        for _ in range(100):       # burst at 1000 rps
+            now += 0.001
+            detector.observe(now)
+        assert detector.bursting(now, burst_factor=2.0)
+
+    def test_min_arrivals_gate(self):
+        detector = BurstDetector(min_arrivals=20)
+        for i in range(10):
+            detector.observe(i * 0.001)
+        # Even a hot stream stays quiet until the baseline has mass.
+        assert not detector.bursting(0.01, burst_factor=1.1)
+
+    def test_tau_ordering_validated(self):
+        with pytest.raises(ValueError, match="fast_tau_s"):
+            BurstDetector(fast_tau_s=5.0, slow_tau_s=1.0)
+
+
+class TestPoolScaling:
+    def test_scale_up_applies_cold_start(self):
+        pool = make_pool()
+        assert pool.active == 1
+        pool.scale_up(1.0, cold_start_s=0.5)
+        assert pool.active == 2
+        fresh = pool.fleet.devices[-1]
+        assert all(free >= 1.5 for free in fresh.free_s.values())
+
+    def test_ceiling_and_floor_enforced(self):
+        pool = make_pool(max_replicas=2)
+        pool.scale_up(0.0, cold_start_s=0.0)
+        with pytest.raises(RuntimeError, match="ceiling"):
+            pool.scale_up(0.0, cold_start_s=0.0)
+        pool.scale_down(1.0)
+        with pytest.raises(RuntimeError, match="floor"):
+            pool.scale_down(1.0)
+
+    def test_replica_seconds_integrate_scaling(self):
+        pool = make_pool()
+        pool.scale_up(2.0, cold_start_s=0.0)   # 1 replica for 2 s
+        pool.note_time(5.0)                    # 2 replicas for 3 s
+        assert pool.replica_seconds == pytest.approx(2.0 + 6.0)
+
+
+class TestQueueCapEviction:
+    def test_overflow_rejects_equal_priority_arrival(self):
+        pool = make_pool(max_replicas=1, queue_cap=2)
+        assert pool.enqueue(request(0)) is None
+        assert pool.enqueue(request(1)) is None
+        late = request(2, arrival_s=1.0)
+        assert pool.enqueue(late) is late
+
+    def test_urgent_arrival_evicts_best_effort(self):
+        pool = make_pool(max_replicas=1, queue_cap=2)
+        pool.enqueue(request(0, priority=0))
+        background = request(1, priority=2)
+        pool.enqueue(background)
+        premium = request(2, arrival_s=1.0, priority=0)
+        assert pool.enqueue(premium) is background
+        assert premium in pool.pending
+
+
+class TestAutoscaler:
+    def test_off_mode_never_scales(self):
+        scaler = Autoscaler(AutoscalerConfig(mode="off"))
+        pool = make_pool()
+        for i in range(200):
+            pool.pending.append(request(i))
+        assert scaler.evaluate(pool, 10.0) is None
+        assert scaler.events == []
+        pool.pending.clear()
+
+    def test_reactive_high_watermark_scales_up(self):
+        scaler = Autoscaler(AutoscalerConfig(
+            mode="reactive", high_watermark=4.0, cooldown_s=0.0))
+        pool = make_pool()
+        for i in range(5):
+            pool.pending.append(request(i))
+        event = scaler.evaluate(pool, 1.0)
+        assert event is not None
+        assert (event.direction, event.reason) == ("up",
+                                                   "high-watermark")
+        assert pool.active == 2
+        pool.pending.clear()
+
+    def test_reactive_low_watermark_scales_down(self):
+        scaler = Autoscaler(AutoscalerConfig(
+            mode="reactive", low_watermark=1.0, cooldown_s=0.0))
+        pool = make_pool()
+        pool.scale_up(0.0, cold_start_s=0.0)
+        pool.last_scale_s = float("-inf")
+        event = scaler.evaluate(pool, 1.0)
+        assert event is not None
+        assert (event.direction, event.reason) == ("down",
+                                                   "low-watermark")
+        assert pool.active == 1
+
+    def test_cooldown_suppresses_back_to_back_decisions(self):
+        scaler = Autoscaler(AutoscalerConfig(
+            mode="reactive", high_watermark=1.0, low_watermark=0.0,
+            cooldown_s=10.0))
+        pool = make_pool()
+        for i in range(100):
+            pool.pending.append(request(i))
+        assert scaler.evaluate(pool, 0.0) is not None
+        assert scaler.evaluate(pool, 5.0) is None      # inside window
+        assert scaler.evaluate(pool, 10.0) is not None  # past it
+        pool.pending.clear()
+
+    def test_predictive_scales_ahead_of_queue(self):
+        scaler = Autoscaler(AutoscalerConfig(
+            mode="predictive", cooldown_s=0.0, burst_factor=2.0,
+            fast_tau_s=0.05, slow_tau_s=2.0))
+        pool = make_pool()
+        now = 0.0
+        for _ in range(100):      # calm baseline
+            now += 0.02
+            scaler.observe_arrival(pool, now)
+        for _ in range(100):      # flash crowd begins
+            now += 0.001
+            scaler.observe_arrival(pool, now)
+        # The queue is still empty -- only the arrival stream knows.
+        assert pool.queue_depth() == 0
+        event = scaler.evaluate(pool, now)
+        assert event is not None
+        assert event.reason == "burst-detected"
+
+    def test_predictive_never_scales_down_during_burst(self):
+        scaler = Autoscaler(AutoscalerConfig(
+            mode="predictive", cooldown_s=0.0, low_watermark=1.0,
+            fast_tau_s=0.05, slow_tau_s=2.0))
+        pool = make_pool()
+        pool.scale_up(0.0, cold_start_s=0.0)
+        pool.scale_up(0.0, cold_start_s=0.0)
+        pool.last_scale_s = float("-inf")
+        now = 0.0
+        for _ in range(100):
+            now += 0.02
+            scaler.observe_arrival(pool, now)
+        for _ in range(100):
+            now += 0.001
+            scaler.observe_arrival(pool, now)
+        event = scaler.evaluate(pool, now)
+        # Bursting at the ceiling: neither up (full) nor down (burst).
+        assert pool.spec.max_replicas == pool.active
+        assert event is None or event.direction == "up"

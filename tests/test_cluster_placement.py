@@ -1,0 +1,108 @@
+"""Tests for cluster replica placement and warm-plan migration."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (ClusterConfig, PlacementError,
+                           PlacementOptimizer, Pool, PoolSpec)
+from repro.runtime.plan_cache import PlanCache
+
+
+def build_pools(specs):
+    cache = PlanCache()
+    return [Pool(spec, plan_cache=cache) for spec in specs]
+
+
+def config_for(specs, models, **kwargs):
+    return ClusterConfig(pools=tuple(specs), models=tuple(models),
+                         slos={model: 1.0 for model in models},
+                         rate_rps=100.0, **kwargs)
+
+
+SPECS = (PoolSpec(name="a", soc="exynos7420", max_replicas=2),
+         PoolSpec(name="b", soc="exynos7880", max_replicas=2))
+
+
+class TestResolve:
+    def test_feasible_model_spreads_over_all_pools(self):
+        pools = build_pools(SPECS)
+        config = config_for(SPECS, ["squeezenet_mini"])
+        placement = PlacementOptimizer(pools, config).resolve()
+        assert placement == {"squeezenet_mini": ("a", "b")}
+
+    def test_hosts_ranked_by_predicted_service(self):
+        pools = build_pools(SPECS)
+        config = config_for(SPECS, ["squeezenet_mini"])
+        hosts = PlacementOptimizer(pools, config).ranked_hosts(
+            "squeezenet_mini")
+        estimates = [p.service_estimate_s("squeezenet_mini")
+                     for p in hosts]
+        assert estimates == sorted(estimates)
+
+    def test_replicas_per_model_limits_spread(self):
+        pools = build_pools(SPECS)
+        config = config_for(SPECS, ["squeezenet_mini"],
+                            replicas_per_model=1)
+        placement = PlacementOptimizer(pools, config).resolve()
+        (hosts,) = placement.values()
+        assert len(hosts) == 1
+
+    def test_pinned_placement_respected(self):
+        pools = build_pools(SPECS)
+        config = config_for(SPECS, ["squeezenet_mini"],
+                            placement={"squeezenet_mini": ("b",)})
+        placement = PlacementOptimizer(pools, config).resolve()
+        assert placement == {"squeezenet_mini": ("b",)}
+
+
+class TestInfeasible:
+    """vgg16 at batch 64 peaks at ~4.5 GB activations+weights --
+    statically over both simulated SoCs' DRAM."""
+
+    BIG = tuple(dataclasses.replace(spec, max_batch=64)
+                for spec in SPECS)
+
+    def test_no_feasible_host_raises(self):
+        pools = build_pools(self.BIG)
+        config = config_for(self.BIG, ["vgg16"])
+        with pytest.raises(PlacementError,
+                           match="no pool can host 'vgg16'"):
+            PlacementOptimizer(pools, config).resolve()
+
+    def test_pinned_overflowing_host_raises(self):
+        pools = build_pools(self.BIG)
+        config = config_for(self.BIG, ["vgg16"],
+                            placement={"vgg16": ("a",)})
+        with pytest.raises(PlacementError, match="pins 'vgg16'"):
+            PlacementOptimizer(pools, config).resolve()
+
+    def test_fits_at_unit_batch(self):
+        # The same model places fine when pools serve batch 1.
+        pools = build_pools(SPECS)
+        config = config_for(SPECS, ["vgg16"])
+        placement = PlacementOptimizer(pools, config).resolve()
+        assert placement["vgg16"]
+
+
+class TestWarmMigration:
+    # EDF pools dispatch any mechanism, so warming builds plans past
+    # the single μLayer one the feasibility probe already cached.
+    EDF = tuple(dataclasses.replace(spec, scheduler="edf")
+                for spec in SPECS)
+
+    def test_apply_prewarms_every_host_pool(self):
+        pools = build_pools(self.EDF)
+        config = config_for(self.EDF, ["squeezenet_mini"])
+        optimizer = PlacementOptimizer(pools, config)
+        placement = optimizer.resolve()
+        built = optimizer.apply(placement, jobs=None)
+        assert built > 0
+        for pool in pools:
+            assert pool.models == ("squeezenet_mini",)
+            # A warm pool plans without a single cache miss.
+            cache = pool.fleet.plan_cache
+            misses = cache.misses
+            pool.fleet.plan_for("squeezenet_mini",
+                                pool.fleet.devices[0], "mulayer")
+            assert cache.misses == misses

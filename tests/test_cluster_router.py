@@ -1,0 +1,102 @@
+"""Tests for the cluster routing policies."""
+
+import pytest
+
+from repro.cluster import (LeastExpectedLatencyRouter, Pool,
+                           PoolSpec, PowerOfTwoRouter,
+                           RoundRobinRouter, ROUTER_NAMES, make_router)
+from repro.runtime.plan_cache import PlanCache
+from repro.serve import Request
+
+
+def make_pools(*specs):
+    cache = PlanCache()
+    return [Pool(spec, plan_cache=cache) for spec in specs]
+
+
+def request(request_id=0, model="squeezenet_mini", arrival_s=0.0,
+            slo_s=1.0, priority=0):
+    return Request(request_id=request_id, model=model,
+                   arrival_s=arrival_s, slo_s=slo_s, priority=priority)
+
+
+@pytest.fixture(scope="module")
+def two_pools():
+    return make_pools(
+        PoolSpec(name="a", soc="exynos7420", max_replicas=2),
+        PoolSpec(name="b", soc="exynos7880", max_replicas=2))
+
+
+class TestMakeRouter:
+    def test_every_name_constructs(self):
+        kinds = {type(make_router(name)) for name in ROUTER_NAMES}
+        assert kinds == {RoundRobinRouter, PowerOfTwoRouter,
+                         LeastExpectedLatencyRouter}
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="router"):
+            make_router("random")
+
+
+class TestRoundRobin:
+    def test_rotates_over_pools(self, two_pools):
+        router = RoundRobinRouter()
+        picks = [router.route(request(i), two_pools, 0.0).name
+                 for i in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_rotation_is_per_model(self, two_pools):
+        router = RoundRobinRouter()
+        assert router.route(request(0, "vgg_mini"),
+                            two_pools, 0.0).name == "a"
+        # A different model starts its own rotation from the front.
+        assert router.route(request(1, "squeezenet_mini"),
+                            two_pools, 0.0).name == "a"
+
+
+class TestPowerOfTwo:
+    def test_deterministic_under_seed(self, two_pools):
+        picks = lambda: [  # noqa: E731
+            PowerOfTwoRouter(seed=7).route(request(i), two_pools, 0.0)
+            .name for i in range(20)]
+        assert picks() == picks()
+
+    def test_single_pool_short_circuit(self):
+        (only,) = make_pools(
+            PoolSpec(name="solo", soc="exynos7420", max_replicas=1))
+        router = PowerOfTwoRouter(seed=0)
+        assert router.route(request(), [only], 0.0) is only
+
+    def test_prefers_shallower_queue(self, two_pools):
+        deep, shallow = two_pools
+        for i in range(10):
+            deep.pending.append(request(100 + i))
+        router = PowerOfTwoRouter(seed=0)
+        picks = [router.route(request(i), two_pools, 0.0).name
+                 for i in range(30)]
+        # Both candidates are always {a, b}; the shallow pool wins
+        # every toss while its queue stays empty.
+        assert set(picks) == {"b"}
+        deep.pending.clear()
+
+
+class TestLeastExpectedLatency:
+    def test_prefers_faster_idle_pool(self, two_pools):
+        fast, slow = two_pools
+        assert (fast.service_estimate_s("squeezenet_mini")
+                < slow.service_estimate_s("squeezenet_mini"))
+        router = LeastExpectedLatencyRouter()
+        assert router.route(request(), two_pools, 0.0) is fast
+
+    def test_queue_pressure_diverts(self, two_pools):
+        fast, slow = two_pools
+        service = fast.service_estimate_s("squeezenet_mini")
+        # Pile enough queued work on the fast pool that its expected
+        # latency exceeds the slow pool's idle service time.
+        backlog = int(slow.service_estimate_s("squeezenet_mini")
+                      / service * fast.active) + 2
+        for i in range(backlog):
+            fast.pending.append(request(200 + i))
+        router = LeastExpectedLatencyRouter()
+        assert router.route(request(), two_pools, 0.0) is slow
+        fast.pending.clear()

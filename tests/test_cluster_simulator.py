@@ -1,0 +1,149 @@
+"""End-to-end tests of the cluster simulator and its metrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import (AutoscalerConfig, ClusterConfig,
+                           ClusterMetrics, ClusterSimulator, PoolSpec)
+from repro.serve import (Fleet, TenantClass, default_slos,
+                         diurnal_trace, flash_crowd_trace)
+
+MODELS = ("mobilenet_mini", "squeezenet_mini")
+SPECS = (PoolSpec(name="flagship", soc="exynos7420", max_replicas=2),
+         PoolSpec(name="midrange", soc="exynos7880", max_replicas=2))
+
+
+@pytest.fixture(scope="module")
+def slos():
+    probe = Fleet.build([spec.soc for spec in SPECS], len(SPECS))
+    return dict(default_slos(probe, list(MODELS), slo_factor=8.0))
+
+
+def cluster_config(slos, **kwargs):
+    defaults = dict(pools=SPECS, models=MODELS, slos=slos,
+                    rate_rps=4000.0, router="round-robin", seed=11)
+    defaults.update(kwargs)
+    return ClusterConfig(**defaults)
+
+
+def diurnal_requests(slos, num=400, rate=4000.0, seed=11):
+    tenants = (TenantClass("premium", 1.0, 0),
+               TenantClass("standard", 2.0, 1))
+    return diurnal_trace(rate, list(MODELS), slo_s=slos, seed=seed,
+                         period_s=num / rate / 2.0,
+                         tenants=tenants).generate(num)
+
+
+class TestDeterminism:
+    def test_identical_metrics_across_fresh_simulators(self, slos):
+        config = cluster_config(slos)
+        requests = diurnal_requests(slos)
+        first = ClusterMetrics.from_result(
+            ClusterSimulator(config).run(requests))
+        second = ClusterMetrics.from_result(
+            ClusterSimulator(config).run(requests))
+        assert first.to_dict() == second.to_dict()
+
+    def test_seed_changes_history(self, slos):
+        config = cluster_config(slos, router="p2c")
+        a = ClusterMetrics.from_result(ClusterSimulator(config).run(
+            diurnal_requests(slos, seed=1)))
+        b = ClusterMetrics.from_result(ClusterSimulator(config).run(
+            diurnal_requests(slos, seed=2)))
+        assert a.to_dict() != b.to_dict()
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("router",
+                             ["round-robin", "p2c", "least-latency"])
+    def test_every_request_accounted(self, slos, router):
+        config = cluster_config(slos, router=router)
+        requests = diurnal_requests(slos)
+        result = ClusterSimulator(config).run(requests)
+        assert result.num_offered == len(requests)
+        assert (len(result.completions) + len(result.sheds)
+                + len(result.unserved)) == len(requests)
+
+    def test_completions_ran_in_host_pools(self, slos):
+        config = cluster_config(slos)
+        result = ClusterSimulator(config).run(diurnal_requests(slos))
+        hosts = {model: set(pools)
+                 for model, pools in result.placement.items()}
+        for completion in result.completions:
+            pool = result.pool_of_completion(completion)
+            assert pool in hosts[completion.request.model]
+
+    def test_metrics_render_smoke(self, slos):
+        config = cluster_config(slos)
+        metrics = ClusterMetrics.from_result(
+            ClusterSimulator(config).run(diurnal_requests(slos)))
+        text = metrics.render()
+        assert "cluster summary" in text
+        assert "flagship" in text and "midrange" in text
+
+
+class TestOverloadBehaviour:
+    def test_queue_caps_shed_under_flood(self, slos):
+        tight = tuple(dataclasses.replace(spec,
+                                          queue_cap_per_replica=4)
+                      for spec in SPECS)
+        config = cluster_config(slos, pools=tight, rate_rps=60000.0)
+        requests = flash_crowd_trace(
+            60000.0, list(MODELS), slo_s=slos, seed=3, period_s=0.02,
+            spike_start_s=0.005,
+            spike_duration_s=0.01).generate(600)
+        result = ClusterSimulator(config).run(requests)
+        reasons = {shed.reason for shed in result.sheds}
+        assert "queue-overflow" in reasons
+
+    def test_priority_class_protected_under_pressure(self, slos):
+        tight = tuple(dataclasses.replace(spec,
+                                          queue_cap_per_replica=4)
+                      for spec in SPECS)
+        config = cluster_config(slos, pools=tight, rate_rps=60000.0)
+        tenants = (TenantClass("premium", 1.0, 0),
+                   TenantClass("background", 3.0, 2))
+        requests = flash_crowd_trace(
+            60000.0, list(MODELS), slo_s=slos, seed=3, period_s=0.02,
+            spike_start_s=0.005, spike_duration_s=0.01,
+            tenants=tenants).generate(600)
+        metrics = ClusterMetrics.from_result(
+            ClusterSimulator(config).run(requests))
+        premium = metrics.per_priority["0"]
+        background = metrics.per_priority["2"]
+        assert metrics.num_shed > 0
+        # Queue eviction and the schedulers both order by class, so
+        # the premium class never does worse than best-effort.
+        assert (premium["slo_attainment"]
+                >= background["slo_attainment"])
+
+
+class TestAutoscaling:
+    def test_reactive_scaling_fires_and_is_recorded(self, slos):
+        config = cluster_config(
+            slos, rate_rps=20000.0,
+            autoscaler=AutoscalerConfig(mode="reactive",
+                                        cooldown_s=0.001,
+                                        cold_start_s=0.002))
+        requests = diurnal_requests(slos, num=800, rate=20000.0)
+        result = ClusterSimulator(config).run(requests)
+        ups = [e for e in result.scale_events if e.direction == "up"]
+        assert ups, "overload should trigger at least one scale-up"
+        for event in result.scale_events:
+            assert event.reason in ("high-watermark", "low-watermark",
+                                    "burst-detected")
+
+    def test_scaling_improves_attainment_under_overload(self, slos):
+        requests = diurnal_requests(slos, num=800, rate=20000.0)
+        off = cluster_config(slos, rate_rps=20000.0)
+        on = cluster_config(
+            slos, rate_rps=20000.0,
+            autoscaler=AutoscalerConfig(mode="reactive",
+                                        cooldown_s=0.001,
+                                        cold_start_s=0.002))
+        fixed = ClusterMetrics.from_result(
+            ClusterSimulator(off).run(requests))
+        scaled = ClusterMetrics.from_result(
+            ClusterSimulator(on).run(requests))
+        assert scaled.slo_attainment >= fixed.slo_attainment

@@ -1,0 +1,78 @@
+"""Scheduler x workload matrix: every combination runs
+deterministically and accounts for every request.
+
+A smoke matrix rather than a behavioural suite: the per-policy
+behaviours live in ``test_serve_scheduler.py`` and the per-generator
+statistics in ``test_serve_workload.py``; this file pins the
+*combinations* -- any scheduler must accept any generator's trace, and
+two simulations of the same (scheduler, workload, seed) cell must agree
+exactly, which is what makes ``repro serve --json`` reproducible no
+matter which flags are combined.
+"""
+
+import pytest
+
+from repro.serve import (Fleet, PoissonWorkload, ServingMetrics,
+                         ServingSimulator, bursty_for_rate,
+                         default_slos, diurnal_trace,
+                         flash_crowd_trace, make_scheduler)
+
+MODELS = ["vgg_mini", "squeezenet_mini"]
+SCHEDULERS = ("fifo", "least-loaded", "edf", "batch")
+WORKLOADS = ("poisson", "bursty", "diurnal", "flash-crowd")
+
+
+def make_workload(kind, rate, slos, seed=5):
+    if kind == "poisson":
+        return PoissonWorkload(rate, MODELS, slos, seed=seed)
+    if kind == "bursty":
+        return bursty_for_rate(rate, MODELS, slos, seed=seed)
+    if kind == "diurnal":
+        return diurnal_trace(rate, MODELS, slos, seed=seed,
+                             period_s=0.2)
+    return flash_crowd_trace(rate, MODELS, slos, seed=seed,
+                             period_s=0.2, spike_start_s=0.1,
+                             spike_duration_s=0.05)
+
+
+@pytest.fixture(scope="module")
+def shared_cache():
+    """One plan cache across all cells: device clocks must be fresh
+    per run (no reset exists), but plans are immutable and warm."""
+    from repro.runtime.plan_cache import PlanCache
+    return PlanCache()
+
+
+@pytest.fixture(scope="module")
+def slos(shared_cache):
+    probe = Fleet.build(("exynos7420", "exynos7880"), 2,
+                        plan_cache=shared_cache)
+    return default_slos(probe, MODELS, slo_factor=6.0)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_cell_is_deterministic_and_accounts(shared_cache, slos,
+                                            scheduler, workload):
+    requests = make_workload(workload, 800.0, slos).generate(80)
+
+    def run():
+        fleet = Fleet.build(("exynos7420", "exynos7880"), 2,
+                            plan_cache=shared_cache)
+        sim = ServingSimulator(
+            fleet, make_scheduler(
+                scheduler,
+                max_batch=4 if scheduler == "batch" else None,
+                batch_timeout_s=(0.002 if scheduler == "batch"
+                                 else None)))
+        return ServingMetrics.from_result(sim.run(requests))
+
+    first, second = run(), run()
+    a, b = first.to_dict(), second.to_dict()
+    # The module-shared plan cache's counters accumulate across runs;
+    # everything the simulation itself produced must agree exactly.
+    a.pop("plan_cache"), b.pop("plan_cache")
+    assert a == b
+    assert first.num_offered == len(requests)
+    assert (first.num_completed + first.num_shed
+            + first.num_unserved) == len(requests)

@@ -77,6 +77,19 @@ class TestMetrics:
         with pytest.raises(ValueError, match="outside"):
             percentile([1.0], 101.0)
 
+    def test_tail_percentile_of_small_sample_is_the_max(self):
+        """Regression: a p99 over fewer than 100 samples must report
+        the worst observation, not interpolate below it -- with 10
+        values, the 99th percentile *is* the maximum."""
+        values = [float(v) for v in range(1, 11)]  # 1..10
+        assert percentile(values, 99.0) == 10.0
+        assert percentile(values, 95.0) == 10.0
+        # With enough samples, interpolation resumes.
+        many = [float(v) for v in range(1, 101)]  # 1..100
+        assert percentile(many, 99.0) == pytest.approx(99.01)
+        # p50 has granularity 2: any two-value sample interpolates.
+        assert percentile([1.0, 3.0], 50.0) == 2.0
+
     def test_summary_is_consistent_and_serializable(self):
         metrics = ServingMetrics.from_result(simulate("edf"))
         assert metrics.num_offered == (metrics.num_completed

@@ -1,10 +1,15 @@
 """Tests for the serving workload generators."""
 
+import json
+import math
+
 import numpy as np
 import pytest
 
 from repro.serve import (BurstyWorkload, PoissonWorkload, Request,
-                         bursty_for_rate)
+                         TenantClass, TraceSegment, TraceWorkload,
+                         bursty_for_rate, diurnal_trace,
+                         flash_crowd_trace, load_trace)
 
 
 def gaps(requests):
@@ -122,3 +127,123 @@ class TestBursty:
             BurstyWorkload(1.0, 0.0, 1.0, 1.0, ["a"], 0.1)
         with pytest.raises(ValueError, match="burstiness"):
             bursty_for_rate(10.0, ["a"], 0.1, burstiness=1.0)
+
+    def test_nan_rate_rejected(self):
+        with pytest.raises(ValueError, match="rate_rps"):
+            PoissonWorkload(float("nan"), ["a"], 0.1)
+        with pytest.raises(ValueError, match="base_rate_rps"):
+            BurstyWorkload(float("inf"), 2.0, 1.0, 1.0, ["a"], 0.1)
+
+
+class TestTraceWorkload:
+    def segments(self):
+        return [TraceSegment(start_s=0.0, rate_rps=100.0),
+                TraceSegment(start_s=1.0, rate_rps=400.0)]
+
+    def trace(self, **kwargs):
+        defaults = dict(segments=self.segments(), period_s=2.0,
+                        models=["vgg_mini"], slo_s=0.1, seed=4)
+        defaults.update(kwargs)
+        return TraceWorkload(**defaults)
+
+    def test_mean_and_peak_rates(self):
+        trace = self.trace()
+        assert trace.mean_rate_rps == pytest.approx(250.0)
+        assert trace.peak_rate_rps == 400.0
+
+    def test_rate_curve_repeats_with_period(self):
+        trace = self.trace()
+        assert trace.rate_at(0.5) == 100.0
+        assert trace.rate_at(1.5) == 400.0
+        assert trace.rate_at(2.5) == 100.0  # next period
+
+    def test_deterministic(self):
+        assert self.trace().generate(200) == self.trace().generate(200)
+
+    def test_empirical_rate_tracks_segments(self):
+        requests = self.trace().generate(4000)
+        in_slow = sum(1 for r in requests
+                      if (r.arrival_s % 2.0) < 1.0)
+        share = in_slow / len(requests)
+        # 100 of every 500 arrivals per period land in the slow half.
+        assert share == pytest.approx(0.2, abs=0.04)
+
+    def test_tenants_stamp_priority(self):
+        trace = self.trace(tenants=[TenantClass("gold", 1.0, 0),
+                                    TenantClass("free", 3.0, 2)])
+        requests = trace.generate(1000)
+        by_tenant = {r.tenant for r in requests}
+        assert by_tenant == {"gold", "free"}
+        for r in requests:
+            assert r.priority == (0 if r.tenant == "gold" else 2)
+        free_share = sum(r.tenant == "free"
+                         for r in requests) / len(requests)
+        assert free_share == pytest.approx(0.75, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="segment"):
+            TraceWorkload(segments=[], period_s=1.0,
+                          models=["a"], slo_s=0.1)
+        with pytest.raises(ValueError, match="rate_rps"):
+            TraceSegment(start_s=0.0, rate_rps=float("nan"))
+        with pytest.raises(ValueError, match="positive rate"):
+            TraceWorkload(
+                segments=[TraceSegment(start_s=0.0, rate_rps=0.0)],
+                period_s=1.0, models=["a"], slo_s=0.1)
+        with pytest.raises(ValueError, match="strictly"):
+            TraceWorkload(
+                segments=[TraceSegment(start_s=0.0, rate_rps=1.0),
+                          TraceSegment(start_s=0.0, rate_rps=2.0)],
+                period_s=1.0, models=["a"], slo_s=0.1)
+
+    def test_json_round_trip(self, tmp_path):
+        original = self.trace(tenants=[TenantClass("gold", 1.0, 0),
+                                       TenantClass("free", 3.0, 2)])
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(original.to_json()))
+        loaded = load_trace(str(path), 0.1, seed=4)
+        assert loaded.generate(300) == original.generate(300)
+
+    def test_unknown_schema_rejected(self):
+        spec = self.trace().to_json()
+        spec["schema"] = 999
+        with pytest.raises(ValueError, match="schema"):
+            TraceWorkload.from_json(spec, 0.1)
+
+
+class TestCanonicalTraces:
+    def test_diurnal_mean_rate_honored(self):
+        trace = diurnal_trace(200.0, ["vgg_mini"], 0.1, seed=0,
+                              period_s=4.0)
+        assert trace.mean_rate_rps == pytest.approx(200.0)
+        requests = trace.generate(4000)
+        # Averaged over full periods the empirical rate matches.
+        whole = int(requests[-1].arrival_s / 4.0) * 4.0
+        count = sum(1 for r in requests if r.arrival_s < whole)
+        assert count / whole == pytest.approx(200.0, rel=0.1)
+
+    def test_diurnal_peak_to_trough(self):
+        trace = diurnal_trace(100.0, ["vgg_mini"], 0.1,
+                              peak_to_trough=4.0)
+        rates = [segment.rate_rps for segment in trace.segments]
+        # Midpoint sampling of the sinusoid undershoots the exact
+        # extremes slightly; the ratio lands just under the target.
+        assert max(rates) / min(rates) == pytest.approx(4.0, rel=0.1)
+        assert sum(rates) / len(rates) == pytest.approx(100.0)
+
+    def test_flash_crowd_spike_window(self):
+        trace = flash_crowd_trace(50.0, ["vgg_mini"], 0.1,
+                                  spike_factor=8.0, period_s=10.0,
+                                  spike_start_s=5.0,
+                                  spike_duration_s=2.0)
+        assert trace.rate_at(1.0) == pytest.approx(50.0)
+        assert trace.rate_at(6.0) == pytest.approx(400.0)
+        assert trace.rate_at(8.0) == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="peak_to_trough"):
+            diurnal_trace(10.0, ["a"], 0.1, peak_to_trough=0.5)
+        with pytest.raises(ValueError, match="spike_factor"):
+            flash_crowd_trace(10.0, ["a"], 0.1, spike_factor=1.0)
+        with pytest.raises(ValueError, match="mean_rate_rps"):
+            diurnal_trace(math.nan, ["a"], 0.1)
