@@ -14,7 +14,12 @@ against a freshly generated run and exits non-zero when:
 * the cold/warm speedup (``summary.speedup``) shrank by more than the
   threshold factor -- ditto, from the other side;
 * the serial sweep time (``sweep.serial_s``) grew by more than the
-  threshold factor.
+  threshold factor;
+* when both runs carry a ``compiled`` block: compiled total time
+  (``compiled.summary.compiled_total_ms``) grew, or the compiled-over-
+  warm speedup (``compiled.summary.speedup``) shrank, by more than the
+  threshold factor.  Runs without the block (``--no-compiled``) skip
+  these gates with a notice.
 
 Cold absolute time is reported but not gated: it measures the uncached
 reference path, whose wall clock mostly tracks runner speed, and the
@@ -97,6 +102,21 @@ def _check_e2e(baseline: dict, fresh: dict, threshold: float) -> bool:
                         baseline["sweep"]["serial_s"],
                         fresh["sweep"]["serial_s"],
                         threshold, lower_is_better=True)
+    baseline_compiled = baseline.get("compiled")
+    fresh_compiled = fresh.get("compiled")
+    if baseline_compiled is None or fresh_compiled is None:
+        missing = ("baseline" if baseline_compiled is None else "fresh")
+        print(f"  compiled gates skipped: {missing} run has no "
+              "compiled block")
+        return regressed
+    regressed |= _check("compiled.compiled_total_ms",
+                        baseline_compiled["summary"]["compiled_total_ms"],
+                        fresh_compiled["summary"]["compiled_total_ms"],
+                        threshold, lower_is_better=True)
+    regressed |= _check("compiled.speedup",
+                        baseline_compiled["summary"]["speedup"],
+                        fresh_compiled["summary"]["speedup"],
+                        threshold, lower_is_better=False)
     return regressed
 
 

@@ -4,7 +4,10 @@ Six analyzers, one diagnostic vocabulary:
 
 * :class:`PlanVerifier` -- proves an
   :class:`~repro.runtime.plan.ExecutionPlan`'s invariants against its
-  graph and SoC before anything runs (rules ``PV001``-``PV011``);
+  graph and SoC before anything runs (rules ``PV001``-``PV011``),
+  and -- via :func:`verify_program` -- proves a lowered
+  :class:`~repro.compile.program.CompiledProgram` consistent with the
+  plan it claims to implement (rule ``PV012``);
 * :class:`TimelineRaceDetector` -- checks a post-run
   :class:`~repro.soc.Timeline` against the graph's happens-before
   relation and the CPU-accelerator handoff protocol
@@ -38,7 +41,7 @@ from .dtypeflow import DtypeFact, DtypeFlowLinter
 from .memory import (ArenaLayout, ArenaSlot, BufferInterval,
                      FootprintSummary, MemoryFootprintAnalyzer,
                      build_arena)
-from .plan_verifier import PlanVerifier
+from .plan_verifier import PlanVerifier, verify_program
 from .races import TimelineRaceDetector
 from .sarif import (apply_baseline, baseline_document, fingerprint,
                     load_baseline, report_to_sarif, split_locus)
@@ -64,6 +67,7 @@ __all__ = [
     "MECHANISMS",
     "MemoryFootprintAnalyzer",
     "PlanVerifier",
+    "verify_program",
     "Report",
     "RULES",
     "SchedulabilityAnalyzer",

@@ -65,6 +65,9 @@ RULES: Dict[str, str] = {
              "(NPUs consume quantized tensors)",
     "PV011": "plan batch size is not a positive integer (batch-keyed "
              "plan-cache entries must never be mixed)",
+    "PV012": "compiled program inconsistent with its plan (step "
+             "coverage, placements, channel ranges, storage dtypes, "
+             "batch, or stale weight references)",
     # -- TimelineRaceDetector ----------------------------------------------
     "RC001": "two busy intervals overlap on one resource",
     "RC002": "compute segment starts before a producer layer's compute "

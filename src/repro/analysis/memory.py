@@ -174,6 +174,44 @@ class ArenaLayout:
                 "slots": [slot.to_dict() for slot in self.slots]}
 
 
+def activation_intervals(graph: Graph, plan: ExecutionPlan,
+                         batch: int) -> List[BufferInterval]:
+    """Liveness interval of every layer-output buffer.
+
+    Sizes use the policy's activation storage dtype and scale with the
+    batch; a buffer with no consumers (a network output) stays live
+    through the final step.  Depends only on graph, policy, and batch
+    -- no SoC -- so the compiled execution path plans its arena from
+    the same intervals the :class:`MemoryFootprintAnalyzer` proves
+    sound.
+    """
+    itemsize = plan.policy.activation_storage.itemsize
+    shapes = graph.infer_shapes()
+    order = graph.topological_order()
+    index = {name: step for step, name in enumerate(order)}
+    last = len(order) - 1
+    intervals: List[BufferInterval] = []
+    for name in order:
+        shape = shapes[name]
+        per_sample = 1
+        for dim in shape[1:] if len(shape) > 1 else shape:
+            per_sample *= int(dim)
+        nbytes = per_sample * batch * itemsize
+        consumers = graph.consumers_of(name)
+        end = (max(index[c] for c in consumers) if consumers
+               else last)
+        intervals.append(BufferInterval(
+            name=name, nbytes=nbytes, start=index[name], end=end))
+    return intervals
+
+
+def plan_arena(graph: Graph, plan: ExecutionPlan,
+               batch: int) -> ArenaLayout:
+    """The activation arena of one plan, from the static shapes."""
+    return build_arena(graph.name, batch,
+                       activation_intervals(graph, plan, batch))
+
+
 def build_arena(graph_name: str, batch: int,
                 intervals: List[BufferInterval]) -> ArenaLayout:
     """First-fit offset assignment over the buffer interval graph.
@@ -298,29 +336,11 @@ class MemoryFootprintAnalyzer:
                              ) -> List[BufferInterval]:
         """Liveness interval of every layer-output buffer.
 
-        Sizes use the policy's activation storage dtype and scale with
-        the batch; a buffer with no consumers (a network output) stays
-        live through the final step.
+        Delegates to the module-level :func:`activation_intervals`
+        after resolving the batch against the plan.
         """
-        chosen = self._batch_of(plan, batch)
-        itemsize = plan.policy.activation_storage.itemsize
-        shapes = graph.infer_shapes()
-        order = graph.topological_order()
-        index = {name: step for step, name in enumerate(order)}
-        last = len(order) - 1
-        intervals: List[BufferInterval] = []
-        for name in order:
-            shape = shapes[name]
-            per_sample = 1
-            for dim in shape[1:] if len(shape) > 1 else shape:
-                per_sample *= int(dim)
-            nbytes = per_sample * chosen * itemsize
-            consumers = graph.consumers_of(name)
-            end = (max(index[c] for c in consumers) if consumers
-                   else last)
-            intervals.append(BufferInterval(
-                name=name, nbytes=nbytes, start=index[name], end=end))
-        return intervals
+        return activation_intervals(graph, plan,
+                                    self._batch_of(plan, batch))
 
     @staticmethod
     def _shares_of(plan: ExecutionPlan, graph: Graph,
@@ -416,10 +436,7 @@ class MemoryFootprintAnalyzer:
     def arena(self, graph: Graph, plan: ExecutionPlan,
               batch: Optional[int] = None) -> ArenaLayout:
         """The activation arena pre-planned from the static shapes."""
-        chosen = self._batch_of(plan, batch)
-        return build_arena(
-            graph.name, chosen,
-            self.activation_intervals(graph, plan, batch=chosen))
+        return plan_arena(graph, plan, self._batch_of(plan, batch))
 
     def analyze(self, graph: Graph, plan: ExecutionPlan,
                 batch: Optional[int] = None) -> Report:

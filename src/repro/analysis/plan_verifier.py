@@ -1,4 +1,4 @@
-"""Static verification of execution plans (rules PV001-PV011).
+"""Static verification of execution plans (rules PV001-PV012).
 
 The partitioner validates the plans it builds, but plans also arrive
 from other sources -- hand-written baselines, future serialized plans,
@@ -23,7 +23,12 @@ reports *every* violation as a structured diagnostic:
 * batch consistency: the plan's batch size is a positive integer --
   every placement in a plan was chosen for that one batch size, and
   the executor refuses mixed-batch runs, so a malformed batch field
-  would silently corrupt batch-keyed plan-cache lookups (PV011).
+  would silently corrupt batch-keyed plan-cache lookups (PV011);
+* compiled-program consistency: :func:`verify_program` proves a
+  :class:`~repro.compile.program.CompiledProgram`'s declarative
+  metadata -- step coverage and order, per-step placements and channel
+  ranges, storage dtypes, batch, and weight freshness -- against the
+  plan it claims to lower (PV012).
 """
 
 from __future__ import annotations
@@ -301,3 +306,123 @@ class PlanVerifier:
             report.error(
                 "PV008", locus,
                 f"region is not a self-contained fork/join span: {exc}")
+
+
+# -- compiled-program consistency (PV012) -----------------------------------
+
+def _expected_parts(plan: ExecutionPlan, name: str, total: int
+                    ) -> Tuple[Tuple[str, "Tuple[int, int] | None"], ...]:
+    """The placement parts a compiled step must carry for ``name``.
+
+    Mirrors the compiler's lowering: a single-processor placement is
+    one whole-layer part, a cooperative one is the plan's channel
+    ranges over the layer's output channels, in channel order.
+    """
+    placement = plan.placement_of(name)
+    if isinstance(placement, LayerAssignment):
+        shares = placement.shares()
+    else:
+        shares = {placement: 1.0}
+    if len(shares) == 1:
+        (resource,) = shares
+        return ((resource, None),)
+    ranges = channel_ranges(total, shares)
+    return tuple((resource, (lo, hi))
+                 for resource, (lo, hi) in ranges.items())
+
+
+def verify_program(graph: Graph, plan: ExecutionPlan,
+                   program: object) -> Report:
+    """PV012: prove a compiled program consistent with its plan.
+
+    A :class:`~repro.compile.program.CompiledProgram` claims to be a
+    faithful lowering of one plan over one graph; this rule checks the
+    claim from the program's declarative metadata alone (no kernels
+    run):
+
+    * provenance -- the program names the plan's graph and policy and
+      was lowered from this exact plan object;
+    * coverage -- one step per compute layer, in the graph's
+      topological order, with the graph's producer edges, plus one
+      input spec per Input layer and the graph's output set;
+    * placements -- each step's ``(resource, channel range)`` parts
+      equal what the plan assigns (cooperative ranges re-derived from
+      the plan's shares);
+    * dtypes -- every step stores the policy's activation storage
+      type;
+    * batch -- a positive integer the plan is valid for (a batch-B
+      plan only compiles at batch B);
+    * freshness -- the weight arrays captured at compile time are
+      still the graph's (``set_weights`` makes a program stale).
+
+    Returns a report with one PV012 error per violated invariant.
+    """
+    report = Report()
+
+    def bad(locus: str, message: str) -> None:
+        report.error("PV012", locus, message)
+
+    if program.graph_name != graph.name:
+        bad("program", f"program compiled for graph "
+            f"{program.graph_name!r} checked against {graph.name!r}")
+    if program.policy_name != plan.policy.name:
+        bad("program", f"program policy {program.policy_name!r} != "
+            f"plan policy {plan.policy.name!r}")
+    if getattr(program, "plan", None) is not plan:
+        bad("program", "program was lowered from a different plan "
+            "object (plans are mutable; a program never outlives "
+            "its plan)")
+    batch = program.batch
+    if not isinstance(batch, int) or isinstance(batch, bool) or batch < 1:
+        bad("program", f"program batch must be a positive integer, "
+            f"got {batch!r}")
+    elif plan.batch not in (1, batch):
+        bad("program", f"plan partitioned for batch {plan.batch} but "
+            f"the program is specialized for batch {batch}")
+    if program.is_stale(graph):
+        bad("program", "program captured weight arrays the graph no "
+            "longer holds (set_weights since compilation); recompile")
+
+    compute = list(graph.compute_layers())
+    step_layers = [step.layer for step in program.steps]
+    if step_layers != compute:
+        bad("program", f"steps {step_layers} do not match the graph's "
+            f"compute layers in topological order ({compute})")
+    input_layers = sorted(spec.layer for spec in program.inputs)
+    if input_layers != sorted(graph.input_layers()):
+        bad("program", f"input specs {input_layers} != graph inputs "
+            f"{sorted(graph.input_layers())}")
+    if tuple(program.outputs) != tuple(graph.output_layers()):
+        bad("program", f"outputs {tuple(program.outputs)} != graph "
+            f"outputs {tuple(graph.output_layers())}")
+
+    try:
+        shapes = graph.infer_shapes()
+    except (GraphError, ShapeError) as exc:
+        bad("program", f"graph shapes cannot be inferred: {exc}")
+        return report
+    storage = plan.policy.activation_storage
+    for step in program.steps:
+        if step.layer not in graph:
+            continue    # already reported by the coverage check
+        layer = graph.layer(step.layer)
+        if step.kind != layer.kind.value:
+            bad(step.layer, f"step kind {step.kind!r} != layer kind "
+                f"{layer.kind.value!r}")
+        if tuple(step.inputs) != tuple(graph.inputs_of(step.layer)):
+            bad(step.layer, f"step inputs {tuple(step.inputs)} != "
+                f"graph producers {tuple(graph.inputs_of(step.layer))}")
+        if step.dtype is not storage:
+            bad(step.layer, f"step stores {step.dtype} but the policy "
+                f"stores activations as {storage}")
+        try:
+            expected = _expected_parts(plan, step.layer,
+                                       int(shapes[step.layer][1]))
+        except PlanError as exc:
+            bad(step.layer, f"plan carries no usable placement: {exc}")
+            continue
+        if tuple(step.placements) != expected:
+            bad(step.layer, f"step placements "
+                f"{tuple(step.placements)} != plan placements "
+                f"{expected}")
+    return report

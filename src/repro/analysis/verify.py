@@ -119,7 +119,8 @@ def verify_run(soc: SoCSpec, graph: Graph, plan: ExecutionPlan,
 def verify_mechanism(soc: SoCSpec, graph: Graph, mechanism: str,
                      calibration: Optional[CalibrationTable] = None,
                      memory: bool = False,
-                     batch: Optional[int] = None) -> Report:
+                     batch: Optional[int] = None,
+                     compiled: bool = False) -> Report:
     """Full verification of one mechanism on one model and SoC.
 
     Builds the mechanism's plan, verifies it statically, performs one
@@ -133,6 +134,10 @@ def verify_mechanism(soc: SoCSpec, graph: Graph, mechanism: str,
             (MF rules) on the plan.
         batch: batch size for the memory analysis (default: the
             plan's own batch).
+        compiled: also lower the plan into a compiled program and
+            prove it consistent (PV012 via :func:`verify_program`).
+            Requires the graph to carry weights; a compilation failure
+            is itself reported as PV012.
     """
     from .memory import MemoryFootprintAnalyzer
 
@@ -141,10 +146,43 @@ def verify_mechanism(soc: SoCSpec, graph: Graph, mechanism: str,
     if memory:
         report.extend(MemoryFootprintAnalyzer(soc).analyze(
             graph, plan, batch=batch))
+    if compiled:
+        report.extend(_verify_compiled(graph, plan, calibration))
     if not report.ok:
         return report    # executing a provably broken plan adds noise
     result = Executor(soc).run(graph, plan, mechanism=mechanism)
     return report.extend(verify_run(soc, graph, plan, result.timeline))
+
+
+def _verify_compiled(graph: Graph, plan: ExecutionPlan,
+                     calibration: Optional[CalibrationTable]) -> Report:
+    """Lower ``plan`` and run the PV012 consistency rule over it.
+
+    Quantized policies need activation ranges; when the caller has no
+    calibration table one is derived from a deterministic synthetic
+    batch (seed 0), which fixes the ranges without affecting any of
+    the declarative metadata PV012 checks.
+    """
+    import numpy as np
+
+    from ..compile import compile_program
+    from ..errors import PlanError, QuantizationError
+    from ..nn import calibrate_graph
+    from .plan_verifier import verify_program
+
+    report = Report()
+    try:
+        if calibration is None and plan.policy.is_quantized:
+            shape = graph.infer_shapes()[graph.input_layers()[0]]
+            rng = np.random.default_rng(0)
+            calibration = calibrate_graph(
+                graph, [rng.standard_normal(shape).astype(np.float32)])
+        program = compile_program(graph, plan, calibration)
+    except (PlanError, QuantizationError) as exc:
+        report.error("PV012", "program",
+                     f"plan failed to compile: {exc}")
+        return report
+    return report.extend(verify_program(graph, plan, program))
 
 
 @dataclasses.dataclass(frozen=True)
@@ -158,19 +196,22 @@ class SweepEntry:
 
 
 def _sweep_unit(item: Tuple[str, str, Tuple[str, ...], bool,
-                            Optional[int]]) -> List[SweepEntry]:
+                            Optional[int], bool]) -> List[SweepEntry]:
     """All entries of one (soc, model) sweep cell.
 
     Module-level so :func:`~repro.harness.parallel.parallel_map` can
     ship it to worker processes; the graph is built once per cell.
+    Weights are installed only for compiled verification (lowering
+    packs real weight arrays; everything else is weight-free).
     """
-    soc_name, model, chosen, memory, batch = item
+    soc_name, model, chosen, memory, batch, compiled = item
     soc = SOCS[soc_name]
-    graph = build_model(model, with_weights=False)
+    graph = build_model(model, with_weights=compiled)
     return [SweepEntry(model=model, soc=soc_name, mechanism=mechanism,
                        report=verify_mechanism(soc, graph, mechanism,
                                                memory=memory,
-                                               batch=batch))
+                                               batch=batch,
+                                               compiled=compiled))
             for mechanism in chosen]
 
 
@@ -179,7 +220,8 @@ def verify_sweep(models: Optional[Iterable[str]] = None,
                  mechanisms: Optional[Iterable[str]] = None,
                  jobs: Optional[int] = None,
                  memory: bool = False,
-                 batch: Optional[int] = None) -> List[SweepEntry]:
+                 batch: Optional[int] = None,
+                 compiled: bool = False) -> List[SweepEntry]:
     """Verify mechanisms across the zoo.
 
     Args:
@@ -192,6 +234,9 @@ def verify_sweep(models: Optional[Iterable[str]] = None,
             (None/1 = serial; <=0 = one per CPU).
         memory: also run the memory-footprint analysis on every plan.
         batch: batch size for the memory analysis.
+        compiled: also compile every plan and verify the lowered
+            program against it (PV012); builds each model *with*
+            weights, which is slow for the full-size models.
 
     Entries come back sorted by (model, soc, mechanism) with each
     report in its deterministic order, regardless of ``jobs`` -- the
@@ -200,7 +245,7 @@ def verify_sweep(models: Optional[Iterable[str]] = None,
     from ..harness.parallel import parallel_map
 
     work: List[Tuple[str, str, Tuple[str, ...], bool,
-                     Optional[int]]] = []
+                     Optional[int], bool]] = []
     requested = tuple(mechanisms) if mechanisms is not None else None
     for soc_name in (tuple(socs) if socs is not None else sorted(SOCS)):
         supported = applicable_mechanisms(SOCS[soc_name])
@@ -208,7 +253,8 @@ def verify_sweep(models: Optional[Iterable[str]] = None,
                   else tuple(m for m in requested if m in supported))
         for model in (tuple(models) if models is not None
                       else list_models()):
-            work.append((soc_name, model, chosen, memory, batch))
+            work.append((soc_name, model, chosen, memory, batch,
+                         compiled))
     entries: List[SweepEntry] = []
     for cell in parallel_map(_sweep_unit, work, jobs=jobs):
         entries.extend(cell)

@@ -13,9 +13,13 @@ Commands:
 * ``cluster`` -- simulate a cluster of device pools behind a router,
   with replica placement, autoscaling, and trace-driven workloads.
 * ``figure`` -- regenerate one of the paper's figures.
-* ``bench`` -- wall-clock benchmark of functional execution and the
-  sweep harness; writes ``BENCH_e2e.json``.
+* ``bench`` -- wall-clock benchmark of functional execution, the
+  compiled fused path, and the sweep harness; writes
+  ``BENCH_e2e.json``.
 
+``run``, ``serve``, and ``verify`` accept ``--compiled`` (run the
+compiled fused execution path / prove it consistent, rule PV012);
+``bench`` times it by default (``--no-compiled`` to skip).
 ``run``, ``compare``, ``verify``, ``serve``, ``cluster``, and
 ``bench`` all accept ``--json`` for machine-readable output.
 ``verify``, ``figure``, ``serve``, ``cluster``, and ``bench`` accept
@@ -65,6 +69,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--oracle", action="store_true",
                      help="plan with oracle costs instead of the "
                           "latency predictor")
+    run.add_argument("--compiled", action="store_true",
+                     help="execute one functional inference through "
+                          "the compiled fused program (mulayer "
+                          "mechanism only): installs weights, checks "
+                          "byte-identity against the per-layer "
+                          "interpreter, and reports the program's "
+                          "fused steps and arena size")
     run.add_argument("--plan", action="store_true",
                      help="print the execution plan")
     run.add_argument("--gantt", action="store_true",
@@ -126,6 +137,12 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--slo-factor", type=float, default=4.0,
                        help="per-model SLO as a multiple of its "
                             "unloaded uLayer latency")
+    serve.add_argument("--compiled", action="store_true",
+                       help="execute functional dispatches through "
+                            "compiled fused programs cached next to "
+                            "their plans (serve dispatches are "
+                            "timing-only, so this exercises the "
+                            "program cache plumbing)")
     serve.add_argument("--plan-cache-size", type=int, default=None,
                        metavar="N",
                        help="bound the shared plan cache to N entries "
@@ -249,6 +266,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="also check each plan's peak memory "
                              "footprint and arena layout against the "
                              "SoC's shared DRAM (MF rules)")
+    verify.add_argument("--compiled", action="store_true",
+                        help="also lower each plan into a compiled "
+                             "program and prove it consistent with "
+                             "the plan (PV012); builds models with "
+                             "weights, so it is slow on the full-size "
+                             "zoo")
     verify.add_argument("--batch", type=int, default=None, metavar="B",
                         help="batch size for the --memory analysis "
                              "(default: each plan's own batch)")
@@ -319,6 +342,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(e.g. BENCH_e2e.json)")
     bench.add_argument("--json", action="store_true",
                        help="print the results as JSON")
+    bench.add_argument("--compiled", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="benchmark the compiled fused execution "
+                            "path against the warm functional path "
+                            "and emit the 'compiled' block (default "
+                            "on; --no-compiled skips it)")
     bench.add_argument("--serve-batch", action="store_true",
                        help="run the serving-throughput benchmark "
                             "instead: batch size x arrival rate sweep "
@@ -364,10 +393,19 @@ def _cmd_list_socs() -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     soc = soc_by_name(args.soc)
-    graph = build_model(args.model, with_weights=False)
+    if args.compiled and args.mechanism != "mulayer":
+        print("run: --compiled requires --mechanism mulayer",
+              file=sys.stderr)
+        return 2
+    graph = build_model(args.model, with_weights=args.compiled)
+    compiled_info: Optional[Dict[str, object]] = None
     if args.mechanism == "mulayer":
-        runtime = MuLayer(soc, use_oracle_costs=args.oracle)
-        result = runtime.run(graph)
+        runtime = MuLayer(soc, use_oracle_costs=args.oracle,
+                          compiled=args.compiled)
+        if args.compiled:
+            result, compiled_info = _run_compiled(runtime, graph)
+        else:
+            result = runtime.run(graph)
         plan = runtime.plan(graph)
     elif args.mechanism == "l2p":
         result = run_layer_to_processor(soc, graph)
@@ -382,8 +420,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             payload["plan"] = {
                 name: assignment.shares()
                 for name, assignment in plan.assignments.items()}
+        if compiled_info is not None:
+            payload["compiled"] = compiled_info
         print(json.dumps(payload, indent=2))
-        return 0
+        return 0 if (compiled_info is None
+                     or compiled_info["byte_identical"]) else 1
     print(f"{args.model} on {soc.display_name} via {result.mechanism}:")
     print(f"  latency {result.latency_ms:10.3f} ms")
     print(f"  energy  {result.energy_mj:10.3f} mJ "
@@ -402,10 +443,43 @@ def _cmd_run(args: argparse.Namespace) -> int:
             region = branch_assignment.region
             print(f"  [branches {region.fork} -> {region.join}: "
                   f"{branch_assignment.mapping}]")
+    if compiled_info is not None:
+        identical = compiled_info["byte_identical"]
+        print(f"\ncompiled program ({compiled_info['steps']} fused "
+              f"steps, arena {compiled_info['arena_bytes']} bytes in "
+              f"{compiled_info['arena_slots']} slots):")
+        print(f"  byte-identical to the interpreter: {identical}")
     if args.gantt:
         from .harness import render_gantt
         print("\n" + render_gantt(result.timeline, width=100))
+    if compiled_info is not None and not compiled_info["byte_identical"]:
+        return 1
     return 0
+
+
+def _run_compiled(runtime: MuLayer, graph
+                  ) -> "tuple[object, Dict[str, object]]":
+    """One compiled functional inference plus its identity check."""
+    import numpy as np
+
+    from .nn import calibrate_graph
+
+    shape = graph.infer_shapes()[graph.input_layers()[0]]
+    x = np.random.default_rng(0).standard_normal(shape).astype(
+        np.float32)
+    calibration = calibrate_graph(graph, [x])
+    result = runtime.run(graph, x, calibration=calibration)
+    reference = runtime.run(graph, x, calibration=calibration,
+                            compiled=False)
+    identical = all(
+        result.outputs[name].data.tobytes()
+        == reference.outputs[name].data.tobytes()
+        for name in reference.outputs)
+    program = runtime.program(graph, calibration=calibration)
+    info = program.describe()
+    info["steps"] = len(program.steps)
+    info["byte_identical"] = identical
+    return result, info
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -488,7 +562,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         entries = verify_sweep(models=models, socs=socs,
                                mechanisms=args.mechanisms,
                                jobs=args.jobs, memory=args.memory,
-                               batch=args.batch)
+                               batch=args.batch,
+                               compiled=args.compiled)
     lint_report = None
     if args.lint_src is not None:
         lint_report = ConcurrencyLinter().lint_paths(
@@ -567,7 +642,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               else list(MINI_MODELS))
     plan_cache = (PlanCache(max_entries=args.plan_cache_size)
                   if args.plan_cache_size is not None else None)
-    fleet = Fleet.build(soc_names, args.devices, plan_cache=plan_cache)
+    fleet = Fleet.build(soc_names, args.devices, plan_cache=plan_cache,
+                        compiled=args.compiled)
     batch_timeout_s = (args.batch_timeout_ms / 1e3
                        if args.batch_timeout_ms is not None else None)
     scheduler = make_scheduler(args.scheduler, max_batch=args.max_batch,
@@ -916,7 +992,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(render_serve_batch_bench(results))
         return 0
     results = run_bench(models=models, repeats=args.repeats,
-                        jobs=args.jobs)
+                        jobs=args.jobs, compiled=args.compiled)
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(results, handle, indent=2, sort_keys=True)

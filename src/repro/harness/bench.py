@@ -10,17 +10,22 @@ perf trajectory is tracked across PRs:
   computer whose packed-operand caches carry across inferences, with
   cooperative layers sharing im2col columns).  Outputs are checked
   byte-identical while timing.
+* **compiled** -- the compiled fused path (``repro.compile``) against
+  the warm functional path on every mini-model cell, on the matched
+  0.5-split plan, byte-identity asserted before and after timing.
 * **sweep** -- the static verification sweep over the mini zoo, serial
   versus ``jobs`` processes.
 
-All timings use ``time.perf_counter``.  The benchmark is sized to run
-in well under a minute so CI can afford it as a smoke job.
+All timings use ``time.perf_counter`` and report the *minimum* over
+the repeats (robust to scheduler noise on shared machines).  The
+benchmark is sized to run in well under a minute so CI can afford it
+as a smoke job.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,6 +36,9 @@ from ..runtime.compute import LayerComputer
 from ..runtime.pfq import (PROCESSOR_FRIENDLY, QuantizationPolicy,
                            UNIFORM_F16, UNIFORM_F32, UNIFORM_QUINT8)
 from ..tensor import Tensor
+
+if TYPE_CHECKING:   # pragma: no cover - typing only (avoids a cycle)
+    from ..runtime.plan import ExecutionPlan
 
 #: The policies the functional benchmark exercises, processor-friendly
 #: first (the paper's mechanism).
@@ -70,15 +78,26 @@ def _run_functional(graph: Graph, computer: LayerComputer,
 def _bench_model_policy(graph: Graph, calibration: CalibrationTable,
                         policy: QuantizationPolicy, x: np.ndarray,
                         repeats: int) -> Dict[str, float]:
-    """Cold-vs-warm timing of one (model, policy) cell."""
+    """Cold-vs-warm timing of one (model, policy) cell.
+
+    Every leg is timed per iteration and reported as the *minimum*
+    over ``repeats``: on a shared/noisy machine the min is the only
+    robust estimator of the code's actual cost (means fold scheduler
+    preemptions into the slower leg at random, which is how warm runs
+    used to come out "slower" than cold ones on the tiny mini-model
+    cells).
+    """
     # Cold: the pre-cache behaviour -- a fresh computer per inference,
-    # no caches, so weights re-quantize and operands re-pack each time.
-    t0 = time.perf_counter()
+    # no caches, so weights re-quantize and operands re-pack each time;
+    # computer construction is part of the timed region.
+    cold_times = []
     for _ in range(repeats):
+        t0 = time.perf_counter()
         cold_computer = LayerComputer(graph, policy, calibration,
                                       enable_caches=False)
         reference = _run_functional(graph, cold_computer, x)
-    cold_s = (time.perf_counter() - t0) / repeats
+        cold_times.append(time.perf_counter() - t0)
+    cold_s = min(cold_times)
 
     # Warm: one persistent cached computer; the first inference fills
     # the packed-operand caches and is not timed.
@@ -88,10 +107,12 @@ def _bench_model_policy(graph: Graph, calibration: CalibrationTable,
     if warmup.data.tobytes() != reference.data.tobytes():
         raise AssertionError(
             "cached execution diverged from uncached output")
-    t0 = time.perf_counter()
+    warm_times = []
     for _ in range(repeats):
+        t0 = time.perf_counter()
         out = _run_functional(graph, computer, x)
-    warm_s = (time.perf_counter() - t0) / repeats
+        warm_times.append(time.perf_counter() - t0)
+    warm_s = min(warm_times)
     if out.data.tobytes() != reference.data.tobytes():
         raise AssertionError(
             "warm cached execution diverged from uncached output")
@@ -106,9 +127,78 @@ def _bench_model_policy(graph: Graph, calibration: CalibrationTable,
     }
 
 
+def _matched_split_plan(graph: Graph,
+                        policy: QuantizationPolicy) -> ExecutionPlan:
+    """The plan equivalent of :func:`_run_functional`'s placements.
+
+    0.5 CPU/GPU cooperative split on every splittable layer, CPU for
+    the rest -- so the compiled program and the functional leg execute
+    the exact same per-layer pipelines and their outputs can be
+    asserted byte-identical.
+    """
+    from ..runtime.plan import ExecutionPlan, LayerAssignment
+
+    assignments = {}
+    for name in graph.compute_layers():
+        if graph.layer(name).supports_channel_split:
+            assignments[name] = LayerAssignment.cooperative(name, 0.5)
+        else:
+            assignments[name] = LayerAssignment.on_cpu(name)
+    return ExecutionPlan(graph_name=graph.name, policy=policy,
+                         assignments=assignments)
+
+
+def _bench_compiled(graph: Graph, calibration: CalibrationTable,
+                    policy: QuantizationPolicy, x: np.ndarray,
+                    repeats: int, warm_ms: float) -> Dict[str, float]:
+    """Compiled-vs-functional timing of one (model, policy) cell.
+
+    Lowers the matched 0.5-split plan, asserts the program's output is
+    byte-identical to the warm functional path, and times steady-state
+    arena runs (min over ``repeats``, like the functional legs).
+    ``warm_ms`` is the cell's warm functional time, the denominator
+    the compiled speedup is quoted against.
+    """
+    from ..compile import compile_program
+
+    computer = LayerComputer(graph, policy, calibration,
+                             enable_caches=True)
+    reference = _run_functional(graph, computer, x)
+
+    plan = _matched_split_plan(graph, policy)
+    t0 = time.perf_counter()
+    program = compile_program(graph, plan, calibration,
+                              mechanism="bench")
+    compile_s = time.perf_counter() - t0
+    output = graph.output_layers()[0]
+    out = program.run(x, keep="outputs")[output]
+    if out.data.tobytes() != reference.data.tobytes():
+        raise AssertionError(
+            "compiled execution diverged from the functional output")
+    compiled_times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = program.run(x, keep="outputs")[output]
+        compiled_times.append(time.perf_counter() - t0)
+    compiled_s = min(compiled_times)
+    if out.data.tobytes() != reference.data.tobytes():
+        raise AssertionError(
+            "steady-state compiled execution diverged from the "
+            "functional output")
+    return {
+        "compile_ms": compile_s * 1e3,
+        "warm_ms": warm_ms,
+        "compiled_ms": compiled_s * 1e3,
+        "speedup": (warm_ms / (compiled_s * 1e3) if compiled_s > 0
+                    else float("inf")),
+        "arena_bytes": float(program.arena.arena_bytes),
+    }
+
+
 def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
               jobs: Optional[int] = None,
-              policies: Optional[Sequence[str]] = None) -> Dict:
+              policies: Optional[Sequence[str]] = None,
+              compiled: bool = True) -> Dict:
     """The full benchmark; returns a JSON-ready dict.
 
     Args:
@@ -118,6 +208,9 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
             the parallel leg (the serial leg always runs).
         policies: policy names from :data:`BENCH_POLICIES` (default:
             all four).
+        compiled: also time the compiled fused path against the warm
+            functional path on every mini-model cell, asserting
+            byte-identity (the ``compiled`` block of the output).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -137,7 +230,9 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
     rng = np.random.default_rng(0)
 
     functional: Dict[str, Dict[str, float]] = {}
+    compiled_cells: Dict[str, Dict[str, float]] = {}
     cold_total = warm_total = 0.0
+    compiled_warm_total = compiled_total = 0.0
     sweep_models: List[str] = []
     for model, model_policies, model_repeats in grid:
         sweep_models.append(model)
@@ -152,6 +247,16 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
             functional[f"{model}/{policy_name}"] = cell
             cold_total += cell["cold_ms"]
             warm_total += cell["warm_ms"]
+            # Compiled leg only on the minis: compiling a full model
+            # re-packs its tens of millions of weights, which belongs
+            # to compile time, not to this smoke-sized benchmark.
+            if compiled and model in MINI_MODELS:
+                ccell = _bench_compiled(
+                    graph, calibration, BENCH_POLICIES[policy_name], x,
+                    model_repeats, cell["warm_ms"])
+                compiled_cells[f"{model}/{policy_name}"] = ccell
+                compiled_warm_total += ccell["warm_ms"]
+                compiled_total += ccell["compiled_ms"]
 
     chosen_models = tuple(sweep_models)
     sweep: Dict[str, float] = {}
@@ -170,7 +275,7 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
             raise AssertionError(
                 "parallel sweep order diverged from serial")
 
-    return {
+    results: Dict = {
         "schema": 1,
         "repeats": repeats,
         "functional": functional,
@@ -182,6 +287,17 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
         },
         "sweep": sweep,
     }
+    if compiled_cells:
+        results["compiled"] = {
+            "cells": compiled_cells,
+            "summary": {
+                "warm_total_ms": compiled_warm_total,
+                "compiled_total_ms": compiled_total,
+                "speedup": (compiled_warm_total / compiled_total
+                            if compiled_total > 0 else float("inf")),
+            },
+        }
+    return results
 
 
 #: Batch-size axis of the serving-throughput benchmark.
@@ -436,6 +552,21 @@ def render_bench(results: Dict) -> str:
     text += (f"\n\ntotal: cold {summary['cold_total_ms']:.1f} ms, "
              f"warm {summary['warm_total_ms']:.1f} ms, "
              f"speedup {summary['speedup']:.2f}x")
+    compiled = results.get("compiled")
+    if compiled:
+        rows = [[cell_name, cell["compile_ms"], cell["warm_ms"],
+                 cell["compiled_ms"], cell["speedup"]]
+                for cell_name in sorted(compiled["cells"])
+                for cell in [compiled["cells"][cell_name]]]
+        text += "\n\n" + format_table(
+            ["model/policy", "compile_ms", "warm_ms", "compiled_ms",
+             "speedup"],
+            rows, title="compiled fused path vs warm functional")
+        csummary = compiled["summary"]
+        text += (f"\n\ncompiled total: functional warm "
+                 f"{csummary['warm_total_ms']:.1f} ms, compiled "
+                 f"{csummary['compiled_total_ms']:.1f} ms, speedup "
+                 f"{csummary['speedup']:.2f}x")
     sweep = results.get("sweep", {})
     if "serial_s" in sweep:
         text += (f"\nverify sweep ({int(sweep.get('cells', 0))} cells): "

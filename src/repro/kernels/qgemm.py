@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ShapeError
-from ..quant.linear import requantize
+from ..quant.linear import requantize, requantize_prepared
 from ..tensor import QuantParams
 
 
@@ -88,6 +88,77 @@ def quantize_bias(bias: np.ndarray, lhs_scale: float,
     """
     return np.round(np.asarray(bias, dtype=np.float64)
                     / (lhs_scale * rhs_scale)).astype(np.int32)
+
+
+def fused_const_row(rhs_i32: np.ndarray, lhs_zero: int, rhs_zero: int,
+                    bias_i32: np.ndarray) -> np.ndarray:
+    """The weight-only constant row of the fused quantized GEMM.
+
+    Of the four terms of the gemmlowp identity only
+    ``- zr * sum_k ql`` depends on the activations; the remaining
+    ``bias - zl * sum_k qr + K * zl * zr`` is folded into one row at
+    compile time.  Integer addition wraps modulo 2^32 and is therefore
+    associative, so re-associating the sum this way -- and returning
+    the row already wrapped to int32 -- keeps the final int32
+    accumulator byte-identical to :func:`qgemm_accumulate`.
+    """
+    depth = rhs_i32.shape[0]
+    rhs_sums = rhs_i32.sum(axis=0, keepdims=True)
+    const = (np.asarray(bias_i32, dtype=np.int64)
+             - np.int64(lhs_zero) * rhs_sums
+             + np.int64(depth) * np.int64(lhs_zero) * np.int64(rhs_zero))
+    return const.astype(np.int32)
+
+
+#: Largest GEMM depth for which the uint8 x uint8 accumulator provably
+#: fits an int32 (and, a fortiori, is exactly representable in f64):
+#: ``depth * 255 * 255 < 2**31``.
+EXACT_GEMM_MAX_DEPTH = (2 ** 31 - 1) // (255 * 255)
+
+
+def qgemm_fused(lhs_q: np.ndarray, rhs_i32: np.ndarray, rhs_zero: int,
+                const_row: np.ndarray, mantissa: int, shift: int,
+                output_params: QuantParams,
+                relu: bool = False,
+                rhs_f64: "np.ndarray | None" = None) -> np.ndarray:
+    """Fully fused quantized GEMM: one matmul plus epilogue.
+
+    The compiled execution path's integer kernel: all weight-side
+    operands are pre-packed (``rhs_i32`` widened once,
+    :func:`fused_const_row` folding bias and zero-point terms, the
+    requantization multiplier pre-decomposed via
+    :func:`~repro.quant.linear.prepare_requantize`), leaving a single
+    integer matmul, the activation-side row-sum correction, the
+    fixed-point requantization, and the fused ReLU clamp.
+
+    When the caller supplies ``rhs_f64`` (the weight codes pre-widened
+    to float64) the raw product matmul runs through BLAS dgemm instead
+    of numpy's generic integer loop.  This is *exact*, not
+    approximate: for ``depth <= EXACT_GEMM_MAX_DEPTH`` every partial
+    sum of uint8 x uint8 products is an integer below 2**31 < 2**53,
+    so each f64 addition is performed without rounding regardless of
+    summation order, and the truncation back to int32 recovers the
+    identical accumulator.  Callers must enforce the depth bound.
+
+    Byte-identical to :func:`qgemm` over the same operands: the whole
+    pipeline stays in wrapping int32 arithmetic (sums, products, and
+    additions all agree with the int64-then-truncate formulation
+    modulo 2^32 by associativity), and the epilogue is the identical
+    expression.
+    """
+    if rhs_f64 is not None:
+        raw = (lhs_q.astype(np.float64) @ rhs_f64).astype(np.int32)
+        lhs_sums = np.sum(lhs_q, axis=-1, keepdims=True,
+                          dtype=np.int32)
+    else:
+        lhs_i32 = lhs_q.astype(np.int32)
+        raw = lhs_i32 @ rhs_i32
+        lhs_sums = lhs_i32.sum(axis=-1, keepdims=True, dtype=np.int32)
+    acc = raw - np.int32(rhs_zero) * lhs_sums + const_row
+    out = requantize_prepared(acc, mantissa, shift, output_params)
+    if relu:
+        out = np.maximum(out, np.uint8(output_params.zero_point))
+    return out
 
 
 def qgemm(lhs_q: np.ndarray, lhs_params: QuantParams, rhs_q: np.ndarray,

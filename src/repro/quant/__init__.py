@@ -3,11 +3,11 @@
 from .calibrate import (CalibrationTable, MinMaxObserver, PercentileObserver)
 from .fake_quant import (EmaRangeObserver, fake_quantize,
                          fake_quantize_gradient, fake_quantize_with_observer)
-from .half import (dequantize_to_half, from_half, half_ulp, tensor_to_half,
-                   to_half)
-from .linear import (dequantize, quantize, quantize_tensor,
-                     quantized_multiplier, requantize,
-                     requantize_float_reference)
+from .half import (dequantize_lut, dequantize_to_half, from_half, half_ulp,
+                   tensor_to_half, to_half)
+from .linear import (dequantize, prepare_requantize, quantize,
+                     quantize_tensor, quantized_multiplier, requantize,
+                     requantize_float_reference, requantize_prepared)
 
 __all__ = [
     "CalibrationTable",
@@ -17,15 +17,18 @@ __all__ = [
     "fake_quantize",
     "fake_quantize_gradient",
     "fake_quantize_with_observer",
+    "dequantize_lut",
     "dequantize_to_half",
     "from_half",
     "half_ulp",
     "tensor_to_half",
     "to_half",
     "dequantize",
+    "prepare_requantize",
     "quantize",
     "quantize_tensor",
     "quantized_multiplier",
     "requantize",
     "requantize_float_reference",
+    "requantize_prepared",
 ]

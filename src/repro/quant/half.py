@@ -47,6 +47,23 @@ def dequantize_to_half(codes: np.ndarray, qparams: QuantParams) -> np.ndarray:
     return (centred.astype(np.float16) * np.float16(qparams.scale))
 
 
+def dequantize_lut(qparams: QuantParams) -> np.ndarray:
+    """The 256-entry F16 lookup table of :func:`dequantize_to_half`.
+
+    ``dequantize_to_half`` is a pure elementwise function of the code,
+    so gathering through this table (``lut[codes]``) is bit-identical
+    to calling it on the codes directly.  Two properties make the table
+    the bridge between the integer and float pipelines of one layer:
+
+    * applying it *after* an index gather (im2col) equals applying it
+      before -- shared uint8 column matrices can be dequantized in
+      place of re-gathering the float input;
+    * ``lut[zero_point] == 0.0`` exactly, so the integer pipeline's
+      zero-point padding maps onto the float pipeline's 0.0 padding.
+    """
+    return dequantize_to_half(np.arange(256, dtype=np.uint8), qparams)
+
+
 def half_ulp(value: float) -> float:
     """The gap between ``value`` and the next representable float16.
 

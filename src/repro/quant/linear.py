@@ -108,18 +108,29 @@ def _rounding_divide_by_pot(value: np.ndarray, exponent: int) -> np.ndarray:
     return (value >> exponent) + (remainder > threshold).astype(np.int32)
 
 
-def requantize(acc: np.ndarray, input_scale: float, weight_scale: float,
-               output: QuantParams) -> np.ndarray:
-    """Convert i32 accumulators to uint8 codes under ``output``.
+def prepare_requantize(input_scale: float, weight_scale: float,
+                       output: QuantParams) -> Tuple[int, int]:
+    """Pre-decompose the requantization multiplier of one layer.
 
-    Implements the gemmlowp fixed-point pipeline: the accumulator (which
-    represents ``real / (input_scale * weight_scale)``) is rescaled by
-    the fixed-point multiplier and shifted to land on the output grid,
-    then offset by the output zero point and saturated to [0, 255].
+    The multiplier ``input_scale * weight_scale / output.scale`` and
+    its fixed-point (mantissa, shift) decomposition depend only on the
+    quantization parameters, so a compiled program computes them once
+    at compile time and :func:`requantize_prepared` replays only the
+    integer arithmetic per call.
+    """
+    real_multiplier = (input_scale * weight_scale) / output.scale
+    return quantized_multiplier(real_multiplier)
+
+
+def requantize_prepared(acc: np.ndarray, mantissa: int, shift: int,
+                        output: QuantParams) -> np.ndarray:
+    """Convert i32 accumulators to uint8 codes with a pre-decomposed
+    multiplier (see :func:`prepare_requantize`).
+
+    Byte-identical to :func:`requantize` called with the scales the
+    (mantissa, shift) pair was prepared from.
     """
     acc = np.asarray(acc, dtype=np.int32)
-    real_multiplier = (input_scale * weight_scale) / output.scale
-    mantissa, shift = quantized_multiplier(real_multiplier)
     if shift < 0:
         # Multiplier >= 1: apply the saturating left shift *before*
         # the rounding high-mul (TFLite's MultiplyByQuantizedMultiplier
@@ -130,6 +141,19 @@ def requantize(acc: np.ndarray, input_scale: float, weight_scale: float,
     scaled = _rounding_divide_by_pot(scaled, shift)
     shifted = scaled + np.int32(output.zero_point)
     return np.clip(shifted, QMIN, QMAX).astype(np.uint8)
+
+
+def requantize(acc: np.ndarray, input_scale: float, weight_scale: float,
+               output: QuantParams) -> np.ndarray:
+    """Convert i32 accumulators to uint8 codes under ``output``.
+
+    Implements the gemmlowp fixed-point pipeline: the accumulator (which
+    represents ``real / (input_scale * weight_scale)``) is rescaled by
+    the fixed-point multiplier and shifted to land on the output grid,
+    then offset by the output zero point and saturated to [0, 255].
+    """
+    mantissa, shift = prepare_requantize(input_scale, weight_scale, output)
+    return requantize_prepared(acc, mantissa, shift, output)
 
 
 def requantize_float_reference(acc: np.ndarray, input_scale: float,

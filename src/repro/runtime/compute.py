@@ -24,17 +24,18 @@ wall clock; they are on by default and can be disabled with
 * an **im2col column cache**, keyed ``(layer, "cols", variant)`` and
   validated against the input array's identity, so the placements of a
   cooperative layer share one column matrix per numeric variant
-  instead of each re-gathering it.  Variants are the distinct arrays a
-  pipeline lowers (``"codes"`` for uint8 codes, ``"half"``/
-  ``"half_f32"`` for dequantized storage, ``"f16"``/``"f32"`` for
-  float storage): uniform policies and CPU+NPU integer splits share
-  directly, while PFQ's integer and F16 pipelines keep separate
-  columns -- deriving the F16 columns from the integer ones was
-  measured ~3x slower than re-gathering, because f16 arithmetic on the
-  k^2-times-larger column matrix costs more than the gather it saves.
-  Depthwise layers cache the *full-input* columns once and hand each
-  placement its channel slice.  The cache is bounded (LRU) and cleared
-  by :meth:`begin_inference`.
+  instead of each re-gathering it.  Under QUInt8 storage *every*
+  pipeline lowers the uint8 codes (variant ``"codes"``): the float
+  pipelines dequantize the shared code columns through a 256-entry
+  lookup table (:func:`~repro.quant.half.dequantize_lut`), which is
+  bit-identical to gathering dequantized data because an elementwise
+  map commutes with an index gather and the table maps the integer
+  pipeline's zero-point padding to exactly 0.0.  A cooperative PFQ
+  layer therefore gathers its columns once for both the CPU's integer
+  GEMM and the GPU's F16 GEMM.  Float storage keeps per-dtype variants
+  (``"f16"``/``"f32"``).  Depthwise layers cache the *full-input*
+  columns once and hand each placement its channel slice.  The cache
+  is bounded (LRU) and cleared by :meth:`begin_inference`.
 
 * a persistent **packed-operand cache**, keyed
   ``(layer, kind, channel_range, ...)`` and validated against the
@@ -67,7 +68,7 @@ from ..kernels import (OperandCache, conv_output_hw, flatten_filters,
 from ..nn import Graph, LayerKind
 from ..nn.layers import (Conv2D, DepthwiseConv2D, FullyConnected)
 from ..kernels.qgemm import quantize_bias
-from ..quant import dequantize_to_half, requantize
+from ..quant import dequantize_lut, dequantize_to_half, requantize
 from ..quant.calibrate import CalibrationTable
 from ..tensor import DType, QuantParams, Tensor, concat_channels
 from .distribution import channel_ranges
@@ -126,6 +127,12 @@ class LayerComputer:
             name="im2col", max_entries=_COLUMN_CACHE_ENTRIES)
         self._packed = OperandCache(
             name="packed", max_entries=_PACKED_CACHE_ENTRIES)
+        # Shape memo: Graph.infer_shapes() returns a fresh dict copy on
+        # every call, which turns the per-layer channel lookups of a
+        # cooperative run into O(layers^2) dict copies.  A computer is
+        # bound to one (already complete) graph, so the shapes are
+        # resolved once and reused.
+        self._shapes: "Optional[Dict[str, Tuple[int, ...]]]" = None
 
     # -- public API ---------------------------------------------------------
 
@@ -224,13 +231,41 @@ class LayerComputer:
 
     # -- helpers --------------------------------------------------------------
 
+    def _shape_of(self, name: str) -> Tuple[int, ...]:
+        if self._shapes is None:
+            self._shapes = self._graph.infer_shapes()
+        return self._shapes[name]
+
     def _channel_axis(self, name: str) -> int:
-        shape = self._graph.infer_shapes()[name]
+        shape = self._shape_of(name)
         return 1 if len(shape) >= 2 else 0
 
     def _output_channels(self, name: str) -> int:
-        shape = self._graph.infer_shapes()[name]
+        shape = self._shape_of(name)
         return shape[1]
+
+    def _dequant_lut(self, name: str, qparams: QuantParams,
+                     variant: str) -> np.ndarray:
+        """The 256-entry code->real table one float pipeline applies to
+        shared uint8 columns; cached per (layer, variant, qparams)."""
+
+        def build() -> np.ndarray:
+            lut = dequantize_lut(qparams)
+            if variant == "half":
+                return lut
+            if variant == "half_f32":
+                return lut.astype(np.float32)
+            # Depthwise float lowering dequantizes via Tensor.to_float
+            # (f32), optionally rounding through f16 -- replicate that
+            # exact elementwise map.
+            table = qparams.dequantize(np.arange(256, dtype=np.uint8))
+            if variant == "f16f":
+                table = table.astype(np.float16).astype(np.float32)
+            return table
+
+        return self._packed_operand(
+            (name, "deq_lut", variant, qparams.scale, qparams.zero_point),
+            None, build)
 
     def _out_qparams(self, name: str) -> QuantParams:
         assert self._calibration is not None
@@ -368,14 +403,21 @@ class LayerComputer:
             bias_slice = bias[lo:hi]
         assert x.qparams is not None
         x_qparams = x.qparams
+        # Conv layers gather the *uint8 code* columns (shared with the
+        # integer pipeline of a cooperative PFQ layer) and dequantize
+        # them through a lookup table -- bit-identical to gathering the
+        # dequantized input, since the elementwise map commutes with
+        # the gather and lut[zero_point] == 0.0 matches the float
+        # pipeline's zero padding.
+        pad = float(x_qparams.zero_point)
         if compute_dtype is DType.F16:
             if isinstance(layer, Conv2D):
-                columns = self._cached_columns(
-                    name, "half", x.data,
-                    lambda: im2col(dequantize_to_half(x.data, x_qparams),
-                                   layer.kernel, layer.stride,
-                                   layer.padding, pad_value=0.0))
-                lhs: np.ndarray = columns.reshape(-1, columns.shape[-1])
+                codes = self._cached_columns(
+                    name, "codes", x.data,
+                    lambda: im2col(x.data, layer.kernel, layer.stride,
+                                   layer.padding, pad_value=pad))
+                lut = self._dequant_lut(name, x_qparams, "half")
+                lhs: np.ndarray = lut[codes].reshape(-1, codes.shape[-1])
                 rhs16 = self._packed_operand(
                     (name, "rhs_f16oq", channel_range), weights,
                     lambda: flatten_filters(weights_slice).T.astype(
@@ -391,14 +433,12 @@ class LayerComputer:
             out_rows = gemm_f16(lhs, rhs16, bias_slice).astype(np.float32)
         else:  # F32 compute over quantized storage
             if isinstance(layer, Conv2D):
-                columns = self._cached_columns(
-                    name, "half_f32", x.data,
-                    lambda: im2col(
-                        dequantize_to_half(x.data, x_qparams).astype(
-                            np.float32),
-                        layer.kernel, layer.stride, layer.padding,
-                        pad_value=0.0))
-                lhs = columns.reshape(-1, columns.shape[-1])
+                codes = self._cached_columns(
+                    name, "codes", x.data,
+                    lambda: im2col(x.data, layer.kernel, layer.stride,
+                                   layer.padding, pad_value=pad))
+                lut = self._dequant_lut(name, x_qparams, "half_f32")
+                lhs = lut[codes].reshape(-1, codes.shape[-1])
                 rhs = flatten_filters(weights_slice).T
                 shape = self._conv_out_shape(layer, x.data,
                                              weights_slice.shape[0])
@@ -529,17 +569,40 @@ class LayerComputer:
         batch, channels, in_h, in_w = x_slice.shape
         variant = "f16f" if compute_dtype is DType.F16 else "f32f"
 
-        def lower(tensor: Tensor) -> np.ndarray:
-            values = tensor.to_float()
-            if compute_dtype is DType.F16:
-                values = values.astype(np.float16).astype(np.float32)
-            n, c = tensor.shape[0], tensor.shape[1]
-            return im2col(values.reshape(n * c, 1, in_h, in_w),
-                          layer.kernel, layer.stride, layer.padding)
+        if x.dtype is DType.QUINT8:
+            # Quantized storage: gather the uint8 code columns (shared
+            # with a cooperative layer's integer placements) and
+            # dequantize through the per-variant lookup table; the
+            # table maps the zero-point padding to exactly 0.0, the
+            # float lowering's padding.
+            assert x.qparams is not None
+            x_qparams = x.qparams
+            pad = float(x_qparams.zero_point)
 
-        columns = self._depthwise_columns(
-            name, layer, x, variant,
-            lambda: lower(x), lambda: lower(x_slice), lo, hi)
+            def lower_codes(tensor: Tensor) -> np.ndarray:
+                n, c = tensor.shape[0], tensor.shape[1]
+                return im2col(tensor.data.reshape(n * c, 1, in_h, in_w),
+                              layer.kernel, layer.stride, layer.padding,
+                              pad_value=pad)
+
+            codes = self._depthwise_columns(
+                name, layer, x, "codes",
+                lambda: lower_codes(x), lambda: lower_codes(x_slice),
+                lo, hi)
+            lut = self._dequant_lut(name, x_qparams, variant)
+            columns = lut[codes]
+        else:
+            def lower(tensor: Tensor) -> np.ndarray:
+                values = tensor.to_float()
+                if compute_dtype is DType.F16:
+                    values = values.astype(np.float16).astype(np.float32)
+                n, c = tensor.shape[0], tensor.shape[1]
+                return im2col(values.reshape(n * c, 1, in_h, in_w),
+                              layer.kernel, layer.stride, layer.padding)
+
+            columns = self._depthwise_columns(
+                name, layer, x, variant,
+                lambda: lower(x), lambda: lower(x_slice), lo, hi)
 
         def pack_filters() -> np.ndarray:
             w = weights

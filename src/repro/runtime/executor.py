@@ -25,6 +25,12 @@ batch-1 kernels and stacks the outputs, mirroring row-independent GEMM
 hardware -- so a request's numbers never depend on what it was batched
 with (numpy's BLAS would otherwise leak the batch shape into float
 results through its blocking heuristics).
+
+``run(..., compiled=True)`` swaps the per-layer functional
+interpretation for a :class:`~repro.compile.program.CompiledProgram`
+-- plans are lowered once (memoized alongside the LayerComputer memo)
+into flat fused-kernel schedules whose outputs are byte-identical to
+the interpreted path; the timing side is unchanged.
 """
 
 from __future__ import annotations
@@ -86,6 +92,10 @@ class Executor:
         self.verify = verify
         self.op_caches = op_caches
         self._computers: "OrderedDict[Tuple[int, QuantizationPolicy, int], LayerComputer]" = OrderedDict()
+        # Compiled programs, memoized with the same identity discipline
+        # (and re-validated against weight-array identity on reuse).
+        self._programs: ("OrderedDict[Tuple[int, int, int, int], "
+                         "object]") = OrderedDict()
 
     def _computer_for(self, graph: Graph, policy,
                       calibration: Optional[CalibrationTable]
@@ -109,11 +119,39 @@ class Executor:
             self._computers.popitem(last=False)
         return computer
 
+    def program_for(self, graph: Graph, plan: ExecutionPlan,
+                    calibration: Optional[CalibrationTable],
+                    batch: int, mechanism: str = "custom"):
+        """The compiled program of (graph, plan, calibration, batch).
+
+        Memoized by object identity like :meth:`_computer_for`, and
+        identity-revalidated on every reuse: replacing a layer's
+        weight arrays (``set_weights``) or passing a different plan
+        object triggers recompilation, never a stale program.
+        """
+        # Imported lazily: repro.compile imports the analysis package,
+        # which imports this one.
+        from ..compile import compile_program
+        key = (id(graph), id(plan), id(calibration), batch)
+        program = self._programs.get(key)
+        if (program is None or program.plan is not plan
+                or not program.matches(graph, calibration)):
+            program = compile_program(graph, plan,
+                                      calibration=calibration,
+                                      batch=batch, mechanism=mechanism)
+            self._programs[key] = program
+        self._programs.move_to_end(key)
+        while len(self._programs) > self._COMPUTER_MEMO_ENTRIES:
+            self._programs.popitem(last=False)
+        return program
+
     def run(self, graph: Graph, plan: ExecutionPlan,
             x: Optional[np.ndarray] = None,
             calibration: Optional[CalibrationTable] = None,
             mechanism: str = "custom",
-            batch: Optional[int] = None) -> InferenceResult:
+            batch: Optional[int] = None,
+            compiled: bool = False,
+            program=None) -> InferenceResult:
         """Execute ``graph`` according to ``plan``.
 
         Args:
@@ -128,6 +166,16 @@ class Executor:
                 the plan's batch.  A plan built for batch B > 1 only
                 runs at batch B; a batch-1 plan runs at any batch (its
                 splits are then reused, only the timing scales).
+            compiled: compute the functional outputs through the
+                compiled fused program instead of the per-layer
+                interpreter (byte-identical results; timing is
+                unaffected).  Ignored for timing-only runs.
+            program: a pre-compiled
+                :class:`~repro.compile.program.CompiledProgram` to run
+                (implies ``compiled=True``); must match the graph,
+                calibration, and batch.  When omitted, the executor
+                compiles and memoizes one per (graph, plan,
+                calibration, batch).
 
         Returns:
             The inference result with latency, energy, traces, and
@@ -135,11 +183,37 @@ class Executor:
         """
         plan.validate(graph)
         batch = self._resolve_batch(plan, x, batch)
+        compiled = (compiled or program is not None) and x is not None
         report = (self._verify_static(graph, plan, calibration)
                   if self.verify else None)
-        run_state = _RunState(self, graph, plan, x, calibration, batch)
+        if compiled:
+            if program is None:
+                program = self.program_for(graph, plan, calibration,
+                                           batch, mechanism=mechanism)
+            elif program.batch != batch:
+                raise PlanError(
+                    f"program was compiled for batch {program.batch} "
+                    f"but the run uses batch {batch}")
+            elif not program.matches(graph, calibration):
+                raise PlanError(
+                    "compiled program is stale for this graph/"
+                    "calibration; recompile it")
+            if report is not None:
+                from ..analysis.plan_verifier import verify_program
+                report.extend(verify_program(graph, plan, program))
+                report.raise_if_errors(
+                    f"compiled program for {graph.name!r} on "
+                    f"{self.soc.name}")
+        # Compiled runs drive the timing model without the per-layer
+        # interpreter (x withheld from the run state), then attach the
+        # program's outputs to the result.
+        run_state = _RunState(self, graph, plan,
+                              None if compiled else x, calibration,
+                              batch)
         run_state.execute()
         result = run_state.result(mechanism)
+        if compiled:
+            result.outputs = program.run(x, keep="all")
         if report is not None:
             self._verify_timeline(graph, plan, result, report)
         return result

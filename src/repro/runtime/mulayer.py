@@ -44,6 +44,10 @@ class MuLayer:
             optimizations (ablations flip them off).
         verify: run the static analyzers around every execution (see
             :class:`~repro.runtime.executor.Executor`).
+        compiled: execute functional runs through the compiled fused
+            program (byte-identical outputs, lower wall clock); the
+            program is cached in the plan cache next to its plan and
+            invalidated with it.
         plan_cache: an externally shared
             :class:`~repro.runtime.plan_cache.PlanCache` (the serving
             fleet passes one cache to many runtimes); a private cache
@@ -58,10 +62,12 @@ class MuLayer:
                  zero_copy: bool = True,
                  async_issue: bool = True,
                  verify: bool = False,
+                 compiled: bool = False,
                  predictor: Optional[LatencyPredictor] = None,
                  plan_cache: Optional[PlanCache] = None) -> None:
         self.soc = soc
         self.policy = policy
+        self.compiled = compiled
         config = PartitionerConfig(
             enable_channel_distribution=enable_channel_distribution,
             enable_branch_distribution=enable_branch_distribution,
@@ -90,9 +96,34 @@ class MuLayer:
             self._plan_key(graph, batch),
             lambda: self.partitioner.plan(graph, batch=batch))
 
+    def program(self, graph: Graph,
+                calibration: Optional[CalibrationTable] = None,
+                batch: int = 1):
+        """The compiled program for ``graph`` (cached next to its plan).
+
+        The program is keyed by the plan's cache identity plus the run
+        batch, identity-validated against the graph's current weight
+        arrays and the calibration table on every lookup, and dropped
+        whenever its plan is replaced or evicted.
+        """
+        # Imported lazily: repro.compile imports the analysis package,
+        # which imports this one.
+        from ..compile import compile_program
+        key = self._plan_key(graph, batch)
+        plan = self.plan(graph, batch=batch)
+        program = self.plan_cache.get_program(
+            key, batch, graph=graph, calibration=calibration)
+        if program is None or program.plan is not plan:
+            program = compile_program(graph, plan,
+                                      calibration=calibration,
+                                      batch=batch, mechanism="mulayer")
+            self.plan_cache.put_program(key, batch, program)
+        return program
+
     def run(self, graph: Graph, x: Optional[np.ndarray] = None,
             calibration: Optional[CalibrationTable] = None,
-            batch: Optional[int] = None) -> InferenceResult:
+            batch: Optional[int] = None,
+            compiled: Optional[bool] = None) -> InferenceResult:
         """Plan (if needed) and execute one inference.
 
         Args:
@@ -103,13 +134,21 @@ class MuLayer:
                 runs under a quantized policy.
             batch: batch size to plan and time for; defaults to the
                 leading dimension of ``x`` when data is given, else 1.
+            compiled: override the runtime's ``compiled`` setting for
+                this run.
         """
         if batch is None:
             batch = int(x.shape[0]) if x is not None else 1
         plan = self.plan(graph, batch=batch)
+        use_compiled = self.compiled if compiled is None else compiled
+        program = None
+        if use_compiled and x is not None:
+            program = self.program(graph, calibration=calibration,
+                                   batch=batch)
         return self.executor.run(graph, plan, x=x,
                                  calibration=calibration,
-                                 mechanism="mulayer", batch=batch)
+                                 mechanism="mulayer", batch=batch,
+                                 program=program)
 
 
 def mulayer_ablation_stages(soc: SoCSpec,

@@ -1,4 +1,4 @@
-"""A shared execution-plan cache.
+"""A shared execution-plan (and compiled-program) cache.
 
 Partitioning is by far the most expensive step of an inference request
 (the partitioner sweeps candidate splits per layer and profiles branch
@@ -8,6 +8,16 @@ The serving layer therefore shares one :class:`PlanCache` across all
 devices of a fleet so the partitioner runs once per configuration
 instead of once per request; :class:`~repro.runtime.mulayer.MuLayer`
 uses the same cache type for its per-graph memoization.
+
+Next to each plan the cache can hold the plan's **compiled programs**
+(:class:`~repro.compile.program.CompiledProgram`), keyed by the same
+:class:`PlanKey` plus the run batch they were specialized for.
+Programs live and die with their plan: storing a new plan under a key
+or evicting the key drops its programs, and a lookup that passes the
+current graph/calibration identity-validates the entry (a stale
+program -- ``set_weights`` installed new arrays -- is dropped and
+reported as a miss), the same discipline the packed-operand caches
+apply.
 
 The cache is thread-safe (the serving simulator's fleet shares it
 across device contexts, and warm-up may populate it concurrently) and
@@ -21,9 +31,30 @@ from __future__ import annotations
 import dataclasses
 import threading
 from collections import OrderedDict
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
+from ..quant.calibrate import CalibrationTable
 from .plan import ExecutionPlan
+
+if TYPE_CHECKING:   # pragma: no cover - typing only (avoids a cycle)
+    from ..compile.program import CompiledProgram
+    from ..nn import Graph
+
+
+def _drop_programs(programs: "OrderedDict[Tuple[PlanKey, int], "
+                             "CompiledProgram]",
+                   key: "PlanKey") -> int:
+    """Drop every program attached to ``key``; returns the count.
+
+    Mutates the mapping it is handed; callers must hold the cache
+    lock, which is why this lives outside the class -- the linter can
+    then see every write to cache state happen under ``with
+    self._lock``.
+    """
+    dropped = [pk for pk in programs if pk[0] == key]
+    for pk in dropped:
+        del programs[pk]
+    return len(dropped)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,7 +86,9 @@ class PlanCache:
 
     Args:
         max_entries: optional LRU bound; None (the default) never
-            evicts, preserving the original unbounded behaviour.
+            evicts, preserving the original unbounded behaviour.  The
+            same bound applies independently to the compiled-program
+            side table.
     """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
@@ -63,10 +96,15 @@ class PlanCache:
             raise ValueError("max_entries must be >= 1 or None")
         self.max_entries = max_entries
         self._plans: "OrderedDict[PlanKey, ExecutionPlan]" = OrderedDict()
+        self._programs: ("OrderedDict[Tuple[PlanKey, int], "
+                         "CompiledProgram]") = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.program_hits = 0
+        self.program_misses = 0
+        self.program_evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -89,14 +127,25 @@ class PlanCache:
 
     def put(self, key: PlanKey, plan: ExecutionPlan) -> None:
         """Store ``plan`` under ``key``, evicting the least recently
-        used entry beyond ``max_entries``."""
+        used entry beyond ``max_entries``.
+
+        Replacing a key's plan (or evicting one) also drops every
+        compiled program attached to that key -- a program lowers one
+        specific plan and must never outlive it.
+        """
         with self._lock:
+            replaced = key in self._plans
             self._plans[key] = plan
             self._plans.move_to_end(key)
+            if replaced:
+                self.program_evictions += _drop_programs(self._programs,
+                                                         key)
             if (self.max_entries is not None
                     and len(self._plans) > self.max_entries):
-                self._plans.popitem(last=False)
+                evicted_key, _ = self._plans.popitem(last=False)
                 self.evictions += 1
+                self.program_evictions += _drop_programs(self._programs,
+                                                         evicted_key)
 
     def get_or_build(self, key: PlanKey,
                      builder: Callable[[], ExecutionPlan]
@@ -113,20 +162,86 @@ class PlanCache:
             self.put(key, plan)
         return plan
 
+    # -- compiled programs ---------------------------------------------------
+
+    def program_count(self) -> int:
+        """Number of compiled programs currently cached."""
+        with self._lock:
+            return len(self._programs)
+
+    def get_program(self, key: PlanKey, batch: int,
+                    graph: "Optional[Graph]" = None,
+                    calibration: Optional[CalibrationTable] = None
+                    ) -> "Optional[CompiledProgram]":
+        """The compiled program for (``key``, ``batch``), if current.
+
+        When ``graph`` is given the entry is identity-validated
+        against it (and against ``calibration``): a stale program --
+        the graph object changed, ``set_weights`` installed new
+        weight arrays, or the calibration table differs -- is dropped
+        and the lookup counts as a miss, exactly like the packed-
+        operand caches' source-identity validation.
+        """
+        with self._lock:
+            program = self._programs.get((key, batch))
+            if program is not None and graph is not None \
+                    and not program.matches(graph, calibration):
+                del self._programs[(key, batch)]
+                self.program_evictions += 1
+                program = None
+            if program is None:
+                self.program_misses += 1
+            else:
+                self.program_hits += 1
+                self._programs.move_to_end((key, batch))
+            return program
+
+    def put_program(self, key: PlanKey, batch: int,
+                    program: "CompiledProgram") -> None:
+        """Attach a compiled program to its plan's key.
+
+        Requires the plan to be cached (a program must never outlive
+        or predate its plan); evicts the least recently used program
+        beyond ``max_entries``.
+        """
+        with self._lock:
+            if key not in self._plans:
+                raise KeyError(
+                    f"cannot cache a program for {key}: no plan is "
+                    "cached under that key")
+            self._programs[(key, batch)] = program
+            self._programs.move_to_end((key, batch))
+            if (self.max_entries is not None
+                    and len(self._programs) > self.max_entries):
+                self._programs.popitem(last=False)
+                self.program_evictions += 1
+
     @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the cache (0.0 when cold)."""
         lookups = self.hits + self.misses
         return self.hits / lookups if lookups else 0.0
 
+    @property
+    def program_hit_rate(self) -> float:
+        """Fraction of program lookups served from the cache."""
+        lookups = self.program_hits + self.program_misses
+        return self.program_hits / lookups if lookups else 0.0
+
     def stats(self) -> Dict[str, float]:
         """Counters as a JSON-friendly dict."""
         with self._lock:
             entries = float(len(self._plans))
+            program_entries = float(len(self._programs))
         return {
             "entries": entries,
             "hits": float(self.hits),
             "misses": float(self.misses),
             "hit_rate": self.hit_rate,
             "evictions": float(self.evictions),
+            "program_entries": program_entries,
+            "program_hits": float(self.program_hits),
+            "program_misses": float(self.program_misses),
+            "program_hit_rate": self.program_hit_rate,
+            "program_evictions": float(self.program_evictions),
         }

@@ -302,18 +302,25 @@ class Fleet:
         plan_cache: externally shared cache; a fresh one by default.
         memoize_results: replay the deterministic executor result per
             configuration instead of re-executing it per request.
+        compiled: request compiled (fused, arena-planned) execution
+            for functional runs.  Fleet dispatches are timing-only
+            (no input data), where compiled and functional execution
+            report identical latencies, so this is a passthrough for
+            callers that feed the fleet's executors data directly.
     """
 
     def __init__(self, socs: Sequence[SoCSpec],
                  policy: QuantizationPolicy = PROCESSOR_FRIENDLY,
                  plan_cache: Optional[PlanCache] = None,
-                 memoize_results: bool = True) -> None:
+                 memoize_results: bool = True,
+                 compiled: bool = False) -> None:
         if not socs:
             raise ValueError("a fleet needs at least one device")
         self.policy = policy
         self.plan_cache = plan_cache if plan_cache is not None else (
             PlanCache())
         self.memoize_results = memoize_results
+        self.compiled = compiled
         self._contexts: Dict[str, _SoCContext] = {}
         self.devices: List[Device] = []
         for index, soc in enumerate(socs):
@@ -333,7 +340,8 @@ class Fleet:
     def build(cls, soc_names: Sequence[str], num_devices: int,
               policy: QuantizationPolicy = PROCESSOR_FRIENDLY,
               plan_cache: Optional[PlanCache] = None,
-              memoize_results: bool = True) -> "Fleet":
+              memoize_results: bool = True,
+              compiled: bool = False) -> "Fleet":
         """A fleet of ``num_devices`` cycling through ``soc_names``."""
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
@@ -342,7 +350,7 @@ class Fleet:
         cycle = itertools.cycle([soc_by_name(name) for name in soc_names])
         socs = [next(cycle) for _ in range(num_devices)]
         return cls(socs, policy=policy, plan_cache=plan_cache,
-                   memoize_results=memoize_results)
+                   memoize_results=memoize_results, compiled=compiled)
 
     # -- lookups -------------------------------------------------------------
 
@@ -551,7 +559,7 @@ class Fleet:
         kwargs = {"batch": batch} if batch > 1 else {}
         result = context.executor.run(
             self.graph(model), plan, mechanism=f"serve-{mechanism}",
-            **kwargs)
+            compiled=self.compiled, **kwargs)
         if self.memoize_results:
             self._results[key] = result
         return result

@@ -1,0 +1,127 @@
+"""Lifecycle of compiled programs: caching, invalidation, PV012.
+
+A compiled program lowers one specific plan over one specific set of
+weight arrays; these tests pin the discipline that keeps it honest:
+programs live and die with their plan in the :class:`PlanCache`,
+``set_weights`` makes cached programs stale (identity-validated
+lookups miss and recompile), and the PV012 verification rule proves a
+program consistent with the plan it claims to implement.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_program
+from repro.compile import compile_program
+from repro.runtime import MuLayer, UNIFORM_F32
+from repro.runtime.baselines import single_processor_plan
+from repro.runtime.plan_cache import PlanCache, PlanKey
+from repro.soc import EXYNOS_7420
+
+
+def _key(name="m", batch=1):
+    return PlanKey(model=name, soc="exynos7420", mechanism="mulayer",
+                   policy="pfq", batch=batch)
+
+
+def _plan(graph):
+    return single_processor_plan(graph, "cpu", UNIFORM_F32)
+
+
+class TestPlanCachePrograms:
+    def test_program_cached_next_to_plan(self, vgg_mini):
+        cache = PlanCache()
+        plan = _plan(vgg_mini)
+        program = compile_program(vgg_mini, plan)
+        cache.put(_key(), plan)
+        cache.put_program(_key(), 1, program)
+        assert cache.program_count() == 1
+        assert cache.get_program(_key(), 1, graph=vgg_mini) is program
+        assert cache.program_hits == 1
+
+    def test_put_program_requires_plan(self, vgg_mini):
+        cache = PlanCache()
+        program = compile_program(vgg_mini, _plan(vgg_mini))
+        with pytest.raises(KeyError):
+            cache.put_program(_key(), 1, program)
+
+    def test_replacing_plan_drops_its_programs(self, vgg_mini):
+        cache = PlanCache()
+        plan = _plan(vgg_mini)
+        cache.put(_key(), plan)
+        cache.put_program(_key(), 1, compile_program(vgg_mini, plan))
+        cache.put(_key(), dataclasses.replace(plan))
+        assert cache.program_count() == 0
+        assert cache.program_evictions == 1
+        assert cache.get_program(_key(), 1) is None
+
+    def test_lru_eviction_drops_programs(self, vgg_mini):
+        cache = PlanCache(max_entries=1)
+        plan = _plan(vgg_mini)
+        cache.put(_key("a"), plan)
+        cache.put_program(_key("a"), 1,
+                          compile_program(vgg_mini, plan))
+        cache.put(_key("b"), dataclasses.replace(plan))
+        assert _key("a") not in cache
+        assert cache.program_count() == 0
+
+    def test_set_weights_invalidates_cached_program(self, rng):
+        """New weight arrays make the cached program stale: the
+        identity-validated lookup misses, and the runtime recompiles
+        against the new arrays."""
+        from repro.models import build_model
+
+        graph = build_model("vgg_mini")
+        runtime = MuLayer(EXYNOS_7420, UNIFORM_F32)
+        first = runtime.program(graph)
+        assert runtime.program(graph) is first   # cached
+
+        name = next(n for n in graph.compute_layers()
+                    if graph.layer(n).weights is not None)
+        layer = graph.layer(name)
+        layer.set_weights(layer.weights.copy(), layer.bias.copy())
+        assert first.is_stale(graph)
+        misses_before = runtime.plan_cache.program_misses
+        second = runtime.program(graph)
+        assert second is not first
+        assert runtime.plan_cache.program_misses == misses_before + 1
+        assert not second.is_stale(graph)
+
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+        out = graph.output_layers()[0]
+        compiled = runtime.run(graph, x, compiled=True)
+        functional = runtime.run(graph, x, compiled=False)
+        assert (compiled.outputs[out].data.tobytes()
+                == functional.outputs[out].data.tobytes())
+
+
+class TestVerifyProgramPV012:
+    def test_clean_program_passes(self, vgg_mini):
+        plan = _plan(vgg_mini)
+        program = compile_program(vgg_mini, plan)
+        report = verify_program(vgg_mini, plan, program)
+        assert report.ok, report.render()
+
+    def test_wrong_plan_object_is_flagged(self, vgg_mini):
+        plan = _plan(vgg_mini)
+        program = compile_program(vgg_mini, plan)
+        report = verify_program(vgg_mini, dataclasses.replace(plan),
+                                program)
+        assert not report.ok
+        assert any(d.rule == "PV012" for d in report.diagnostics)
+
+    def test_stale_weights_are_flagged(self, rng):
+        from repro.models import build_model
+
+        graph = build_model("vgg_mini")
+        plan = _plan(graph)
+        program = compile_program(graph, plan)
+        name = next(n for n in graph.compute_layers()
+                    if graph.layer(n).weights is not None)
+        layer = graph.layer(name)
+        layer.set_weights(layer.weights.copy(), layer.bias.copy())
+        report = verify_program(graph, plan, program)
+        assert not report.ok
+        assert any(d.rule == "PV012" for d in report.diagnostics)

@@ -62,7 +62,11 @@ class TestPlanCache:
         cache.get(PlanKey("m", "s", "cpu", "p"))
         stats = cache.stats()
         assert stats == {"entries": 0.0, "hits": 0.0, "misses": 1.0,
-                         "hit_rate": 0.0, "evictions": 0.0}
+                         "hit_rate": 0.0, "evictions": 0.0,
+                         "program_entries": 0.0, "program_hits": 0.0,
+                         "program_misses": 0.0,
+                         "program_hit_rate": 0.0,
+                         "program_evictions": 0.0}
 
     def test_cold_cache_hit_rate_zero(self):
         assert PlanCache().hit_rate == 0.0
