@@ -7,11 +7,15 @@ Six analyzers, one diagnostic vocabulary:
   graph and SoC before anything runs (rules ``PV001``-``PV011``),
   and -- via :func:`verify_program` -- proves a lowered
   :class:`~repro.compile.program.CompiledProgram` consistent with the
-  plan it claims to implement (rule ``PV012``);
+  plan it claims to implement (rule ``PV012``), while
+  :func:`verify_step_dag` proves the program's step DAG sound for
+  thread-parallel execution (rule ``PV013``);
 * :class:`TimelineRaceDetector` -- checks a post-run
   :class:`~repro.soc.Timeline` against the graph's happens-before
   relation and the CPU-accelerator handoff protocol
-  (rules ``RC001``-``RC006``);
+  (rules ``RC001``-``RC006``); :func:`check_step_trace` replays a
+  traced parallel run against the step DAG's dependence edges
+  (rules ``RC007``/``RC008``);
 * :class:`DtypeFlowLinter` -- abstract interpretation of the
   quantization dtype/scale facts flowing along graph edges
   (rules ``DT001``-``DT004``);
@@ -41,8 +45,9 @@ from .dtypeflow import DtypeFact, DtypeFlowLinter
 from .memory import (ArenaLayout, ArenaSlot, BufferInterval,
                      FootprintSummary, MemoryFootprintAnalyzer,
                      build_arena)
-from .plan_verifier import PlanVerifier, verify_program
-from .races import TimelineRaceDetector
+from .plan_verifier import (PlanVerifier, verify_program,
+                            verify_step_dag)
+from .races import TimelineRaceDetector, check_step_trace
 from .sarif import (apply_baseline, baseline_document, fingerprint,
                     load_baseline, report_to_sarif, split_locus)
 from .schedulability import (ClusterSchedulabilityAnalyzer,
@@ -79,6 +84,7 @@ __all__ = [
     "baseline_document",
     "build_arena",
     "build_plan",
+    "check_step_trace",
     "fingerprint",
     "lint_cluster_config",
     "lint_serve_config",
@@ -89,5 +95,6 @@ __all__ = [
     "verify_mechanism",
     "verify_run",
     "verify_static",
+    "verify_step_dag",
     "verify_sweep",
 ]

@@ -20,6 +20,9 @@ Commands:
 ``run``, ``serve``, and ``verify`` accept ``--compiled`` (run the
 compiled fused execution path / prove it consistent, rule PV012);
 ``bench`` times it by default (``--no-compiled`` to skip).
+``run``, ``serve``, and ``bench`` accept ``--workers N`` -- the
+worker-thread count for compiled execution (the cooperative-slice and
+branch-parallel runtime; outputs are byte-identical at any count).
 ``run``, ``compare``, ``verify``, ``serve``, ``cluster``, and
 ``bench`` all accept ``--json`` for machine-readable output.
 ``verify``, ``figure``, ``serve``, ``cluster``, and ``bench`` accept
@@ -76,6 +79,11 @@ def _build_parser() -> argparse.ArgumentParser:
                           "byte-identity against the per-layer "
                           "interpreter, and reports the program's "
                           "fused steps and arena size")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="worker threads for --compiled execution "
+                          "(default: CPU count capped at 4; 1 = the "
+                          "serial loop; outputs are byte-identical "
+                          "either way)")
     run.add_argument("--plan", action="store_true",
                      help="print the execution plan")
     run.add_argument("--gantt", action="store_true",
@@ -143,6 +151,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "their plans (serve dispatches are "
                             "timing-only, so this exercises the "
                             "program cache plumbing)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker threads shared by the fleet's "
+                            "compiled executors (one pool for all "
+                            "replicas; default 1 = serial)")
     serve.add_argument("--plan-cache-size", type=int, default=None,
                        metavar="N",
                        help="bound the shared plan cache to N entries "
@@ -327,8 +339,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench",
         help="wall-clock benchmark of functional execution and sweeps")
     bench.add_argument("--models", default=None,
-                       help="comma-separated models (default: the "
-                            "mini zoo)")
+                       help="comma-separated models; each entry may "
+                            "be a glob over the registered zoo, e.g. "
+                            "'*_mini' or 'vgg*' (default: the mini "
+                            "zoo)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="warm inferences measured per model "
                             "(default 3)")
@@ -342,6 +356,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(e.g. BENCH_e2e.json)")
     bench.add_argument("--json", action="store_true",
                        help="print the results as JSON")
+    bench.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="max worker count of the thread-parallel "
+                            "compiled benchmark axis (default 4: "
+                            "times workers 1, 2, and 4; 1 skips the "
+                            "'parallel' block)")
     bench.add_argument("--compiled", action=argparse.BooleanOptionalAction,
                        default=True,
                        help="benchmark the compiled fused execution "
@@ -400,8 +419,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graph = build_model(args.model, with_weights=args.compiled)
     compiled_info: Optional[Dict[str, object]] = None
     if args.mechanism == "mulayer":
+        from .runtime.workers import default_workers
+        workers = (default_workers() if args.workers is None
+                   else args.workers)
         runtime = MuLayer(soc, use_oracle_costs=args.oracle,
-                          compiled=args.compiled)
+                          compiled=args.compiled, workers=workers)
         if args.compiled:
             result, compiled_info = _run_compiled(runtime, graph)
         else:
@@ -643,7 +665,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     plan_cache = (PlanCache(max_entries=args.plan_cache_size)
                   if args.plan_cache_size is not None else None)
     fleet = Fleet.build(soc_names, args.devices, plan_cache=plan_cache,
-                        compiled=args.compiled)
+                        compiled=args.compiled, workers=args.workers)
     batch_timeout_s = (args.batch_timeout_ms / 1e3
                        if args.batch_timeout_ms is not None else None)
     scheduler = make_scheduler(args.scheduler, max_batch=args.max_batch,
@@ -953,9 +975,29 @@ def _cmd_figure(name: str, jobs: Optional[int] = None) -> int:
     return 0
 
 
+def _expand_model_globs(text: str) -> List[str]:
+    """Comma-separated model names, each optionally a zoo glob."""
+    import fnmatch
+    registered = list_models()
+    chosen: List[str] = []
+    for pattern in text.split(","):
+        if any(wildcard in pattern for wildcard in "*?["):
+            matches = [name for name in registered
+                       if fnmatch.fnmatchcase(name, pattern)]
+            if not matches:
+                raise SystemExit(
+                    f"bench: --models pattern {pattern!r} matches no "
+                    f"registered model (see list-models)")
+            chosen.extend(name for name in matches
+                          if name not in chosen)
+        elif pattern not in chosen:
+            chosen.append(pattern)
+    return chosen
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .harness.bench import render_bench, run_bench
-    models = args.models.split(",") if args.models else None
+    models = _expand_model_globs(args.models) if args.models else None
     if args.fleet:
         from .harness.bench import render_fleet_bench, run_fleet_bench
         fleet_kwargs: Dict[str, object] = {}
@@ -992,7 +1034,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             print(render_serve_batch_bench(results))
         return 0
     results = run_bench(models=models, repeats=args.repeats,
-                        jobs=args.jobs, compiled=args.compiled)
+                        jobs=args.jobs, compiled=args.compiled,
+                        workers=args.workers)
     if args.output:
         with open(args.output, "w") as handle:
             json.dump(results, handle, indent=2, sort_keys=True)

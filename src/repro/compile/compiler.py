@@ -66,7 +66,8 @@ from ..runtime.distribution import channel_ranges
 from ..runtime.plan import ExecutionPlan, LayerAssignment
 from ..tensor import DType, QuantParams
 from .program import (CompiledProgram, CompiledStep, InputSpec,
-                      PlacementPart, StepFn)
+                      PlacementPart, PrepareFn, StepFn,
+                      StepParallelSpec)
 
 #: Layers lowered through the shared GEMM path.
 _GemmLayer = Union[Conv2D, FullyConnected]
@@ -187,7 +188,8 @@ class _Lowering:
 
     # -- GEMM layers (conv / FC) ----------------------------------------------
 
-    def lower_gemm(self, name: str) -> StepFn:
+    def lower_gemm(self, name: str
+                   ) -> Tuple[StepFn, StepParallelSpec]:
         layer = self.graph.layer(name)
         assert isinstance(layer, (Conv2D, FullyConnected))
         if layer.weights is None or layer.bias is None:
@@ -208,8 +210,9 @@ class _Lowering:
         # call shapes at batch > 1; integer pipelines always fold.
         chunk = per_sample_rows if self.batch > 1 else None
 
+        placements = self.placement_parts(name)
         parts = []
-        for resource, rng in self.placement_parts(name):
+        for resource, rng in placements:
             parts.append(self._gemm_part(name, layer, resource, rng,
                                          x_qparams, chunk))
         lhs_builders = self._gemm_lhs_builders(layer, x_qparams)
@@ -229,12 +232,17 @@ class _Lowering:
                 return outs[0]
             return np.concatenate(outs, axis=axis)
 
-        return fn
+        spec = StepParallelSpec(
+            prepare=lhs_builders,
+            parts=tuple((variant, rng, part)
+                        for (variant, part), (_, rng)
+                        in zip(parts, placements)),
+            axis=axis)
+        return fn, spec
 
     def _gemm_lhs_builders(self, layer: _GemmLayer,
                            x_qparams: Optional[QuantParams]
-                           ) -> Dict[str, Callable[[np.ndarray],
-                                                   np.ndarray]]:
+                           ) -> Dict[str, PrepareFn]:
         """Per-variant activation-side lowerings of one GEMM layer.
 
         Under QUInt8 storage every variant derives from the shared
@@ -242,9 +250,15 @@ class _Lowering:
         256-entry dequantization table, exactly as the functional
         column cache shares them between a cooperative layer's integer
         and F16 placements.
+
+        Every builder takes an optional ``scratch`` buffer (a
+        per-worker flat uint8 array) that, when given, receives the
+        im2col column matrix in place of a fresh allocation -- the
+        parallel runtime's pre-planned transient slot.  Values are
+        identical with or without it.
         """
         is_conv = isinstance(layer, Conv2D)
-        builders: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
+        builders: Dict[str, PrepareFn] = {}
         # Half-precision variants carry float32 arrays holding exactly
         # representable f16 values: rounding through f16 *before* the
         # gather/im2col and widening back commutes exactly with doing
@@ -254,41 +268,77 @@ class _Lowering:
             assert x_qparams is not None
             pad = float(x_qparams.zero_point)
             lut_half = dequantize_lut(x_qparams).astype(np.float32)
+            qp = x_qparams
             if is_conv:
-                def codes3d(x: np.ndarray) -> np.ndarray:
+                def codes3d(x: np.ndarray,
+                            scratch: Optional[np.ndarray]) -> np.ndarray:
                     return im2col(x, layer.kernel, layer.stride,
-                                  layer.padding, pad_value=pad)
+                                  layer.padding, pad_value=pad,
+                                  out=scratch)
 
-                builders["codes"] = (
-                    lambda x: (lambda c: c.reshape(-1, c.shape[-1]))(
-                        codes3d(x)))
-                builders["half"] = (
-                    lambda x: (lambda c: lut_half[c].reshape(
-                        -1, c.shape[-1]))(codes3d(x)))
+                def build_codes(x: np.ndarray,
+                                scratch: Optional[np.ndarray] = None
+                                ) -> np.ndarray:
+                    c = codes3d(x, scratch)
+                    return c.reshape(-1, c.shape[-1])
+
+                def build_half(x: np.ndarray,
+                               scratch: Optional[np.ndarray] = None
+                               ) -> np.ndarray:
+                    c = codes3d(x, scratch)
+                    return lut_half[c].reshape(-1, c.shape[-1])
+
+                builders["codes"] = build_codes
+                builders["half"] = build_half
             else:
-                builders["codes"] = lambda x: x
-                builders["half"] = (
-                    lambda x: dequantize_to_half(x, x_qparams).astype(
-                        np.float32))
+                def build_codes(x: np.ndarray,
+                                scratch: Optional[np.ndarray] = None
+                                ) -> np.ndarray:
+                    return x
+
+                def build_half(x: np.ndarray,
+                               scratch: Optional[np.ndarray] = None
+                               ) -> np.ndarray:
+                    return dequantize_to_half(x, qp).astype(np.float32)
+
+                builders["codes"] = build_codes
+                builders["half"] = build_half
             builders["half_f32"] = builders["half"]
         else:
             if is_conv:
-                builders["f16"] = (
-                    lambda x: (lambda c: c.reshape(-1, c.shape[-1]))(
-                        im2col(x.astype(np.float32).astype(np.float16)
+                def build_f16(x: np.ndarray,
+                              scratch: Optional[np.ndarray] = None
+                              ) -> np.ndarray:
+                    c = im2col(x.astype(np.float32).astype(np.float16)
                                .astype(np.float32),
                                layer.kernel, layer.stride, layer.padding,
-                               pad_value=0.0)))
-                builders["f32"] = (
-                    lambda x: (lambda c: c.reshape(-1, c.shape[-1]))(
-                        im2col(x.astype(np.float32), layer.kernel,
+                               pad_value=0.0, out=scratch)
+                    return c.reshape(-1, c.shape[-1])
+
+                def build_f32(x: np.ndarray,
+                              scratch: Optional[np.ndarray] = None
+                              ) -> np.ndarray:
+                    c = im2col(x.astype(np.float32), layer.kernel,
                                layer.stride, layer.padding,
-                               pad_value=0.0)))
+                               pad_value=0.0, out=scratch)
+                    return c.reshape(-1, c.shape[-1])
+
+                builders["f16"] = build_f16
+                builders["f32"] = build_f32
             else:
-                builders["f16"] = (
-                    lambda x: x.astype(np.float32).astype(np.float16)
-                    .astype(np.float32))
-                builders["f32"] = lambda x: x.astype(np.float32)
+                def build_f16(x: np.ndarray,
+                              scratch: Optional[np.ndarray] = None
+                              ) -> np.ndarray:
+                    return (x.astype(np.float32).astype(np.float16)
+                            .astype(np.float32))
+
+                def build_f32(x: np.ndarray,
+                              scratch: Optional[np.ndarray] = None
+                              ) -> np.ndarray:
+                    return x.astype(np.float32)
+
+                builders["f16"] = build_f16
+                builders["f32"] = build_f32
         return builders
 
     def _gemm_part(self, name: str, layer: _GemmLayer, resource: str,
@@ -417,7 +467,8 @@ class _Lowering:
 
     # -- depthwise convolution ------------------------------------------------
 
-    def lower_depthwise(self, name: str) -> StepFn:
+    def lower_depthwise(self, name: str
+                        ) -> Tuple[StepFn, StepParallelSpec]:
         layer = self.graph.layer(name)
         assert isinstance(layer, DepthwiseConv2D)
         if layer.weights is None or layer.bias is None:
@@ -454,7 +505,20 @@ class _Lowering:
                 return outs[0]
             return np.concatenate(outs, axis=1)
 
-        return fn
+        def sliced_part(rng: Optional[Tuple[int, int]],
+                        part: Callable[[np.ndarray], np.ndarray]
+                        ) -> Callable[[np.ndarray], np.ndarray]:
+            def run(cols: np.ndarray) -> np.ndarray:
+                return part(self._slice_columns(cols, rng,
+                                                channels_total))
+            return run
+
+        spec = StepParallelSpec(
+            prepare=dict(columns_builders),
+            parts=tuple((variant, rng, sliced_part(rng, part))
+                        for variant, rng, part in parts),
+            axis=1)
+        return fn, spec
 
     def _slice_columns(self, columns: np.ndarray,
                        rng: Optional[Tuple[int, int]],
@@ -474,20 +538,27 @@ class _Lowering:
             self, layer: DepthwiseConv2D,
             x_qparams: Optional[QuantParams],
             in_shape: Tuple[int, ...]
-    ) -> Dict[str, Callable[[np.ndarray], np.ndarray]]:
+    ) -> Dict[str, PrepareFn]:
         in_h, in_w = int(in_shape[2]), int(in_shape[3])
-        builders: Dict[str, Callable[[np.ndarray], np.ndarray]] = {}
+        builders: Dict[str, PrepareFn] = {}
 
-        def lower(values: np.ndarray, pad: float) -> np.ndarray:
+        def lower(values: np.ndarray, pad: float,
+                  scratch: Optional[np.ndarray]) -> np.ndarray:
             n, c = values.shape[0], values.shape[1]
             return im2col(values.reshape(n * c, 1, in_h, in_w),
                           layer.kernel, layer.stride, layer.padding,
-                          pad_value=pad)
+                          pad_value=pad, out=scratch)
 
         if self.storage is DType.QUINT8:
             assert x_qparams is not None
             pad = float(x_qparams.zero_point)
-            builders["codes"] = lambda x: lower(x, pad)
+
+            def build_codes(x: np.ndarray,
+                            scratch: Optional[np.ndarray] = None
+                            ) -> np.ndarray:
+                return lower(x, pad, scratch)
+
+            builders["codes"] = build_codes
         else:
             def float_values(x: np.ndarray, half: bool) -> np.ndarray:
                 values = x.astype(np.float32)
@@ -495,10 +566,18 @@ class _Lowering:
                     values = values.astype(np.float16).astype(np.float32)
                 return values
 
-            builders["f16f"] = lambda x: lower(float_values(x, True),
-                                               0.0)
-            builders["f32f"] = lambda x: lower(float_values(x, False),
-                                               0.0)
+            def build_f16f(x: np.ndarray,
+                           scratch: Optional[np.ndarray] = None
+                           ) -> np.ndarray:
+                return lower(float_values(x, True), 0.0, scratch)
+
+            def build_f32f(x: np.ndarray,
+                           scratch: Optional[np.ndarray] = None
+                           ) -> np.ndarray:
+                return lower(float_values(x, False), 0.0, scratch)
+
+            builders["f16f"] = build_f16f
+            builders["f32f"] = build_f32f
         return builders
 
     def _depthwise_part(self, name: str, layer: DepthwiseConv2D,
@@ -723,18 +802,19 @@ class _Lowering:
             if isinstance(layer, Input):
                 inputs.append(self.input_spec(name))
                 continue
+            spec: Optional[StepParallelSpec]
             if layer.kind in (LayerKind.CONV, LayerKind.FC):
-                fn = self.lower_gemm(name)
+                fn, spec = self.lower_gemm(name)
             elif layer.kind is LayerKind.DEPTHWISE_CONV:
-                fn = self.lower_depthwise(name)
+                fn, spec = self.lower_depthwise(name)
             else:
-                fn = self.lower_invariant(name)
+                fn, spec = self.lower_invariant(name), None
             steps.append(CompiledStep(
                 layer=name, kind=layer.kind.value,
                 placements=self.placement_parts(name),
                 dtype=self.storage,
                 inputs=tuple(self.graph.inputs_of(name)),
-                fn=fn))
+                fn=fn, parallel=spec))
         shapes = {name: self.out_shape(name)
                   for name in self.graph.topological_order()}
         dtypes = {name: self.storage for name in shapes}

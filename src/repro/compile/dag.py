@@ -1,0 +1,175 @@
+"""Step-level dependency DAG of a :class:`CompiledProgram`.
+
+The compiled program's steps are stored in topological order and the
+serial runner simply executes them left to right.  To run independent
+steps concurrently -- the inception branches of GoogLeNet, or any two
+layers whose data never meets -- the parallel runtime needs the *exact*
+dependence structure, which this module derives statically from two
+sources:
+
+* **data dependences**: step ``j`` reads the output buffer step ``i``
+  produced (``steps[j].inputs`` names ``steps[i].layer``);
+* **arena anti-dependences** (``keep="outputs"`` runs only): the
+  pre-planned arena (:func:`~repro.analysis.memory.plan_arena`) lets
+  two buffers share bytes when their lifetimes are disjoint, which
+  under concurrent execution becomes an *ordering obligation*: every
+  access (the producing write and all consuming reads) of the
+  earlier-lifetime buffer must complete before the later buffer's
+  producer overwrites those bytes.
+
+Edges always point forward in step order for a sound arena -- the
+arena's liveness intervals are computed over the same topological
+order the steps execute in.  :func:`build_step_dag` therefore installs
+only forward edges into the schedule (``deps``/``succs``) but records
+*every* derived edge in :attr:`StepDag.anti_edges` and
+:attr:`StepDag.data_edges`, so the ``PV013`` verifier rule can prove
+(or refute, on a tampered arena) that the full edge set is acyclic and
+forward -- the static guarantee the runtime's scheduler relies on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set, Tuple
+
+from ..analysis.memory import ArenaSlot
+from .program import CompiledProgram
+
+
+def _bytes_overlap(a: ArenaSlot, b: ArenaSlot) -> bool:
+    return (a.offset < b.offset + b.nbytes
+            and b.offset < a.offset + a.nbytes)
+
+
+@dataclasses.dataclass(frozen=True)
+class StepDag:
+    """The dependence structure of one compiled program's steps.
+
+    Attributes:
+        graph_name: the program's graph (provenance/debugging).
+        arena_mode: ``True`` when the DAG includes the arena's
+            anti-dependence edges (``keep="outputs"`` execution);
+            ``False`` for fresh-tensor runs, which alias nothing.
+        deps: per step, the step indices it must wait for (sorted,
+            deduplicated, strictly smaller than the step's own index).
+        succs: the transpose of ``deps``.
+        data_edges: every data-dependence edge ``(producer, consumer)``.
+        anti_edges: every arena anti-dependence edge
+            ``(last accessor of the dying buffer, overwriting
+            producer)`` -- including any *backward* edge a tampered
+            arena would induce, which ``PV013`` reports and the
+            scheduler refuses to install.
+    """
+
+    graph_name: str
+    arena_mode: bool
+    deps: Tuple[Tuple[int, ...], ...]
+    succs: Tuple[Tuple[int, ...], ...]
+    data_edges: Tuple[Tuple[int, int], ...]
+    anti_edges: Tuple[Tuple[int, int], ...]
+
+    def __len__(self) -> int:
+        return len(self.deps)
+
+    @property
+    def roots(self) -> Tuple[int, ...]:
+        """Steps with no dependences (ready immediately)."""
+        return tuple(i for i, deps in enumerate(self.deps) if not deps)
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """Every derived edge, data and anti, deduplicated."""
+        return tuple(sorted(set(self.data_edges) | set(self.anti_edges)))
+
+    def width(self) -> int:
+        """Maximum antichain size under the (forward) edge set -- the
+        best-case step concurrency a scheduler could exploit."""
+        if not self.deps:
+            return 0
+        # Longest-path level per step; steps sharing a level are
+        # pairwise unordered, and the widest level bounds the width
+        # from below tightly enough for reporting purposes.
+        level = [0] * len(self.deps)
+        for i, deps in enumerate(self.deps):
+            level[i] = 1 + max((level[d] for d in deps), default=-1)
+        counts: Dict[int, int] = {}
+        for lvl in level:
+            counts[lvl] = counts.get(lvl, 0) + 1
+        return max(counts.values())
+
+
+def build_step_dag(program: CompiledProgram,
+                   keep: str = "outputs") -> StepDag:
+    """Derive the step DAG of ``program`` for one run mode.
+
+    Args:
+        program: the compiled program to analyze.
+        keep: the run mode the DAG must be sound for -- ``"outputs"``
+            adds the arena's anti-dependence edges on top of the data
+            edges, ``"all"`` (fresh tensors) derives data edges only.
+
+    Returns:
+        The :class:`StepDag`.  Backward or self edges (possible only
+        with a corrupted arena) are recorded in ``anti_edges`` but not
+        installed into ``deps``; run ``PV013``
+        (:func:`~repro.analysis.plan_verifier.verify_step_dag`) to
+        surface them as diagnostics.
+    """
+    if keep not in ("outputs", "all"):
+        raise ValueError(f"keep must be 'outputs' or 'all', got {keep!r}")
+    steps = program.steps
+    producer: Dict[str, int] = {step.layer: i
+                                for i, step in enumerate(steps)}
+    consumers: Dict[str, List[int]] = {}
+    for i, step in enumerate(steps):
+        for name in step.inputs:
+            consumers.setdefault(name, []).append(i)
+
+    data_edges: Set[Tuple[int, int]] = set()
+    for i, step in enumerate(steps):
+        for name in step.inputs:
+            src = producer.get(name)
+            if src is not None:
+                data_edges.add((src, i))
+
+    anti_edges: Set[Tuple[int, int]] = set()
+    arena_mode = keep == "outputs"
+    if arena_mode:
+        slots = program.arena.slots
+        for i, a in enumerate(slots):
+            for b in slots[i + 1:]:
+                if not _bytes_overlap(a, b):
+                    continue
+                # The arena guarantees disjoint lifetimes (MF006);
+                # order the pair by liveness start.
+                earlier, later = ((a, b) if (a.start, a.end)
+                                  <= (b.start, b.end) else (b, a))
+                dst = producer.get(later.buffer)
+                if dst is None:
+                    # Graph inputs are seeded serially before any step
+                    # runs; bytes dying *into* an input cannot occur
+                    # in a sound arena and need no edge either way.
+                    continue
+                accesses = list(consumers.get(earlier.buffer, ()))
+                src_def = producer.get(earlier.buffer)
+                if src_def is not None:
+                    accesses.append(src_def)
+                for src in accesses:
+                    if src != dst:
+                        anti_edges.add((src, dst))
+
+    deps: List[Set[int]] = [set() for _ in steps]
+    for src, dst in data_edges | anti_edges:
+        if src < dst:
+            deps[dst].add(src)
+    succs: List[List[int]] = [[] for _ in steps]
+    for dst, dep_set in enumerate(deps):
+        for src in dep_set:
+            succs[src].append(dst)
+    return StepDag(
+        graph_name=program.graph_name,
+        arena_mode=arena_mode,
+        deps=tuple(tuple(sorted(d)) for d in deps),
+        succs=tuple(tuple(sorted(s)) for s in succs),
+        data_edges=tuple(sorted(data_edges)),
+        anti_edges=tuple(sorted(anti_edges)))

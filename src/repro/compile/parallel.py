@@ -1,0 +1,398 @@
+"""Thread-parallel execution of compiled programs.
+
+:class:`ParallelRuntime` runs a :class:`~repro.compile.program.
+CompiledProgram` over a persistent :class:`~repro.runtime.workers.
+WorkerPool`, exploiting two axes of concurrency the paper models:
+
+* **branch-level** -- independent steps of the
+  :class:`~repro.compile.dag.StepDag` (GoogLeNet's inception paths)
+  run concurrently; a step is submitted the moment its dependences
+  (data *and* arena anti-dependences) have completed;
+* **part-level** -- a cooperative layer's placement parts (the paper's
+  single-layer CPU/GPU split, Fig. 5) fan out across the pool via
+  help-run groups, each part writing its *pre-planned channel slice*
+  of the step's output so the join is write-disjoint by construction.
+
+**Determinism is the bar**: a parallel run is byte-identical to the
+serial ``program.run`` for any worker count and any schedule, because
+
+* every kernel call has the exact operand shapes the serial closure
+  uses (parts share one prepared-operand build per variant, exactly
+  like the serial per-variant cache);
+* reduction points are order-fixed -- parts land at their static
+  channel offsets (equivalent to the serial fixed-order
+  ``np.concatenate``), never accumulated in completion order;
+* im2col temporaries go to *per-worker* scratch regions sized by
+  :attr:`~repro.analysis.memory.ArenaLayout.scratch_bytes`, so no two
+  concurrent steps share a transient buffer.  Scratch is used only
+  when a step needs exactly one prepared variant: a two-variant step
+  (integer codes + dequantized floats) must not rebuild into the
+  bytes its first variant still references.
+
+``workers=1`` delegates to the serial ``program.run`` loop unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple, cast
+
+import numpy as np
+
+from ..runtime.workers import WorkerPool
+from ..tensor import Tensor
+from .dag import StepDag, build_step_dag
+from .program import CompiledProgram, CompiledStep, StepParallelSpec
+
+#: How many (program, keep) -> StepDag entries the runtime memoizes.
+_DAG_CACHE_ENTRIES = 16
+
+
+@dataclasses.dataclass(frozen=True)
+class StepTaskTrace:
+    """One scheduled task of a traced parallel run.
+
+    Ticks come from one lock-guarded logical clock: if task A finished
+    before task B started (as observed by the runtime), then
+    ``A.end < B.start``.  The ``RC007``/``RC008`` race rules consume
+    these traces.
+
+    Attributes:
+        step: the step index in the program (its DAG node).
+        layer: the step's layer name.
+        part: placement-part index for a part task, ``None`` for a
+            whole-step task.
+        worker: pool worker index the task ran on (``None`` when it
+            ran inline on a thread outside the pool).
+        start / end: logical ticks bracketing the task's execution.
+        reads: buffer names the task read.
+        writes: ``(buffer, channel_range)`` pairs the task wrote;
+            ``None`` range means the whole buffer.
+    """
+
+    step: int
+    layer: str
+    part: Optional[int]
+    worker: Optional[int]
+    start: int
+    end: int
+    reads: Tuple[str, ...]
+    writes: Tuple[Tuple[str, Optional[Tuple[int, int]]], ...]
+
+
+class _Clock:
+    """A lock-guarded logical tick counter for trace ordering."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tick = 0
+
+    def tick(self) -> int:
+        with self._lock:
+            self._tick += 1
+            return self._tick
+
+
+class ParallelRuntime:
+    """Executes compiled programs on a worker pool, deterministically.
+
+    Args:
+        workers: worker-thread count.  ``1`` bypasses the pool and DAG
+            entirely and runs the serial loop.
+        pool: an existing :class:`WorkerPool` to share (the serving
+            fleet dispatches every replica onto one pool); when
+            ``None`` the runtime owns a private pool of ``workers``
+            threads and :meth:`close` stops it.
+    """
+
+    def __init__(self, workers: int,
+                 pool: Optional[WorkerPool] = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._dags: "OrderedDict[Tuple[int, str], Tuple[CompiledProgram, StepDag]]" = OrderedDict()  # noqa: E501
+        self._scratch: Dict[int, np.ndarray] = {}
+        self._scratch_lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The pool (created lazily when the runtime owns it)."""
+        if self._pool is None:
+            self._pool = WorkerPool(self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Stop the pool if this runtime owns it (idempotent)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelRuntime":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- DAG memoization -----------------------------------------------------
+
+    def dag_for(self, program: CompiledProgram,
+                keep: str = "outputs") -> StepDag:
+        """The program's step DAG (memoized; keeps the program alive
+        so its ``id`` cannot be recycled under the cache key)."""
+        key = (id(program), keep)
+        cached = self._dags.get(key)
+        if cached is not None and cached[0] is program:
+            self._dags.move_to_end(key)
+            return cached[1]
+        dag = build_step_dag(program, keep=keep)
+        self._dags[key] = (program, dag)
+        while len(self._dags) > _DAG_CACHE_ENTRIES:
+            self._dags.popitem(last=False)
+        return dag
+
+    # -- scratch -------------------------------------------------------------
+
+    def _scratch_for(self, nbytes: int) -> Optional[np.ndarray]:
+        """The calling worker's transient region, grown to ``nbytes``.
+
+        ``None`` off-pool or for zero-transient programs.  One region
+        per worker is sound because a worker prepares at most one
+        step's operands at a time and the preparing worker blocks
+        until that step's parts have joined (help-run groups), so the
+        bytes stay referenced only while the worker is parked on that
+        step.
+        """
+        if nbytes <= 0:
+            return None
+        worker = self.pool.current_worker()
+        if worker is None:
+            return None
+        with self._scratch_lock:
+            buf = self._scratch.get(worker)
+            if buf is None or buf.nbytes < nbytes:
+                buf = np.empty(nbytes, dtype=np.uint8)
+                self._scratch[worker] = buf
+        return buf
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, program: CompiledProgram, x: np.ndarray,
+            keep: str = "outputs",
+            trace: Optional[List[StepTaskTrace]] = None
+            ) -> Dict[str, Tensor]:
+        """Execute ``program`` on one batch, byte-identical to the
+        serial ``program.run(x, keep)``.
+
+        Args:
+            program: the compiled program.
+            x: the input batch.
+            keep: ``"outputs"`` (arena) or ``"all"`` (fresh tensors).
+            trace: when given, a :class:`StepTaskTrace` per scheduled
+                task is appended for the race verifier.
+        """
+        if keep not in ("outputs", "all"):
+            raise ValueError(f"keep must be 'outputs' or 'all', "
+                             f"got {keep!r}")
+        if self.workers == 1 and trace is None:
+            return program.run(x, keep=keep)
+        x = program.check_input(x)
+        dag = self.dag_for(program, keep=keep)
+        clock = _Clock()
+        sink: List[StepTaskTrace] = [] if trace is None else trace
+        if keep == "all":
+            values: Dict[str, np.ndarray] = {}
+            for spec in program.inputs:
+                values[spec.layer] = spec.fn(x)
+            self._run_dag(program, dag, values, arena=False,
+                          clock=clock, trace=sink)
+            ordered = [spec.layer for spec in program.inputs]
+            ordered += [step.layer for step in program.steps]
+            return {name: program.tensor(name, values[name])
+                    for name in ordered}
+        views = program.arena_views()
+        for spec in program.inputs:
+            np.copyto(views[spec.layer], spec.fn(x))
+        self._run_dag(program, dag, views, arena=True,
+                      clock=clock, trace=sink)
+        return {name: program.tensor(name, views[name].copy())
+                for name in program.outputs}
+
+    def _run_dag(self, program: CompiledProgram, dag: StepDag,
+                 storage: Dict[str, np.ndarray], arena: bool,
+                 clock: _Clock, trace: List[StepTaskTrace]) -> None:
+        """The scheduler: submit ready steps, retire completions."""
+        steps = program.steps
+        if not steps:
+            return
+        pool = self.pool
+        indegree = [len(deps) for deps in dag.deps]
+        done: "queue.SimpleQueue[Tuple[int, Optional[BaseException]]]" \
+            = queue.SimpleQueue()
+        trace_lock = threading.Lock()
+
+        def make_task(index: int) -> Callable[[], None]:
+            def task() -> None:
+                error: Optional[BaseException] = None
+                try:
+                    self._run_step(program, index, storage, arena,
+                                   clock, trace, trace_lock)
+                except BaseException as exc:  # noqa: BLE001 - retired
+                    error = exc
+                done.put((index, error))
+            return task
+
+        outstanding = 0
+        for index in dag.roots:
+            pool.submit(make_task(index))
+            outstanding += 1
+        first_error: Optional[BaseException] = None
+        completed = 0
+        while outstanding:
+            index, error = done.get()
+            outstanding -= 1
+            completed += 1
+            if error is not None:
+                if first_error is None:
+                    first_error = error
+                continue
+            if first_error is not None:
+                continue
+            for succ in dag.succs[index]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    pool.submit(make_task(succ))
+                    outstanding += 1
+        if first_error is not None:
+            raise first_error
+        if completed != len(steps) or any(indegree):
+            raise RuntimeError(
+                f"step DAG of {program.graph_name!r} did not drain: "
+                f"{completed}/{len(steps)} steps completed (cyclic or "
+                f"backward dependences; run PV013)")
+
+    def _run_step(self, program: CompiledProgram, index: int,
+                  storage: Dict[str, np.ndarray], arena: bool,
+                  clock: _Clock, trace: List[StepTaskTrace],
+                  trace_lock: threading.Lock) -> None:
+        step = program.steps[index]
+        start = clock.tick()
+        inputs = [storage[name] for name in step.inputs]
+        spec = step.parallel
+        if spec is not None and self._spec_runnable(spec):
+            out = self._run_spec(program, step, index, spec, inputs,
+                                 storage if arena else None,
+                                 clock, trace, trace_lock)
+        else:
+            out = step.fn(inputs)
+        wrote_whole = out is not None
+        if out is not None:
+            if arena:
+                np.copyto(storage[step.layer], out)
+            else:
+                storage[step.layer] = out
+        end = clock.tick()
+        with trace_lock:
+            # Parts that wrote their own arena slices already recorded
+            # those writes; the step entry then carries only the reads.
+            trace.append(StepTaskTrace(
+                step=index, layer=step.layer, part=None,
+                worker=self.pool.current_worker(),
+                start=start, end=end,
+                reads=tuple(step.inputs),
+                writes=(((step.layer, None),) if wrote_whole else ())))
+
+    @staticmethod
+    def _spec_runnable(spec: StepParallelSpec) -> bool:
+        """Whether the runtime can fan this spec out itself.
+
+        Multi-part specs need the channel-slice join contract: axis 1
+        and a concrete channel range on every part.  Anything else
+        (single-part specs always qualify) falls back to the serial
+        closure, which remains the semantic source of truth.
+        """
+        if len(spec.parts) == 1:
+            return True
+        if spec.axis != 1:
+            return False
+        return all(rng is not None for _, rng, _ in spec.parts)
+
+    def _prepared(self, spec: StepParallelSpec,
+                  x: np.ndarray, scratch_bytes: int
+                  ) -> Dict[str, np.ndarray]:
+        """Build each needed prepared-operand variant exactly once.
+
+        Scratch is offered only when a single variant is needed: with
+        two variants the second build would overwrite the transient
+        bytes the first variant may still reference (the integer
+        ``codes`` lhs *is* the column matrix).
+        """
+        needed: List[str] = []
+        for variant, _, _ in spec.parts:
+            if variant not in needed:
+                needed.append(variant)
+        scratch = (self._scratch_for(scratch_bytes)
+                   if len(needed) == 1 else None)
+        return {variant: spec.prepare[variant](x, scratch=scratch)
+                for variant in needed}
+
+    def _run_spec(self, program: CompiledProgram, step: CompiledStep,
+                  index: int, spec: StepParallelSpec,
+                  inputs: List[np.ndarray],
+                  views: Optional[Dict[str, np.ndarray]],
+                  clock: _Clock, trace: List[StepTaskTrace],
+                  trace_lock: threading.Lock
+                  ) -> Optional[np.ndarray]:
+        """Run one cooperative step: prepare once, fan parts out.
+
+        Returns the assembled output for fresh runs, or ``None`` after
+        writing each part's channel slice directly into the arena view
+        (``views`` given) -- the write-disjoint join.
+        """
+        (x,) = inputs
+        prepared = self._prepared(spec, x,
+                                  program.arena.scratch_bytes)
+        if len(spec.parts) == 1:
+            variant, _, part = spec.parts[0]
+            return part(prepared[variant])
+        out: Optional[np.ndarray] = None
+        view: Optional[np.ndarray] = None
+        if views is not None:
+            view = views[step.layer]
+
+        def make_part(part_index: int
+                      ) -> Callable[[], Optional[np.ndarray]]:
+            variant, rng, part = spec.parts[part_index]
+            assert rng is not None
+            lo, hi = rng
+
+            def task() -> Optional[np.ndarray]:
+                start = clock.tick()
+                block = part(prepared[variant])
+                result: Optional[np.ndarray] = block
+                if view is not None:
+                    np.copyto(view[:, lo:hi], block)
+                    result = None
+                end = clock.tick()
+                with trace_lock:
+                    trace.append(StepTaskTrace(
+                        step=index, layer=step.layer,
+                        part=part_index,
+                        worker=self.pool.current_worker(),
+                        start=start, end=end, reads=(),
+                        writes=((step.layer, (lo, hi)),)))
+                return result
+            return task
+
+        blocks = cast(List[Optional[np.ndarray]], self.pool.run_group(
+            [make_part(i) for i in range(len(spec.parts))]))
+        if view is None:
+            out = np.concatenate(
+                [b for b in blocks if b is not None], axis=spec.axis)
+        return out

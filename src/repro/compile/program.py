@@ -66,6 +66,44 @@ StepFn = Callable[[List[np.ndarray]], np.ndarray]
 #: contiguous output-channel range, or ``None`` for the whole layer.
 PlacementPart = Tuple[str, Optional[Tuple[int, int]]]
 
+#: Builds one prepared-operand variant (im2col columns / dequantized
+#: lhs) from the step's single input array.  The optional ``scratch``
+#: keyword receives a per-worker flat uint8 buffer when the parallel
+#: runtime runs the step on a pool worker (the serial path passes
+#: nothing); values are identical either way.
+PrepareFn = Callable[..., np.ndarray]
+
+#: One concurrent portion of a cooperative step: the prepared-operand
+#: variant it consumes, its output-channel range, and the bound kernel
+#: mapping the prepared operand to that range's output block.
+ParallelPart = Tuple[str, Optional[Tuple[int, int]],
+                     Callable[[np.ndarray], np.ndarray]]
+
+
+@dataclasses.dataclass(frozen=True)
+class StepParallelSpec:
+    """How one cooperative step fans out across pool workers.
+
+    The serial ``fn`` of a :class:`CompiledStep` remains the source of
+    truth; this spec exposes the *same* prepared-operand builders and
+    part kernels individually so the parallel runtime can run the
+    parts concurrently and join them at their fixed channel offsets --
+    byte-identical to ``fn``'s fixed-order ``np.concatenate``.
+
+    Attributes:
+        prepare: prepared-operand builder per variant name (each built
+            at most once per step execution, exactly like the serial
+            closure's per-variant cache).
+        parts: the placement parts in concatenation order; every
+            variant referenced here has a builder in ``prepare``.
+        axis: the concatenation axis of the join (the output-channel
+            axis).
+    """
+
+    prepare: Dict[str, PrepareFn]
+    parts: Tuple[ParallelPart, ...]
+    axis: int
+
 
 @dataclasses.dataclass(frozen=True)
 class CompiledStep:
@@ -81,6 +119,9 @@ class CompiledStep:
         dtype: storage dtype of the step's output.
         inputs: producing layers whose outputs this step consumes.
         fn: the bound kernel closure.
+        parallel: per-part decomposition for the thread-parallel
+            runtime, or ``None`` for steps that execute as one task
+            (single placements and placement-invariant kinds).
     """
 
     layer: str
@@ -89,6 +130,7 @@ class CompiledStep:
     dtype: DType
     inputs: Tuple[str, ...]
     fn: StepFn
+    parallel: Optional[StepParallelSpec] = None
 
 
 @dataclasses.dataclass(frozen=True)
@@ -214,6 +256,23 @@ class CompiledProgram:
                 .view(np_dtype).reshape(shape))
         self._arena_buf = buf
         self._views = views
+
+    def arena_views(self) -> Dict[str, np.ndarray]:
+        """The per-buffer arena views (allocating the arena on first
+        use).  The parallel runtime writes cooperative placement parts
+        directly into channel slices of these views; they alias the
+        same reused storage the serial ``keep="outputs"`` path uses."""
+        self._ensure_arena()
+        return self._views
+
+    def check_input(self, x: np.ndarray) -> np.ndarray:
+        """Validate an input batch against the compiled shapes."""
+        return self._check_input(x)
+
+    def tensor(self, name: str, data: np.ndarray) -> Tensor:
+        """Wrap a storage-domain array in the layer's output tensor
+        metadata (dtype + quantization parameters)."""
+        return self._tensor(name, data)
 
     def _check_input(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x)

@@ -26,6 +26,21 @@ _Out = TypeVar("_Out")
 __all__ = ["default_cli_jobs", "default_jobs", "parallel_map"]
 
 
+def _pin_blas_threads() -> None:
+    """Pool-worker initializer: keep BLAS single-threaded per worker.
+
+    Each worker process runs NumPy kernels of its own; letting every
+    worker's BLAS spin up a full thread team oversubscribes the machine
+    (``jobs x cores`` threads contending for ``cores`` CPUs) and makes
+    the "parallel" sweep slower than the serial one.  The environment
+    knobs must be set before the worker's BLAS creates its thread pool,
+    which is exactly what a pool initializer guarantees.
+    """
+    for variable in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                     "MKL_NUM_THREADS", "NUMEXPR_NUM_THREADS"):
+        os.environ[variable] = "1"
+
+
 def default_jobs() -> int:
     """A sensible process count for sweep fan-out on this machine."""
     return max(1, os.cpu_count() or 1)
@@ -66,7 +81,8 @@ def parallel_map(worker: Callable[[_In], _Out], items: Sequence[_In],
     if jobs is None or jobs == 1 or len(items) <= 1:
         return [worker(item) for item in items]
     try:
-        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)),
+                                   initializer=_pin_blas_threads)
     except (OSError, ValueError, NotImplementedError):
         # Platform cannot create a pool (no /dev/shm, no fork, ...);
         # degrade to the serial path rather than failing the sweep.

@@ -52,6 +52,9 @@ class MuLayer:
             :class:`~repro.runtime.plan_cache.PlanCache` (the serving
             fleet passes one cache to many runtimes); a private cache
             is created when omitted.
+        workers: worker threads for compiled functional execution
+            (see :class:`~repro.runtime.executor.Executor`); ``None``
+            or 1 keeps the serial loop.
     """
 
     def __init__(self, soc: SoCSpec,
@@ -64,7 +67,8 @@ class MuLayer:
                  verify: bool = False,
                  compiled: bool = False,
                  predictor: Optional[LatencyPredictor] = None,
-                 plan_cache: Optional[PlanCache] = None) -> None:
+                 plan_cache: Optional[PlanCache] = None,
+                 workers: Optional[int] = None) -> None:
         self.soc = soc
         self.policy = policy
         self.compiled = compiled
@@ -76,7 +80,8 @@ class MuLayer:
         self.partitioner = Partitioner(soc, policy=policy, config=config,
                                        predictor=predictor)
         self.executor = Executor(soc, zero_copy=zero_copy,
-                                 async_issue=async_issue, verify=verify)
+                                 async_issue=async_issue, verify=verify,
+                                 workers=workers)
         self.plan_cache = plan_cache if plan_cache is not None else (
             PlanCache())
 

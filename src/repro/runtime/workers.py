@@ -1,0 +1,244 @@
+"""A persistent help-run worker pool for thread-parallel execution.
+
+The compiled execution path converts the paper's *modeled* overlap --
+cooperative channel slices and parallel inception branches -- into
+*measured* overlap by running ready steps of a
+:class:`~repro.compile.dag.StepDag` on real threads.  NumPy's BLAS and
+the fused integer kernels release the GIL, so a plain
+:class:`threading.Thread` pool scales on multi-core hosts without any
+multiprocessing serialization.
+
+Two properties distinguish this pool from
+:class:`concurrent.futures.ThreadPoolExecutor`:
+
+* **help-run groups** (:meth:`WorkerPool.run_group`): a task running
+  *on a pool worker* may fan sub-tasks (the cooperative placement
+  parts of one layer) back into the same pool and wait for them.  The
+  waiting thread claims and runs its own still-unclaimed sub-tasks
+  inline, so a full pool can never deadlock on nested fan-out: every
+  sub-task is either executed by another worker (and sub-tasks are
+  leaves -- they never block) or by the waiter itself.
+* **BLAS single-thread guard**: each worker thread holds the process's
+  BLAS thread pools at one thread while the pool is alive (via
+  ``threadpoolctl`` when installed; a documented no-op otherwise), so
+  ``workers`` pool threads do not each spawn a full BLAS team and
+  oversubscribe the cores.  Determinism does not depend on the guard:
+  byte-identity across worker counts comes from issuing the exact same
+  kernel calls on the exact same operand shapes and joining parts at
+  fixed concatenation offsets (see DESIGN.md section 10).
+
+Results are deterministic by construction, never by scheduling: the
+pool guarantees each task runs exactly once and completion is awaited,
+nothing more.  Callers must make every reduction point order-fixed.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from typing import Callable, List, Optional, Sequence
+
+#: The CLI default: one worker per core, capped where mobile SoCs cap
+#: their big cores (and where the paper's CPU+GPU+NPU story tops out).
+_DEFAULT_WORKER_CAP = 4
+
+
+def default_workers() -> int:
+    """``min(os.cpu_count(), 4)``, at least 1 -- the CLI default."""
+    return max(1, min(os.cpu_count() or 1, _DEFAULT_WORKER_CAP))
+
+
+class _BlasLimit:
+    """Best-effort single-thread BLAS limit for the pool's lifetime.
+
+    Uses :mod:`threadpoolctl` when available; otherwise a no-op (the
+    container images this repo targets often lack it, and BLAS thread
+    counts cannot be changed via environment variables after the
+    library has initialized).  CI additionally pins
+    ``OMP_NUM_THREADS``/``OPENBLAS_NUM_THREADS`` at the process level
+    for the parallel jobs, which makes the guard redundant there.
+    """
+
+    def __init__(self) -> None:
+        self._controller: Optional[object] = None
+
+    def acquire(self) -> None:
+        if self._controller is not None:
+            return
+        try:
+            import threadpoolctl
+        except ImportError:
+            return
+        try:
+            self._controller = threadpoolctl.threadpool_limits(
+                limits=1, user_api="blas")
+        except Exception:   # pragma: no cover - defensive
+            self._controller = None
+
+    def release(self) -> None:
+        controller = self._controller
+        self._controller = None
+        if controller is None:
+            return
+        try:
+            controller.restore_original_limits()  # type: ignore[attr-defined]
+        except Exception:   # pragma: no cover - defensive
+            pass
+
+
+class Task:
+    """One unit of pool work: a zero-argument callable plus its fate."""
+
+    __slots__ = ("fn", "result", "error", "claimed", "_done")
+
+    def __init__(self, fn: Callable[[], object]) -> None:
+        self.fn = fn
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+        self.claimed = False
+        self._done = threading.Event()
+
+    @property
+    def done(self) -> bool:
+        """True once the task has finished (successfully or not)."""
+        return self._done.is_set()
+
+    def wait(self) -> None:
+        """Block until the task has finished."""
+        self._done.wait()
+
+    def execute(self) -> None:
+        """Run the task on the calling thread (claim must be held)."""
+        try:
+            self.result = self.fn()
+        except BaseException as exc:   # noqa: BLE001 - repropagated
+            self.error = exc
+        finally:
+            self._done.set()
+
+
+class WorkerPool:
+    """A persistent pool of ``workers`` daemon threads.
+
+    Args:
+        workers: number of worker threads (>= 1).  Threads start
+            lazily on first submission and idle between runs, so a
+            pool held by a long-lived :class:`~repro.runtime.executor.
+            Executor` or serving fleet costs nothing while quiescent.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._queue: "deque[Task]" = deque()
+        self._threads: List[threading.Thread] = []
+        self._local = threading.local()
+        self._blas = _BlasLimit()
+        self._closed = False
+
+    # -- introspection -------------------------------------------------------
+
+    def current_worker(self) -> Optional[int]:
+        """Index of the pool worker running the calling thread.
+
+        ``None`` when called from a thread outside the pool (e.g. the
+        coordinating caller of :meth:`run_group`).  Per-worker scratch
+        buffers key off this index.
+        """
+        return getattr(self._local, "worker", None)
+
+    # -- submission ----------------------------------------------------------
+
+    def _ensure_threads(self) -> None:
+        """Start missing worker threads (caller holds the lock)."""
+        if not self._threads:
+            self._blas.acquire()
+        while len(self._threads) < self.workers:
+            index = len(self._threads)
+            thread = threading.Thread(
+                target=self._worker_loop, args=(index,),
+                name=f"repro-worker-{index}", daemon=True)
+            self._threads.append(thread)
+            thread.start()
+
+    def submit(self, fn: Callable[[], object]) -> Task:
+        """Enqueue one task for the workers; returns its handle."""
+        task = Task(fn)
+        with self._available:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            self._ensure_threads()
+            self._queue.append(task)
+            self._available.notify()
+        return task
+
+    def run_group(self, fns: Sequence[Callable[[], object]]
+                  ) -> List[object]:
+        """Run ``fns`` on the pool and wait for all of them.
+
+        The calling thread *helps*: after submitting, it claims and
+        executes still-unclaimed group tasks inline, then blocks only
+        on tasks already running on other workers.  Safe to call from
+        inside a pool task (nested fan-out cannot deadlock; see the
+        module docstring).  Results come back in submission order; the
+        first failing task's exception is re-raised after the whole
+        group has finished (no torn partial writes are left behind:
+        every sibling completes or fails before the raise).
+        """
+        tasks = [Task(fn) for fn in fns]
+        with self._available:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            self._ensure_threads()
+            self._queue.extend(tasks)
+            self._available.notify(len(tasks))
+        for task in tasks:
+            with self._lock:
+                if task.claimed:
+                    continue
+                self._queue.remove(task)
+                task.claimed = True
+            task.execute()
+        for task in tasks:
+            task.wait()
+        for task in tasks:
+            if task.error is not None:
+                raise task.error
+        return [task.result for task in tasks]
+
+    # -- worker side ---------------------------------------------------------
+
+    def _worker_loop(self, index: int) -> None:
+        self._local.worker = index
+        while True:
+            with self._available:
+                while not self._queue and not self._closed:
+                    self._available.wait()
+                if self._closed and not self._queue:
+                    return
+                task = self._queue.popleft()
+                task.claimed = True
+            task.execute()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain and stop the workers (idempotent)."""
+        with self._available:
+            if self._closed:
+                return
+            self._closed = True
+            self._available.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._blas.release()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

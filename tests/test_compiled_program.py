@@ -9,6 +9,7 @@ program consistent with the plan it claims to implement.
 """
 
 import dataclasses
+import threading
 
 import numpy as np
 import pytest
@@ -95,6 +96,83 @@ class TestPlanCachePrograms:
         functional = runtime.run(graph, x, compiled=False)
         assert (compiled.outputs[out].data.tobytes()
                 == functional.outputs[out].data.tobytes())
+
+
+class TestPlanCacheConcurrency:
+    def test_no_torn_plan_program_pairs_under_hammer(self):
+        """N threads hammer put/get/evict/set_weights on one cache.
+
+        Each key has exactly one (plan, program) pair ever created and
+        only matching pairs are stored, so any lookup observing a
+        foreign plan, a foreign program, or a program whose ``plan``
+        is not its key's plan has caught a torn pair.  A small LRU
+        bound keeps evictions constant, and a mutator thread swaps
+        weight arrays so identity validation races the lookups too.
+        """
+        from repro.models import build_model
+
+        graph = build_model("vgg_mini")
+        cache = PlanCache(max_entries=4)
+        keys = [_key(f"m{i}") for i in range(8)]
+        pairs = {}
+        for key in keys:
+            kplan = dataclasses.replace(_plan(graph))
+            pairs[key] = (kplan, compile_program(graph, kplan))
+        errors = []
+        stop = threading.Event()
+
+        def writer(stripe):
+            for _ in range(150):
+                for key in keys[stripe::2]:
+                    kplan, program = pairs[key]
+                    cache.put(key, kplan)
+                    try:
+                        cache.put_program(key, 1, program)
+                    except KeyError:
+                        pass   # plan evicted between the two puts
+
+        def reader():
+            while not stop.is_set():
+                for key in keys:
+                    kplan, program = pairs[key]
+                    got_plan = cache.get(key)
+                    got_program = cache.get_program(key, 1,
+                                                    graph=graph)
+                    if got_plan is not None and got_plan is not kplan:
+                        errors.append((key, "foreign plan"))
+                    if got_program is None:
+                        continue
+                    if got_program is not program:
+                        errors.append((key, "foreign program"))
+                    elif got_program.plan is not kplan:
+                        errors.append((key, "torn plan/program pair"))
+
+        def mutator():
+            name = next(n for n in graph.compute_layers()
+                        if graph.layer(n).weights is not None)
+            layer = graph.layer(name)
+            for _ in range(50):
+                layer.set_weights(layer.weights.copy(),
+                                  layer.bias.copy())
+
+        writers = [threading.Thread(target=writer, args=(stripe,))
+                   for stripe in range(2)]
+        readers = [threading.Thread(target=reader) for _ in range(2)]
+        swapper = threading.Thread(target=mutator)
+        for thread in writers + readers + [swapper]:
+            thread.start()
+        for thread in writers + [swapper]:
+            thread.join()
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not errors, errors[:5]
+        # Quiescent structural invariant: a cached program never
+        # outlives its plan -- wherever a program is still cached, its
+        # key's plan must be the matching one.
+        for key in keys:
+            if cache.get_program(key, 1) is not None:
+                assert cache.get(key) is pairs[key][0]
 
 
 class TestVerifyProgramPV012:

@@ -1,0 +1,147 @@
+"""Byte-identity of thread-parallel execution across worker counts.
+
+The determinism bar of the parallel runtime, mirroring the compiled
+suite one level up: executing a :class:`CompiledProgram` on the worker
+pool must be *byte-identical* to the serial step loop -- for every
+mini-zoo model, three plan mechanisms (single-processor baseline,
+matched cooperative split, the partitioner's PFQ plan), batch sizes 1
+and 4, both keep modes, and worker counts 1, 2, and 4.  Cooperative
+parts write pre-planned disjoint channel slices and branch outputs
+land in distinct buffers, so no float tolerance and no "mostly equal"
+-- the bytes either match the serial loop or the scheduler has a race.
+
+The CI ``parallel-stress`` job reruns this file 10x with
+``PYTHONHASHSEED`` varied so dict/set iteration orders differ run to
+run; any schedule-dependent reduction would diverge on some iteration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compile import ParallelRuntime, compile_program
+from repro.models import MINI_MODELS, build_model
+from repro.nn import calibrate_graph
+from repro.runtime import (MuLayer, PROCESSOR_FRIENDLY, UNIFORM_F16,
+                           UNIFORM_QUINT8)
+from repro.runtime.baselines import single_processor_plan
+from repro.runtime.executor import Executor
+from repro.runtime.plan import ExecutionPlan, LayerAssignment
+from repro.serve.fleet import Fleet
+from repro.soc import EXYNOS_7420
+
+MECHANISMS = ("baseline", "split", "pfq")
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _split_plan(graph, policy):
+    assignments = {}
+    for name in graph.compute_layers():
+        if graph.layer(name).supports_channel_split:
+            assignments[name] = LayerAssignment.cooperative(name, 0.5)
+        else:
+            assignments[name] = LayerAssignment.on_cpu(name)
+    return ExecutionPlan(graph_name=graph.name, policy=policy,
+                        assignments=assignments)
+
+
+def _plan_for(graph, mechanism):
+    if mechanism == "baseline":
+        return single_processor_plan(graph, "cpu", UNIFORM_QUINT8)
+    if mechanism == "split":
+        return _split_plan(graph, UNIFORM_F16)
+    assert mechanism == "pfq"
+    return MuLayer(EXYNOS_7420, PROCESSOR_FRIENDLY).plan(graph)
+
+
+@pytest.fixture(scope="module")
+def zoo():
+    """Every mini model with weights and a calibration table."""
+    rng = np.random.default_rng(20190325)
+    cells = {}
+    for model in MINI_MODELS:
+        graph = build_model(model)
+        batches = [rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+                   for _ in range(2)]
+        cells[model] = (graph, calibrate_graph(graph, batches))
+    return cells
+
+
+def _assert_identical(serial, parallel, context):
+    assert set(parallel) == set(serial), context
+    for name, expected in serial.items():
+        actual = parallel[name]
+        assert actual.data.dtype == expected.data.dtype, (context, name)
+        assert (actual.data.tobytes()
+                == expected.data.tobytes()), (context, name)
+
+
+@pytest.mark.parametrize("mechanism", MECHANISMS)
+@pytest.mark.parametrize("model", MINI_MODELS)
+def test_worker_counts_are_byte_identical(zoo, model, mechanism):
+    """The full determinism matrix for one (model, mechanism) cell:
+    batch {1, 4} x keep {outputs, all} x workers {1, 2, 4}, every
+    parallel output byte-compared against the serial loop's."""
+    graph, calibration = zoo[model]
+    plan = _plan_for(graph, mechanism)
+    for batch in (1, 4):
+        program = compile_program(graph, plan, calibration, batch=batch)
+        x = np.random.default_rng(batch).standard_normal(
+            (batch, 3, 32, 32)).astype(np.float32)
+        for keep in ("outputs", "all"):
+            serial = program.run(x, keep=keep)
+            for workers in WORKER_COUNTS:
+                with ParallelRuntime(workers=workers) as runtime:
+                    parallel = runtime.run(program, x, keep=keep)
+                _assert_identical(
+                    serial, parallel,
+                    (model, mechanism, batch, keep, workers))
+
+
+def test_executor_workers_match_serial_executor(zoo):
+    """An Executor built with workers > 1 routes compiled runs through
+    the pool and still reproduces the serial executor's bytes."""
+    graph, calibration = zoo["googlenet_mini"]
+    plan = _plan_for(graph, "pfq")
+    x = np.random.default_rng(3).standard_normal(
+        (2, 3, 32, 32)).astype(np.float32)
+    serial = Executor(EXYNOS_7420)
+    threaded = Executor(EXYNOS_7420, workers=2)
+    try:
+        want = serial.run(graph, plan, x=x, calibration=calibration,
+                          compiled=True)
+        got = threaded.run(graph, plan, x=x, calibration=calibration,
+                           compiled=True)
+        _assert_identical(want.outputs, got.outputs, "executor")
+    finally:
+        threaded.close()
+
+
+def test_mulayer_workers_match_functional(rng):
+    """The top-level runtime facade: compiled-parallel output equals
+    the functional interpreter's, byte for byte."""
+    from repro.runtime import UNIFORM_F32
+
+    graph = build_model("squeezenet_mini")
+    runtime = MuLayer(EXYNOS_7420, UNIFORM_F32, workers=2)
+    x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+    compiled = runtime.run(graph, x, compiled=True)
+    functional = runtime.run(graph, x, compiled=False)
+    _assert_identical(functional.outputs, compiled.outputs, "mulayer")
+
+
+class TestFleetSharedPool:
+    def test_workers_share_one_pool_across_contexts(self):
+        fleet = Fleet.build(["exynos7420", "exynos7880"], 2,
+                            compiled=True, workers=2)
+        try:
+            assert fleet._pool is not None
+            for soc_name in ("exynos7420", "exynos7880"):
+                executor = fleet.context(soc_name).executor
+                assert executor._pool is fleet._pool
+        finally:
+            fleet.close()
+
+    def test_default_fleet_has_no_pool(self):
+        fleet = Fleet.build(["exynos7420"], 1)
+        assert fleet._pool is None
+        fleet.close()   # idempotent no-op without a pool

@@ -1,0 +1,154 @@
+"""Structure of the step DAG and the PV013 soundness rule.
+
+The parallel runtime trusts :func:`~repro.compile.dag.build_step_dag`
+for *what may overlap* and :func:`~repro.analysis.verify_step_dag`
+(PV013) to prove that trust justified.  These tests pin both sides:
+chains lower to chains (width 1), inception branches widen the DAG,
+``keep="all"`` drops the arena anti-dependences entirely, and seeded
+violations -- a backward edge, a cycle, a tampered arena layout with
+byte-aliased live slots -- are each caught by PV013 with the message
+naming the broken invariant.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import verify_step_dag
+from repro.compile import build_step_dag, compile_program
+from repro.models import build_model
+from repro.nn import calibrate_graph
+from repro.runtime import (MuLayer, PROCESSOR_FRIENDLY, UNIFORM_F16,
+                           UNIFORM_QUINT8)
+from repro.runtime.baselines import single_processor_plan
+from repro.runtime.plan import ExecutionPlan, LayerAssignment
+from repro.soc import EXYNOS_7420
+
+
+def _split_plan(graph, policy):
+    assignments = {}
+    for name in graph.compute_layers():
+        if graph.layer(name).supports_channel_split:
+            assignments[name] = LayerAssignment.cooperative(name, 0.5)
+        else:
+            assignments[name] = LayerAssignment.on_cpu(name)
+    return ExecutionPlan(graph_name=graph.name, policy=policy,
+                        assignments=assignments)
+
+
+def _compiled(model, mechanism="baseline"):
+    graph = build_model(model)
+    rng = np.random.default_rng(20190325)
+    batches = [rng.standard_normal((4, 3, 32, 32)).astype(np.float32)
+               for _ in range(2)]
+    calibration = calibrate_graph(graph, batches)
+    if mechanism == "baseline":
+        plan = single_processor_plan(graph, "cpu", UNIFORM_QUINT8)
+    elif mechanism == "split":
+        plan = _split_plan(graph, UNIFORM_F16)
+    else:
+        plan = MuLayer(EXYNOS_7420, PROCESSOR_FRIENDLY).plan(graph)
+    return graph, compile_program(graph, plan, calibration)
+
+
+@pytest.fixture(scope="module")
+def vgg_program():
+    return _compiled("vgg_mini")
+
+
+class TestStructure:
+    def test_chain_model_lowers_to_a_chain(self, vgg_program):
+        """VGG is a straight chain: one DAG node per step, a single
+        root, every dependence pointing at an earlier step, and no
+        level ever holding more than one ready step."""
+        _, program = vgg_program
+        dag = build_step_dag(program, keep="outputs")
+        assert len(dag) == len(program.steps)
+        assert dag.roots == (0,)
+        assert dag.width() == 1
+        for index, deps in enumerate(dag.deps):
+            assert all(dep < index for dep in deps), (index, deps)
+
+    def test_succs_is_the_transpose_of_deps(self, vgg_program):
+        _, program = vgg_program
+        dag = build_step_dag(program, keep="outputs")
+        for index, deps in enumerate(dag.deps):
+            for dep in deps:
+                assert index in dag.succs[dep]
+        for index, succs in enumerate(dag.succs):
+            for succ in succs:
+                assert index in dag.deps[succ]
+
+    def test_keep_all_has_no_anti_dependences(self, vgg_program):
+        """keep="all" allocates a fresh array per layer, so no buffer
+        reuse exists to order against: the DAG is pure data flow."""
+        _, program = vgg_program
+        dag = build_step_dag(program, keep="all")
+        assert not dag.arena_mode
+        assert dag.anti_edges == ()
+
+    def test_arena_anti_edges_point_forward(self, vgg_program):
+        _, program = vgg_program
+        dag = build_step_dag(program, keep="outputs")
+        assert dag.arena_mode
+        for src, dst in dag.anti_edges:
+            assert src < dst, (src, dst)
+
+    def test_inception_branches_widen_the_dag(self):
+        """GoogLeNet's inception modules run four filter paths off one
+        input: the DAG must expose that branch concurrency."""
+        _, program = _compiled("googlenet_mini", "split")
+        dag = build_step_dag(program, keep="outputs")
+        assert dag.width() > 1
+
+
+class TestPV013:
+    @pytest.mark.parametrize("keep", ("outputs", "all"))
+    def test_clean_programs_pass(self, keep):
+        for mechanism in ("baseline", "split", "pfq"):
+            _, program = _compiled("squeezenet_mini", mechanism)
+            report = verify_step_dag(program, keep=keep)
+            assert report.ok, (mechanism, keep, report.render())
+
+    def test_backward_edge_is_flagged(self, vgg_program):
+        _, program = vgg_program
+        good = build_step_dag(program, keep="outputs")
+        n = len(good)
+        bad = dataclasses.replace(
+            good, anti_edges=good.anti_edges + ((n - 1, 0),))
+        report = verify_step_dag(program, dag=bad)
+        assert not report.ok
+        assert any(d.rule == "PV013" and "backward" in d.message
+                   for d in report.diagnostics), report.render()
+
+    def test_cycle_is_flagged(self, vgg_program):
+        _, program = vgg_program
+        good = build_step_dag(program, keep="outputs")
+        bad = dataclasses.replace(
+            good, anti_edges=good.anti_edges + ((0, 1), (1, 0)))
+        report = verify_step_dag(program, dag=bad)
+        assert not report.ok
+        assert any(d.rule == "PV013" and "cyclic" in d.message
+                   for d in report.diagnostics), report.render()
+
+    def test_tampered_arena_aliasing_is_flagged(self):
+        """PV013 re-derives aliasing from the arena layout itself, so
+        a layout edited after DAG construction -- two byte-overlapping
+        slots made live simultaneously -- cannot hide behind the stale
+        (clean) DAG."""
+        _, program = _compiled("vgg_mini")
+        dag = build_step_dag(program, keep="outputs")
+        slots = list(program.arena.slots)
+        assert len(slots) >= 2
+        first = slots[0]
+        slots[1] = dataclasses.replace(
+            slots[1], offset=first.offset, nbytes=first.nbytes,
+            start=first.start, end=first.end)
+        program.arena = dataclasses.replace(program.arena,
+                                            slots=tuple(slots))
+        report = verify_step_dag(program, dag=dag)
+        assert not report.ok
+        assert any(d.rule == "PV013" and "aliases" in d.message
+                   and "live" in d.message
+                   for d in report.diagnostics), report.render()

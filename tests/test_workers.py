@@ -1,0 +1,125 @@
+"""Semantics of the help-run worker pool.
+
+The :class:`~repro.runtime.workers.WorkerPool` is the substrate the
+thread-parallel compiled runtime schedules onto; these tests pin the
+properties that substrate guarantees: submission-order results,
+help-running (a saturated pool never deadlocks a caller, and nested
+fan-out from inside a pool task cannot deadlock either), exceptions
+captured and re-raised only after every sibling finished, and a
+lifecycle that is idempotent and refuses work after close.
+"""
+
+import threading
+
+import pytest
+
+from repro.runtime.workers import WorkerPool, default_workers
+
+
+class TestDefaults:
+    def test_default_workers_bounds(self):
+        """The CLI default is min(cpu_count, 4), never below 1."""
+        assert 1 <= default_workers() <= 4
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestSubmit:
+    def test_submit_runs_and_returns(self):
+        with WorkerPool(2) as pool:
+            task = pool.submit(lambda: 41 + 1)
+            task.wait()
+            assert task.done
+            assert task.result == 42
+            assert task.error is None
+
+    def test_task_error_is_captured_not_raised(self):
+        def boom():
+            raise ValueError("broken task")
+
+        with WorkerPool(1) as pool:
+            task = pool.submit(boom)
+            task.wait()
+            assert isinstance(task.error, ValueError)
+
+    def test_submit_after_close_raises(self):
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: None)
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.submit(lambda: None).wait()
+        pool.close()
+        pool.close()
+
+    def test_current_worker_indices(self):
+        with WorkerPool(3) as pool:
+            assert pool.current_worker() is None   # caller thread
+            task = pool.submit(pool.current_worker)
+            task.wait()
+            assert task.result in (0, 1, 2)
+
+
+class TestRunGroup:
+    def test_results_in_submission_order(self):
+        with WorkerPool(4) as pool:
+            results = pool.run_group(
+                [(lambda i=i: i * i) for i in range(16)])
+            assert results == [i * i for i in range(16)]
+
+    def test_caller_helps_on_saturated_pool(self):
+        """With the only worker parked, the caller must claim and run
+        the whole group inline -- no deadlock, no waiting on a worker
+        that will never come."""
+        pool = WorkerPool(1)
+        release = threading.Event()
+        blocker = pool.submit(release.wait)
+        seen = []
+
+        def part(i):
+            seen.append(pool.current_worker())
+            return i
+
+        results = pool.run_group([(lambda i=i: part(i))
+                                  for i in range(4)])
+        assert results == [0, 1, 2, 3]
+        # The single worker was parked throughout, so every group task
+        # ran inline on the calling thread (outside the pool).
+        assert set(seen) == {None}
+        release.set()
+        blocker.wait()
+        pool.close()
+
+    def test_nested_fan_out_does_not_deadlock(self):
+        """A pool task fanning sub-tasks back into the same (full)
+        pool completes: waiters help-run unclaimed leaves."""
+        with WorkerPool(2) as pool:
+            def outer(base):
+                return sum(pool.run_group(
+                    [(lambda i=i: i + base) for i in range(8)]))
+
+            results = pool.run_group([lambda: outer(100),
+                                      lambda: outer(200)])
+            assert results == [sum(range(8)) + 800,
+                               sum(range(8)) + 1600]
+
+    def test_group_error_raised_after_all_siblings_finish(self):
+        done = []
+
+        def ok(i):
+            done.append(i)
+            return i
+
+        def boom():
+            raise RuntimeError("part failed")
+
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError, match="part failed"):
+                pool.run_group([lambda: ok(0), boom, lambda: ok(2)])
+        # No torn partial state: the siblings completed before the
+        # group's exception propagated.
+        assert sorted(done) == [0, 2]
