@@ -20,6 +20,15 @@ against a freshly generated run and exits non-zero when:
   warm speedup (``compiled.summary.speedup``) shrank, by more than the
   threshold factor.  Runs without the block (``--no-compiled``) skip
   these gates with a notice.
+* when the fresh run carries an ``autotuned`` block (the
+  profile-guided kernel-variant path; byte-identity against the
+  functional output is asserted inside the benchmark itself): the
+  geometric-mean speedup of the tuned programs over the untuned
+  compiled baseline must clear an absolute floor of 1.05x (with the
+  usual threshold headroom for machine noise), and both the geomean
+  speedup and the tuned total time are ratio-gated against the
+  baseline run.  Runs without the block (``--no-autotune``) skip
+  these gates with a notice.
 * when the fresh run carries a ``parallel`` block (the thread-parallel
   compiled path; byte-identity across worker counts is asserted inside
   the benchmark itself): on a multi-core runner, the aggregate
@@ -128,8 +137,60 @@ def _check_e2e(baseline: dict, fresh: dict, threshold: float) -> bool:
                         baseline_compiled["summary"]["speedup"],
                         fresh_compiled["summary"]["speedup"],
                         threshold, lower_is_better=False)
+    regressed |= _check_autotuned(baseline.get("autotuned"),
+                                  fresh.get("autotuned"), threshold)
     regressed |= _check_parallel(baseline.get("parallel"),
                                  fresh.get("parallel"), threshold)
+    return regressed
+
+
+#: The autotuner must buy at least this geometric-mean speedup over
+#: the untuned compiled baseline across the mini-zoo cells.
+AUTOTUNE_GEOMEAN_FLOOR = 1.05
+
+
+def _check_autotuned(baseline: "dict | None", fresh: "dict | None",
+                     threshold: float) -> bool:
+    """The autotuning gates; True when anything regressed."""
+    if fresh is None:
+        print("  autotuned gates skipped: fresh run has no autotuned "
+              "block")
+        return False
+    regressed = False
+    geomean = fresh["summary"]["geomean_speedup"]
+    # Absolute floor with the usual threshold headroom: the committed
+    # baseline is held to the full 1.05x (benchmarks/
+    # test_wallclock_e2e.py), the CI runner only to the floor scaled
+    # down by the noise allowance.
+    floor = 1.0 + (AUTOTUNE_GEOMEAN_FLOOR - 1.0) / threshold
+    ok = geomean >= floor
+    print(f"  autotuned.geomean_speedup: {geomean:.3f}x "
+          f"(floor {floor:.3f}x from {AUTOTUNE_GEOMEAN_FLOOR:.2f}x "
+          f"absolute) -- {'ok' if ok else 'REGRESSED'}")
+    regressed |= not ok
+    variants = fresh.get("variants", {})
+    chosen = {name: count for name, count in variants.items()
+              if name != "reference"}
+    if not chosen:
+        print("  autotuned.variants: no non-reference variant chosen "
+              "anywhere -- REGRESSED")
+        regressed = True
+    else:
+        summary = ", ".join(f"{name} x{count}"
+                            for name, count in sorted(chosen.items()))
+        print(f"  autotuned.variants: {summary}")
+    if baseline is None:
+        print("  autotuned ratio gates skipped: baseline run has no "
+              "autotuned block")
+        return regressed
+    regressed |= _check("autotuned.geomean_speedup",
+                        baseline["summary"]["geomean_speedup"],
+                        fresh["summary"]["geomean_speedup"],
+                        threshold, lower_is_better=False)
+    regressed |= _check("autotuned.autotuned_total_ms",
+                        baseline["summary"]["autotuned_total_ms"],
+                        fresh["summary"]["autotuned_total_ms"],
+                        threshold, lower_is_better=True)
     return regressed
 
 

@@ -46,7 +46,7 @@ from .memory import (ArenaLayout, ArenaSlot, BufferInterval,
                      FootprintSummary, MemoryFootprintAnalyzer,
                      build_arena)
 from .plan_verifier import (PlanVerifier, verify_program,
-                            verify_step_dag)
+                            verify_step_dag, verify_tuned_variants)
 from .races import TimelineRaceDetector, check_step_trace
 from .sarif import (apply_baseline, baseline_document, fingerprint,
                     load_baseline, report_to_sarif, split_locus)
@@ -96,5 +96,6 @@ __all__ = [
     "verify_run",
     "verify_static",
     "verify_step_dag",
+    "verify_tuned_variants",
     "verify_sweep",
 ]

@@ -72,6 +72,10 @@ RULES: Dict[str, str] = {
              "backward dependence edges, cooperative parts that do not "
              "tile the declared channel ranges, or arena aliasing that "
              "breaks the anti-dependence ordering)",
+    "PV014": "tuned kernel variant illegal for its step (unknown "
+             "variant name, variant on a shape/kind/dtype it was never "
+             "derived for, approximate variant without allow_approx, "
+             "or a non-reference variant in an untuned program)",
     # -- TimelineRaceDetector ----------------------------------------------
     "RC001": "two busy intervals overlap on one resource",
     "RC002": "compute segment starts before a producer layer's compute "

@@ -13,6 +13,13 @@ perf trajectory is tracked across PRs:
 * **compiled** -- the compiled fused path (``repro.compile``) against
   the warm functional path on every mini-model cell, on the matched
   0.5-split plan, byte-identity asserted before and after timing.
+* **autotuned** -- the autotuned compiled path (``repro.tune``: a
+  fresh in-memory tuner per cell, no on-disk state) against the
+  untuned compiled baseline, both compiled from the same matched plan
+  and timed back-to-back, byte-identity against the warm functional
+  output asserted before and after timing.  The block records the
+  per-cell speedups, a kernel-variant histogram over all tuned
+  programs, and the geometric-mean speedup CI gates on.
 * **parallel** -- the compiled program's serial loop (workers=1)
   against the thread-parallel worker-pool runtime at workers 2 and 4,
   per mini model under the processor-friendly and f32 policies, on the
@@ -23,17 +30,18 @@ perf trajectory is tracked across PRs:
 * **sweep** -- the static verification sweep over the mini zoo, serial
   versus ``jobs`` processes.
 
-All timings use ``time.perf_counter`` and report the *minimum* over
-the repeats (robust to scheduler noise on shared machines).  The
-benchmark is sized to run in well under a minute so CI can afford it
-as a smoke job.
+All timings go through :func:`~repro.harness.timing.min_time_ms` --
+run the leg ``repeats`` times, keep the *minimum* (robust to scheduler
+noise on shared machines).  The benchmark is sized to run in well
+under a minute so CI can afford it as a smoke job.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import time
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,6 +52,7 @@ from ..runtime.compute import LayerComputer
 from ..runtime.pfq import (PROCESSOR_FRIENDLY, QuantizationPolicy,
                            UNIFORM_F16, UNIFORM_F32, UNIFORM_QUINT8)
 from ..tensor import Tensor
+from .timing import min_time_ms
 
 if TYPE_CHECKING:   # pragma: no cover - typing only (avoids a cycle)
     from ..runtime.plan import ExecutionPlan
@@ -98,14 +107,12 @@ def _bench_model_policy(graph: Graph, calibration: CalibrationTable,
     # Cold: the pre-cache behaviour -- a fresh computer per inference,
     # no caches, so weights re-quantize and operands re-pack each time;
     # computer construction is part of the timed region.
-    cold_times = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
+    def cold_inference() -> Tensor:
         cold_computer = LayerComputer(graph, policy, calibration,
                                       enable_caches=False)
-        reference = _run_functional(graph, cold_computer, x)
-        cold_times.append(time.perf_counter() - t0)
-    cold_s = min(cold_times)
+        return _run_functional(graph, cold_computer, x)
+
+    cold_ms, reference = min_time_ms(cold_inference, repeats)
 
     # Warm: one persistent cached computer; the first inference fills
     # the packed-operand caches and is not timed.
@@ -115,21 +122,17 @@ def _bench_model_policy(graph: Graph, calibration: CalibrationTable,
     if warmup.data.tobytes() != reference.data.tobytes():
         raise AssertionError(
             "cached execution diverged from uncached output")
-    warm_times = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = _run_functional(graph, computer, x)
-        warm_times.append(time.perf_counter() - t0)
-    warm_s = min(warm_times)
+    warm_ms, out = min_time_ms(
+        lambda: _run_functional(graph, computer, x), repeats)
     if out.data.tobytes() != reference.data.tobytes():
         raise AssertionError(
             "warm cached execution diverged from uncached output")
 
     stats = computer.cache_stats()
     return {
-        "cold_ms": cold_s * 1e3,
-        "warm_ms": warm_s * 1e3,
-        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "cold_ms": cold_ms,
+        "warm_ms": warm_ms,
+        "speedup": cold_ms / warm_ms if warm_ms > 0 else float("inf"),
         "im2col_hit_rate": stats["im2col"]["hit_rate"],
         "packed_hit_rate": stats["packed"]["hit_rate"],
     }
@@ -174,33 +177,85 @@ def _bench_compiled(graph: Graph, calibration: CalibrationTable,
     reference = _run_functional(graph, computer, x)
 
     plan = _matched_split_plan(graph, policy)
-    t0 = time.perf_counter()
-    program = compile_program(graph, plan, calibration,
-                              mechanism="bench")
-    compile_s = time.perf_counter() - t0
+    compile_ms, program = min_time_ms(
+        lambda: compile_program(graph, plan, calibration,
+                                mechanism="bench"), 1)
     output = graph.output_layers()[0]
     out = program.run(x, keep="outputs")[output]
     if out.data.tobytes() != reference.data.tobytes():
         raise AssertionError(
             "compiled execution diverged from the functional output")
-    compiled_times = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        out = program.run(x, keep="outputs")[output]
-        compiled_times.append(time.perf_counter() - t0)
-    compiled_s = min(compiled_times)
+    compiled_ms, out = min_time_ms(
+        lambda: program.run(x, keep="outputs")[output], repeats)
     if out.data.tobytes() != reference.data.tobytes():
         raise AssertionError(
             "steady-state compiled execution diverged from the "
             "functional output")
     return {
-        "compile_ms": compile_s * 1e3,
+        "compile_ms": compile_ms,
         "warm_ms": warm_ms,
-        "compiled_ms": compiled_s * 1e3,
-        "speedup": (warm_ms / (compiled_s * 1e3) if compiled_s > 0
+        "compiled_ms": compiled_ms,
+        "speedup": (warm_ms / compiled_ms if compiled_ms > 0
                     else float("inf")),
         "arena_bytes": float(program.arena.arena_bytes),
     }
+
+
+def _bench_autotuned(graph: Graph, calibration: CalibrationTable,
+                     policy: QuantizationPolicy, x: np.ndarray,
+                     repeats: int
+                     ) -> "Tuple[Dict[str, float], Dict[str, int]]":
+    """Autotuned-vs-untuned compiled timing of one (model, policy)
+    cell.
+
+    Compiles the matched 0.5-split plan twice -- once untuned, once
+    through a fresh in-memory :class:`~repro.tune.Tuner` (no on-disk
+    or cross-cell state) -- asserts both programs byte-identical to
+    the warm functional output, and times their steady-state runs
+    back-to-back so the quoted speedup is not polluted by drift
+    between benchmark phases.  Returns the cell and the tuned
+    program's kernel-variant histogram.
+    """
+    from ..compile import compile_program
+    from ..tune import Tuner
+
+    computer = LayerComputer(graph, policy, calibration,
+                             enable_caches=True)
+    reference = _run_functional(graph, computer, x).data.tobytes()
+
+    plan = _matched_split_plan(graph, policy)
+    baseline = compile_program(graph, plan, calibration,
+                               mechanism="bench")
+    tuner = Tuner(repeats=max(3, repeats))
+    tune_ms, tuned = min_time_ms(
+        lambda: compile_program(graph, plan, calibration,
+                                mechanism="bench", tuner=tuner), 1)
+    output = graph.output_layers()[0]
+
+    def check(program, label: str) -> None:
+        out = program.run(x, keep="outputs")[output]
+        if out.data.tobytes() != reference:
+            raise AssertionError(
+                f"{label} execution diverged from the functional "
+                "output")
+
+    check(baseline, "compiled")
+    check(tuned, "autotuned")
+    compiled_ms, _ = min_time_ms(
+        lambda: baseline.run(x, keep="outputs")[output], repeats)
+    autotuned_ms, _ = min_time_ms(
+        lambda: tuned.run(x, keep="outputs")[output], repeats)
+    check(baseline, "steady-state compiled")
+    check(tuned, "steady-state autotuned")
+    cell = {
+        "tune_ms": tune_ms,
+        "compiled_ms": compiled_ms,
+        "autotuned_ms": autotuned_ms,
+        "speedup": (compiled_ms / autotuned_ms if autotuned_ms > 0
+                    else float("inf")),
+        "tuned_steps": float(tuner.timed),
+    }
+    return cell, tuned.variant_histogram()
 
 
 #: Worker counts of the thread-parallel compiled benchmark axis.
@@ -248,23 +303,19 @@ def _bench_parallel(graph: Graph, calibration: CalibrationTable,
         "dag_width": float(dag.width()),
     }
     for workers in workers_axis:
-        times = []
         if workers == 1:
-            for _ in range(repeats):
-                t0 = time.perf_counter()
-                out = program.run(x, keep="outputs")
-                times.append(time.perf_counter() - t0)
+            ms, out = min_time_ms(
+                lambda: program.run(x, keep="outputs"), repeats)
             check(out, workers)
         else:
             with ParallelRuntime(workers=workers) as runtime:
                 check(runtime.run(program, x, keep="outputs"),
                       workers)
-                for _ in range(repeats):
-                    t0 = time.perf_counter()
-                    out = runtime.run(program, x, keep="outputs")
-                    times.append(time.perf_counter() - t0)
+                ms, out = min_time_ms(
+                    lambda: runtime.run(program, x, keep="outputs"),
+                    repeats)
                 check(out, workers)
-        cell[f"workers{workers}_ms"] = min(times) * 1e3
+        cell[f"workers{workers}_ms"] = ms
     top = max(workers_axis)
     top_ms = cell[f"workers{top}_ms"]
     cell["speedup"] = (cell["workers1_ms"] / top_ms if top_ms > 0
@@ -276,7 +327,8 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
               jobs: Optional[int] = None,
               policies: Optional[Sequence[str]] = None,
               compiled: bool = True,
-              workers: Optional[int] = None) -> Dict:
+              workers: Optional[int] = None,
+              autotune: bool = True) -> Dict:
     """The full benchmark; returns a JSON-ready dict.
 
     Args:
@@ -294,6 +346,10 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
             :data:`PARALLEL_WORKERS` clipped to this bound (default
             4, i.e. workers 1, 2, and 4).  ``workers=1`` skips the
             block; it also requires ``compiled``.
+        autotune: also time the autotuned compiled path against the
+            untuned compiled baseline on every mini-model cell,
+            asserting byte-identity (the ``autotuned`` block of the
+            output); requires ``compiled``.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -318,6 +374,8 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
     functional: Dict[str, Dict[str, float]] = {}
     compiled_cells: Dict[str, Dict[str, float]] = {}
     parallel_cells: Dict[str, Dict[str, float]] = {}
+    autotuned_cells: Dict[str, Dict[str, float]] = {}
+    autotuned_variants: Dict[str, int] = {}
     cold_total = warm_total = 0.0
     compiled_warm_total = compiled_total = 0.0
     sweep_models: List[str] = []
@@ -328,9 +386,15 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
         x = rng.standard_normal(shape).astype(np.float32)
         calibration = calibrate_graph(graph, [x])
         for policy_name in model_policies:
+            # Mini cells run in single-digit milliseconds, where a
+            # min over 3 samples still flakes on a loaded shared
+            # runner; a floor of 7 stabilizes the minimum without
+            # touching the full models (whose single repeat is the
+            # expensive leg) or the compiled/parallel/tuned legs.
             cell = _bench_model_policy(
                 graph, calibration, BENCH_POLICIES[policy_name], x,
-                model_repeats)
+                max(model_repeats, 7) if model in MINI_MODELS
+                else model_repeats)
             functional[f"{model}/{policy_name}"] = cell
             cold_total += cell["cold_ms"]
             warm_total += cell["warm_ms"]
@@ -344,6 +408,14 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
                 compiled_cells[f"{model}/{policy_name}"] = ccell
                 compiled_warm_total += ccell["warm_ms"]
                 compiled_total += ccell["compiled_ms"]
+                if autotune:
+                    acell, histogram = _bench_autotuned(
+                        graph, calibration,
+                        BENCH_POLICIES[policy_name], x, model_repeats)
+                    autotuned_cells[f"{model}/{policy_name}"] = acell
+                    for variant, count in histogram.items():
+                        autotuned_variants[variant] = (
+                            autotuned_variants.get(variant, 0) + count)
                 if (policy_name in _PARALLEL_POLICIES
                         and len(workers_axis) > 1):
                     parallel_cells[f"{model}/{policy_name}"] = (
@@ -389,6 +461,27 @@ def run_bench(models: Optional[Sequence[str]] = None, repeats: int = 3,
                 "compiled_total_ms": compiled_total,
                 "speedup": (compiled_warm_total / compiled_total
                             if compiled_total > 0 else float("inf")),
+            },
+        }
+    if autotuned_cells:
+        speedups = [cell["speedup"]
+                    for cell in autotuned_cells.values()
+                    if cell["speedup"] > 0
+                    and not math.isinf(cell["speedup"])]
+        geomean = (math.exp(sum(math.log(s) for s in speedups)
+                            / len(speedups)) if speedups
+                   else float("nan"))
+        results["autotuned"] = {
+            "cells": autotuned_cells,
+            "variants": autotuned_variants,
+            "summary": {
+                "compiled_total_ms": sum(
+                    cell["compiled_ms"]
+                    for cell in autotuned_cells.values()),
+                "autotuned_total_ms": sum(
+                    cell["autotuned_ms"]
+                    for cell in autotuned_cells.values()),
+                "geomean_speedup": geomean,
             },
         }
     if parallel_cells:
@@ -676,6 +769,26 @@ def render_bench(results: Dict) -> str:
                  f"{csummary['warm_total_ms']:.1f} ms, compiled "
                  f"{csummary['compiled_total_ms']:.1f} ms, speedup "
                  f"{csummary['speedup']:.2f}x")
+    autotuned = results.get("autotuned")
+    if autotuned:
+        rows = [[cell_name, cell["tune_ms"], cell["compiled_ms"],
+                 cell["autotuned_ms"], cell["speedup"],
+                 int(cell["tuned_steps"])]
+                for cell_name in sorted(autotuned["cells"])
+                for cell in [autotuned["cells"][cell_name]]]
+        text += "\n\n" + format_table(
+            ["model/policy", "tune_ms", "compiled_ms",
+             "autotuned_ms", "speedup", "tuned_steps"],
+            rows, title="autotuned compiled path vs untuned baseline")
+        asummary = autotuned["summary"]
+        variants = ", ".join(
+            f"{name} x{count}"
+            for name, count in sorted(autotuned["variants"].items()))
+        text += (f"\n\nautotuned total: untuned "
+                 f"{asummary['compiled_total_ms']:.1f} ms, tuned "
+                 f"{asummary['autotuned_total_ms']:.1f} ms, geomean "
+                 f"speedup {asummary['geomean_speedup']:.2f}x"
+                 f"\nvariants: {variants}")
     parallel = results.get("parallel")
     if parallel:
         axis = [int(w) for w in parallel["workers"]]

@@ -6,6 +6,9 @@ from .op_cache import OperandCache
 from .pooling import avg_pool, global_avg_pool, max_pool
 from .qgemm import (fused_const_row, qgemm, qgemm_accumulate, qgemm_fused,
                     quantize_bias)
+from .variants import (conv1x1_direct_f32, depthwise_matvec,
+                       max_pool_shifted, winograd_conv3x3,
+                       winograd_filter_transform)
 
 __all__ = [
     "gemm_f16",
@@ -23,4 +26,9 @@ __all__ = [
     "qgemm_accumulate",
     "qgemm_fused",
     "quantize_bias",
+    "conv1x1_direct_f32",
+    "depthwise_matvec",
+    "max_pool_shifted",
+    "winograd_conv3x3",
+    "winograd_filter_transform",
 ]

@@ -88,6 +88,11 @@ class Executor:
             to share (a serving fleet dispatches all replicas onto one
             pool); implies parallel compiled execution regardless of
             ``workers``.
+        tuner: a :class:`~repro.tune.Tuner`; when set, every program
+            this executor compiles goes through per-step kernel-variant
+            autotuning (decisions cached in the tuner's
+            :class:`~repro.tune.TuneCache`).  ``None`` compiles the
+            reference lowering everywhere.
     """
 
     #: How many distinct (graph, policy, calibration) computers an
@@ -98,12 +103,13 @@ class Executor:
                  async_issue: bool = True, verify: bool = False,
                  op_caches: bool = True,
                  workers: Optional[int] = None,
-                 pool=None) -> None:
+                 pool=None, tuner=None) -> None:
         self.soc = soc
         self.zero_copy = zero_copy
         self.async_issue = async_issue
         self.verify = verify
         self.op_caches = op_caches
+        self.tuner = tuner
         self.workers = 1 if workers is None else int(workers)
         if self.workers < 1:
             raise PlanError(f"workers must be >= 1, got {workers}")
@@ -179,7 +185,8 @@ class Executor:
                 or not program.matches(graph, calibration)):
             program = compile_program(graph, plan,
                                       calibration=calibration,
-                                      batch=batch, mechanism=mechanism)
+                                      batch=batch, mechanism=mechanism,
+                                      tuner=self.tuner)
             self._programs[key] = program
         self._programs.move_to_end(key)
         while len(self._programs) > self._COMPUTER_MEMO_ENTRIES:
@@ -240,8 +247,11 @@ class Executor:
                     "compiled program is stale for this graph/"
                     "calibration; recompile it")
             if report is not None:
-                from ..analysis.plan_verifier import verify_program
+                from ..analysis.plan_verifier import (
+                    verify_program, verify_tuned_variants)
                 report.extend(verify_program(graph, plan, program))
+                report.extend(verify_tuned_variants(graph, plan,
+                                                    program))
                 report.raise_if_errors(
                     f"compiled program for {graph.name!r} on "
                     f"{self.soc.name}")

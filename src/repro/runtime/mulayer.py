@@ -55,6 +55,8 @@ class MuLayer:
         workers: worker threads for compiled functional execution
             (see :class:`~repro.runtime.executor.Executor`); ``None``
             or 1 keeps the serial loop.
+        tuner: a :class:`~repro.tune.Tuner`; when set, compiled
+            programs go through per-step kernel-variant autotuning.
     """
 
     def __init__(self, soc: SoCSpec,
@@ -68,10 +70,12 @@ class MuLayer:
                  compiled: bool = False,
                  predictor: Optional[LatencyPredictor] = None,
                  plan_cache: Optional[PlanCache] = None,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 tuner=None) -> None:
         self.soc = soc
         self.policy = policy
         self.compiled = compiled
+        self.tuner = tuner
         config = PartitionerConfig(
             enable_channel_distribution=enable_channel_distribution,
             enable_branch_distribution=enable_branch_distribution,
@@ -81,7 +85,7 @@ class MuLayer:
                                        predictor=predictor)
         self.executor = Executor(soc, zero_copy=zero_copy,
                                  async_issue=async_issue, verify=verify,
-                                 workers=workers)
+                                 workers=workers, tuner=tuner)
         self.plan_cache = plan_cache if plan_cache is not None else (
             PlanCache())
 
@@ -121,7 +125,8 @@ class MuLayer:
         if program is None or program.plan is not plan:
             program = compile_program(graph, plan,
                                       calibration=calibration,
-                                      batch=batch, mechanism="mulayer")
+                                      batch=batch, mechanism="mulayer",
+                                      tuner=self.tuner)
             self.plan_cache.put_program(key, batch, program)
         return program
 

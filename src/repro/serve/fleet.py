@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from ..models import build_model
 from ..nn import Graph
@@ -35,6 +36,10 @@ from ..runtime.workers import WorkerPool
 from ..soc import SoCSpec, soc_by_name
 from ..tensor import DType
 from .workload import Request
+
+if TYPE_CHECKING:   # pragma: no cover - typing only (avoids a cycle)
+    from ..quant.calibrate import CalibrationTable
+    from ..tune import Tuner
 
 #: Compute dtype of each single-processor mechanism -- the fastest
 #: per-processor data type per the paper (Section 7.2, Section 8.3).
@@ -100,11 +105,13 @@ class _SoCContext:
 
     def __init__(self, soc: SoCSpec, policy: QuantizationPolicy,
                  workers: Optional[int] = None,
-                 pool: Optional[WorkerPool] = None) -> None:
+                 pool: Optional[WorkerPool] = None,
+                 tuner: "Optional[Tuner]" = None) -> None:
         self.soc = soc
         self.policy = policy
         self.partitioner = Partitioner(soc, policy=policy)
-        self.executor = Executor(soc, workers=workers, pool=pool)
+        self.executor = Executor(soc, workers=workers, pool=pool,
+                                 tuner=tuner)
         config = PartitionerConfig(enable_channel_distribution=False,
                                    enable_branch_distribution=False)
         self._estimators: Dict[str, Partitioner] = {
@@ -316,6 +323,13 @@ class Fleet:
             replica's executor dispatches onto it -- replicas share
             the pool instead of spawning one thread team each.
             ``None`` or 1 keeps the serial loop.
+        tuner: a shared :class:`~repro.tune.Tuner`; when set, every
+            program the fleet compiles (including
+            :meth:`warm_plans`'s program warming) goes through
+            kernel-variant autotuning against the tuner's single
+            :class:`~repro.tune.TuneCache` -- each unique step
+            signature is tuned once fleet-wide, never once per
+            replica.
     """
 
     def __init__(self, socs: Sequence[SoCSpec],
@@ -323,7 +337,8 @@ class Fleet:
                  plan_cache: Optional[PlanCache] = None,
                  memoize_results: bool = True,
                  compiled: bool = False,
-                 workers: Optional[int] = None) -> None:
+                 workers: Optional[int] = None,
+                 tuner: "Optional[Tuner]" = None) -> None:
         if not socs:
             raise ValueError("a fleet needs at least one device")
         self.policy = policy
@@ -331,6 +346,7 @@ class Fleet:
             PlanCache())
         self.memoize_results = memoize_results
         self.compiled = compiled
+        self.tuner = tuner
         self.workers = 1 if workers is None else int(workers)
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -341,7 +357,8 @@ class Fleet:
         for index, soc in enumerate(socs):
             if soc.name not in self._contexts:
                 self._contexts[soc.name] = _SoCContext(
-                    soc, policy, workers=self.workers, pool=self._pool)
+                    soc, policy, workers=self.workers, pool=self._pool,
+                    tuner=tuner)
             self.devices.append(
                 Device.make(f"dev{index}:{soc.name}", soc))
         self._graphs: Dict[str, Graph] = {}
@@ -358,7 +375,8 @@ class Fleet:
               plan_cache: Optional[PlanCache] = None,
               memoize_results: bool = True,
               compiled: bool = False,
-              workers: Optional[int] = None) -> "Fleet":
+              workers: Optional[int] = None,
+              tuner: "Optional[Tuner]" = None) -> "Fleet":
         """A fleet of ``num_devices`` cycling through ``soc_names``."""
         if num_devices < 1:
             raise ValueError("num_devices must be >= 1")
@@ -368,7 +386,7 @@ class Fleet:
         socs = [next(cycle) for _ in range(num_devices)]
         return cls(socs, policy=policy, plan_cache=plan_cache,
                    memoize_results=memoize_results, compiled=compiled,
-                   workers=workers)
+                   workers=workers, tuner=tuner)
 
     def close(self) -> None:
         """Stop the shared worker pool, if any (idempotent)."""
@@ -427,7 +445,8 @@ class Fleet:
     def warm_plans(self, models: Sequence[str],
                    mechanisms: Optional[Sequence[str]] = None,
                    jobs: Optional[int] = None,
-                   batches: Sequence[int] = (1,)) -> int:
+                   batches: Sequence[int] = (1,),
+                   programs: bool = False) -> int:
         """Pre-build plans for every (model, SoC type, mechanism,
         batch).
 
@@ -443,9 +462,17 @@ class Fleet:
             batches: batch sizes to warm; a batching scheduler with
                 ``max_batch=B`` dispatches at sizes 1..B, so warm
                 ``range(1, B + 1)``.
+            programs: also compile (and, when the fleet has a tuner,
+                autotune) one :class:`CompiledProgram` per unique
+                (model, SoC type, mechanism, batch), cached next to
+                its plan.  The work is keyed by SoC *type*, not
+                device, so a hundred replicas of one SoC warm -- and
+                tune -- each configuration exactly once, all through
+                the fleet's shared :class:`~repro.tune.TuneCache`.
 
         Returns:
-            How many plans were built (and inserted) by this call.
+            How many plans (plus, with ``programs``, programs) were
+            built and inserted by this call.
         """
         from ..harness.parallel import parallel_map
 
@@ -483,7 +510,73 @@ class Fleet:
             for key, plan in parallel_map(_warm_plan_unit, work,
                                           jobs=jobs):
                 self.plan_cache.put(key, plan)
-        return len(work)
+        built = len(work)
+        if programs:
+            built += self._warm_programs(models, mechanisms, batches)
+        return built
+
+    def _warm_programs(self, models: Sequence[str],
+                       mechanisms: Optional[Sequence[str]],
+                       batches: Sequence[int]) -> int:
+        """Compile one program per unique configuration (see
+        :meth:`warm_plans`); returns how many were compiled."""
+        # Imported lazily: repro.compile imports the analysis package,
+        # which imports the runtime this module builds on.
+        from ..compile import compile_program
+        from ..nn.reference import calibrate_graph
+        import numpy as np
+
+        weighted: Dict[str, Graph] = {}
+        calibrations: Dict[Tuple[str, str], "CalibrationTable"] = {}
+        compiled = 0
+        for soc_name in sorted(self._contexts):
+            context = self._contexts[soc_name]
+            supported = context.mechanisms()
+            chosen = (supported if mechanisms is None
+                      else tuple(m for m in mechanisms
+                                 if m in supported))
+            for model in models:
+                for mechanism in chosen:
+                    for batch in batches:
+                        key = PlanKey(
+                            model=model, soc=soc_name,
+                            mechanism=mechanism,
+                            policy=context.policy_name(mechanism),
+                            batch=batch)
+                        if self.plan_cache.get_program(
+                                key, batch) is not None:
+                            continue
+                        graph = weighted.get(model)
+                        if graph is None:
+                            graph = build_model(model,
+                                                with_weights=True)
+                            weighted[model] = graph
+                        plan = self.plan_cache.get_or_build(
+                            key,
+                            lambda: context.build_plan(graph, mechanism,
+                                                       batch=batch))
+                        calibration: "Optional[CalibrationTable]" = None
+                        if plan.policy.is_quantized:
+                            cal_key = (model, plan.policy.name)
+                            calibration = calibrations.get(cal_key)
+                            if calibration is None:
+                                in_name = graph.input_layers()[0]
+                                shape = (1,) + tuple(
+                                    int(d) for d in
+                                    graph.infer_shapes()[in_name][1:])
+                                sample = np.random.default_rng(
+                                    0).standard_normal(shape).astype(
+                                        np.float32)
+                                calibration = calibrate_graph(
+                                    graph, [sample])
+                                calibrations[cal_key] = calibration
+                        program = compile_program(
+                            graph, plan, calibration=calibration,
+                            batch=batch, mechanism=mechanism,
+                            tuner=self.tuner)
+                        self.plan_cache.put_program(key, batch, program)
+                        compiled += 1
+        return compiled
 
     def resources_for(self, model: str, device: Device, mechanism: str,
                       batch: int = 1) -> Tuple[str, ...]:

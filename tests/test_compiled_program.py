@@ -175,6 +175,146 @@ class TestPlanCacheConcurrency:
                 assert cache.get(key) is pairs[key][0]
 
 
+class TestOperandCacheWeightRaces:
+    def test_set_weights_races_tuned_parallel_execution(self, rng):
+        """``set_weights`` storms while a *tuned* compiled program
+        runs through the thread-parallel runtime and a cached
+        functional computer keeps inferring.
+
+        Three guarantees under the race, same shape as the PlanCache
+        hammer above:
+
+        * the tuned program compiled against the old arrays keeps
+          producing byte-identical outputs mid-storm (lowering baked
+          its own operand copies; surgery on the graph cannot tear an
+          in-flight program);
+        * the :class:`OperandCache` inside the functional computer
+          never serves a torn entry -- identity validation rebuilds
+          packed operands whenever the source array changed, so every
+          functional output matches one of the weight generations that
+          existed when it ran;
+        * at quiescence the runtime recompiles (the cached program
+          went stale) and the new tuned program is byte-identical to a
+          fresh functional run over the final weights.
+        """
+        from repro.compile import ParallelRuntime
+        from repro.models import build_model
+        from repro.nn import calibrate_graph
+        from repro.runtime import PROCESSOR_FRIENDLY
+        from repro.runtime.compute import LayerComputer
+        from repro.tune import Tuner
+
+        graph = build_model("vgg_mini")
+        x = rng.standard_normal((1, 3, 32, 32)).astype(np.float32)
+        calibration = calibrate_graph(graph, [x])
+        out = graph.output_layers()[0]
+
+        runtime = MuLayer(EXYNOS_7420, tuner=Tuner(repeats=1))
+        old_program = runtime.program(graph, calibration=calibration)
+        assert old_program.tuned
+        old_bytes = old_program.run(x, keep="outputs")[out].data \
+            .tobytes()
+
+        computer = LayerComputer(graph, PROCESSOR_FRIENDLY,
+                                 calibration, enable_caches=True)
+
+        def functional(comp):
+            comp.begin_inference()
+            input_name = graph.input_layers()[0]
+            values = {input_name: comp.input_tensor(input_name, x)}
+            for name in graph.compute_layers():
+                inputs = [values[p] for p in graph.inputs_of(name)]
+                values[name] = comp.run_full(name, inputs, "cpu")
+            return values[out].data.tobytes()
+
+        # Distinct weight generations with distinct expected outputs:
+        # the racing functional thread must only ever produce one of
+        # them (the run reads each layer's weight array once, and the
+        # operand caches validate against that exact object).
+        target = next(n for n in graph.compute_layers()
+                      if graph.layer(n).weights is not None)
+        layer = graph.layer(target)
+        base_weights, base_bias = layer.weights, layer.bias
+        arrays = []
+        expected = set()
+        for index in range(4):
+            weights = base_weights * (1.0 + 0.05 * index)
+            layer.set_weights(weights, base_bias.copy())
+            arrays.append(weights)
+            fresh = LayerComputer(graph, PROCESSOR_FRIENDLY,
+                                  calibration, enable_caches=False)
+            expected.add(functional(fresh))
+        assert len(expected) == len(arrays)   # generations differ
+
+        errors = []
+        stop = threading.Event()
+        progress = [0, 0]
+
+        def tuned_runner():
+            with ParallelRuntime(workers=2) as parallel:
+                while not stop.is_set():
+                    got = parallel.run(old_program, x,
+                                       keep="outputs")[out]
+                    progress[0] += 1
+                    if got.data.tobytes() != old_bytes:
+                        errors.append("tuned program output moved "
+                                      "under weight surgery")
+                        return
+
+        def functional_runner():
+            while not stop.is_set():
+                seen = functional(computer)
+                progress[1] += 1
+                if seen not in expected:
+                    errors.append("functional output matches no "
+                                  "weight generation (torn operand "
+                                  "cache entry)")
+                    return
+
+        def mutator():
+            # Keep swapping until both runners raced at least a few
+            # full iterations against live surgery (bounded so a
+            # wedged runner cannot hang the test).
+            swaps = 0
+            while (min(progress) < 3 and swaps < 200_000
+                   and not errors):
+                layer.set_weights(arrays[swaps % len(arrays)],
+                                  base_bias.copy())
+                swaps += 1
+
+        threads = [threading.Thread(target=tuned_runner),
+                   threading.Thread(target=functional_runner)]
+        swapper = threading.Thread(target=mutator)
+        for thread in threads:
+            thread.start()
+        swapper.start()
+        swapper.join()
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[:3]
+        assert min(progress) >= 1   # both runners actually raced
+
+        # Quiescence: the cached program is stale, the runtime
+        # recompiles, and tuned bytes equal a fresh functional run
+        # over the final weights.
+        assert old_program.is_stale(graph)
+        new_program = runtime.program(graph, calibration=calibration)
+        assert new_program is not old_program and new_program.tuned
+        fresh = LayerComputer(graph, PROCESSOR_FRIENDLY, calibration,
+                              enable_caches=False)
+        assert (new_program.run(x, keep="outputs")[out].data.tobytes()
+                == functional(fresh))
+
+        # The racing computer's caches actually validated identity:
+        # packing across swapped generations shows up as misses on
+        # the weight-side cache, never as a silently served stale
+        # entry.
+        stats = computer.cache_stats()
+        assert stats["packed"]["misses"] >= 1
+        assert stats["packed"]["hits"] >= 1
+
+
 class TestVerifyProgramPV012:
     def test_clean_program_passes(self, vgg_mini):
         plan = _plan(vgg_mini)
